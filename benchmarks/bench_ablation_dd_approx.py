@@ -1,0 +1,65 @@
+"""Ablation — approximate decision diagrams (paper ref. [12]).
+
+Sweeps the pruning threshold on states with a dominant component plus
+noise: node count shrinks, fidelity degrades gracefully — "as accurate as
+needed, as efficient as possible".
+"""
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage
+from repro.dd.approximation import approximate
+
+THRESHOLDS = [0.0, 0.001, 0.01, 0.05, 0.2]
+
+
+def _noisy_peak_state(num_qubits: int, noise: float, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[0] = 1.0
+    state += noise * (
+        rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+    )
+    return state / np.linalg.norm(state)
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_approximation_sweep(benchmark, threshold):
+    pkg = DDPackage()
+    state = _noisy_peak_state(10, 0.01, seed=1)
+    edge = pkg.from_statevector(state)
+
+    def run():
+        return approximate(pkg, edge, threshold)
+
+    approx, fidelity = benchmark(run)
+    benchmark.extra_info["fidelity"] = fidelity
+    benchmark.extra_info["nodes"] = pkg.count_nodes(approx)
+
+
+def test_accuracy_size_tradeoff_table():
+    """Fidelity vs node count across thresholds (-s to see)."""
+    pkg = DDPackage()
+    state = _noisy_peak_state(10, 0.01, seed=1)
+    edge = pkg.from_statevector(state)
+    exact_nodes = pkg.count_nodes(edge)
+    print()
+    print(f"threshold  nodes (exact {exact_nodes})  fidelity")
+    rows = []
+    for threshold in THRESHOLDS:
+        approx, fidelity = approximate(pkg, edge, threshold)
+        nodes = pkg.count_nodes(approx)
+        rows.append((threshold, nodes, fidelity))
+        print(f"{threshold:9.3f}  {nodes:10d}          {fidelity:8.5f}")
+    # Monotone: more pruning, fewer nodes, lower fidelity.
+    node_counts = [nodes for _, nodes, _ in rows]
+    fidelities = [fidelity for _, _, fidelity in rows]
+    assert node_counts == sorted(node_counts, reverse=True)
+    assert all(
+        later <= earlier + 1e-9
+        for earlier, later in zip(fidelities, fidelities[1:])
+    )
+    # Aggressive pruning pays: a fraction of the nodes at >90% fidelity.
+    assert node_counts[-2] < exact_nodes / 2
+    assert fidelities[-2] > 0.9

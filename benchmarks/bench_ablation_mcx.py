@@ -1,0 +1,74 @@
+"""Ablation — multi-controlled gate decomposition strategies.
+
+The design choice behind Grover-class oracles: Barenco's ancilla-free
+recursion (exponential CX count), the v-chain with clean ancillas (linear),
+and the parity-network phase form (CX+rz only).  The bench measures how the
+CX counts actually scale.
+"""
+
+import math
+
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.compile.decompositions import (
+    BASIS_CX_RZ_RY,
+    decompose_mcp_parity,
+    decompose_mcx_with_ancillas,
+    decompose_multi_controlled,
+    decompose_to_basis,
+)
+
+CONTROL_COUNTS = [3, 4, 5, 6]
+
+
+def _barenco_cx_count(k: int) -> int:
+    qc = QuantumCircuit(k + 1)
+    for op in decompose_multi_controlled(
+        Operation(g.X, [k], list(range(k)))
+    ):
+        qc.append(op)
+    return decompose_to_basis(qc, BASIS_CX_RZ_RY).two_qubit_gate_count()
+
+
+def _vchain_cx_count(k: int) -> int:
+    ancillas = list(range(k + 1, 2 * k - 1))
+    qc = QuantumCircuit(2 * k - 1)
+    for op in decompose_mcx_with_ancillas(list(range(k)), k, ancillas):
+        qc.append(op)
+    return decompose_to_basis(qc, BASIS_CX_RZ_RY).two_qubit_gate_count()
+
+
+@pytest.mark.parametrize("k", CONTROL_COUNTS)
+def test_barenco_strategy(benchmark, k):
+    count = benchmark(_barenco_cx_count, k)
+    benchmark.extra_info["cx_count"] = count
+
+
+@pytest.mark.parametrize("k", CONTROL_COUNTS)
+def test_vchain_strategy(benchmark, k):
+    count = benchmark(_vchain_cx_count, k)
+    benchmark.extra_info["cx_count"] = count
+
+
+def test_scaling_table():
+    """CX counts per strategy (-s): linear vs exponential growth."""
+    print()
+    print("controls  barenco_cx  vchain_cx  parity_mcp_cx")
+    rows = []
+    for k in CONTROL_COUNTS:
+        barenco = _barenco_cx_count(k)
+        vchain = _vchain_cx_count(k)
+        parity = sum(
+            1
+            for op in decompose_mcp_parity(math.pi, list(range(k)), k)
+            if len(op.qubits) == 2
+        )
+        rows.append((k, barenco, vchain, parity))
+        print(f"{k:8d}  {barenco:10d}  {vchain:9d}  {parity:13d}")
+    # v-chain is linear: constant increments; Barenco grows much faster.
+    vchain_growth = rows[-1][2] - rows[-2][2]
+    barenco_growth = rows[-1][1] - rows[-2][1]
+    assert barenco_growth > vchain_growth
+    assert rows[-1][2] < rows[-1][1]  # v-chain wins at 6 controls

@@ -1,0 +1,60 @@
+"""E1/C1 — Sec. II claim: arrays grow exponentially; limit < 50 qubits.
+
+Measures statevector simulation time and memory versus qubit count on a
+fixed-depth brickwork workload and extrapolates the memory wall.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays import StatevectorSimulator
+from repro.circuits import random_circuits
+
+QUBIT_RANGE = [8, 10, 12, 14, 16]
+
+
+@pytest.mark.parametrize("num_qubits", QUBIT_RANGE)
+def test_array_simulation_scaling(benchmark, num_qubits):
+    circuit = random_circuits.brickwork_circuit(num_qubits, depth=4, seed=1)
+    sim = StatevectorSimulator()
+    state = benchmark(sim.statevector, circuit)
+    assert np.linalg.norm(state) == pytest.approx(1.0, abs=1e-8)
+    memory_bytes = state.nbytes
+    benchmark.extra_info["state_bytes"] = memory_bytes
+    assert memory_bytes == 16 * 2**num_qubits  # complex128: exact 2^n growth
+
+
+def test_memory_wall_extrapolation():
+    """The '< 50 qubits' practical-limit claim, made concrete.
+
+    A 50-qubit statevector needs 16 * 2^50 bytes = 16 PiB; even a large HPC
+    node (1 TiB) tops out at 36 qubits.  Print the table (run with -s).
+    """
+    rows = []
+    for n in (30, 36, 40, 45, 50):
+        bytes_needed = 16 * 2**n
+        rows.append((n, bytes_needed / 2**30))
+    print()
+    print("qubits  statevector GiB")
+    for n, gib in rows:
+        print(f"{n:6d}  {gib:18.1f}")
+    one_tib = 2**40
+    largest_fitting = max(n for n in range(1, 60) if 16 * 2**n <= one_tib)
+    assert largest_fitting == 36
+    assert 16 * 2**50 > 2**50  # 50 qubits exceed a petabyte: the paper's wall
+
+
+def test_exponential_time_growth():
+    """Doubling check: time per added qubit roughly doubles."""
+    import time
+
+    sim = StatevectorSimulator()
+    times = {}
+    for n in (12, 14, 16):
+        circuit = random_circuits.brickwork_circuit(n, depth=4, seed=2)
+        start = time.perf_counter()
+        sim.statevector(circuit)
+        times[n] = time.perf_counter() - start
+    # two extra qubits should cost clearly more than 2x (4x ideally; allow
+    # generous noise margins on shared machines)
+    assert times[16] > times[12] * 2

@@ -1,0 +1,94 @@
+"""E8 (cont.) — compilation: routing overhead across device topologies.
+
+SWAP counts and gate-count inflation when mapping QFT/Grover onto line,
+ring, grid, heavy-hex, and IBM QX5 coupling maps; greedy vs SABRE routers;
+and the effect of the optimization level.
+"""
+
+import pytest
+
+from repro.circuits import library
+from repro.compile import compile_circuit, coupling
+from repro.compile.routing import route_greedy, route_sabre
+
+TOPOLOGIES = {
+    "line": lambda n: coupling.line(n),
+    "ring": lambda n: coupling.ring(n),
+    "grid2xk": lambda n: coupling.grid(2, (n + 1) // 2),
+    "full": lambda n: coupling.fully_connected(n),
+}
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("router", ["greedy", "sabre"])
+def test_route_qft6(benchmark, topology, router):
+    circuit = library.qft(6)
+    cmap = TOPOLOGIES[topology](6)
+    route = route_greedy if router == "greedy" else route_sabre
+    result = benchmark(route, circuit, cmap)
+    benchmark.extra_info["swaps"] = result.swap_count
+
+
+def test_routing_overhead_table():
+    """SWAP overhead by topology: full < grid < ring < line (-s)."""
+    print()
+    print("topology  greedy_swaps  sabre_swaps")
+    sabre_counts = {}
+    for name in ("full", "grid2xk", "ring", "line"):
+        cmap = TOPOLOGIES[name](6)
+        greedy = route_greedy(library.qft(6), cmap).swap_count
+        sabre = route_sabre(library.qft(6), cmap).swap_count
+        sabre_counts[name] = sabre
+        print(f"{name:8s}  {greedy:12d}  {sabre:11d}")
+    assert sabre_counts["full"] == 0
+    # Sparser connectivity costs more swaps: the line is strictly worse
+    # than the denser grid, and anything beats all-to-all.
+    assert sabre_counts["line"] > sabre_counts["grid2xk"]
+    assert sabre_counts["line"] > sabre_counts["full"]
+    assert sabre_counts["ring"] > sabre_counts["full"]
+
+
+def test_sabre_vs_greedy_headline():
+    """The lookahead router beats greedy on all-to-all-heavy circuits."""
+    wins = 0
+    for n in (5, 6, 8):
+        cmap = coupling.line(n)
+        greedy = route_greedy(library.qft(n), cmap).swap_count
+        sabre = route_sabre(library.qft(n), cmap).swap_count
+        if sabre <= greedy:
+            wins += 1
+    assert wins == 3
+
+
+@pytest.mark.parametrize("level", [0, 1, 2])
+def test_compile_pipeline_levels(benchmark, level):
+    circuit = library.grover(3, 5)
+    cmap = coupling.line(3)
+    result = benchmark(
+        compile_circuit, circuit, coupling=cmap, optimization_level=level
+    )
+    benchmark.extra_info.update(result.stats)
+
+
+def test_heavy_hex_and_qx5_targets(benchmark):
+    circuit = library.qft(8)
+
+    def run():
+        return (
+            compile_circuit(circuit, coupling=coupling.heavy_hex(), seed=2),
+            compile_circuit(circuit, coupling=coupling.ibm_qx5(), seed=2),
+        )
+
+    heavy, qx5 = benchmark(run)
+    assert heavy.stats["swaps"] > 0
+    assert qx5.stats["swaps"] > 0
+    benchmark.extra_info["heavy_hex_swaps"] = heavy.stats["swaps"]
+    benchmark.extra_info["qx5_swaps"] = qx5.stats["swaps"]
+
+
+def test_optimization_reduces_output_size():
+    circuit = library.qft(5)
+    cmap = coupling.ring(5)
+    level0 = compile_circuit(circuit, coupling=cmap, optimization_level=0)
+    level1 = compile_circuit(circuit, coupling=cmap, optimization_level=1)
+    assert level1.stats["output_ops"] <= level0.stats["output_ops"]

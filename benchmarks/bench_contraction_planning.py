@@ -1,0 +1,83 @@
+"""E5/C5 — Sec. IV claim: contraction-plan quality dominates TN cost.
+
+Compares the symbolic cost (flops, peak intermediate size) of greedy,
+exact-optimal, and random plans on circuit-derived tensor networks, and
+times the plan search itself (finding good plans is the NP-hard part).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import library, random_circuits
+from repro.tn import greedy_plan, optimal_plan, random_plan
+from repro.tn.circuit_tn import amplitude_network, circuit_to_network
+
+
+def _workload_networks():
+    nets = {}
+    net, _ = circuit_to_network(library.ghz_state(5))
+    nets["ghz5"] = net
+    net, _ = circuit_to_network(library.qft(3))
+    nets["qft3"] = net
+    nets["brickwork"] = amplitude_network(
+        random_circuits.brickwork_circuit(4, 2, seed=1), 0
+    )
+    return nets
+
+
+@pytest.mark.parametrize("name", sorted(_workload_networks()))
+def test_greedy_plan_search(benchmark, name):
+    network = _workload_networks()[name]
+    plan = benchmark(greedy_plan, network)
+    flops, peak = network.contraction_cost(plan)
+    benchmark.extra_info["flops"] = flops
+    benchmark.extra_info["peak"] = peak
+
+
+@pytest.mark.parametrize("name", ["ghz5", "qft3"])
+def test_optimal_plan_search(benchmark, name):
+    network = _workload_networks()[name]
+    if network.num_tensors > 14:
+        pytest.skip("exact DP limited to 14 tensors")
+    plan = benchmark(optimal_plan, network)
+    flops, peak = network.contraction_cost(plan)
+    benchmark.extra_info["flops"] = flops
+    benchmark.extra_info["peak"] = peak
+
+
+def test_plan_quality_spread():
+    """Greedy ~ optimal << random: the plan is where the cost lives (-s)."""
+    print()
+    print("network     greedy_flops  optimal_flops  random_mean  random_worst")
+    for name, network in sorted(_workload_networks().items()):
+        greedy_cost, _ = network.contraction_cost(greedy_plan(network))
+        optimal_cost = None
+        if network.num_tensors <= 14:
+            optimal_cost, _ = network.contraction_cost(optimal_plan(network))
+        random_costs = [
+            network.contraction_cost(random_plan(network, seed=s))[0]
+            for s in range(20)
+        ]
+        print(
+            f"{name:10s}  {greedy_cost:12d}  "
+            f"{optimal_cost if optimal_cost is not None else '-':>13}  "
+            f"{int(np.mean(random_costs)):11d}  {max(random_costs):12d}"
+        )
+        if optimal_cost is not None:
+            assert optimal_cost <= greedy_cost
+        # The qualitative claim: random plans are much worse than greedy.
+        assert max(random_costs) > greedy_cost
+
+
+def test_plan_quality_grows_with_size():
+    """The random/greedy cost gap widens with circuit size."""
+    gaps = []
+    for n in (4, 6, 8):
+        network = amplitude_network(library.ghz_state(n), 0)
+        greedy_cost, _ = network.contraction_cost(greedy_plan(network))
+        worst = max(
+            network.contraction_cost(random_plan(network, seed=s))[0]
+            for s in range(15)
+        )
+        gaps.append(worst / greedy_cost)
+    assert gaps[-1] > gaps[0]

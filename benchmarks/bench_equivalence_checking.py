@@ -1,0 +1,104 @@
+"""E8/C8 — verification across all four data structures.
+
+Equivalence checking of a circuit against its compiled version: dense
+arrays, alternating decision diagrams, ZX rewriting, and tensor-network
+stimuli — timing and the structural advantage of the alternating DD scheme.
+"""
+
+import pytest
+
+from repro.circuits import library, random_circuits
+from repro.compile import compile_circuit
+from repro.verify import (
+    check_equivalence_dd,
+    check_equivalence_random_stimuli,
+    check_equivalence_tn,
+    check_equivalence_unitary,
+    check_equivalence_zx,
+    peak_nodes_alternating,
+)
+
+
+def _compiled_pair(n=4, seed=1):
+    circuit = library.qft(n)
+    compiled = compile_circuit(circuit, optimization_level=1, seed=seed).circuit
+    return circuit, compiled
+
+
+PAIR = _compiled_pair()
+
+
+def test_check_arrays(benchmark):
+    a, b = PAIR
+    assert benchmark(check_equivalence_unitary, a, b) is True
+
+
+def test_check_dd_alternating(benchmark):
+    a, b = PAIR
+    assert benchmark(check_equivalence_dd, a, b) is True
+
+
+def test_check_zx(benchmark):
+    a, b = PAIR
+    assert benchmark(check_equivalence_zx, a, b) is True
+
+
+def test_check_tn_overlap(benchmark):
+    a, b = PAIR
+    assert benchmark(check_equivalence_tn, a, b) is True
+
+
+def test_check_tn_stimuli(benchmark):
+    a, b = PAIR
+    assert benchmark(check_equivalence_random_stimuli, a, b) is True
+
+
+def test_check_stabilizer_clifford(benchmark):
+    """Clifford equivalence via tableaus: polynomial where all else pays 2^n."""
+    from repro.verify import check_equivalence_stabilizer
+
+    circuit = random_circuits.random_clifford_circuit(20, 200, seed=4)
+    other = circuit.copy()
+    other.compose(library.ghz_state(20))
+    other.compose(library.ghz_state(20).inverse())
+    assert benchmark(check_equivalence_stabilizer, circuit, other) is True
+
+
+def test_alternating_scheme_stays_small():
+    """Ref. [20]'s core effect: interleaving keeps the intermediate DD near
+    the identity, sequential multiplication blows it up first (-s)."""
+    print()
+    print("strategy      peak_dd_nodes")
+    circuit = library.qft(5)
+    other = compile_circuit(circuit, optimization_level=1).circuit
+    ok_prop, peak_prop = peak_nodes_alternating(circuit, other, "proportional")
+    ok_seq, peak_seq = peak_nodes_alternating(circuit, other, "sequential")
+    print(f"proportional  {peak_prop}")
+    print(f"sequential    {peak_seq}")
+    assert ok_prop and ok_seq
+    assert peak_prop <= peak_seq
+
+
+def test_all_checkers_reject_subtle_bug():
+    """A single extra S gate must be caught by every exact method."""
+    circuit = random_circuits.random_clifford_t_circuit(4, 30, seed=9)
+    broken = circuit.copy()
+    broken.s(2)
+    assert check_equivalence_unitary(circuit, broken) is False
+    assert check_equivalence_dd(circuit, broken) is False
+    assert check_equivalence_tn(circuit, broken) is False
+    assert check_equivalence_random_stimuli(circuit, broken) is False
+    assert check_equivalence_zx(circuit, broken) is not True
+
+
+def test_dd_checker_scales_past_dense_arrays(benchmark):
+    """10-qubit GHZ-vs-padded-GHZ: the dense check needs a 2^20-entry
+    matrix pair; the DD check stays linear-sized throughout."""
+    circuit = library.ghz_state(10)
+    padded = library.ghz_state(10)
+    padded.compose(library.qft(4), qubits=[0, 1, 2, 3])
+    padded.compose(library.qft(4).inverse(), qubits=[0, 1, 2, 3])
+    equivalent, peak = peak_nodes_alternating(circuit, padded)
+    assert equivalent
+    assert peak < 2**10  # never materializes anything exponential
+    benchmark(check_equivalence_dd, circuit, padded)

@@ -1,0 +1,53 @@
+"""F1 — Fig. 1: the Bell state as a state vector and as a decision diagram.
+
+Regenerates both representations, checks the paper's worked example
+(amplitude reconstruction as the product of edge weights along a path), and
+times their construction.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import library
+from repro.core import simulate
+from repro.dd import DDSimulator, to_dot
+from repro.visualization import bell_figure_ascii, statevector_table
+
+
+def test_fig1a_bell_statevector(benchmark):
+    result = benchmark(lambda: simulate(library.bell_pair(), backend="arrays"))
+    expected = np.array([1, 0, 0, 1]) / math.sqrt(2)
+    assert np.allclose(result.state, expected)
+    benchmark.extra_info["representation"] = "array (4 complex entries)"
+
+
+def test_fig1b_bell_decision_diagram(benchmark):
+    def build():
+        return DDSimulator().simulate_state(library.bell_pair())
+
+    state = benchmark(build)
+    # Paper Example 2: amplitude of |00> is the product of the edge weights
+    # on its path: 1/sqrt(2) * 1 * 1.
+    assert state.amplitude(0b00) == pytest.approx(1 / math.sqrt(2), abs=1e-12)
+    assert state.amplitude(0b01) == pytest.approx(0.0)
+    assert state.amplitude(0b11) == pytest.approx(1 / math.sqrt(2), abs=1e-12)
+    # The DD has 3 nodes: one q1 node, two q0 nodes.
+    assert state.num_nodes() == 3
+    benchmark.extra_info["dd_nodes"] = state.num_nodes()
+    benchmark.extra_info["vector_entries"] = 4
+
+
+def test_fig1_rendering(benchmark):
+    text = benchmark(bell_figure_ascii)
+    assert "Fig. 1a" in text and "Fig. 1b" in text
+    state = DDSimulator().simulate_state(library.bell_pair())
+    dot = to_dot(state.edge, name="fig1b")
+    assert "digraph fig1b" in dot
+
+
+def test_fig1_report():
+    """Print the Fig. 1 reproduction (run with -s to see it)."""
+    print()
+    print(bell_figure_ascii())

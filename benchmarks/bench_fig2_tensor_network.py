@@ -1,0 +1,58 @@
+"""F2/E4 — Fig. 2: the Bell circuit as a tensor network.
+
+Reproduces the figure's two contractions: the full output state (still
+``2^n``) and the single-amplitude computation where output "bubbles" cap the
+network and the contraction ends in a rank-0 tensor.  Also measures the
+linear-memory claim of Sec. IV.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import library, random_circuits
+from repro.tn.circuit_tn import (
+    amplitude,
+    amplitude_network,
+    circuit_to_network,
+    statevector_from_circuit,
+)
+from repro.visualization import render_tn_dot
+
+
+def test_fig2_bell_network_structure():
+    network, outputs = circuit_to_network(library.bell_pair())
+    # Fig. 2: two input bubbles + H bubble + CNOT bubble.
+    assert network.num_tensors == 4
+    assert len(network.open_indices()) == 2
+    dot = render_tn_dot(network, name="fig2")
+    assert "graph fig2" in dot
+
+
+def test_fig2_contract_to_state(benchmark):
+    state = benchmark(lambda: statevector_from_circuit(library.bell_pair()))
+    assert np.allclose(state, np.array([1, 0, 0, 1]) / math.sqrt(2))
+
+
+def test_fig2_contract_to_single_amplitude(benchmark):
+    value = benchmark(lambda: amplitude(library.bell_pair(), 0b11))
+    assert value == pytest.approx(1 / math.sqrt(2), abs=1e-12)
+    net = amplitude_network(library.bell_pair(), 0b11)
+    assert net.open_indices() == []  # capped: contraction is a scalar
+
+
+@pytest.mark.parametrize("num_qubits", [8, 16, 24, 32])
+def test_e4_network_memory_linear(benchmark, num_qubits):
+    """Sec. IV claim: the network stores O(qubits+gates) numbers, not 2^n."""
+    circuit = library.ghz_state(num_qubits)
+
+    def build():
+        network, _ = circuit_to_network(circuit)
+        return network.total_entries()
+
+    entries = benchmark(build)
+    # 2 per input + 4 for H + 16 per CNOT: exactly linear.
+    assert entries == 2 * num_qubits + 4 + 16 * (num_qubits - 1)
+    benchmark.extra_info["network_entries"] = entries
+    benchmark.extra_info["statevector_entries"] = 2**num_qubits

@@ -1,0 +1,83 @@
+"""F3 — Fig. 3: ZX-diagrams of the Bell circuit.
+
+(a) the circuit as a ZX-diagram, (b) plugging |0> states and rewriting down
+to the Bell state, (c) the graph-like form used by automated rewriting.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.zx import (
+    EdgeType,
+    VertexType,
+    ZXDiagram,
+    circuit_to_zx,
+    diagram_to_matrix,
+    full_reduce,
+    proportional,
+    to_graph_like,
+)
+from repro.visualization import render_zx_dot
+
+
+def _bell_state_vector():
+    return np.array([1, 0, 0, 1]) / math.sqrt(2)
+
+
+def test_fig3a_bell_circuit_diagram(benchmark):
+    diagram = benchmark(lambda: circuit_to_zx(library.bell_pair()))
+    # One Z spider (control) and one X spider (target), connected.
+    types = sorted(diagram.types[v].name for v in diagram.spiders())
+    assert types == ["X", "Z"]
+    matrix = diagram_to_matrix(diagram)
+    expected = np.zeros((4, 4), dtype=complex)
+    # CX . (H ⊗ I) — compare against the circuit unitary.
+    from repro.arrays import circuit_unitary
+
+    assert proportional(matrix, circuit_unitary(library.bell_pair()))
+    dot = render_zx_dot(diagram, name="fig3a")
+    assert "graph fig3a" in dot
+
+
+def test_fig3b_plugging_states_reduces_to_bell_state(benchmark):
+    """Plug |0> effects into the inputs and simplify: the Bell state remains."""
+
+    def plugged():
+        diagram = circuit_to_zx(library.bell_pair())
+        # |0> = X spider with no inputs (up to scalar); plug each input.
+        for input_vertex in list(diagram.inputs):
+            ((neighbor, ty),) = list(diagram.edges[input_vertex].items())
+            plug = diagram.add_vertex(VertexType.X, 0)
+            diagram.remove_vertex(input_vertex)
+            diagram.add_edge_smart(plug, neighbor, ty)
+        diagram.inputs = []
+        full_reduce(diagram)
+        return diagram
+
+    diagram = benchmark(plugged)
+    state = diagram_to_matrix(diagram).reshape(-1)
+    assert proportional(state, _bell_state_vector())
+    benchmark.extra_info["spiders_after_reduction"] = len(diagram.spiders())
+
+
+def test_fig3c_graph_like_form(benchmark):
+    def build():
+        diagram = circuit_to_zx(library.bell_pair())
+        to_graph_like(diagram)
+        return diagram
+
+    diagram = benchmark(build)
+    # Graph-like: only Z spiders; spider-spider edges are Hadamard.
+    assert all(diagram.types[v] == VertexType.Z for v in diagram.spiders())
+    for u, v, ty in diagram.edge_list():
+        if not diagram.is_boundary(u) and not diagram.is_boundary(v):
+            assert ty == EdgeType.HADAMARD
+    from repro.arrays import circuit_unitary
+
+    assert proportional(
+        diagram_to_matrix(diagram), circuit_unitary(library.bell_pair())
+    )

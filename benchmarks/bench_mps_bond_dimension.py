@@ -1,0 +1,67 @@
+"""E6 (cont.) — MPS bond-dimension sweep.
+
+The "specialized tensor networks" of Sec. IV trade fidelity for memory via
+the bond dimension: sweep the cap on an entangling brickwork circuit and
+report fidelity, truncation error, and stored entries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays import StatevectorSimulator
+from repro.circuits import library, random_circuits
+from repro.tn import MPSSimulator
+
+BONDS = [1, 2, 4, 8, 16]
+WORKLOAD = random_circuits.brickwork_circuit(10, 5, seed=7)
+
+
+@pytest.mark.parametrize("max_bond", BONDS)
+def test_bond_dimension_sweep(benchmark, max_bond):
+    sim = MPSSimulator(max_bond=max_bond)
+    result = benchmark(sim.run, WORKLOAD)
+    benchmark.extra_info["truncation_error"] = result.mps.truncation_error
+    benchmark.extra_info["entries"] = result.mps.total_entries()
+    benchmark.extra_info["max_bond_reached"] = result.mps.max_bond_reached
+
+
+def test_fidelity_vs_bond_table():
+    """Fidelity climbs monotonically to 1 as the bond cap rises (-s)."""
+    exact = StatevectorSimulator().statevector(WORKLOAD)
+    print()
+    print("max_bond  fidelity   trunc_error   entries")
+    fidelities = []
+    for max_bond in BONDS:
+        result = MPSSimulator(max_bond=max_bond).run(WORKLOAD)
+        state = result.mps.to_statevector()
+        state = state / np.linalg.norm(state)
+        fidelity = abs(np.vdot(exact, state)) ** 2
+        fidelities.append(fidelity)
+        print(
+            f"{max_bond:8d}  {fidelity:8.5f}  {result.mps.truncation_error:11.2e}"
+            f"  {result.mps.total_entries():8d}"
+        )
+    assert fidelities == sorted(fidelities)
+    assert fidelities[-1] > 0.999
+
+
+def test_structured_circuits_need_tiny_bonds():
+    """GHZ needs bond 2 regardless of size — the MPS sweet spot."""
+    result = MPSSimulator().run(library.ghz_state(30))
+    assert result.mps.max_bond_reached == 2
+    # Memory: linear in qubits.
+    assert result.mps.total_entries() < 30 * 10
+
+
+def test_entanglement_limits_mps():
+    """Deep brickwork saturates the bond cap at 2^(n/2): the MPS wall."""
+    circuit = random_circuits.brickwork_circuit(8, 8, seed=9)
+    result = MPSSimulator().run(circuit)
+    assert result.mps.max_bond_reached == 2**4
+    entropies = result.mps.bipartite_entropies()
+    # Entanglement clearly above any product state, deepest at the middle.
+    assert max(entropies) > 1.0
+    shallow = MPSSimulator().run(
+        random_circuits.brickwork_circuit(8, 1, seed=9)
+    )
+    assert max(shallow.mps.bipartite_entropies()) < max(entropies)

@@ -1,0 +1,52 @@
+"""Ablation — density matrices vs Monte-Carlo trajectories (ref. [13]).
+
+Both noise-simulation methods compute the same distribution; the density
+matrix pays 4^n memory once, trajectories pay 2^n memory per run times the
+trajectory count.  The crossover is the design choice the bench exposes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    TrajectorySimulator,
+)
+from repro.circuits import library
+
+NOISE = NoiseModel.uniform_depolarizing(0.01, 0.02)
+
+
+@pytest.mark.parametrize("num_qubits", [3, 5, 7])
+def test_density_matrix_method(benchmark, num_qubits):
+    circuit = library.ghz_state(num_qubits)
+    sim = DensityMatrixSimulator(NOISE)
+    result = benchmark(sim.run, circuit)
+    benchmark.extra_info["rho_bytes"] = int(result.rho.nbytes)
+
+
+@pytest.mark.parametrize("num_qubits", [3, 5, 7])
+def test_trajectory_method(benchmark, num_qubits):
+    circuit = library.ghz_state(num_qubits)
+    sim = TrajectorySimulator(NOISE, seed=1)
+    result = benchmark(sim.run, circuit, 50)
+    benchmark.extra_info["state_bytes"] = 16 * 2**num_qubits
+
+
+def test_methods_agree():
+    """Both methods produce the same distribution (within MC error)."""
+    circuit = library.ghz_state(4)
+    dm = DensityMatrixSimulator(NOISE).run(circuit).probabilities()
+    traj = TrajectorySimulator(NOISE, seed=3).run(circuit, 600).probabilities()
+    assert np.allclose(dm, traj, atol=0.05)
+    # The exact method gives strictly normalized output.
+    assert dm.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+def test_memory_footprints():
+    """Density matrix memory is the square of a trajectory's state."""
+    n = 7
+    rho = DensityMatrixSimulator(NOISE).run(library.ghz_state(n)).rho
+    assert rho.nbytes == 16 * 4**n
+    assert rho.nbytes == (16 * 2**n) * 2**n

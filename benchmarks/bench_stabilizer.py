@@ -1,0 +1,68 @@
+"""Extension bench — stabilizer tableaus on Clifford workloads (ref. [11]).
+
+Clifford circuits are the one workload class with a polynomial-time exact
+method; this bench shows the tableau crushing every general-purpose backend
+and scaling to hundreds of qubits where the others cannot go at all.
+"""
+
+import time
+
+import pytest
+
+from repro.arrays import StatevectorSimulator
+from repro.circuits import random_circuits
+from repro.dd import DDSimulator
+from repro.stab import StabilizerSimulator
+
+
+@pytest.mark.parametrize("num_qubits", [8, 12, 16])
+def test_clifford_tableau(benchmark, num_qubits):
+    circuit = random_circuits.random_clifford_circuit(
+        num_qubits, 10 * num_qubits, seed=1
+    )
+    sim = StabilizerSimulator()
+    benchmark(sim.run, circuit)
+
+
+@pytest.mark.parametrize("num_qubits", [8, 12, 16])
+def test_clifford_arrays(benchmark, num_qubits):
+    circuit = random_circuits.random_clifford_circuit(
+        num_qubits, 10 * num_qubits, seed=1
+    )
+    sim = StatevectorSimulator()
+    benchmark(sim.statevector, circuit)
+
+
+@pytest.mark.parametrize("num_qubits", [8, 12])
+def test_clifford_dd(benchmark, num_qubits):
+    circuit = random_circuits.random_clifford_circuit(
+        num_qubits, 10 * num_qubits, seed=1
+    )
+    benchmark(lambda: DDSimulator().simulate_state(circuit))
+
+
+def test_tableau_scales_to_hundreds_of_qubits():
+    """250 qubits, 2500 Clifford gates: seconds for the tableau, impossible
+    (2^250 amplitudes) for any state-materializing backend."""
+    circuit = random_circuits.random_clifford_circuit(250, 2500, seed=2)
+    start = time.perf_counter()
+    tableau, _ = StabilizerSimulator().run(circuit)
+    elapsed = time.perf_counter() - start
+    assert len(tableau.stabilizer_strings()) == 250
+    assert elapsed < 60
+
+
+def test_crossover_report():
+    """Tableau vs arrays on growing Clifford circuits (-s to see)."""
+    print()
+    print("qubits  arrays_s  tableau_s")
+    for n in (10, 14, 16):
+        circuit = random_circuits.random_clifford_circuit(n, 10 * n, seed=3)
+        start = time.perf_counter()
+        StatevectorSimulator().statevector(circuit)
+        array_time = time.perf_counter() - start
+        start = time.perf_counter()
+        StabilizerSimulator().run(circuit)
+        tableau_time = time.perf_counter() - start
+        print(f"{n:6d}  {array_time:8.4f}  {tableau_time:9.4f}")
+    assert tableau_time < array_time

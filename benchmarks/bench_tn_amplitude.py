@@ -1,0 +1,66 @@
+"""E6/C6 — Sec. IV claim: single amplitudes are cheap with capped networks.
+
+Compares computing ONE output amplitude via (a) full state construction and
+(b) the capped tensor-network contraction, on GHZ chains and brickwork
+circuits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays import StatevectorSimulator
+from repro.circuits import library, random_circuits
+from repro.tn.circuit_tn import amplitude, statevector_from_circuit
+
+GHZ_QUBITS = [8, 12, 16]
+
+
+@pytest.mark.parametrize("num_qubits", GHZ_QUBITS)
+def test_single_amplitude_capped_network(benchmark, num_qubits):
+    circuit = library.ghz_state(num_qubits)
+    value = benchmark(amplitude, circuit, 0)
+    assert value == pytest.approx(2**-0.5, abs=1e-9)
+
+
+@pytest.mark.parametrize("num_qubits", GHZ_QUBITS)
+def test_single_amplitude_via_full_state(benchmark, num_qubits):
+    circuit = library.ghz_state(num_qubits)
+    sim = StatevectorSimulator()
+
+    def run():
+        return sim.statevector(circuit)[0]
+
+    value = benchmark(run)
+    assert value == pytest.approx(2**-0.5, abs=1e-9)
+
+
+def test_capped_network_wins_at_scale():
+    """At 20+ qubits the capped contraction beats full-state construction."""
+    import time
+
+    circuit = library.ghz_state(20)
+    start = time.perf_counter()
+    capped = amplitude(circuit, 0)
+    capped_time = time.perf_counter() - start
+    sim = StatevectorSimulator()
+    start = time.perf_counter()
+    full = sim.statevector(circuit)[0]
+    full_time = time.perf_counter() - start
+    assert capped == pytest.approx(complex(full), abs=1e-9)
+    print(f"\ncapped {capped_time:.4f}s vs full-state {full_time:.4f}s")
+    assert capped_time < full_time
+
+
+def test_brickwork_amplitude_correctness(benchmark):
+    circuit = random_circuits.brickwork_circuit(6, 4, seed=3)
+    reference = StatevectorSimulator().statevector(circuit)
+    index = 37
+    value = benchmark(amplitude, circuit, index)
+    assert value == pytest.approx(complex(reference[index]), abs=1e-8)
+
+
+def test_full_state_is_still_exponential():
+    """Sec. IV: the *complete* output state remains 2^n even for TNs."""
+    for n in (6, 8, 10):
+        state = statevector_from_circuit(library.ghz_state(n))
+        assert state.nbytes == 16 * 2**n

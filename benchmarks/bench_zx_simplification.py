@@ -1,0 +1,93 @@
+"""E7/C7 — Sec. V claim: graph-like ZX rewriting terminates and reduces.
+
+full_reduce on Clifford and Clifford+T workloads: spider counts, T-counts,
+and rewrite throughput.  Clifford diagrams must collapse to boundary-size;
+T-counts must never increase and drop on phase-polynomial circuits.
+"""
+
+import pytest
+
+from repro.circuits import library, random_circuits
+from repro.compile import zx_optimize
+from repro.zx import circuit_to_zx, full_reduce
+
+CLIFFORD_SIZES = [40, 80, 160]
+
+
+@pytest.mark.parametrize("num_gates", CLIFFORD_SIZES)
+def test_clifford_full_reduce(benchmark, num_gates):
+    circuit = random_circuits.random_clifford_circuit(6, num_gates, seed=1)
+
+    def run():
+        diagram = circuit_to_zx(circuit)
+        full_reduce(diagram)
+        return diagram
+
+    diagram = benchmark(run)
+    # Termination + reduction: Clifford diagrams end boundary-sized.
+    assert len(diagram.spiders()) <= 3 * 6
+    benchmark.extra_info["spiders_after"] = len(diagram.spiders())
+
+
+@pytest.mark.parametrize("num_gates", [40, 80])
+def test_clifford_t_full_reduce(benchmark, num_gates):
+    circuit = random_circuits.random_clifford_t_circuit(5, num_gates, seed=2)
+    t_before = circuit.t_count()
+
+    def run():
+        diagram = circuit_to_zx(circuit)
+        full_reduce(diagram)
+        return diagram
+
+    diagram = benchmark(run)
+    assert diagram.t_count() <= t_before
+    benchmark.extra_info["t_before"] = t_before
+    benchmark.extra_info["t_after"] = diagram.t_count()
+
+
+def test_t_count_reduction_table():
+    """T-count before/after full_reduce (ref. [39] style table, -s)."""
+    print()
+    print("circuit            t_before  t_after")
+    rows = [
+        ("qft3", library.qft(3)),
+        ("qft4", library.qft(4)),
+        (
+            "phasepoly3",
+            library.phase_polynomial_circuit(
+                3, random_circuits.random_phase_polynomial_terms(3, 10, seed=3)
+            ),
+        ),
+        ("cliffordT5", random_circuits.random_clifford_t_circuit(5, 60, seed=4)),
+    ]
+    reductions = 0
+    for name, circuit in rows:
+        diagram = circuit_to_zx(circuit)
+        before = diagram.t_count()
+        full_reduce(diagram)
+        after = diagram.t_count()
+        print(f"{name:18s} {before:8d}  {after:7d}")
+        assert after <= before
+        if after < before:
+            reductions += 1
+    assert reductions >= 2  # the optimization must actually fire
+
+
+def test_zx_optimization_pass_gate_counts(benchmark):
+    """The full optimize-extract pipeline on a dense Clifford circuit."""
+    circuit = random_circuits.random_clifford_circuit(5, 80, seed=5)
+    report = benchmark(zx_optimize, circuit)
+    summary = report.summary()
+    # Dense Clifford circuits compress: fewer 2-qubit gates out than in.
+    assert summary["two_qubit_after"] <= summary["two_qubit_before"]
+
+
+def test_rewriting_is_polynomial_in_practice():
+    """Spider count after reduction stays flat as depth grows (termination)."""
+    sizes = []
+    for gates in (50, 100, 200):
+        circuit = random_circuits.random_clifford_circuit(6, gates, seed=6)
+        diagram = circuit_to_zx(circuit)
+        full_reduce(diagram)
+        sizes.append(len(diagram.spiders()))
+    assert max(sizes) <= 3 * 6

@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks live outside the default testpaths; make sure stray
+    # imports of the library resolve identically to the test suite.
+    pass

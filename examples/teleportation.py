@@ -1,0 +1,67 @@
+"""Quantum teleportation with measurement feed-forward.
+
+The protocol needs mid-circuit measurement and classically-controlled
+corrections — exercising the parts of the IR that pure unitary circuits
+never touch.  Runs on the statevector, decision-diagram, and MPS
+simulators; Bob's qubit always lands in the prepared state.
+"""
+
+import numpy as np
+
+from repro.arrays import StatevectorSimulator, zero_state
+from repro.arrays.statevector import apply_operation
+from repro.circuits import gates as g
+from repro.circuits import library
+from repro.circuits.circuit import Operation
+from repro.dd import DDSimulator
+from repro.tn import MPSSimulator
+
+
+def prepared_state(theta: float, phi: float) -> np.ndarray:
+    state = zero_state(1)
+    apply_operation(state, Operation(g.ry(theta), [0]), 1)
+    apply_operation(state, Operation(g.rz(phi), [0]), 1)
+    return state
+
+
+def bob_state(full_state: np.ndarray, classical: dict) -> np.ndarray:
+    base = classical[0] | (classical[1] << 1)
+    return np.array([full_state[base], full_state[base | 0b100]])
+
+
+def main() -> None:
+    theta, phi = 0.83, -1.27
+    target = prepared_state(theta, phi)
+    print(f"state to teleport: [{target[0]:.4f}, {target[1]:.4f}]\n")
+    print("run  simulator     m0 m1   fidelity(Bob, target)")
+
+    simulators = [
+        ("arrays", lambda seed: StatevectorSimulator(seed=seed)),
+        ("dd", lambda seed: DDSimulator(seed=seed)),
+        ("mps", lambda seed: MPSSimulator(seed=seed)),
+    ]
+    run = 0
+    for name, make in simulators:
+        for seed in (1, 2, 3):
+            run += 1
+            circuit = library.teleportation(theta, phi)
+            sim = make(seed)
+            result = sim.run(circuit)
+            if name == "arrays":
+                state = result.state
+                classical = result.classical_bits
+            else:
+                state = result.to_statevector()
+                classical = result.classical_bits
+            bob = bob_state(state, classical)
+            fidelity = abs(np.vdot(target, bob)) ** 2
+            print(
+                f"{run:3d}  {name:12s} {classical[0]:2d} {classical[1]:2d}"
+                f"   {fidelity:.6f}"
+            )
+    print("\nAll fidelities are 1: the feed-forward corrections undo every "
+          "measurement outcome.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — the data structures behind quantum design tools.
+
+A self-contained reproduction of "The Basis of Design Tools for Quantum
+Computing: Arrays, Decision Diagrams, Tensor Networks, and ZX-Calculus"
+(DAC 2022): four complementary representations of quantum states and
+operations, and the three design tasks (simulation, compilation,
+verification) built on each of them.
+
+Quickstart::
+
+    from repro.circuits import library
+    from repro.core import simulate
+
+    bell = library.bell_pair()
+    for backend in ("arrays", "dd", "tn", "mps"):
+        print(backend, simulate(bell, backend=backend).probabilities())
+"""
+
+from . import arrays, circuits, core, dd, stab, tn, verify, zx
+from .core import simulate, single_amplitude
+from .verify import check_equivalence
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "arrays",
+    "check_equivalence",
+    "circuits",
+    "core",
+    "dd",
+    "simulate",
+    "single_amplitude",
+    "stab",
+    "tn",
+    "verify",
+    "zx",
+    "__version__",
+]

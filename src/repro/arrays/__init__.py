@@ -1,0 +1,74 @@
+"""Array-based (dense numpy) representations: paper Sec. II."""
+
+from .density import (
+    DensityMatrixResult,
+    DensityMatrixSimulator,
+    density_from_statevector,
+    zero_density,
+)
+from .measurement import (
+    expectation_value,
+    fidelity,
+    marginal_probability,
+    probabilities,
+    sample_counts,
+)
+from .noise import (
+    KrausChannel,
+    NoiseModel,
+    amplitude_damping,
+    bit_flip,
+    depolarizing,
+    phase_damping,
+    phase_flip,
+    two_qubit_depolarizing,
+)
+from .trajectories import TrajectoryResult, TrajectorySimulator
+from .statevector import (
+    StatevectorResult,
+    StatevectorSimulator,
+    apply_matrix,
+    apply_operation,
+    basis_state,
+    measure_qubit,
+    zero_state,
+)
+from .unitary import (
+    allclose_up_to_global_phase,
+    apply_operation_to_matrix,
+    circuit_unitary,
+    operation_unitary,
+)
+
+__all__ = [
+    "DensityMatrixResult",
+    "DensityMatrixSimulator",
+    "KrausChannel",
+    "NoiseModel",
+    "StatevectorResult",
+    "StatevectorSimulator",
+    "TrajectoryResult",
+    "TrajectorySimulator",
+    "allclose_up_to_global_phase",
+    "amplitude_damping",
+    "apply_matrix",
+    "apply_operation",
+    "apply_operation_to_matrix",
+    "basis_state",
+    "bit_flip",
+    "circuit_unitary",
+    "density_from_statevector",
+    "depolarizing",
+    "expectation_value",
+    "fidelity",
+    "marginal_probability",
+    "measure_qubit",
+    "operation_unitary",
+    "phase_damping",
+    "phase_flip",
+    "probabilities",
+    "sample_counts",
+    "two_qubit_depolarizing",
+    "zero_density",
+    "zero_state",
+]

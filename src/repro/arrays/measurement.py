@@ -1,0 +1,77 @@
+"""Measurement, sampling, and observable utilities for dense states."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+_PAULIS = {
+    "I": np.eye(2, dtype=np.complex128),
+    "X": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "Z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+
+
+def probabilities(state: np.ndarray) -> np.ndarray:
+    """Born-rule outcome distribution over computational basis states."""
+    return np.abs(state) ** 2
+
+
+def sample_counts(state: np.ndarray, shots: int, seed: int = 0) -> Dict[str, int]:
+    """Sample measurement outcomes; keys are bitstrings, qubit n-1 first."""
+    num_qubits = int(len(state)).bit_length() - 1
+    probs = probabilities(state)
+    probs = probs / probs.sum()
+    rng = np.random.default_rng(seed)
+    outcomes = rng.choice(len(state), size=shots, p=probs)
+    counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        key = format(int(outcome), f"0{num_qubits}b")
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def marginal_probability(state: np.ndarray, qubit: int, outcome: int) -> float:
+    """Probability that measuring ``qubit`` yields ``outcome``."""
+    indices = np.arange(len(state))
+    mask = ((indices >> qubit) & 1) == outcome
+    return float(np.sum(np.abs(state[mask]) ** 2))
+
+
+def pauli_string_matrix(pauli: str) -> np.ndarray:
+    """Dense matrix of a Pauli string; leftmost character = highest qubit."""
+    matrix = np.array([[1.0 + 0j]])
+    for ch in pauli:
+        if ch not in _PAULIS:
+            raise ValueError(f"invalid Pauli character {ch!r}")
+        matrix = np.kron(matrix, _PAULIS[ch])
+    return matrix
+
+
+def expectation_value(state: np.ndarray, pauli: str) -> float:
+    """Expectation value <psi| P |psi> of a Pauli string observable.
+
+    Applied qubit-by-qubit, so memory stays at one extra statevector.
+    """
+    num_qubits = int(len(state)).bit_length() - 1
+    if len(pauli) != num_qubits:
+        raise ValueError(f"Pauli string length {len(pauli)} != {num_qubits} qubits")
+    work = state.copy()
+    tensor = work.reshape((2,) * num_qubits)
+    for pos, ch in enumerate(pauli):
+        if ch == "I":
+            continue
+        qubit = num_qubits - 1 - pos
+        axis = num_qubits - 1 - qubit
+        tensor = np.moveaxis(
+            np.tensordot(_PAULIS[ch], tensor, axes=([1], [axis])), 0, axis
+        )
+    value = np.vdot(state, tensor.reshape(-1))
+    return float(value.real)
+
+
+def fidelity(state_a: np.ndarray, state_b: np.ndarray) -> float:
+    """``|<a|b>|^2`` for pure states."""
+    return float(np.abs(np.vdot(state_a, state_b)) ** 2)

@@ -1,0 +1,145 @@
+"""Kraus-operator noise channels and noise models.
+
+Supports the density-matrix simulation of noisy circuits referenced by the
+paper (noise-aware simulation, reference [13]).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class KrausChannel:
+    """A completely-positive trace-preserving map given by Kraus operators."""
+
+    def __init__(self, name: str, operators: Sequence[np.ndarray]) -> None:
+        self.name = name
+        self.operators: List[np.ndarray] = [
+            np.asarray(k, dtype=np.complex128) for k in operators
+        ]
+        if not self.operators:
+            raise ValueError("channel needs at least one Kraus operator")
+        dim = self.operators[0].shape[0]
+        total = np.zeros((dim, dim), dtype=np.complex128)
+        for k in self.operators:
+            if k.shape != (dim, dim):
+                raise ValueError("Kraus operators must share one square shape")
+            total += k.conj().T @ k
+        if not np.allclose(total, np.eye(dim), atol=1e-9):
+            raise ValueError(f"channel '{name}' is not trace preserving")
+
+    @property
+    def num_qubits(self) -> int:
+        return int(self.operators[0].shape[0]).bit_length() - 1
+
+    def __repr__(self) -> str:
+        return f"KrausChannel({self.name}, {len(self.operators)} ops)"
+
+
+def bit_flip(p: float) -> KrausChannel:
+    """Flips the qubit (X error) with probability ``p``."""
+    return KrausChannel(
+        "bit_flip",
+        [
+            math.sqrt(1 - p) * np.eye(2),
+            math.sqrt(p) * np.array([[0, 1], [1, 0]]),
+        ],
+    )
+
+
+def phase_flip(p: float) -> KrausChannel:
+    """Applies a Z error with probability ``p``."""
+    return KrausChannel(
+        "phase_flip",
+        [
+            math.sqrt(1 - p) * np.eye(2),
+            math.sqrt(p) * np.diag([1, -1]),
+        ],
+    )
+
+
+def depolarizing(p: float) -> KrausChannel:
+    """Replaces the qubit state by the maximally mixed state with prob ``p``."""
+    return KrausChannel(
+        "depolarizing",
+        [
+            math.sqrt(1 - 3 * p / 4) * np.eye(2),
+            math.sqrt(p / 4) * np.array([[0, 1], [1, 0]]),
+            math.sqrt(p / 4) * np.array([[0, -1j], [1j, 0]]),
+            math.sqrt(p / 4) * np.diag([1, -1]),
+        ],
+    )
+
+
+def amplitude_damping(gamma: float) -> KrausChannel:
+    """Energy relaxation towards |0> with damping rate ``gamma``."""
+    return KrausChannel(
+        "amplitude_damping",
+        [
+            np.array([[1, 0], [0, math.sqrt(1 - gamma)]]),
+            np.array([[0, math.sqrt(gamma)], [0, 0]]),
+        ],
+    )
+
+
+def phase_damping(lam: float) -> KrausChannel:
+    """Pure dephasing with rate ``lam``."""
+    return KrausChannel(
+        "phase_damping",
+        [
+            np.array([[1, 0], [0, math.sqrt(1 - lam)]]),
+            np.array([[0, 0], [0, math.sqrt(lam)]]),
+        ],
+    )
+
+
+def two_qubit_depolarizing(p: float) -> KrausChannel:
+    """Two-qubit depolarizing channel (16 Pauli Kraus terms)."""
+    paulis = [
+        np.eye(2),
+        np.array([[0, 1], [1, 0]]),
+        np.array([[0, -1j], [1j, 0]]),
+        np.diag([1, -1]),
+    ]
+    operators = []
+    for i, a in enumerate(paulis):
+        for j, b in enumerate(paulis):
+            weight = math.sqrt(1 - 15 * p / 16) if (i, j) == (0, 0) else math.sqrt(p / 16)
+            operators.append(weight * np.kron(a, b))
+    return KrausChannel("two_qubit_depolarizing", operators)
+
+
+class NoiseModel:
+    """Attaches channels to gate applications.
+
+    ``gate_errors`` maps a gate display name (``"cx"``, ``"h"``, ...) to a
+    single-qubit channel applied to every qubit the gate touches after the
+    gate.  ``default_1q``/``default_2q`` cover unlisted gates.
+    """
+
+    def __init__(
+        self,
+        gate_errors: Optional[Dict[str, KrausChannel]] = None,
+        default_1q: Optional[KrausChannel] = None,
+        default_2q: Optional[KrausChannel] = None,
+    ) -> None:
+        self.gate_errors = dict(gate_errors or {})
+        self.default_1q = default_1q
+        self.default_2q = default_2q
+
+    def channel_for(self, op_name: str, num_qubits: int) -> Optional[KrausChannel]:
+        if op_name in self.gate_errors:
+            return self.gate_errors[op_name]
+        if num_qubits == 1:
+            return self.default_1q
+        if num_qubits >= 2:
+            return self.default_2q
+        return None
+
+    @staticmethod
+    def uniform_depolarizing(p1: float, p2: float) -> "NoiseModel":
+        """Depolarizing noise: ``p1`` after 1q gates, ``p2`` after 2q gates."""
+        return NoiseModel(default_1q=depolarizing(p1), default_2q=depolarizing(p2))

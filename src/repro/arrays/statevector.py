@@ -1,0 +1,197 @@
+"""Dense array-based statevector simulation (paper Sec. II).
+
+States are 1-D numpy arrays of length ``2**n``; operations are applied by
+gathering the amplitude groups a gate touches and multiplying by the gate's
+small matrix.  Memory and time grow exponentially with the qubit count —
+this is exactly the behaviour benchmarked in ``bench_array_scaling``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Operation, QuantumCircuit
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """The all-zeros computational basis state |0...0>."""
+    state = np.zeros(2**num_qubits, dtype=np.complex128)
+    state[0] = 1.0
+    return state
+
+
+def basis_state(num_qubits: int, index: int) -> np.ndarray:
+    """The computational basis state |index>."""
+    if not 0 <= index < 2**num_qubits:
+        raise ValueError(f"basis index {index} out of range")
+    state = np.zeros(2**num_qubits, dtype=np.complex128)
+    state[index] = 1.0
+    return state
+
+
+def _gather_indices(
+    num_qubits: int, targets: Sequence[int], controls: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Index machinery for applying a gate.
+
+    Returns ``(bases, offsets)``: ``bases`` enumerates every basis index with
+    all target bits 0 and all control bits 1; ``offsets[j]`` shifts a base to
+    the group member with target bits spelling ``j`` (target 0 = least
+    significant bit of ``j``).
+    """
+    dim = 1 << num_qubits
+    target_mask = 0
+    for t in targets:
+        target_mask |= 1 << t
+    control_mask = 0
+    for c in controls:
+        control_mask |= 1 << c
+    indices = np.arange(dim, dtype=np.intp)
+    selector = ((indices & target_mask) == 0) & (
+        (indices & control_mask) == control_mask
+    )
+    bases = indices[selector]
+    k = len(targets)
+    offsets = np.zeros(1 << k, dtype=np.intp)
+    for j in range(1 << k):
+        off = 0
+        for i, t in enumerate(targets):
+            if (j >> i) & 1:
+                off |= 1 << t
+        offsets[j] = off
+    return bases, offsets
+
+
+def apply_operation(
+    state: np.ndarray, op: Operation, num_qubits: Optional[int] = None
+) -> np.ndarray:
+    """Apply a unitary operation to ``state`` in place and return it."""
+    if num_qubits is None:
+        num_qubits = _infer_qubits(state)
+    if not op.is_unitary:
+        raise ValueError(f"cannot apply non-unitary op '{op.gate.name}' here")
+    matrix = op.gate.matrix
+    if op.gate.num_qubits == 0:
+        # Global phase: controls turn it into a (multi-)controlled phase.
+        phase = matrix[0, 0]
+        if op.controls:
+            bases, _ = _gather_indices(num_qubits, [], op.controls)
+            state[bases] *= phase
+        else:
+            state *= phase
+        return state
+    bases, offsets = _gather_indices(num_qubits, op.targets, op.controls)
+    gather = bases[np.newaxis, :] + offsets[:, np.newaxis]
+    state[gather] = matrix @ state[gather]
+    return state
+
+
+def apply_matrix(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    targets: Sequence[int],
+    controls: Sequence[int] = (),
+    num_qubits: Optional[int] = None,
+) -> np.ndarray:
+    """Apply an arbitrary small unitary to ``state`` in place."""
+    if num_qubits is None:
+        num_qubits = _infer_qubits(state)
+    bases, offsets = _gather_indices(num_qubits, targets, controls)
+    gather = bases[np.newaxis, :] + offsets[:, np.newaxis]
+    state[gather] = matrix @ state[gather]
+    return state
+
+
+def _infer_qubits(state: np.ndarray) -> int:
+    num_qubits = int(state.shape[0]).bit_length() - 1
+    if 1 << num_qubits != state.shape[0]:
+        raise ValueError(f"state length {state.shape[0]} is not a power of two")
+    return num_qubits
+
+
+class StatevectorResult:
+    """Final state plus any classical measurement record."""
+
+    def __init__(self, state: np.ndarray, classical_bits: Dict[int, int]) -> None:
+        self.state = state
+        self.classical_bits = classical_bits
+
+    @property
+    def num_qubits(self) -> int:
+        return _infer_qubits(self.state)
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.state) ** 2
+
+    def amplitude(self, index: int) -> complex:
+        return complex(self.state[index])
+
+    def sample_counts(self, shots: int, seed: int = 0) -> Dict[str, int]:
+        from .measurement import sample_counts
+
+        return sample_counts(self.state, shots, seed=seed)
+
+
+class StatevectorSimulator:
+    """Schrödinger-style full statevector simulator."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> StatevectorResult:
+        """Execute ``circuit``; mid-circuit measurements collapse the state."""
+        n = circuit.num_qubits
+        if initial_state is None:
+            state = zero_state(n)
+        else:
+            state = np.array(initial_state, dtype=np.complex128)
+            if state.shape != (2**n,):
+                raise ValueError("initial state dimension mismatch")
+        classical: Dict[int, int] = {}
+        for op in circuit.operations:
+            if op.is_barrier:
+                continue
+            if op.is_measurement:
+                outcome, state = measure_qubit(state, op.targets[0], self._rng, n)
+                if op.clbits:
+                    classical[op.clbits[0]] = outcome
+                continue
+            if op.condition is not None:
+                clbit, value = op.condition
+                if classical.get(clbit, 0) != value:
+                    continue
+            apply_operation(state, op, n)
+        return StatevectorResult(state, classical)
+
+    def statevector(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Final statevector of a measurement-free circuit."""
+        return self.run(circuit.without_measurements()).state
+
+
+def measure_qubit(
+    state: np.ndarray,
+    qubit: int,
+    rng: np.random.Generator,
+    num_qubits: Optional[int] = None,
+) -> Tuple[int, np.ndarray]:
+    """Projectively measure one qubit; returns ``(outcome, collapsed state)``."""
+    if num_qubits is None:
+        num_qubits = _infer_qubits(state)
+    indices = np.arange(len(state))
+    one_mask = (indices >> qubit) & 1 == 1
+    prob_one = float(np.sum(np.abs(state[one_mask]) ** 2))
+    outcome = 1 if rng.random() < prob_one else 0
+    if outcome == 1:
+        state[~one_mask] = 0.0
+        norm = np.sqrt(prob_one)
+    else:
+        state[one_mask] = 0.0
+        norm = np.sqrt(max(1.0 - prob_one, 1e-300))
+    state /= norm
+    return outcome, state

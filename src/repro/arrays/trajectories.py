@@ -1,0 +1,106 @@
+"""Stochastic (Monte-Carlo trajectory) noise simulation.
+
+The memory-cheap alternative to density matrices referenced by the paper's
+noise-aware-simulation line of work (ref. [13]): each trajectory keeps only
+a statevector and samples one Kraus operator per noisy location with the
+Born probability ``||K|psi>||^2``; averaging trajectories converges to the
+density-matrix result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits.circuit import Operation, QuantumCircuit
+from .noise import KrausChannel, NoiseModel
+from .statevector import apply_matrix, apply_operation, measure_qubit, zero_state
+
+
+class TrajectoryResult:
+    """Averaged outcome distribution over many stochastic trajectories."""
+
+    def __init__(self, probabilities: np.ndarray, num_trajectories: int) -> None:
+        self.probs = probabilities
+        self.num_trajectories = num_trajectories
+
+    def probabilities(self) -> np.ndarray:
+        return self.probs
+
+    def sample_counts(self, shots: int, seed: int = 0) -> Dict[str, int]:
+        num_qubits = int(len(self.probs)).bit_length() - 1
+        rng = np.random.default_rng(seed)
+        normalized = self.probs / self.probs.sum()
+        outcomes = rng.choice(len(self.probs), size=shots, p=normalized)
+        counts: Dict[str, int] = {}
+        for outcome in outcomes:
+            key = format(int(outcome), f"0{num_qubits}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+class TrajectorySimulator:
+    """Monte-Carlo unraveling of a noisy circuit."""
+
+    def __init__(self, noise_model: Optional[NoiseModel], seed: int = 0) -> None:
+        self.noise_model = noise_model
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, circuit: QuantumCircuit, trajectories: int = 100) -> TrajectoryResult:
+        n = circuit.num_qubits
+        total = np.zeros(2**n)
+        for _ in range(trajectories):
+            state = self._single_trajectory(circuit, n)
+            total += np.abs(state) ** 2
+        return TrajectoryResult(total / trajectories, trajectories)
+
+    def _single_trajectory(self, circuit: QuantumCircuit, n: int) -> np.ndarray:
+        state = zero_state(n)
+        for op in circuit.operations:
+            if op.is_barrier:
+                continue
+            if op.is_measurement:
+                _, state = measure_qubit(state, op.targets[0], self._rng, n)
+                continue
+            apply_operation(state, op, n)
+            self._apply_noise(state, op, n)
+        return state
+
+    def _apply_noise(self, state: np.ndarray, op: Operation, n: int) -> None:
+        if self.noise_model is None:
+            return
+        channel = self.noise_model.channel_for(op.name_with_controls(), op.num_qubits)
+        if channel is None:
+            return
+        if channel.num_qubits == 1:
+            for q in op.qubits:
+                self._sample_kraus(state, channel, [q], n)
+        elif channel.num_qubits == len(op.qubits):
+            self._sample_kraus(state, channel, list(op.qubits), n)
+        else:
+            raise ValueError(
+                f"channel '{channel.name}' arity does not match the operation"
+            )
+
+    def _sample_kraus(
+        self, state: np.ndarray, channel: KrausChannel, targets, n: int
+    ) -> None:
+        """Pick one Kraus branch with probability ||K|psi>||^2."""
+        weights = []
+        candidates = []
+        for kraus in channel.operators:
+            candidate = apply_matrix(state.copy(), kraus, targets, num_qubits=n)
+            weight = float(np.real(np.vdot(candidate, candidate)))
+            weights.append(weight)
+            candidates.append(candidate)
+        total = sum(weights)
+        pick = self._rng.random() * total
+        cumulative = 0.0
+        for weight, candidate in zip(weights, candidates):
+            cumulative += weight
+            if pick <= cumulative:
+                norm = np.sqrt(max(weight, 1e-300))
+                state[...] = candidate / norm
+                return
+        state[...] = candidates[-1] / np.sqrt(max(weights[-1], 1e-300))

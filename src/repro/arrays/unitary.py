@@ -1,0 +1,78 @@
+"""Dense unitary-matrix construction for circuits and operations."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Operation, QuantumCircuit
+from .statevector import _gather_indices
+
+
+def operation_unitary(op: Operation, num_qubits: int) -> np.ndarray:
+    """The full ``2**n x 2**n`` unitary realized by a single operation."""
+    dim = 1 << num_qubits
+    full = np.eye(dim, dtype=np.complex128)
+    apply_operation_to_matrix(full, op, num_qubits)
+    return full
+
+
+def apply_operation_to_matrix(
+    matrix: np.ndarray, op: Operation, num_qubits: int
+) -> np.ndarray:
+    """Left-multiply ``matrix`` in place by the operation's full unitary."""
+    if not op.is_unitary:
+        raise ValueError(f"operation '{op.gate.name}' has no unitary")
+    gate_matrix = op.gate.matrix
+    if op.gate.num_qubits == 0:
+        phase = gate_matrix[0, 0]
+        if op.controls:
+            bases, _ = _gather_indices(num_qubits, [], op.controls)
+            matrix[bases, :] *= phase
+        else:
+            matrix *= phase
+        return matrix
+    bases, offsets = _gather_indices(num_qubits, op.targets, op.controls)
+    gather = bases[np.newaxis, :] + offsets[:, np.newaxis]
+    rows = gather.reshape(-1)
+    block = matrix[rows, :].reshape(len(offsets), len(bases), -1)
+    block = np.einsum("ij,jkm->ikm", gate_matrix, block)
+    matrix[rows, :] = block.reshape(len(rows), -1)
+    return matrix
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """The full unitary of a measurement-free circuit (exponential memory)."""
+    n = circuit.num_qubits
+    matrix = np.eye(1 << n, dtype=np.complex128)
+    for op in circuit.operations:
+        if op.is_barrier:
+            continue
+        if op.is_measurement:
+            raise ValueError("circuit with measurements has no unitary")
+        if op.condition is not None:
+            raise ValueError("classically-controlled circuit has no unitary")
+        apply_operation_to_matrix(matrix, op, n)
+    return matrix
+
+
+def allclose_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, tol: float = 1e-9
+) -> bool:
+    """Whether two matrices/vectors are equal up to a global phase factor."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    flat_a = a.reshape(-1)
+    flat_b = b.reshape(-1)
+    pivot = int(np.argmax(np.abs(flat_a)))
+    if abs(flat_a[pivot]) < tol and abs(flat_b[pivot]) < tol:
+        return bool(np.allclose(flat_a, 0, atol=tol) and np.allclose(flat_b, 0, atol=tol))
+    if abs(flat_b[pivot]) < tol:
+        return False
+    phase = flat_a[pivot] / flat_b[pivot]
+    if abs(abs(phase) - 1.0) > tol:
+        return False
+    return bool(np.allclose(flat_a, phase * flat_b, atol=tol))

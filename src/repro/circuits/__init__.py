@@ -1,0 +1,18 @@
+"""Quantum circuit intermediate representation and workload generators."""
+
+from . import gates, library, qasm, random_circuits
+from .circuit import Operation, QuantumCircuit
+from .dag import CircuitDAG, DAGNode
+from .gates import Gate
+
+__all__ = [
+    "CircuitDAG",
+    "DAGNode",
+    "Gate",
+    "Operation",
+    "QuantumCircuit",
+    "gates",
+    "library",
+    "qasm",
+    "random_circuits",
+]

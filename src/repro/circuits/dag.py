@@ -1,0 +1,178 @@
+"""Dependency-DAG view of a circuit.
+
+Gates become nodes; edges are data dependencies through shared qubits (and
+classical bits).  The DAG yields ASAP layering (parallel depth), critical
+paths, and — with ``commutation_aware=True`` — a tighter schedule where
+gates that provably commute do not constrain each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .circuit import Operation, QuantumCircuit
+
+
+class DAGNode:
+    __slots__ = ("index", "op", "predecessors", "successors")
+
+    def __init__(self, index: int, op: Operation) -> None:
+        self.index = index
+        self.op = op
+        self.predecessors: Set[int] = set()
+        self.successors: Set[int] = set()
+
+    def __repr__(self) -> str:
+        return f"DAGNode({self.index}, {self.op.name_with_controls()})"
+
+
+class CircuitDAG:
+    """A circuit as a directed acyclic dependency graph."""
+
+    def __init__(self, num_qubits: int, nodes: List[DAGNode]) -> None:
+        self.num_qubits = num_qubits
+        self.nodes = nodes
+
+    @classmethod
+    def from_circuit(
+        cls, circuit: QuantumCircuit, commutation_aware: bool = False
+    ) -> "CircuitDAG":
+        """Build the DAG; optionally drop edges between commuting gates.
+
+        In commutation-aware mode a new gate depends on a previous gate on a
+        shared wire only if the two do *not* commute — checked exactly on
+        their joint support.  Measurements, barriers, and conditioned gates
+        always act as hard dependencies on their wires.
+        """
+        if commutation_aware:
+            from ..compile.commutation import operations_commute
+        nodes = [DAGNode(i, op) for i, op in enumerate(circuit.operations)]
+
+        def wires(op: Operation) -> Tuple[int, ...]:
+            if op.is_barrier and not op.qubits:
+                return tuple(range(circuit.num_qubits))
+            return op.qubits
+
+        # history_on_wire[q]: every previous op touching wire q.  Two ops
+        # may run in either order only if they commute pairwise, so a new op
+        # must be checked against the *full* history of its wires — pruning
+        # "already blocked" entries is unsound (commutation is not
+        # transitive: C may commute with B but not with an earlier A that B
+        # already blocked).
+        history_on_wire: Dict[int, List[int]] = {
+            q: [] for q in range(circuit.num_qubits)
+        }
+        clbit_last: Dict[int, int] = {}
+        for node in nodes:
+            op = node.op
+            hard = (
+                op.is_barrier
+                or op.is_measurement
+                or op.condition is not None
+                or not commutation_aware
+            )
+            for q in wires(op):
+                history = history_on_wire[q]
+                if hard:
+                    if not commutation_aware:
+                        # Plain mode: the last op on the wire suffices
+                        # (dependencies chain transitively).
+                        if history:
+                            node.predecessors.add(history[-1])
+                    else:
+                        for prev in history:
+                            node.predecessors.add(prev)
+                else:
+                    for prev in history:
+                        prev_op = nodes[prev].op
+                        blocking = (
+                            prev_op.is_barrier
+                            or prev_op.is_measurement
+                            or prev_op.condition is not None
+                            or not operations_commute(op, prev_op)
+                        )
+                        if blocking:
+                            node.predecessors.add(prev)
+                history.append(node.index)
+            # Classical dependencies: measure writes, condition reads.
+            if op.is_measurement and op.clbits:
+                clbit = op.clbits[0]
+                if clbit in clbit_last:
+                    node.predecessors.add(clbit_last[clbit])
+                clbit_last[clbit] = node.index
+            if op.condition is not None:
+                clbit = op.condition[0]
+                if clbit in clbit_last:
+                    node.predecessors.add(clbit_last[clbit])
+        for node in nodes:
+            node.predecessors.discard(node.index)
+            for prev in node.predecessors:
+                nodes[prev].successors.add(node.index)
+        return cls(circuit.num_qubits, nodes)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def asap_levels(self) -> List[int]:
+        """Earliest layer of every node (longest path from the inputs)."""
+        levels = [0] * len(self.nodes)
+        for node in self.nodes:  # construction order is topological
+            if node.predecessors:
+                levels[node.index] = 1 + max(
+                    levels[p] for p in node.predecessors
+                )
+        return levels
+
+    def layers(self) -> List[List[int]]:
+        """ASAP layering: lists of node indices executable in parallel."""
+        levels = self.asap_levels()
+        if not levels:
+            return []
+        result: List[List[int]] = [[] for _ in range(max(levels) + 1)]
+        for index, level in enumerate(levels):
+            result[level].append(index)
+        return result
+
+    def depth(self) -> int:
+        levels = self.asap_levels()
+        return max(levels) + 1 if levels else 0
+
+    def critical_path(self) -> List[int]:
+        """One longest dependency chain (node indices, input to output)."""
+        if not self.nodes:
+            return []
+        levels = self.asap_levels()
+        index = max(range(len(self.nodes)), key=lambda i: levels[i])
+        path = [index]
+        while self.nodes[index].predecessors:
+            index = max(
+                self.nodes[index].predecessors, key=lambda p: levels[p]
+            )
+            path.append(index)
+        path.reverse()
+        return path
+
+    def parallelism(self) -> float:
+        """Average gates per layer — how wide the circuit runs."""
+        depth = self.depth()
+        return len(self.nodes) / depth if depth else 0.0
+
+    # -- conversion -------------------------------------------------------------
+
+    def to_circuit(self, name: str = "dag") -> QuantumCircuit:
+        """Rebuild a circuit in a valid topological (layered) order."""
+        circuit = QuantumCircuit(self.num_qubits, name=name)
+        for layer in self.layers():
+            for index in layer:
+                circuit.append(self.nodes[index].op)
+        num_clbits = max(
+            (op.clbits[0] + 1 for op in circuit.operations if op.clbits),
+            default=0,
+        )
+        circuit.num_clbits = max(circuit.num_clbits, num_clbits)
+        return circuit
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitDAG({len(self.nodes)} nodes, depth {self.depth()}, "
+            f"parallelism {self.parallelism():.2f})"
+        )

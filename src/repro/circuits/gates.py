@@ -1,0 +1,346 @@
+"""Gate library: fixed and parameterized quantum gates.
+
+A :class:`Gate` describes the unitary acting on its *target* qubits only.
+Control qubits are attached at the :class:`~repro.circuits.circuit.Operation`
+level, so ``CX`` is represented as an ``X`` gate with one control.  This keeps
+every backend's gate-application primitive uniform: "apply this small unitary
+to these targets, conditioned on these controls".
+
+Qubit-ordering convention (shared by the whole library): qubit ``q_{n-1}`` is
+the most significant, and a basis index ``i`` carries qubit ``k``'s bit at
+position ``k`` (``i = sum_k b_k * 2**k``).  For a multi-target gate acting on
+targets ``[t0, t1, ...]``, ``t0`` is the *least* significant target within the
+gate's local matrix.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+
+class Gate:
+    """An elementary quantum gate.
+
+    Parameters
+    ----------
+    name:
+        Lower-case identifier, e.g. ``"h"`` or ``"rz"``.
+    num_qubits:
+        Number of *target* qubits the gate's matrix acts on.
+    matrix:
+        The ``2**num_qubits x 2**num_qubits`` unitary as a numpy array,
+        or ``None`` for non-unitary pseudo-gates (measure, barrier).
+    params:
+        Real parameters (angles) of the gate, empty for fixed gates.
+    """
+
+    __slots__ = ("name", "num_qubits", "params", "_matrix")
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        matrix: Optional[np.ndarray],
+        params: Sequence[float] = (),
+    ) -> None:
+        self.name = name
+        self.num_qubits = num_qubits
+        self.params: Tuple[float, ...] = tuple(float(p) for p in params)
+        if matrix is not None:
+            matrix = np.asarray(matrix, dtype=np.complex128)
+            expected = 2**num_qubits
+            if matrix.shape != (expected, expected):
+                raise ValueError(
+                    f"gate '{name}' expects a {expected}x{expected} matrix, "
+                    f"got shape {matrix.shape}"
+                )
+            matrix.setflags(write=False)
+        self._matrix = matrix
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The gate's unitary over its target qubits (read-only array)."""
+        if self._matrix is None:
+            raise ValueError(f"gate '{self.name}' has no matrix")
+        return self._matrix
+
+    @property
+    def has_matrix(self) -> bool:
+        return self._matrix is not None
+
+    def inverse(self) -> "Gate":
+        """Return the inverse gate (as a named gate where possible)."""
+        return _invert_gate(self)
+
+    def is_identity(self, tol: float = 1e-12) -> bool:
+        if self._matrix is None:
+            return False
+        dim = 2**self.num_qubits
+        return bool(np.allclose(self._matrix, np.eye(dim), atol=tol))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        if self.name != other.name or self.num_qubits != other.num_qubits:
+            return False
+        if len(self.params) != len(other.params):
+            return False
+        return all(
+            cmath.isclose(a, b, abs_tol=1e-12) for a, b in zip(self.params, other.params)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.num_qubits, tuple(round(p, 12) for p in self.params)))
+
+    def __repr__(self) -> str:
+        if self.params:
+            args = ", ".join(f"{p:.6g}" for p in self.params)
+            return f"Gate({self.name}({args}), {self.num_qubits}q)"
+        return f"Gate({self.name}, {self.num_qubits}q)"
+
+
+# ---------------------------------------------------------------------------
+# Fixed single-qubit gates
+# ---------------------------------------------------------------------------
+
+I = Gate("id", 1, np.eye(2))
+X = Gate("x", 1, np.array([[0, 1], [1, 0]]))
+Y = Gate("y", 1, np.array([[0, -1j], [1j, 0]]))
+Z = Gate("z", 1, np.array([[1, 0], [0, -1]]))
+H = Gate("h", 1, _SQRT2_INV * np.array([[1, 1], [1, -1]]))
+S = Gate("s", 1, np.array([[1, 0], [0, 1j]]))
+SDG = Gate("sdg", 1, np.array([[1, 0], [0, -1j]]))
+T = Gate("t", 1, np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]]))
+TDG = Gate("tdg", 1, np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]]))
+SX = Gate("sx", 1, 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]]))
+SXDG = Gate("sxdg", 1, 0.5 * np.array([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]]))
+
+# ---------------------------------------------------------------------------
+# Fixed two-qubit gates (acting on targets [t0, t1]; t0 least significant)
+# ---------------------------------------------------------------------------
+
+SWAP = Gate(
+    "swap",
+    2,
+    np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+        ]
+    ),
+)
+ISWAP = Gate(
+    "iswap",
+    2,
+    np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 1j, 0],
+            [0, 1j, 0, 0],
+            [0, 0, 0, 1],
+        ]
+    ),
+)
+ISWAPDG = Gate(
+    "iswapdg",
+    2,
+    np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, -1j, 0],
+            [0, -1j, 0, 0],
+            [0, 0, 0, 1],
+        ]
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Parameterized gates
+# ---------------------------------------------------------------------------
+
+
+def rx(theta: float) -> Gate:
+    """Rotation about the X axis by ``theta``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return Gate("rx", 1, np.array([[c, -1j * s], [-1j * s, c]]), (theta,))
+
+
+def ry(theta: float) -> Gate:
+    """Rotation about the Y axis by ``theta``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return Gate("ry", 1, np.array([[c, -s], [s, c]]), (theta,))
+
+
+def rz(theta: float) -> Gate:
+    """Rotation about the Z axis by ``theta`` (symmetric phase convention)."""
+    e_neg = cmath.exp(-0.5j * theta)
+    e_pos = cmath.exp(0.5j * theta)
+    return Gate("rz", 1, np.array([[e_neg, 0], [0, e_pos]]), (theta,))
+
+
+def p(lam: float) -> Gate:
+    """Phase gate ``diag(1, e^{i*lam})`` (a.k.a. ``u1``)."""
+    return Gate("p", 1, np.array([[1, 0], [0, cmath.exp(1j * lam)]]), (lam,))
+
+
+def u(theta: float, phi: float, lam: float) -> Gate:
+    """Generic single-qubit gate (OpenQASM ``u3`` convention)."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    mat = np.array(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ]
+    )
+    return Gate("u", 1, mat, (theta, phi, lam))
+
+
+def u2(phi: float, lam: float) -> Gate:
+    """OpenQASM ``u2`` gate: ``u(pi/2, phi, lam)``."""
+    mat = _SQRT2_INV * np.array(
+        [
+            [1, -cmath.exp(1j * lam)],
+            [cmath.exp(1j * phi), cmath.exp(1j * (phi + lam))],
+        ]
+    )
+    return Gate("u2", 1, mat, (phi, lam))
+
+
+def rxx(theta: float) -> Gate:
+    """Two-qubit XX interaction ``exp(-i theta/2 X⊗X)``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    mat = np.array(
+        [
+            [c, 0, 0, -1j * s],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [-1j * s, 0, 0, c],
+        ]
+    )
+    return Gate("rxx", 2, mat, (theta,))
+
+
+def ryy(theta: float) -> Gate:
+    """Two-qubit YY interaction ``exp(-i theta/2 Y⊗Y)``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    mat = np.array(
+        [
+            [c, 0, 0, 1j * s],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [1j * s, 0, 0, c],
+        ]
+    )
+    return Gate("ryy", 2, mat, (theta,))
+
+
+def rzz(theta: float) -> Gate:
+    """Two-qubit ZZ interaction ``exp(-i theta/2 Z⊗Z)``."""
+    e_neg = cmath.exp(-0.5j * theta)
+    e_pos = cmath.exp(0.5j * theta)
+    return Gate("rzz", 2, np.diag([e_neg, e_pos, e_pos, e_neg]), (theta,))
+
+
+def gphase(alpha: float) -> Gate:
+    """Global phase pseudo-gate acting on zero qubits."""
+    return Gate("gphase", 0, np.array([[cmath.exp(1j * alpha)]]), (alpha,))
+
+
+# ---------------------------------------------------------------------------
+# Pseudo-gates (no matrix)
+# ---------------------------------------------------------------------------
+
+MEASURE = Gate("measure", 1, None)
+BARRIER = Gate("barrier", 0, None)
+
+
+# ---------------------------------------------------------------------------
+# Registries
+# ---------------------------------------------------------------------------
+
+FIXED_GATES: Dict[str, Gate] = {
+    g.name: g
+    for g in (I, X, Y, Z, H, S, SDG, T, TDG, SX, SXDG, SWAP, ISWAP, ISWAPDG)
+}
+
+PARAMETRIC_GATES: Dict[str, Callable[..., Gate]] = {
+    "rx": rx,
+    "ry": ry,
+    "rz": rz,
+    "p": p,
+    "u1": p,
+    "u": u,
+    "u3": u,
+    "u2": u2,
+    "rxx": rxx,
+    "ryy": ryy,
+    "rzz": rzz,
+    "gphase": gphase,
+}
+
+_SELF_INVERSE = {"id", "x", "y", "z", "h", "swap"}
+_INVERSE_PAIRS = {
+    "s": "sdg",
+    "sdg": "s",
+    "t": "tdg",
+    "tdg": "t",
+    "sx": "sxdg",
+    "sxdg": "sx",
+    "iswap": "iswapdg",
+    "iswapdg": "iswap",
+}
+# Parametric gates whose inverse is the same gate with all angles negated.
+_NEGATE_PARAMS = {"rx", "ry", "rz", "p", "u1", "rxx", "ryy", "rzz", "gphase"}
+
+
+def _invert_gate(gate: Gate) -> Gate:
+    if gate.name in _SELF_INVERSE:
+        return gate
+    if gate.name in _INVERSE_PAIRS:
+        return FIXED_GATES[_INVERSE_PAIRS[gate.name]]
+    if gate.name in _NEGATE_PARAMS:
+        return PARAMETRIC_GATES[gate.name](*(-p for p in gate.params))
+    if gate.name in ("u", "u3"):
+        theta, phi, lam = gate.params
+        return u(-theta, -lam, -phi)
+    if gate.name == "u2":
+        phi, lam = gate.params
+        return u(-math.pi / 2, -lam, -phi)
+    if gate.has_matrix:
+        return Gate(gate.name + "_dg", gate.num_qubits, gate.matrix.conj().T)
+    raise ValueError(f"gate '{gate.name}' has no inverse")
+
+
+def make_gate(name: str, params: Sequence[float] = ()) -> Gate:
+    """Construct a gate by name, dispatching fixed vs. parametric gates."""
+    name = name.lower()
+    if name in FIXED_GATES:
+        if params:
+            raise ValueError(f"gate '{name}' takes no parameters")
+        return FIXED_GATES[name]
+    if name in PARAMETRIC_GATES:
+        return PARAMETRIC_GATES[name](*params)
+    raise ValueError(f"unknown gate '{name}'")
+
+
+def controlled_matrix(matrix: np.ndarray, num_controls: int) -> np.ndarray:
+    """Extend ``matrix`` with ``num_controls`` control qubits.
+
+    The controls are the *most significant* qubits of the result; the base
+    matrix is applied only on the block where every control bit is 1.
+    """
+    result = matrix
+    for _ in range(num_controls):
+        dim = result.shape[0]
+        extended = np.eye(2 * dim, dtype=np.complex128)
+        extended[dim:, dim:] = result
+        result = extended
+    return result

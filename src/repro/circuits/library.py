@@ -1,0 +1,362 @@
+"""Constructors for well-known quantum circuits.
+
+These are the workloads used throughout the paper's domain: entangled-state
+preparation (Bell/GHZ/W), the quantum Fourier transform, oracle algorithms
+(Deutsch-Jozsa, Bernstein-Vazirani, Grover), phase estimation, arithmetic,
+and variational ansatz circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from .circuit import QuantumCircuit
+
+
+def bell_pair() -> QuantumCircuit:
+    """The two-qubit Bell circuit from the paper's running example.
+
+    ``H`` on qubit 1 (the most significant qubit, i.e. the paper's first
+    qubit) followed by ``CNOT`` controlled on it produces
+    ``(|00> + |11>)/sqrt(2)``.
+    """
+    qc = QuantumCircuit(2, name="bell")
+    qc.h(1)
+    qc.cx(1, 0)
+    return qc
+
+
+def ghz_state(num_qubits: int) -> QuantumCircuit:
+    """GHZ state preparation: H then a CNOT chain."""
+    if num_qubits < 1:
+        raise ValueError("GHZ needs at least one qubit")
+    qc = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    top = num_qubits - 1
+    qc.h(top)
+    for q in range(top, 0, -1):
+        qc.cx(q, q - 1)
+    return qc
+
+
+def w_state(num_qubits: int) -> QuantumCircuit:
+    """W state preparation via cascaded controlled rotations.
+
+    Produces ``(|10...0> + |010...0> + ... + |0...01>)/sqrt(n)``.
+    """
+    if num_qubits < 1:
+        raise ValueError("W state needs at least one qubit")
+    qc = QuantumCircuit(num_qubits, name=f"w_{num_qubits}")
+    top = num_qubits - 1
+    qc.x(top)
+    for k in range(num_qubits - 1):
+        src = top - k
+        dst = top - k - 1
+        # Rotate amplitude from src onto dst, then re-entangle.
+        theta = 2 * math.acos(math.sqrt(1.0 / (num_qubits - k)))
+        qc.cry(theta, src, dst)
+        qc.cx(dst, src)
+    return qc
+
+
+def qft(num_qubits: int, include_swaps: bool = True) -> QuantumCircuit:
+    """Quantum Fourier transform on ``num_qubits`` qubits."""
+    qc = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for j in range(num_qubits - 1, -1, -1):
+        qc.h(j)
+        for k in range(j - 1, -1, -1):
+            qc.cp(math.pi / (2 ** (j - k)), k, j)
+    if include_swaps:
+        for q in range(num_qubits // 2):
+            qc.swap(q, num_qubits - 1 - q)
+    return qc
+
+
+def inverse_qft(num_qubits: int, include_swaps: bool = True) -> QuantumCircuit:
+    inv = qft(num_qubits, include_swaps).inverse()
+    inv.name = f"iqft_{num_qubits}"
+    return inv
+
+
+def deutsch_jozsa(num_qubits: int, balanced_mask: int = 0) -> QuantumCircuit:
+    """Deutsch-Jozsa over ``num_qubits`` input qubits plus one ancilla.
+
+    ``balanced_mask == 0`` yields the constant-zero oracle; a nonzero mask
+    yields the balanced oracle ``f(x) = parity(x & mask)``.
+    """
+    n = num_qubits
+    qc = QuantumCircuit(n + 1, name=f"dj_{n}")
+    anc = n
+    qc.x(anc)
+    for q in range(n + 1):
+        qc.h(q)
+    for q in range(n):
+        if (balanced_mask >> q) & 1:
+            qc.cx(q, anc)
+    for q in range(n):
+        qc.h(q)
+    return qc
+
+
+def bernstein_vazirani(secret: int, num_qubits: int) -> QuantumCircuit:
+    """Bernstein-Vazirani circuit recovering ``secret`` in one query."""
+    qc = QuantumCircuit(num_qubits + 1, name=f"bv_{num_qubits}")
+    anc = num_qubits
+    qc.x(anc)
+    for q in range(num_qubits + 1):
+        qc.h(q)
+    for q in range(num_qubits):
+        if (secret >> q) & 1:
+            qc.cx(q, anc)
+    for q in range(num_qubits):
+        qc.h(q)
+    return qc
+
+
+def grover(num_qubits: int, marked: int, iterations: Optional[int] = None) -> QuantumCircuit:
+    """Grover search for the basis state ``marked`` over ``num_qubits`` qubits."""
+    if not 0 <= marked < 2**num_qubits:
+        raise ValueError("marked state out of range")
+    if iterations is None:
+        iterations = max(1, int(round(math.pi / 4 * math.sqrt(2**num_qubits))))
+    qc = QuantumCircuit(num_qubits, name=f"grover_{num_qubits}")
+    for q in range(num_qubits):
+        qc.h(q)
+    for _ in range(iterations):
+        _grover_oracle(qc, marked)
+        _grover_diffusion(qc)
+    return qc
+
+
+def _grover_oracle(qc: QuantumCircuit, marked: int) -> None:
+    n = qc.num_qubits
+    zero_positions = [q for q in range(n) if not (marked >> q) & 1]
+    for q in zero_positions:
+        qc.x(q)
+    if n == 1:
+        qc.z(0)
+    else:
+        qc.mcz(list(range(n - 1)), n - 1)
+    for q in zero_positions:
+        qc.x(q)
+
+
+def _grover_diffusion(qc: QuantumCircuit) -> None:
+    n = qc.num_qubits
+    for q in range(n):
+        qc.h(q)
+        qc.x(q)
+    if n == 1:
+        qc.z(0)
+    else:
+        qc.mcz(list(range(n - 1)), n - 1)
+    for q in range(n):
+        qc.x(q)
+        qc.h(q)
+
+
+def phase_estimation(num_eval_qubits: int, phase: float) -> QuantumCircuit:
+    """Quantum phase estimation of ``e^{2*pi*i*phase}`` on one target qubit.
+
+    The target qubit is prepared in |1> (an eigenstate of the phase gate),
+    and ``num_eval_qubits`` evaluation qubits hold the binary expansion of
+    ``phase`` after the inverse QFT.
+    """
+    n = num_eval_qubits
+    qc = QuantumCircuit(n + 1, name=f"qpe_{n}")
+    target = n
+    qc.x(target)
+    for q in range(n):
+        qc.h(q)
+    for q in range(n):
+        angle = 2 * math.pi * phase * (2**q)
+        qc.cp(angle, q, target)
+    iqft_circ = inverse_qft(n)
+    qc.compose(iqft_circ, qubits=list(range(n)))
+    return qc
+
+
+def cuccaro_adder(num_bits: int) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder: ``|a>|b> -> |a>|a+b>`` plus a carry.
+
+    Register layout: qubits ``0..num_bits-1`` hold ``a``, qubits
+    ``num_bits..2*num_bits-1`` hold ``b``, qubit ``2*num_bits`` is the
+    incoming ancilla (|0>), qubit ``2*num_bits+1`` receives the carry-out.
+    """
+    n = num_bits
+    qc = QuantumCircuit(2 * n + 2, name=f"adder_{n}")
+    a = list(range(n))
+    b = list(range(n, 2 * n))
+    anc = 2 * n
+    carry = 2 * n + 1
+
+    def maj(x: int, y: int, z: int) -> None:
+        qc.cx(z, y)
+        qc.cx(z, x)
+        qc.ccx(x, y, z)
+
+    def uma(x: int, y: int, z: int) -> None:
+        qc.ccx(x, y, z)
+        qc.cx(z, x)
+        qc.cx(x, y)
+
+    maj(anc, b[0], a[0])
+    for i in range(1, n):
+        maj(a[i - 1], b[i], a[i])
+    qc.cx(a[n - 1], carry)
+    for i in range(n - 1, 0, -1):
+        uma(a[i - 1], b[i], a[i])
+    uma(anc, b[0], a[0])
+    return qc
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int, depth: int, parameters: Sequence[float]
+) -> QuantumCircuit:
+    """Two-local VQE-style ansatz: RY/RZ layers with a CX entangler ladder.
+
+    Needs ``2 * num_qubits * (depth + 1)`` parameters.
+    """
+    needed = 2 * num_qubits * (depth + 1)
+    if len(parameters) != needed:
+        raise ValueError(f"ansatz needs {needed} parameters, got {len(parameters)}")
+    qc = QuantumCircuit(num_qubits, name=f"ansatz_{num_qubits}x{depth}")
+    it = iter(parameters)
+    for layer in range(depth + 1):
+        for q in range(num_qubits):
+            qc.ry(next(it), q)
+        for q in range(num_qubits):
+            qc.rz(next(it), q)
+        if layer < depth:
+            for q in range(num_qubits - 1):
+                qc.cx(q, q + 1)
+    return qc
+
+
+def phase_polynomial_circuit(
+    num_qubits: int, terms: Sequence[tuple], name: str = "phasepoly"
+) -> QuantumCircuit:
+    """CNOT+RZ circuit realizing ``sum_j theta_j * parity(x & mask_j)`` phases.
+
+    ``terms`` is a sequence of ``(mask, theta)`` pairs; each term is compiled
+    as a CNOT ladder onto the lowest set qubit, an RZ, and the unwound ladder.
+    This is the phase-polynomial circuit class the ZX-calculus literature
+    targets (paper Sec. V).
+    """
+    qc = QuantumCircuit(num_qubits, name=name)
+    for mask, theta in terms:
+        qubits = [q for q in range(num_qubits) if (mask >> q) & 1]
+        if not qubits:
+            qc.gphase(theta)
+            continue
+        pivot = qubits[0]
+        for q in qubits[1:]:
+            qc.cx(q, pivot)
+        qc.rz(theta, pivot)
+        for q in reversed(qubits[1:]):
+            qc.cx(q, pivot)
+    return qc
+
+
+def qaoa_maxcut(
+    edges: Sequence[tuple],
+    gammas: Sequence[float],
+    betas: Sequence[float],
+    num_qubits: Optional[int] = None,
+) -> QuantumCircuit:
+    """QAOA ansatz for MaxCut on the given graph.
+
+    One vertex per qubit; each layer applies ``Rzz(2*gamma)`` per edge (the
+    cost Hamiltonian) followed by ``Rx(2*beta)`` mixers.
+    """
+    if len(gammas) != len(betas):
+        raise ValueError("need one beta per gamma (one pair per layer)")
+    if num_qubits is None:
+        num_qubits = max(max(a, b) for a, b in edges) + 1
+    qc = QuantumCircuit(num_qubits, name=f"qaoa_{num_qubits}x{len(gammas)}")
+    for q in range(num_qubits):
+        qc.h(q)
+    for gamma, beta in zip(gammas, betas):
+        for a, b in edges:
+            qc.rzz(2 * gamma, a, b)
+        for q in range(num_qubits):
+            qc.rx(2 * beta, q)
+    return qc
+
+
+def quantum_volume_circuit(num_qubits: int, depth: int, seed: int = 0) -> QuantumCircuit:
+    """Quantum-volume-style model circuit: layers of random SU(4) blocks.
+
+    Each layer randomly pairs the qubits and applies a Haar-ish random
+    two-qubit unitary (as a named ``unitary2q`` gate) to every pair.
+    """
+    import numpy as np
+
+    from . import gates as _g
+
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, name=f"qv_{num_qubits}x{depth}")
+    for _ in range(depth):
+        order = list(range(num_qubits))
+        rng.shuffle(order)
+        for i in range(0, num_qubits - 1, 2):
+            a, b = order[i], order[i + 1]
+            raw = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+            q, r = np.linalg.qr(raw)
+            q = q * (np.diag(r) / np.abs(np.diag(r)))
+            qc.add_gate(_g.Gate("unitary2q", 2, q), [a, b])
+    return qc
+
+
+def teleportation(theta: float = 0.6, phi: float = 1.1) -> QuantumCircuit:
+    """Quantum teleportation with measurement feed-forward.
+
+    Qubit 0 is prepared in ``Ry(theta) Rz(phi)|0>`` and teleported to qubit
+    2 through a Bell pair on qubits 1-2.  The classically-controlled X/Z
+    corrections make the protocol deterministic: qubit 2 always ends in the
+    prepared state, whatever the two measurement outcomes were.
+    """
+    from . import gates as _g
+
+    qc = QuantumCircuit(3, name="teleport")
+    # State preparation on the message qubit.
+    qc.ry(theta, 0)
+    qc.rz(phi, 0)
+    # Bell pair between Alice's ancilla (1) and Bob (2).
+    qc.h(1)
+    qc.cx(1, 2)
+    # Bell measurement on qubits 0 and 1.
+    qc.cx(0, 1)
+    qc.h(0)
+    qc.measure(0, 0)
+    qc.measure(1, 1)
+    # Feed-forward corrections on Bob's qubit.
+    qc.conditional(_g.X, [2], clbit=1, value=1)
+    qc.conditional(_g.Z, [2], clbit=0, value=1)
+    return qc
+
+
+def hidden_shift(num_qubits: int, shift: int) -> QuantumCircuit:
+    """A Clifford hidden-shift-style circuit (bent-function variant).
+
+    Uses a CZ-ladder inner function; useful as a structured Clifford
+    workload for the ZX simplification benchmarks.
+    """
+    if num_qubits % 2 != 0:
+        raise ValueError("hidden shift needs an even number of qubits")
+    qc = QuantumCircuit(num_qubits, name=f"hiddenshift_{num_qubits}")
+    half = num_qubits // 2
+    for q in range(num_qubits):
+        qc.h(q)
+    for q in range(num_qubits):
+        if (shift >> q) & 1:
+            qc.z(q)
+    for q in range(half):
+        qc.cz(q, q + half)
+    for q in range(num_qubits):
+        qc.h(q)
+    for q in range(half):
+        qc.cz(q, q + half)
+    for q in range(num_qubits):
+        qc.h(q)
+    return qc

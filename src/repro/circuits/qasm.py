@@ -1,0 +1,429 @@
+"""OpenQASM 2.0 subset reader and writer.
+
+Supported statements: the ``OPENQASM``/``include`` headers, a single
+``qreg``/``creg`` pair (or several, concatenated in declaration order),
+standard-library gate applications, ``measure`` and ``barrier``.  Angle
+expressions support ``pi``, numeric literals, ``+ - * /``, unary minus and
+parentheses.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from . import gates as g
+from .circuit import Operation, QuantumCircuit
+
+
+class QasmError(ValueError):
+    """Raised on malformed OpenQASM input."""
+
+
+# ---------------------------------------------------------------------------
+# Angle expression evaluation (tiny recursive-descent parser)
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+|\d+|[A-Za-z_][A-Za-z0-9_]*|[()+\-*/])"
+)
+
+
+def _tokenize_expr(text: str) -> List[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QasmError(f"bad angle expression: {text!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+def evaluate_angle(text: str, variables: Optional[Dict[str, float]] = None) -> float:
+    """Evaluate an OpenQASM angle expression such as ``-pi/4`` or ``3*pi/8``.
+
+    ``variables`` supplies values for formal gate parameters appearing in
+    custom gate bodies.
+    """
+    variables = variables or {}
+    tokens = _tokenize_expr(text)
+    pos = 0
+
+    def peek() -> str:
+        return tokens[pos] if pos < len(tokens) else ""
+
+    def advance() -> str:
+        nonlocal pos
+        tok = tokens[pos]
+        pos += 1
+        return tok
+
+    def parse_atom() -> float:
+        tok = peek()
+        if tok == "(":
+            advance()
+            value = parse_sum()
+            if peek() != ")":
+                raise QasmError(f"unbalanced parentheses in {text!r}")
+            advance()
+            return value
+        if tok == "-":
+            advance()
+            return -parse_atom()
+        if tok == "+":
+            advance()
+            return parse_atom()
+        if tok == "pi":
+            advance()
+            return math.pi
+        if tok and (tok[0].isalpha() or tok[0] == "_"):
+            if tok in variables:
+                advance()
+                return variables[tok]
+            raise QasmError(f"unknown identifier {tok!r} in angle expression")
+        if tok == "":
+            raise QasmError(f"truncated angle expression: {text!r}")
+        advance()
+        return float(tok)
+
+    def parse_product() -> float:
+        value = parse_atom()
+        while peek() in ("*", "/"):
+            op = advance()
+            rhs = parse_atom()
+            value = value * rhs if op == "*" else value / rhs
+        return value
+
+    def parse_sum() -> float:
+        value = parse_product()
+        while peek() in ("+", "-"):
+            op = advance()
+            rhs = parse_product()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    result = parse_sum()
+    if pos != len(tokens):
+        raise QasmError(f"trailing tokens in angle expression: {text!r}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Gate-name translation tables
+# ---------------------------------------------------------------------------
+
+# QASM name -> (base gate name, #controls, #params).  The base gate acts on
+# the trailing qubits of the argument list; leading qubits are controls.
+_QASM_GATES: Dict[str, Tuple[str, int, int]] = {
+    "id": ("id", 0, 0),
+    "x": ("x", 0, 0),
+    "y": ("y", 0, 0),
+    "z": ("z", 0, 0),
+    "h": ("h", 0, 0),
+    "s": ("s", 0, 0),
+    "sdg": ("sdg", 0, 0),
+    "t": ("t", 0, 0),
+    "tdg": ("tdg", 0, 0),
+    "sx": ("sx", 0, 0),
+    "sxdg": ("sxdg", 0, 0),
+    "rx": ("rx", 0, 1),
+    "ry": ("ry", 0, 1),
+    "rz": ("rz", 0, 1),
+    "p": ("p", 0, 1),
+    "u1": ("p", 0, 1),
+    "u2": ("u2", 0, 2),
+    "u3": ("u", 0, 3),
+    "u": ("u", 0, 3),
+    "cx": ("x", 1, 0),
+    "CX": ("x", 1, 0),
+    "cy": ("y", 1, 0),
+    "cz": ("z", 1, 0),
+    "ch": ("h", 1, 0),
+    "cs": ("s", 1, 0),
+    "csdg": ("sdg", 1, 0),
+    "cp": ("p", 1, 1),
+    "cu1": ("p", 1, 1),
+    "crx": ("rx", 1, 1),
+    "cry": ("ry", 1, 1),
+    "crz": ("rz", 1, 1),
+    "ccx": ("x", 2, 0),
+    "ccz": ("z", 2, 0),
+    "swap": ("swap", 0, 0),
+    "iswap": ("iswap", 0, 0),
+    "cswap": ("swap", 1, 0),
+    "rxx": ("rxx", 0, 1),
+    "ryy": ("ryy", 0, 1),
+    "rzz": ("rzz", 0, 1),
+}
+
+# (base gate name, #controls) -> QASM name, for the writer.
+_TO_QASM: Dict[Tuple[str, int], str] = {}
+for qasm_name, (base, nctrl, _nparam) in _QASM_GATES.items():
+    key = (base, nctrl)
+    if key not in _TO_QASM and qasm_name not in ("CX", "u3", "u1"):
+        _TO_QASM[key] = qasm_name
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+
+_STMT_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*"
+    r"(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<args>[^;]*)$"
+)
+_ARG_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\[(\d+)\]$")
+
+
+_GATE_DEF_RE = re.compile(
+    r"gate\s+([A-Za-z_][A-Za-z0-9_]*)\s*"
+    r"(?:\(([^)]*)\))?\s*"
+    r"([^{]*)\{([^}]*)\}"
+)
+
+
+def _parse_gate_definitions(text: str):
+    """Extract ``gate name(params) qubits { body }`` macros from the source.
+
+    Returns ``(remaining_text, definitions)`` where each definition maps the
+    gate name to ``(param_names, qubit_names, body_statements)``.
+    """
+    definitions = {}
+
+    def record(match: "re.Match") -> str:
+        name = match.group(1)
+        params = [
+            p.strip() for p in (match.group(2) or "").split(",") if p.strip()
+        ]
+        qubits = [
+            q.strip() for q in match.group(3).split(",") if q.strip()
+        ]
+        if not qubits:
+            raise QasmError(f"gate definition '{name}' declares no qubits")
+        body = [s.strip() for s in match.group(4).split(";") if s.strip()]
+        definitions[name] = (params, qubits, body)
+        return " "
+
+    remaining = _GATE_DEF_RE.sub(record, text)
+    return remaining, definitions
+
+
+def loads(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 source into a :class:`QuantumCircuit`.
+
+    Supports user ``gate`` definitions: bodies may use the standard library
+    and previously-defined gates; formal parameters may appear inside angle
+    expressions.
+    """
+    # Strip comments, pull out gate macros, split on semicolons.
+    text = re.sub(r"//[^\n]*", "", text)
+    text = text.replace("\n", " ")
+    text, definitions = _parse_gate_definitions(text)
+    statements = [s.strip() for s in text.split(";")]
+    statements = [s for s in statements if s]
+
+    qreg_offsets: Dict[str, int] = {}
+    creg_offsets: Dict[str, int] = {}
+    num_qubits = 0
+    num_clbits = 0
+    ops: List[Operation] = []
+
+    def resolve(arg: str, offsets: Dict[str, int]) -> int:
+        match = _ARG_RE.match(arg)
+        if match is None:
+            raise QasmError(f"cannot parse register argument {arg!r}")
+        reg, idx = match.group(1), int(match.group(2))
+        if reg not in offsets:
+            raise QasmError(f"unknown register {reg!r}")
+        return offsets[reg] + idx
+
+    for stmt in statements:
+        if stmt.startswith("OPENQASM") or stmt.startswith("include"):
+            continue
+        if stmt.startswith("qreg") or stmt.startswith("creg"):
+            match = re.match(r"^[qc]reg\s+([A-Za-z_][A-Za-z0-9_]*)\[(\d+)\]$", stmt)
+            if match is None:
+                raise QasmError(f"cannot parse register declaration {stmt!r}")
+            name, size = match.group(1), int(match.group(2))
+            if stmt.startswith("qreg"):
+                qreg_offsets[name] = num_qubits
+                num_qubits += size
+            else:
+                creg_offsets[name] = num_clbits
+                num_clbits += size
+            continue
+        if stmt.startswith("measure"):
+            match = re.match(r"^measure\s+(\S+)\s*->\s*(\S+)$", stmt)
+            if match is None:
+                raise QasmError(f"cannot parse measure statement {stmt!r}")
+            qubit = resolve(match.group(1), qreg_offsets)
+            clbit = resolve(match.group(2), creg_offsets)
+            ops.append(Operation(g.MEASURE, [qubit], clbits=[clbit]))
+            continue
+        if stmt.startswith("barrier"):
+            args = stmt[len("barrier"):].strip()
+            qubits = []
+            if args:
+                for arg in args.split(","):
+                    arg = arg.strip()
+                    if _ARG_RE.match(arg):
+                        qubits.append(resolve(arg, qreg_offsets))
+                    elif arg in qreg_offsets:
+                        # Whole-register barrier: covered by the empty list.
+                        qubits = []
+                        break
+            ops.append(Operation(g.BARRIER, [], qubits))
+            continue
+
+        match = _STMT_RE.match(stmt)
+        if match is None:
+            raise QasmError(f"cannot parse statement {stmt!r}")
+        name = match.group("name")
+        param_text = match.group("params")
+        param_values = []
+        if param_text:
+            param_values = [
+                evaluate_angle(piece) for piece in param_text.split(",")
+            ]
+        args = [a.strip() for a in match.group("args").split(",") if a.strip()]
+        qubits = [resolve(a, qreg_offsets) for a in args]
+        _emit_application(name, param_values, qubits, definitions, ops, depth=0)
+
+    qc = QuantumCircuit(num_qubits, name="qasm")
+    qc.num_clbits = num_clbits
+    for op in ops:
+        qc.append(op)
+    return qc
+
+
+def _emit_application(
+    name: str,
+    param_values: List[float],
+    qubits: List[int],
+    definitions: Dict,
+    ops: List[Operation],
+    depth: int,
+) -> None:
+    """Append the operations of one gate application (expanding macros)."""
+    if depth > 64:
+        raise QasmError(f"gate definition recursion too deep at {name!r}")
+    if name in _QASM_GATES:
+        base_name, nctrl, nparam = _QASM_GATES[name]
+        if len(param_values) != nparam:
+            raise QasmError(
+                f"gate {name!r} expects {nparam} parameters, "
+                f"got {len(param_values)}"
+            )
+        gate = g.make_gate(base_name, param_values)
+        expected = nctrl + gate.num_qubits
+        if len(qubits) != expected:
+            raise QasmError(
+                f"gate {name!r} expects {expected} qubits, got {len(qubits)}"
+            )
+        ops.append(Operation(gate, qubits[nctrl:], qubits[:nctrl]))
+        return
+    if name in definitions:
+        formal_params, formal_qubits, body = definitions[name]
+        if len(param_values) != len(formal_params):
+            raise QasmError(
+                f"gate {name!r} expects {len(formal_params)} parameters, "
+                f"got {len(param_values)}"
+            )
+        if len(qubits) != len(formal_qubits):
+            raise QasmError(
+                f"gate {name!r} expects {len(formal_qubits)} qubits, "
+                f"got {len(qubits)}"
+            )
+        variables = dict(zip(formal_params, param_values))
+        qubit_bindings = dict(zip(formal_qubits, qubits))
+        for stmt in body:
+            match = _STMT_RE.match(stmt)
+            if match is None:
+                raise QasmError(f"cannot parse gate-body statement {stmt!r}")
+            inner = match.group("name")
+            inner_param_text = match.group("params")
+            inner_params = []
+            if inner_param_text:
+                inner_params = [
+                    evaluate_angle(piece, variables)
+                    for piece in inner_param_text.split(",")
+                ]
+            inner_args = [
+                a.strip() for a in match.group("args").split(",") if a.strip()
+            ]
+            inner_qubits = []
+            for arg in inner_args:
+                if arg not in qubit_bindings:
+                    raise QasmError(
+                        f"unknown qubit {arg!r} in body of gate {name!r}"
+                    )
+                inner_qubits.append(qubit_bindings[arg])
+            _emit_application(
+                inner, inner_params, inner_qubits, definitions, ops, depth + 1
+            )
+        return
+    raise QasmError(f"unsupported gate {name!r}")
+
+
+def load(path: str) -> QuantumCircuit:
+    with open(path) as handle:
+        return loads(handle.read())
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+
+def dumps(circuit: QuantumCircuit) -> str:
+    """Serialize a circuit to OpenQASM 2.0 source.
+
+    Operations with more controls than the standard library supports raise
+    :class:`QasmError`; decompose them first (see
+    :mod:`repro.compile.decompositions`).
+    """
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for op in circuit.operations:
+        if op.is_barrier:
+            if op.controls:
+                args = ", ".join(f"q[{q}]" for q in op.controls)
+                lines.append(f"barrier {args};")
+            else:
+                lines.append("barrier q;")
+            continue
+        if op.is_measurement:
+            lines.append(f"measure q[{op.targets[0]}] -> c[{op.clbits[0]}];")
+            continue
+        if op.gate.name == "gphase" and not op.controls:
+            # OpenQASM 2 has no global-phase statement; the phase is recorded
+            # as a comment and dropped on re-import (harmless up to phase).
+            lines.append(f"// gphase({op.gate.params[0]!r})")
+            continue
+        key = (op.gate.name, len(op.controls))
+        if key not in _TO_QASM:
+            raise QasmError(
+                f"no OpenQASM 2 name for {op.name_with_controls()!r}; "
+                "decompose multi-controlled gates first"
+            )
+        name = _TO_QASM[key]
+        params = ""
+        if op.gate.params:
+            params = "(" + ", ".join(repr(p) for p in op.gate.params) + ")"
+        args = ", ".join(f"q[{q}]" for q in op.controls + op.targets)
+        lines.append(f"{name}{params} {args};")
+    return "\n".join(lines) + "\n"
+
+
+def dump(circuit: QuantumCircuit, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(dumps(circuit))

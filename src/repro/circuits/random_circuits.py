@@ -1,0 +1,123 @@
+"""Random circuit generators used as benchmark workloads.
+
+All generators take an explicit ``seed`` so benchmark workloads are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+
+_CLIFFORD_1Q = ("h", "s", "sdg", "x", "y", "z")
+_UNIVERSAL_1Q = ("h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx")
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: int = 0,
+    two_qubit_prob: float = 0.5,
+) -> QuantumCircuit:
+    """Random universal circuit: layers of random rotations and CX gates."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, name=f"random_{num_qubits}x{depth}")
+    for _ in range(depth):
+        qubits = list(range(num_qubits))
+        rng.shuffle(qubits)
+        while qubits:
+            if len(qubits) >= 2 and rng.random() < two_qubit_prob:
+                a, b = qubits.pop(), qubits.pop()
+                qc.cx(a, b)
+            else:
+                q = qubits.pop()
+                kind = rng.integers(0, 3)
+                angle = float(rng.uniform(0, 2 * math.pi))
+                if kind == 0:
+                    qc.rx(angle, q)
+                elif kind == 1:
+                    qc.ry(angle, q)
+                else:
+                    qc.rz(angle, q)
+    return qc
+
+
+def random_clifford_circuit(
+    num_qubits: int, num_gates: int, seed: int = 0
+) -> QuantumCircuit:
+    """Random circuit over the Clifford gate set {H, S, S†, X, Y, Z, CX, CZ}."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, name=f"clifford_{num_qubits}x{num_gates}")
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < 0.4:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            if rng.random() < 0.5:
+                qc.cx(int(a), int(b))
+            else:
+                qc.cz(int(a), int(b))
+        else:
+            q = int(rng.integers(0, num_qubits))
+            name = _CLIFFORD_1Q[int(rng.integers(0, len(_CLIFFORD_1Q)))]
+            getattr(qc, name)(q)
+    return qc
+
+
+def random_clifford_t_circuit(
+    num_qubits: int, num_gates: int, seed: int = 0, t_prob: float = 0.2
+) -> QuantumCircuit:
+    """Random Clifford+T circuit; ``t_prob`` controls the T-gate density."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, name=f"cliffordt_{num_qubits}x{num_gates}")
+    for _ in range(num_gates):
+        r = rng.random()
+        if r < t_prob:
+            q = int(rng.integers(0, num_qubits))
+            if rng.random() < 0.5:
+                qc.t(q)
+            else:
+                qc.tdg(q)
+        elif num_qubits >= 2 and r < t_prob + 0.35:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            qc.cx(int(a), int(b))
+        else:
+            q = int(rng.integers(0, num_qubits))
+            name = _CLIFFORD_1Q[int(rng.integers(0, len(_CLIFFORD_1Q)))]
+            getattr(qc, name)(q)
+    return qc
+
+
+def brickwork_circuit(
+    num_qubits: int, depth: int, seed: int = 0
+) -> QuantumCircuit:
+    """Supremacy-style brickwork: random SU(2) layers + staggered CZ bricks.
+
+    This is the low-depth/high-entanglement workload tensor-network
+    simulators target (paper Sec. IV).
+    """
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, name=f"brickwork_{num_qubits}x{depth}")
+    for layer in range(depth):
+        for q in range(num_qubits):
+            theta, phi, lam = rng.uniform(0, 2 * math.pi, size=3)
+            qc.u(float(theta), float(phi), float(lam), q)
+        start = layer % 2
+        for q in range(start, num_qubits - 1, 2):
+            qc.cz(q, q + 1)
+    return qc
+
+
+def random_phase_polynomial_terms(
+    num_qubits: int, num_terms: int, seed: int = 0
+) -> List[tuple]:
+    """Random ``(mask, theta)`` terms for phase-polynomial circuits."""
+    rng = np.random.default_rng(seed)
+    terms = []
+    for _ in range(num_terms):
+        mask = int(rng.integers(1, 2**num_qubits))
+        theta = float(rng.choice([1, 3, 5, 7])) * math.pi / 4
+        terms.append((mask, theta))
+    return terms

@@ -1,0 +1,59 @@
+"""Compilation: decomposition, basis translation, routing, optimization."""
+
+from . import coupling
+from .compiler import CompilationResult, compile_circuit
+from .coupling import CouplingMap
+from .decompositions import (
+    BASIS_CX_RZ_RY,
+    BASIS_CX_U,
+    BASIS_CZ_RZ_RY,
+    BASIS_IBM,
+    decompose_mcp_parity,
+    decompose_mcx_with_ancillas,
+    decompose_to_basis,
+    decompose_to_two_qubit,
+    euler_zyz,
+)
+from .kak import decompose_two_qubit_unitary, kak_decompose
+from .commutation import commutative_cancellation, operations_commute
+from .optimize import cancel_inverses, merge_rotations, optimize, remove_identities
+from .routing import (
+    RoutingResult,
+    interaction_layout,
+    route_greedy,
+    route_sabre,
+    undo_layout_statevector,
+)
+from .zx_opt import ZXOptimizationReport, zx_optimize, zx_t_count
+
+__all__ = [
+    "BASIS_CX_RZ_RY",
+    "BASIS_CX_U",
+    "BASIS_CZ_RZ_RY",
+    "BASIS_IBM",
+    "CompilationResult",
+    "CouplingMap",
+    "RoutingResult",
+    "ZXOptimizationReport",
+    "cancel_inverses",
+    "commutative_cancellation",
+    "compile_circuit",
+    "coupling",
+    "decompose_mcp_parity",
+    "decompose_mcx_with_ancillas",
+    "decompose_to_basis",
+    "decompose_to_two_qubit",
+    "decompose_two_qubit_unitary",
+    "kak_decompose",
+    "euler_zyz",
+    "interaction_layout",
+    "merge_rotations",
+    "operations_commute",
+    "optimize",
+    "remove_identities",
+    "route_greedy",
+    "route_sabre",
+    "undo_layout_statevector",
+    "zx_optimize",
+    "zx_t_count",
+]

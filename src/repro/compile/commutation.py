@@ -1,0 +1,152 @@
+"""Commutation analysis and commutation-aware gate cancellation.
+
+``cancel_inverses`` only sees *adjacent* inverse pairs; real circuits hide
+cancellations behind gates that commute with them (an Rz on a CX control, a
+Z between two CZs, ...).  This pass checks commutation exactly — by
+multiplying the two operations' unitaries on their joint support (at most a
+16x16 matrix) — and cancels/merges through commuting barriers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits import gates as g
+from ..circuits.circuit import Operation, QuantumCircuit
+
+_COMMUTE_CACHE: Dict[Tuple, bool] = {}
+_MAX_JOINT_QUBITS = 5
+
+
+def _local_pattern(op: Operation, local: Dict[int, int]) -> Tuple:
+    return (
+        op.gate,
+        tuple(local[q] for q in op.targets),
+        frozenset(local[q] for q in op.controls),
+    )
+
+
+def operations_commute(op1: Operation, op2: Operation) -> bool:
+    """Exact commutation check on the joint support.
+
+    Disjoint supports trivially commute; otherwise the two embedded
+    unitaries are multiplied both ways on the union qubits (cached by the
+    gate/wiring pattern, so repeated circuit structure costs one check).
+    """
+    if not (op1.is_unitary and op2.is_unitary):
+        return False
+    if op1.condition is not None or op2.condition is not None:
+        return False
+    support1 = set(op1.qubits)
+    support2 = set(op2.qubits)
+    if not support1 & support2:
+        return True
+    union = sorted(support1 | support2)
+    if len(union) > _MAX_JOINT_QUBITS:
+        return False  # give up rather than build a big matrix
+    local = {q: i for i, q in enumerate(union)}
+    key = (_local_pattern(op1, local), _local_pattern(op2, local))
+    cached = _COMMUTE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    from ..arrays.unitary import operation_unitary
+
+    n = len(union)
+    u1 = operation_unitary(op1.remapped(local), n)
+    u2 = operation_unitary(op2.remapped(local), n)
+    result = bool(np.allclose(u1 @ u2, u2 @ u1, atol=1e-10))
+    _COMMUTE_CACHE[key] = result
+    return result
+
+
+def commutative_cancellation(
+    circuit: QuantumCircuit, max_lookback: int = 32
+) -> QuantumCircuit:
+    """Cancel inverse pairs and merge rotations through commuting gates.
+
+    For every operation the pass walks backwards over still-live operations:
+    an identical-support inverse partner cancels both, a same-axis rotation
+    merges; any other operation that *commutes* with the candidate is walked
+    through, anything else stops the search.
+    """
+    ops: List[Optional[Operation]] = list(circuit.operations)
+
+    def try_eliminate(idx: int) -> bool:
+        op = ops[idx]
+        assert op is not None
+        steps = 0
+        walked: List[Operation] = []
+        for j in range(idx - 1, -1, -1):
+            prev = ops[j]
+            if prev is None:
+                continue
+            steps += 1
+            if steps > max_lookback:
+                return False
+            if prev.is_barrier or prev.is_measurement:
+                return False
+            if (
+                set(prev.qubits) == set(op.qubits)
+                and prev.targets == op.targets
+                and set(prev.controls) == set(op.controls)
+                and prev.condition is None
+                and op.condition is None
+            ):
+                # Moving ``op`` next to ``prev`` requires that *both* ends
+                # commute with everything in between: ``op`` commuting is
+                # not enough when the pair merges into a different gate
+                # (e.g. op ~ rz(2*pi) ∝ -I commutes with anything, prev
+                # does not).
+                if all(operations_commute(prev, mid) for mid in walked):
+                    try:
+                        inverse = prev.gate.inverse()
+                    except ValueError:
+                        inverse = None
+                    if inverse is not None and inverse == op.gate:
+                        ops[j] = None
+                        ops[idx] = None
+                        return True
+                    merged = _merge_rotations(prev, op)
+                    if merged is not None:
+                        ops[j] = None
+                        ops[idx] = (
+                            merged if not merged.gate.is_identity() else None
+                        )
+                        return True
+            if operations_commute(op, prev):
+                walked.append(prev)
+                continue
+            return False
+        return False
+
+    changed = True
+    while changed:
+        changed = False
+        for idx in range(len(ops)):
+            if ops[idx] is None:
+                continue
+            op = ops[idx]
+            if op.is_barrier or op.is_measurement or op.condition is not None:
+                continue
+            if try_eliminate(idx):
+                changed = True
+    out = circuit.copy()
+    out.operations = [op for op in ops if op is not None]
+    return out
+
+
+def _merge_rotations(prev: Operation, op: Operation) -> Optional[Operation]:
+    name = prev.gate.name
+    if (
+        name == op.gate.name
+        and name in ("rx", "ry", "rz", "p", "rzz", "rxx", "ryy")
+        and prev.gate.params
+        and op.gate.params
+    ):
+        angle = prev.gate.params[0] + op.gate.params[0]
+        return Operation(
+            g.PARAMETRIC_GATES[name](angle), op.targets, op.controls
+        )
+    return None

@@ -1,0 +1,106 @@
+"""The end-to-end compilation pipeline (paper Sec. I, "Compilation").
+
+``compile_circuit`` lowers a circuit to a device: optional optimization,
+translation into a native gate basis, SWAP routing onto the coupling map,
+and a final cleanup — mirroring the structure of production compilers while
+staying fully self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..circuits.circuit import QuantumCircuit
+from .coupling import CouplingMap
+from .decompositions import BASIS_CX_RZ_RY, decompose_to_basis
+from .optimize import optimize
+from .routing import (
+    RoutingResult,
+    interaction_layout,
+    route_greedy,
+    route_sabre,
+)
+from .zx_opt import zx_optimize
+
+
+class CompilationResult:
+    """Compiled circuit plus layouts and bookkeeping statistics."""
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        initial_layout: Dict[int, int],
+        final_layout: Dict[int, int],
+        stats: Dict[str, int],
+    ) -> None:
+        self.circuit = circuit
+        self.initial_layout = initial_layout
+        self.final_layout = final_layout
+        self.stats = stats
+
+    def __repr__(self) -> str:
+        return f"CompilationResult({len(self.circuit)} ops, stats={self.stats})"
+
+
+def compile_circuit(
+    circuit: QuantumCircuit,
+    coupling: Optional[CouplingMap] = None,
+    basis: frozenset = BASIS_CX_RZ_RY,
+    optimization_level: int = 1,
+    router: str = "sabre",
+    layout: str = "interaction",
+    seed: int = 0,
+) -> CompilationResult:
+    """Compile ``circuit`` for a device.
+
+    optimization_level 0: lower to basis + route only;
+    1: adds peephole optimization before and after routing;
+    2: additionally runs the ZX-calculus optimizer first.
+    ``layout`` picks the initial placement: ``"trivial"`` (identity) or
+    ``"interaction"`` (interaction-graph heuristic).
+    """
+    stats: Dict[str, int] = {
+        "input_ops": len(circuit),
+        "input_two_qubit": circuit.two_qubit_gate_count(),
+    }
+    work = circuit.without_measurements()
+    if optimization_level >= 2:
+        work = zx_optimize(work).optimized
+    if optimization_level >= 1:
+        work = optimize(work)
+    work = decompose_to_basis(work, basis)
+    if optimization_level >= 1:
+        work = optimize(work)
+    stats["post_basis_ops"] = len(work)
+
+    if coupling is None:
+        identity = {q: q for q in range(work.num_qubits)}
+        stats["swaps"] = 0
+        stats["output_ops"] = len(work)
+        stats["output_two_qubit"] = work.two_qubit_gate_count()
+        return CompilationResult(work, identity, identity, stats)
+
+    if layout == "interaction":
+        initial = interaction_layout(work, coupling)
+    elif layout == "trivial":
+        initial = {q: q for q in range(work.num_qubits)}
+    else:
+        raise ValueError(f"unknown layout strategy '{layout}'")
+    if router == "sabre":
+        routing = route_sabre(work, coupling, initial_layout=initial, seed=seed)
+    elif router == "greedy":
+        routing = route_greedy(work, coupling, initial_layout=initial)
+    else:
+        raise ValueError(f"unknown router '{router}'")
+    routed = routing.circuit
+    # Routing introduces SWAP gates outside the basis: lower them again.
+    routed = decompose_to_basis(routed, basis)
+    if optimization_level >= 1:
+        routed = optimize(routed)
+    stats["swaps"] = routing.swap_count
+    stats["output_ops"] = len(routed)
+    stats["output_two_qubit"] = routed.two_qubit_gate_count()
+    routed.name = circuit.name + "_compiled"
+    return CompilationResult(
+        routed, routing.initial_layout, routing.final_layout, stats
+    )

@@ -1,0 +1,132 @@
+"""Device coupling maps: the connectivity constraints compilation targets.
+
+The paper's compilation task (Sec. I) maps circuits onto devices with
+"limited connectivity"; these synthetic topologies stand in for real
+backends (line/ring ion-trap-style chains, grid and heavy-hex
+superconducting lattices, the IBM QX5 layout).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+
+class CouplingMap:
+    """An undirected connectivity graph over physical qubits."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[Tuple[int, int]]) -> None:
+        self.num_qubits = num_qubits
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(num_qubits))
+        for a, b in edges:
+            if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise ValueError(f"edge ({a}, {b}) out of range")
+            if a == b:
+                raise ValueError("self-coupling is not allowed")
+            self.graph.add_edge(a, b)
+        if num_qubits and not nx.is_connected(self.graph):
+            raise ValueError("coupling map must be connected")
+        self._dist: Optional[Dict[int, Dict[int, int]]] = None
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        return [(min(a, b), max(a, b)) for a, b in self.graph.edges]
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def _distances(self) -> Dict[int, Dict[int, int]]:
+        if self._dist is None:
+            self._dist = {
+                src: dict(lengths)
+                for src, lengths in nx.all_pairs_shortest_path_length(self.graph)
+            }
+        return self._dist
+
+    def distance(self, a: int, b: int) -> int:
+        return self._distances()[a][b]
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        return nx.shortest_path(self.graph, a, b)
+
+    def neighbors(self, q: int) -> List[int]:
+        return list(self.graph.neighbors(q))
+
+    def __repr__(self) -> str:
+        return f"CouplingMap({self.num_qubits} qubits, {len(self.edges)} edges)"
+
+
+def line(num_qubits: int) -> CouplingMap:
+    """A 1-D chain: the canonical worst case for routing overhead."""
+    return CouplingMap(num_qubits, [(i, i + 1) for i in range(num_qubits - 1)])
+
+
+def ring(num_qubits: int) -> CouplingMap:
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return CouplingMap(num_qubits, edges)
+
+
+def grid(rows: int, cols: int) -> CouplingMap:
+    """A rows x cols lattice (superconducting-style)."""
+    def index(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((index(r, c), index(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((index(r, c), index(r + 1, c)))
+    return CouplingMap(rows * cols, edges)
+
+
+def star(num_qubits: int) -> CouplingMap:
+    """Qubit 0 couples to everything (trapped-ion-bus caricature)."""
+    return CouplingMap(num_qubits, [(0, i) for i in range(1, num_qubits)])
+
+
+def fully_connected(num_qubits: int) -> CouplingMap:
+    edges = [
+        (a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)
+    ]
+    return CouplingMap(num_qubits, edges)
+
+
+def ibm_qx5() -> CouplingMap:
+    """The 16-qubit IBM QX5 layout (undirected; paper ref. [15] target)."""
+    edges = [
+        (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7),
+        (8, 9), (9, 10), (10, 11), (11, 12), (12, 13), (13, 14), (14, 15),
+        (0, 15), (1, 14), (2, 13), (3, 12), (4, 11), (5, 10), (6, 9), (7, 8),
+    ]
+    return CouplingMap(16, edges)
+
+
+def heavy_hex(distance: int = 3) -> CouplingMap:
+    """A small heavy-hex-like lattice (IBM Falcon style, simplified).
+
+    Built as a brick pattern of degree <= 3 vertices; ``distance`` controls
+    the size (27 qubits at the default, mirroring the Falcon r5 devices).
+    """
+    if distance == 3:
+        edges = [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9),
+            (0, 10), (4, 11), (8, 12),
+            (10, 13), (11, 17), (12, 21),
+            (13, 14), (14, 15), (15, 16), (16, 17), (17, 18), (18, 19),
+            (19, 20), (20, 21), (21, 22), (22, 23),
+            (15, 24), (19, 25), (23, 26),
+        ]
+        return CouplingMap(27, edges)
+    raise ValueError("only distance=3 is provided")
+
+
+NAMED_TOPOLOGIES = {
+    "line": line,
+    "ring": ring,
+    "star": star,
+    "full": fully_connected,
+}

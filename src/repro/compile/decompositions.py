@@ -1,0 +1,447 @@
+"""Gate decompositions: multi-controlled gates, two-qubit specials, Euler angles.
+
+These rewrites lower the rich IR gate set to the small gate families real
+devices (and the MPS simulator) support: single-qubit gates plus CX.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..circuits import gates as g
+from ..circuits.circuit import Operation, QuantumCircuit
+
+_ATOL = 1e-12
+
+
+def euler_zyz(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Factor a 2x2 unitary as ``e^{i*alpha} Rz(beta) Ry(gamma) Rz(delta)``."""
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    det = matrix[0, 0] * matrix[1, 1] - matrix[0, 1] * matrix[1, 0]
+    alpha = cmath.phase(det) / 2.0
+    su2 = matrix * cmath.exp(-1j * alpha)
+    c = abs(su2[0, 0])
+    s = abs(su2[1, 0])
+    gamma = 2.0 * math.atan2(s, c)
+    if c > _ATOL and s > _ATOL:
+        phi00 = cmath.phase(su2[0, 0])
+        phi10 = cmath.phase(su2[1, 0])
+        beta = phi10 - phi00
+        delta = -phi00 - phi10
+    elif s <= _ATOL:
+        # Diagonal: gamma ~ 0, put everything into beta.
+        beta = 2.0 * cmath.phase(su2[1, 1])
+        delta = 0.0
+    else:
+        # Anti-diagonal: gamma ~ pi.
+        beta = 2.0 * cmath.phase(su2[1, 0])
+        delta = 0.0
+    return alpha, beta, gamma, delta
+
+
+def _product_matrix(ops: Sequence[Operation]) -> np.ndarray:
+    """2x2 product of single-qubit ops (all on the same qubit), last-first."""
+    matrix = np.eye(2, dtype=np.complex128)
+    for op in ops:
+        matrix = op.gate.matrix @ matrix
+    return matrix
+
+
+def decompose_single_qubit(
+    matrix: np.ndarray, qubit: int, basis: Set[str]
+) -> List[Operation]:
+    """Rewrite an arbitrary single-qubit unitary into basis gates.
+
+    Supported bases: any containing ``u``; any containing ``rz`` and ``ry``;
+    any containing ``rz`` and ``sx``.  A ``gphase`` op keeps the result
+    exactly equal (not just up to phase), so decompositions stay valid inside
+    controlled contexts.
+    """
+    alpha, beta, gamma, delta = euler_zyz(matrix)
+    ops: List[Operation]
+    if "u" in basis:
+        # u(theta, phi, lam) = e^{i (phi+lam)/2} Rz(phi) Ry(theta) Rz(lam)
+        ops = [Operation(g.u(gamma, beta, delta), [qubit])]
+        residual = alpha - (beta + delta) / 2.0
+    elif "rz" in basis and "ry" in basis:
+        ops = []
+        if abs(delta) > _ATOL:
+            ops.append(Operation(g.rz(delta), [qubit]))
+        if abs(gamma) > _ATOL:
+            ops.append(Operation(g.ry(gamma), [qubit]))
+        if abs(beta) > _ATOL:
+            ops.append(Operation(g.rz(beta), [qubit]))
+        residual = alpha
+    elif "rz" in basis and "sx" in basis:
+        # Standard ZSXZSXZ form: Rz(beta) Ry(gamma) Rz(delta) equals, up to
+        # phase, the matrix product Rz(beta+pi).SX.Rz(gamma+pi).SX.Rz(delta)
+        # (circuit order is right to left).
+        ops = [
+            Operation(g.rz(delta), [qubit]),
+            Operation(g.SX, [qubit]),
+            Operation(g.rz(gamma + math.pi), [qubit]),
+            Operation(g.SX, [qubit]),
+            Operation(g.rz(beta + math.pi), [qubit]),
+        ]
+        product = _product_matrix(ops)
+        # Fix the phase numerically against the requested matrix.
+        pivot = int(np.argmax(np.abs(matrix)))
+        residual = cmath.phase(
+            matrix.reshape(-1)[pivot] / product.reshape(-1)[pivot]
+        )
+    else:
+        raise ValueError(f"no single-qubit decomposition into basis {sorted(basis)}")
+    if abs(residual) > 1e-10:
+        ops.append(Operation(g.gphase(residual), []))
+    return ops
+
+
+def decompose_controlled_single_qubit(op: Operation) -> List[Operation]:
+    """ABC decomposition of a singly-controlled single-qubit gate.
+
+    ``U = e^{i*alpha} A X B X C`` with ``A B C = I`` (Nielsen & Chuang 4.2):
+    the circuit needs two CX gates, three single-qubit rotations, and a
+    phase gate on the control.
+    """
+    if len(op.controls) != 1 or len(op.targets) != 1:
+        raise ValueError("expected exactly one control and one target")
+    control = op.controls[0]
+    target = op.targets[0]
+    alpha, beta, gamma, delta = euler_zyz(op.gate.matrix)
+    ops: List[Operation] = []
+    # C = Rz((delta - beta)/2)
+    angle_c = (delta - beta) / 2.0
+    if abs(angle_c) > _ATOL:
+        ops.append(Operation(g.rz(angle_c), [target]))
+    ops.append(Operation(g.X, [target], [control]))
+    # B = Ry(-gamma/2) Rz(-(delta + beta)/2): circuit order Rz then Ry.
+    angle_b = -(delta + beta) / 2.0
+    if abs(angle_b) > _ATOL:
+        ops.append(Operation(g.rz(angle_b), [target]))
+    if abs(gamma) > _ATOL:
+        ops.append(Operation(g.ry(-gamma / 2.0), [target]))
+    ops.append(Operation(g.X, [target], [control]))
+    # A = Rz(beta) Ry(gamma/2): circuit order Ry then Rz.
+    if abs(gamma) > _ATOL:
+        ops.append(Operation(g.ry(gamma / 2.0), [target]))
+    if abs(beta) > _ATOL:
+        ops.append(Operation(g.rz(beta), [target]))
+    if abs(alpha) > 1e-12:
+        ops.append(Operation(g.p(alpha), [control]))
+    return ops
+
+
+def decompose_toffoli(c1: int, c2: int, target: int) -> List[Operation]:
+    """Standard 15-gate {H, T, Tdg, CX} Toffoli decomposition."""
+    cx = lambda a, b: Operation(g.X, [b], [a])
+    return [
+        Operation(g.H, [target]),
+        cx(c2, target),
+        Operation(g.TDG, [target]),
+        cx(c1, target),
+        Operation(g.T, [target]),
+        cx(c2, target),
+        Operation(g.TDG, [target]),
+        cx(c1, target),
+        Operation(g.T, [c2]),
+        Operation(g.T, [target]),
+        Operation(g.H, [target]),
+        cx(c1, c2),
+        Operation(g.T, [c1]),
+        Operation(g.TDG, [c2]),
+        cx(c1, c2),
+    ]
+
+
+def _matrix_sqrt(matrix: np.ndarray) -> np.ndarray:
+    """Principal square root of a 2x2 unitary (eigendecomposition)."""
+    values, vectors = np.linalg.eig(matrix)
+    root = vectors @ np.diag(np.sqrt(values.astype(np.complex128))) @ np.linalg.inv(vectors)
+    return root
+
+
+def decompose_multi_controlled(op: Operation) -> List[Operation]:
+    """Barenco-style recursion for gates with two or more controls.
+
+    ``C^n(U) = C(V) . C^{n-1}(X) . C(V†) . C^{n-1}(X) . C^{n-1}(V)`` with
+    ``V = sqrt(U)``.  Gate count grows exponentially in the control count —
+    acceptable for the moderate control counts in our workloads, and it
+    needs no ancilla qubits.
+    """
+    if len(op.targets) != 1:
+        raise ValueError("multi-controlled decomposition expects one target")
+    controls = list(op.controls)
+    target = op.targets[0]
+    if len(controls) < 2:
+        raise ValueError("use the single-control decomposition instead")
+    if len(controls) == 2 and op.gate.name == "x":
+        return decompose_toffoli(controls[0], controls[1], target)
+    matrix = op.gate.matrix
+    v = _matrix_sqrt(matrix)
+    v_gate = g.Gate("unitary1q", 1, v)
+    v_dg_gate = g.Gate("unitary1q", 1, v.conj().T)
+    last = controls[-1]
+    rest = controls[:-1]
+    ops: List[Operation] = []
+    ops.append(Operation(v_gate, [target], [last]))
+    ops.extend(_expand_mcx(rest, last))
+    ops.append(Operation(v_dg_gate, [target], [last]))
+    ops.extend(_expand_mcx(rest, last))
+    inner = Operation(v_gate, [target], rest)
+    if len(rest) >= 2:
+        ops.extend(decompose_multi_controlled(inner))
+    else:
+        ops.append(inner)
+    return ops
+
+
+def _expand_mcx(controls: Sequence[int], target: int) -> List[Operation]:
+    if len(controls) == 1:
+        return [Operation(g.X, [target], controls)]
+    return decompose_multi_controlled(Operation(g.X, [target], controls))
+
+
+def decompose_mcx_with_ancillas(
+    controls: Sequence[int], target: int, ancillas: Sequence[int]
+) -> List[Operation]:
+    """V-chain multi-controlled X: linear size using clean ancillas.
+
+    Needs ``len(controls) - 2`` ancillas (assumed |0>, returned to |0>).
+    ``2(k-2) + 1`` Toffolis for ``k`` controls — compare with the
+    ancilla-free Barenco recursion, which grows exponentially.
+    """
+    controls = list(controls)
+    k = len(controls)
+    if k <= 2:
+        return [Operation(g.X, [target], controls)]
+    needed = k - 2
+    if len(ancillas) < needed:
+        raise ValueError(f"{k}-control v-chain needs {needed} ancillas")
+    used = list(ancillas[:needed])
+    ops: List[Operation] = []
+    # Ladder up: anc[0] = c0 AND c1; anc[i] = anc[i-1] AND c_{i+1}.
+    ops.append(Operation(g.X, [used[0]], [controls[0], controls[1]]))
+    for i in range(1, needed):
+        ops.append(Operation(g.X, [used[i]], [used[i - 1], controls[i + 1]]))
+    ops.append(Operation(g.X, [target], [used[-1], controls[-1]]))
+    # Ladder down: uncompute the ancillas.
+    for i in range(needed - 1, 0, -1):
+        ops.append(Operation(g.X, [used[i]], [used[i - 1], controls[i + 1]]))
+    ops.append(Operation(g.X, [used[0]], [controls[0], controls[1]]))
+    return ops
+
+
+def decompose_mcp_parity(
+    angle: float, controls: Sequence[int], target: int
+) -> List[Operation]:
+    """Parity-network multi-controlled phase gate: CX + rz only, no ancillas.
+
+    A multi-controlled phase is the diagonal unitary with phase ``angle``
+    exactly on the all-ones assignment of ``controls + [target]``.  Expanded
+    over parities, that diagonal is a phase polynomial with one term of
+    coefficient ``angle * (-1)^{|S|+1} / 2^{k-1}`` per non-empty subset ``S``
+    of the participating wires; the library's phase-polynomial builder
+    compiles each term as a CX ladder around one ``rz``.
+
+    Compared with the Barenco recursion this emits only CX and rz (no
+    square-root gates and no recursion through generic unitaries) at a
+    comparable two-qubit count; it is the natural form for the
+    phase-polynomial reasoning the ZX-calculus literature targets.
+    """
+    qubits = list(controls) + [target]
+    k = len(qubits)
+    from itertools import combinations as _combinations
+
+    from ..circuits.library import phase_polynomial_circuit
+
+    terms = []
+    for size in range(1, k + 1):
+        # rz convention: rz(theta) puts e^{i theta/2} on odd parity; solving
+        # the linear system for "angle exactly on all-ones" gives
+        # coefficient theta_S = -angle * (-1/2)^{k-1} * (-1)^{k-|S|} ... we
+        # build it from the standard identity: the AND function as a parity
+        # expansion AND(x) = (1/2^{k-1}) * sum_S (-1)^{|S|+1} parity_S(x)/...
+        coefficient = angle * ((-1) ** (size + 1)) / (2 ** (k - 1))
+        for subset in _combinations(qubits, size):
+            mask = 0
+            for q in subset:
+                mask |= 1 << q
+            terms.append((mask, coefficient))
+    num_qubits = max(qubits) + 1
+    circuit = phase_polynomial_circuit(num_qubits, terms)
+    ops = list(circuit.operations)
+    # Each rz(theta) term contributes e^{-i theta/2} on the all-zeros input;
+    # cancel that analytically so the result is *exactly* mcp.
+    correction = sum(theta for _mask, theta in terms) / 2.0
+    if abs(correction) > 1e-12:
+        ops.append(Operation(g.gphase(correction), []))
+    return ops
+
+
+def decompose_two_qubit_named(op: Operation) -> List[Operation]:
+    """Rewrite uncontrolled two-qubit library gates into {1q, CX}."""
+    a, b = op.targets
+    name = op.gate.name
+    cx = lambda x, y: Operation(g.X, [y], [x])
+    if name == "swap":
+        return [cx(a, b), cx(b, a), cx(a, b)]
+    if name == "iswap":
+        # iSWAP = (S ⊗ S) . H_a . CX(a,b) . CX(b,a) . H_b
+        return [
+            Operation(g.S, [a]),
+            Operation(g.S, [b]),
+            Operation(g.H, [a]),
+            cx(a, b),
+            cx(b, a),
+            Operation(g.H, [b]),
+        ]
+    if name == "iswapdg":
+        forward = decompose_two_qubit_named(Operation(g.ISWAP, [a, b]))
+        return [o.inverse() for o in reversed(forward)]
+    if name == "rzz":
+        (theta,) = op.gate.params
+        return [cx(a, b), Operation(g.rz(theta), [b]), cx(a, b)]
+    if name == "rxx":
+        (theta,) = op.gate.params
+        wrap = [Operation(g.H, [a]), Operation(g.H, [b])]
+        core = [cx(a, b), Operation(g.rz(theta), [b]), cx(a, b)]
+        return wrap + core + wrap
+    if name == "ryy":
+        (theta,) = op.gate.params
+        pre = [Operation(g.rx(math.pi / 2), [a]), Operation(g.rx(math.pi / 2), [b])]
+        core = [cx(a, b), Operation(g.rz(theta), [b]), cx(a, b)]
+        post = [Operation(g.rx(-math.pi / 2), [a]), Operation(g.rx(-math.pi / 2), [b])]
+        return pre + core + post
+    # No named rule: fall back to the exact Cartan (KAK) decomposition.
+    from .kak import decompose_two_qubit_unitary
+
+    return decompose_two_qubit_unitary(op.gate.matrix, a, b)
+
+
+def decompose_to_two_qubit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Lower every operation to at most two qubits (1q, or 1 control + 1 target).
+
+    Multi-controlled gates expand via Toffoli/Barenco; controlled swaps go
+    through CX conjugation first.
+    """
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name + "_2q")
+    out.num_clbits = circuit.num_clbits
+
+    def lower(op: Operation) -> List[Operation]:
+        if op.is_barrier or op.is_measurement:
+            return [op]
+        total = len(op.targets) + len(op.controls)
+        if total <= 2 and len(op.targets) <= 2:
+            if len(op.targets) == 2 and op.controls:
+                pass  # controlled two-qubit gate, fall through
+            else:
+                return [op]
+        if len(op.targets) == 2:
+            # Controlled two-qubit gate: push controls through a CX sandwich
+            # when it is a controlled swap, otherwise decompose the base gate
+            # first and control each piece.
+            if op.gate.name == "swap":
+                a, b = op.targets
+                inner = Operation(g.X, [b], list(op.controls) + [a])
+                pieces = [Operation(g.X, [a], [b]), inner, Operation(g.X, [a], [b])]
+            else:
+                base_ops = decompose_two_qubit_named(Operation(op.gate, op.targets))
+                pieces = [
+                    Operation(piece.gate, piece.targets, tuple(op.controls) + piece.controls)
+                    for piece in base_ops
+                ]
+            result: List[Operation] = []
+            for piece in pieces:
+                result.extend(lower(piece))
+            return result
+        if len(op.controls) >= 2:
+            result = []
+            for piece in decompose_multi_controlled(op):
+                result.extend(lower(piece))
+            return result
+        return [op]
+
+    for op in circuit.operations:
+        for piece in lower(op):
+            out.append(piece)
+    return out
+
+
+# Gate families usable as compilation targets.
+BASIS_CX_U = frozenset({"cx", "u", "gphase"})
+BASIS_CX_RZ_RY = frozenset({"cx", "rz", "ry", "gphase"})
+BASIS_IBM = frozenset({"cx", "rz", "sx", "x", "gphase"})
+BASIS_CZ_RZ_RY = frozenset({"cz", "rz", "ry", "gphase"})
+
+
+def decompose_to_basis(circuit: QuantumCircuit, basis: frozenset) -> QuantumCircuit:
+    """Full lowering: at most two qubits, then translate into ``basis``.
+
+    ``basis`` contains op display names (``cx``, ``rz``, ...); ``gphase``
+    should be included unless exact global phase is irrelevant.
+    """
+    two_qubit = decompose_to_two_qubit(circuit)
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name + "_basis")
+    out.num_clbits = circuit.num_clbits
+    single_qubit_basis = {name for name in basis if name in ("u", "rz", "ry", "rx", "sx", "x", "h")}
+
+    def allowed(op: Operation) -> bool:
+        return op.name_with_controls() in basis
+
+    def lower(op: Operation) -> List[Operation]:
+        if op.is_barrier or op.is_measurement or allowed(op):
+            return [op]
+        if not op.controls and len(op.targets) == 1:
+            return decompose_single_qubit(op.gate.matrix, op.targets[0], basis)
+        if len(op.controls) == 1 and len(op.targets) == 1:
+            if op.gate.name == "x" and "cz" in basis:
+                target = op.targets[0]
+                h_ops = decompose_single_qubit(g.H.matrix, target, basis) if "h" not in basis else [Operation(g.H, [target])]
+                return (
+                    list(h_ops)
+                    + [Operation(g.Z, [op.targets[0]], op.controls)]
+                    + list(h_ops)
+                )
+            if op.gate.name == "z" and "cx" in basis:
+                target = op.targets[0]
+                h_ops = decompose_single_qubit(g.H.matrix, target, basis) if "h" not in basis else [Operation(g.H, [target])]
+                return (
+                    list(h_ops)
+                    + [Operation(g.X, [op.targets[0]], op.controls)]
+                    + list(h_ops)
+                )
+            pieces = decompose_controlled_single_qubit(op)
+            result: List[Operation] = []
+            for piece in pieces:
+                result.extend(lower(piece))
+            return result
+        if not op.controls and len(op.targets) == 2:
+            pieces = decompose_two_qubit_named(op)
+            result = []
+            for piece in pieces:
+                result.extend(lower(piece))
+            return result
+        if op.gate.num_qubits == 0:
+            if op.controls:
+                # A controlled global phase is a phase gate on the controls:
+                # one control becomes the target of a (multi-controlled) p.
+                angle = op.gate.params[0]
+                rewritten = Operation(
+                    g.p(angle), [op.controls[-1]], op.controls[:-1]
+                )
+                return lower(rewritten)
+            # Bare global phase not in basis: keep it anyway (harmless) if
+            # gphase excluded, since dropping it would break exactness.
+            return [op]
+        raise ValueError(f"cannot lower op {op!r} to basis {sorted(basis)}")
+
+    for op in two_qubit.operations:
+        for piece in lower(op):
+            if piece.is_unitary and not piece.controls and piece.gate.num_qubits == 1 and piece.gate.is_identity():
+                continue
+            out.append(piece)
+    return out

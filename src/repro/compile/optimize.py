@@ -1,0 +1,211 @@
+"""Peephole circuit optimization passes.
+
+Local rewrites on the gate list: inverse cancellation, rotation merging,
+identity removal, and a small algebraic pair table (S.S = Z etc.).  These
+are the classical counterpart to the ZX-based optimization in
+:mod:`repro.compile.zx_opt` and serve as its post-processing cleanup.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits import gates as g
+from ..circuits.circuit import Operation, QuantumCircuit
+
+# Same-qubit adjacent pairs that merge into one gate (both uncontrolled).
+_PAIR_TABLE: Dict[Tuple[str, str], Optional[str]] = {
+    ("s", "s"): "z",
+    ("sdg", "sdg"): "z",
+    ("t", "t"): "s",
+    ("tdg", "tdg"): "sdg",
+    ("sx", "sx"): "x",
+    ("sxdg", "sxdg"): "x",
+    ("z", "s"): "sdg",
+    ("s", "z"): "sdg",
+    ("z", "sdg"): "s",
+    ("sdg", "z"): "s",
+    ("s", "t"): None,  # placeholder: handled by rotation merging via p()
+}
+
+# Gates representable as a phase rotation p(angle) for merging purposes.
+_PHASE_ANGLES = {
+    "z": math.pi,
+    "s": math.pi / 2,
+    "sdg": -math.pi / 2,
+    "t": math.pi / 4,
+    "tdg": -math.pi / 4,
+}
+
+_MERGEABLE_ROTATIONS = {"rx", "ry", "rz", "p", "rzz", "rxx", "ryy", "gphase"}
+
+
+def _is_inverse_pair(a: Operation, b: Operation) -> bool:
+    if a.targets != b.targets or set(a.controls) != set(b.controls):
+        return False
+    try:
+        return a.gate.inverse() == b.gate
+    except ValueError:
+        return False
+
+
+def _phase_angle(op: Operation) -> Optional[float]:
+    """The p()-angle of an uncontrolled diagonal 1q gate, if it is one."""
+    if op.controls or len(op.targets) != 1:
+        return None
+    name = op.gate.name
+    if name in _PHASE_ANGLES:
+        return _PHASE_ANGLES[name]
+    if name in ("p", "u1"):
+        return op.gate.params[0]
+    return None
+
+
+def cancel_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove adjacent gate/inverse pairs (adjacency modulo disjoint qubits)."""
+    ops: List[Optional[Operation]] = list(circuit.operations)
+    changed = True
+    while changed:
+        changed = False
+        last_on_qubit: Dict[int, int] = {}
+        for idx, op in enumerate(ops):
+            if op is None:
+                continue
+            if op.is_barrier or op.is_measurement:
+                for q in op.qubits if op.qubits else range(circuit.num_qubits):
+                    last_on_qubit[q] = idx
+                continue
+            qubits = op.qubits
+            prev_indices = {last_on_qubit.get(q) for q in qubits}
+            if len(prev_indices) == 1:
+                (prev_idx,) = prev_indices
+                if prev_idx is not None:
+                    prev = ops[prev_idx]
+                    if (
+                        prev is not None
+                        and prev.is_unitary
+                        and set(prev.qubits) == set(qubits)
+                        and _is_inverse_pair(prev, op)
+                    ):
+                        ops[prev_idx] = None
+                        ops[idx] = None
+                        changed = True
+                        for q in qubits:
+                            del last_on_qubit[q]
+                        continue
+            for q in qubits:
+                last_on_qubit[q] = idx
+    out = circuit.copy()
+    out.operations = [op for op in ops if op is not None]
+    return out
+
+
+def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse adjacent same-axis rotations and diagonal phase gates."""
+    ops: List[Optional[Operation]] = list(circuit.operations)
+    changed = True
+    while changed:
+        changed = False
+        last_on_qubit: Dict[int, int] = {}
+        for idx, op in enumerate(ops):
+            if op is None:
+                continue
+            if op.is_barrier or op.is_measurement:
+                for q in op.qubits if op.qubits else range(circuit.num_qubits):
+                    last_on_qubit[q] = idx
+                continue
+            qubits = op.qubits
+            prev_indices = {last_on_qubit.get(q) for q in qubits}
+            merged = None
+            if len(prev_indices) == 1 and None not in prev_indices:
+                (prev_idx,) = prev_indices
+                prev = ops[prev_idx]
+                if prev is not None and prev.is_unitary:
+                    merged = _try_merge(prev, op)
+            if merged is not None:
+                ops[prev_idx] = None
+                ops[idx] = merged if not _is_trivial(merged) else None
+                changed = True
+                for q in qubits:
+                    if ops[idx] is not None:
+                        last_on_qubit[q] = idx
+                    else:
+                        del last_on_qubit[q]
+                continue
+            for q in qubits:
+                last_on_qubit[q] = idx
+    out = circuit.copy()
+    out.operations = [op for op in ops if op is not None]
+    return out
+
+
+def _try_merge(prev: Operation, op: Operation) -> Optional[Operation]:
+    if prev.targets != op.targets or set(prev.controls) != set(op.controls):
+        return None
+    name_a, name_b = prev.gate.name, op.gate.name
+    if (
+        name_a == name_b
+        and name_a in _MERGEABLE_ROTATIONS
+        and prev.gate.params
+        and op.gate.params
+    ):
+        angle = prev.gate.params[0] + op.gate.params[0]
+        gate = g.PARAMETRIC_GATES[name_a](angle)
+        return Operation(gate, op.targets, op.controls)
+    if not prev.controls and not op.controls and len(op.targets) == 1:
+        pa = _phase_angle(prev)
+        pb = _phase_angle(op)
+        if pa is not None and pb is not None:
+            total = pa + pb
+            return Operation(g.p(total), op.targets)
+        key = (name_a, name_b)
+        if key in _PAIR_TABLE and _PAIR_TABLE[key] is not None:
+            return Operation(g.FIXED_GATES[_PAIR_TABLE[key]], op.targets)
+    return None
+
+
+def _is_trivial(op: Operation, tol: float = 1e-12) -> bool:
+    if not op.is_unitary or op.gate.num_qubits == 0:
+        if op.gate.name == "gphase":
+            return abs(op.gate.params[0] % (2 * math.pi)) < tol or (
+                2 * math.pi - abs(op.gate.params[0] % (2 * math.pi)) < tol
+            )
+        return False
+    return op.gate.is_identity(tol)
+
+
+def remove_identities(circuit: QuantumCircuit) -> QuantumCircuit:
+    out = circuit.copy()
+    out.operations = [
+        op
+        for op in circuit.operations
+        if op.is_barrier or op.is_measurement or not _is_trivial(op)
+    ]
+    return out
+
+
+def optimize(
+    circuit: QuantumCircuit,
+    max_rounds: int = 20,
+    commutation: bool = True,
+) -> QuantumCircuit:
+    """Run all peephole passes to a fixpoint.
+
+    ``commutation=True`` additionally cancels/merges through commuting
+    gates (exact joint-support commutation checks); disable it for very
+    large circuits where the adjacent-only passes suffice.
+    """
+    from .commutation import commutative_cancellation
+
+    current = circuit
+    for _ in range(max_rounds):
+        size = len(current)
+        current = remove_identities(current)
+        current = cancel_inverses(current)
+        current = merge_rotations(current)
+        if commutation:
+            current = commutative_cancellation(current)
+        if len(current) == size:
+            break
+    return current

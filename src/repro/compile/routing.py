@@ -1,0 +1,344 @@
+"""Qubit routing: SWAP insertion for limited-connectivity devices.
+
+Implements the mapping task of the paper's compilation section: a circuit
+over logical qubits becomes a circuit over physical qubits in which every
+two-qubit interaction happens between coupled qubits.  Two routers are
+provided: a greedy shortest-path router and a SABRE-style lookahead router
+(paper ref. [18]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import gates as g
+from ..circuits.circuit import Operation, QuantumCircuit
+from .coupling import CouplingMap
+from .decompositions import decompose_to_two_qubit
+
+
+def interaction_layout(
+    circuit: QuantumCircuit, coupling: CouplingMap
+) -> Dict[int, int]:
+    """Heuristic initial layout from the circuit's interaction graph.
+
+    Logical qubits that interact often are placed on physically close
+    qubits: the most-connected logical qubit goes to the highest-degree
+    physical qubit, then each remaining logical qubit (strongest attachment
+    first) takes the free physical qubit minimizing the weighted distance to
+    its already-placed partners.
+    """
+    lowered = decompose_to_two_qubit(circuit)
+    n = lowered.num_qubits
+    weight: Dict[Tuple[int, int], float] = {}
+    for op in lowered.operations:
+        qubits = op.qubits
+        if op.is_unitary and len(qubits) == 2:
+            key = (min(qubits), max(qubits))
+            weight[key] = weight.get(key, 0.0) + 1.0
+    strength: Dict[int, float] = {q: 0.0 for q in range(n)}
+    for (a, b), w in weight.items():
+        strength[a] += w
+        strength[b] += w
+
+    placed: Dict[int, int] = {}
+    free_physical = set(range(coupling.num_qubits))
+    order = sorted(range(n), key=lambda q: -strength[q])
+    if not order:
+        return {q: q for q in range(n)}
+    first = order[0]
+    anchor = max(free_physical, key=lambda p: len(coupling.neighbors(p)))
+    placed[first] = anchor
+    free_physical.discard(anchor)
+
+    def attachment(q: int) -> float:
+        total = 0.0
+        for (a, b), w in weight.items():
+            if a == q and b in placed:
+                total += w
+            elif b == q and a in placed:
+                total += w
+        return total
+
+    remaining = [q for q in order[1:]]
+    while remaining:
+        remaining.sort(key=lambda q: -attachment(q))
+        logical = remaining.pop(0)
+        partners = []
+        for (a, b), w in weight.items():
+            if a == logical and b in placed:
+                partners.append((placed[b], w))
+            elif b == logical and a in placed:
+                partners.append((placed[a], w))
+        if partners:
+            best = min(
+                free_physical,
+                key=lambda p: sum(
+                    w * coupling.distance(p, partner) for partner, w in partners
+                ),
+            )
+        else:
+            best = min(free_physical)
+        placed[logical] = best
+        free_physical.discard(best)
+    return placed
+
+
+class RoutingResult:
+    """A routed circuit plus the layouts needed to interpret it.
+
+    ``initial_layout[l]`` / ``final_layout[l]`` give the physical qubit
+    holding logical qubit ``l`` before / after execution.
+    """
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        initial_layout: Dict[int, int],
+        final_layout: Dict[int, int],
+        swap_count: int,
+    ) -> None:
+        self.circuit = circuit
+        self.initial_layout = dict(initial_layout)
+        self.final_layout = dict(final_layout)
+        self.swap_count = swap_count
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutingResult({len(self.circuit)} ops, {self.swap_count} swaps)"
+        )
+
+
+def _check_routed(circuit: QuantumCircuit, coupling: CouplingMap) -> None:
+    for op in circuit.operations:
+        if op.is_barrier or op.is_measurement:
+            continue
+        qubits = op.qubits
+        if len(qubits) == 2 and not coupling.are_adjacent(*qubits):
+            raise ValueError(f"op {op!r} violates the coupling map")
+        if len(qubits) > 2:
+            raise ValueError("routed circuits may only contain <=2-qubit ops")
+
+
+def route_greedy(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    initial_layout: Optional[Dict[int, int]] = None,
+) -> RoutingResult:
+    """Shortest-path SWAP insertion, one gate at a time."""
+    circuit = decompose_to_two_qubit(circuit)
+    n_logical = circuit.num_qubits
+    if n_logical > coupling.num_qubits:
+        raise ValueError("circuit does not fit on the device")
+    layout = dict(initial_layout) if initial_layout else {
+        l: l for l in range(n_logical)
+    }
+    phys_of = dict(layout)
+    logical_of = {p: l for l, p in phys_of.items()}
+    routed = QuantumCircuit(coupling.num_qubits, name=circuit.name + "_routed")
+    routed.num_clbits = circuit.num_clbits
+    swap_count = 0
+
+    def apply_swap(pa: int, pb: int) -> None:
+        nonlocal swap_count
+        routed.swap(pa, pb)
+        swap_count += 1
+        la = logical_of.get(pa)
+        lb = logical_of.get(pb)
+        if la is not None:
+            phys_of[la] = pb
+        if lb is not None:
+            phys_of[lb] = pa
+        logical_of[pa], logical_of[pb] = lb, la
+
+    for op in circuit.operations:
+        if op.is_barrier:
+            routed.append(op)
+            continue
+        qubits = op.qubits
+        if len(qubits) <= 1:
+            routed.append(op.remapped({q: phys_of[q] for q in qubits}))
+            continue
+        a, b = qubits
+        pa, pb = phys_of[a], phys_of[b]
+        if not coupling.are_adjacent(pa, pb):
+            path = coupling.shortest_path(pa, pb)
+            # Walk a towards b, stopping one hop short.
+            for next_p in path[1:-1]:
+                apply_swap(phys_of[a], next_p)
+            pa, pb = phys_of[a], phys_of[b]
+        routed.append(op.remapped({a: pa, b: pb}))
+    _check_routed(routed, coupling)
+    return RoutingResult(routed, layout, dict(phys_of), swap_count)
+
+
+def route_sabre(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    initial_layout: Optional[Dict[int, int]] = None,
+    lookahead: int = 12,
+    lookahead_weight: float = 0.5,
+    seed: int = 0,
+) -> RoutingResult:
+    """SABRE-style lookahead routing.
+
+    When the front two-qubit gate is not executable, every SWAP on an edge
+    adjacent to a qubit of a front-layer gate is scored by the resulting
+    total distance of the front layer plus a discounted distance of the next
+    ``lookahead`` two-qubit gates; the best-scoring SWAP is applied.
+    """
+    circuit = decompose_to_two_qubit(circuit)
+    rng = np.random.default_rng(seed)
+    n_logical = circuit.num_qubits
+    if n_logical > coupling.num_qubits:
+        raise ValueError("circuit does not fit on the device")
+    layout = dict(initial_layout) if initial_layout else {
+        l: l for l in range(n_logical)
+    }
+    phys_of = dict(layout)
+    logical_of = {p: l for l, p in phys_of.items()}
+    routed = QuantumCircuit(coupling.num_qubits, name=circuit.name + "_routed")
+    routed.num_clbits = circuit.num_clbits
+    swap_count = 0
+
+    pending: List[Operation] = [
+        op for op in circuit.operations if not op.is_barrier
+    ]
+    position = 0
+
+    def do_swap(pa: int, pb: int) -> None:
+        nonlocal swap_count
+        routed.swap(pa, pb)
+        swap_count += 1
+        la = logical_of.get(pa)
+        lb = logical_of.get(pb)
+        if la is not None:
+            phys_of[la] = pb
+        if lb is not None:
+            phys_of[lb] = pa
+        logical_of[pa], logical_of[pb] = lb, la
+
+    def upcoming_two_qubit(start: int, count: int) -> List[Tuple[int, int]]:
+        pairs = []
+        idx = start
+        while idx < len(pending) and len(pairs) < count:
+            op = pending[idx]
+            if len(op.qubits) == 2:
+                pairs.append(op.qubits)
+            idx += 1
+        return pairs
+
+    stall_guard = 0
+    max_stall = 10 * coupling.num_qubits + 50
+    last_swap: Optional[Tuple[int, int]] = None
+    while position < len(pending):
+        op = pending[position]
+        qubits = op.qubits
+        if len(qubits) <= 1:
+            routed.append(op.remapped({q: phys_of[q] for q in qubits}))
+            position += 1
+            stall_guard = 0
+            last_swap = None
+            continue
+        a, b = qubits
+        if coupling.are_adjacent(phys_of[a], phys_of[b]):
+            routed.append(op.remapped({a: phys_of[a], b: phys_of[b]}))
+            position += 1
+            stall_guard = 0
+            last_swap = None
+            continue
+        # Choose the best swap.
+        front = [qubits] + upcoming_two_qubit(position + 1, 3)
+        future = upcoming_two_qubit(position + 1, lookahead)
+        involved = {phys_of[q] for pair in front for q in pair}
+        candidates = set()
+        for p in involved:
+            for nb in coupling.neighbors(p):
+                candidates.add((min(p, nb), max(p, nb)))
+
+        def score(edge: Tuple[int, int]) -> float:
+            pa, pb = edge
+            trial = dict(phys_of)
+            la, lb = logical_of.get(pa), logical_of.get(pb)
+            if la is not None:
+                trial[la] = pb
+            if lb is not None:
+                trial[lb] = pa
+            total = sum(
+                coupling.distance(trial[x], trial[y]) for x, y in front
+            )
+            if future:
+                total += lookahead_weight * sum(
+                    coupling.distance(trial[x], trial[y]) for x, y in future
+                ) / len(future)
+            return total
+
+        current = sum(
+            coupling.distance(phys_of[x], phys_of[y]) for x, y in front
+        )
+        if future:
+            current += lookahead_weight * sum(
+                coupling.distance(phys_of[x], phys_of[y]) for x, y in future
+            ) / len(future)
+        # Never undo the swap we just made — that is the classic SABRE
+        # oscillation, where heuristic and fallback fight each other.
+        candidates.discard(last_swap)
+        scored = [(score(edge), rng.random(), edge) for edge in candidates]
+        scored.sort()
+        if scored and scored[0][0] < current - 1e-9:
+            chosen = scored[0][2]
+        else:
+            # No swap helps the heuristic: take a guaranteed-progress step
+            # along the shortest path of the blocking gate.
+            path = coupling.shortest_path(phys_of[a], phys_of[b])
+            hop = (min(phys_of[a], path[1]), max(phys_of[a], path[1]))
+            chosen = hop
+        do_swap(*chosen)
+        last_swap = chosen
+        stall_guard += 1
+        if stall_guard > max_stall:
+            # Fall back to a deterministic walk to guarantee progress.
+            path = coupling.shortest_path(phys_of[a], phys_of[b])
+            for next_p in path[1:-1]:
+                do_swap(phys_of[a], next_p)
+            routed.append(op.remapped({a: phys_of[a], b: phys_of[b]}))
+            position += 1
+            stall_guard = 0
+    _check_routed(routed, coupling)
+    return RoutingResult(routed, layout, dict(phys_of), swap_count)
+
+
+def undo_layout_statevector(
+    state: "np.ndarray",
+    result: RoutingResult,
+    num_logical: int,
+) -> "np.ndarray":
+    """Re-index a routed circuit's output state back to logical qubits.
+
+    Logical qubit ``l`` lives on physical qubit ``final_layout[l]``; the
+    returned vector is over logical qubits only (ancilla/uninvolved physical
+    qubits must be in |0>).
+    """
+    n_phys = int(len(state)).bit_length() - 1
+    logical_state = np.zeros(1 << num_logical, dtype=np.complex128)
+    final = result.final_layout
+    used = set(final.values())
+    for phys_index in range(len(state)):
+        amp = state[phys_index]
+        if amp == 0:
+            continue
+        rest = 0
+        for p in range(n_phys):
+            if p not in used and (phys_index >> p) & 1:
+                rest = 1
+                break
+        if rest:
+            raise ValueError("unused physical qubit left the |0> state")
+        logical_index = 0
+        for l in range(num_logical):
+            if (phys_index >> final[l]) & 1:
+                logical_index |= 1 << l
+        logical_state[logical_index] = amp
+    return logical_state

@@ -1,0 +1,19 @@
+"""Unified facade: simulate on any backend, check equivalence any way."""
+
+from .backend import (
+    BACKENDS,
+    SimulationResult,
+    expectation,
+    sample,
+    simulate,
+    single_amplitude,
+)
+
+__all__ = [
+    "BACKENDS",
+    "SimulationResult",
+    "expectation",
+    "sample",
+    "simulate",
+    "single_amplitude",
+]

@@ -1,0 +1,202 @@
+"""Unified simulation facade over the four data structures.
+
+``simulate(circuit, backend=...)`` runs the same circuit on any of the
+paper's four representations and returns a uniform result, making the
+trade-offs between the backends directly comparable (which is the whole
+point of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..arrays.measurement import sample_counts as _sample_from_state
+from ..arrays.statevector import StatevectorSimulator
+from ..circuits.circuit import QuantumCircuit
+from ..dd.simulator import DDSimulator
+from ..tn.circuit_tn import amplitude as tn_amplitude
+from ..tn.circuit_tn import statevector_from_circuit
+from ..tn.mps import MPSSimulator
+
+BACKENDS = ("arrays", "dd", "tn", "mps")
+
+
+class SimulationResult:
+    """Uniform simulation result: a dense state plus backend metadata."""
+
+    def __init__(
+        self,
+        backend: str,
+        state: np.ndarray,
+        metadata: Optional[Dict] = None,
+    ) -> None:
+        self.backend = backend
+        self.state = state
+        self.metadata = metadata or {}
+
+    @property
+    def num_qubits(self) -> int:
+        return int(len(self.state)).bit_length() - 1
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.state) ** 2
+
+    def amplitude(self, index: int) -> complex:
+        return complex(self.state[index])
+
+    def sample_counts(self, shots: int, seed: int = 0) -> Dict[str, int]:
+        return _sample_from_state(self.state, shots, seed=seed)
+
+    def __repr__(self) -> str:
+        return f"SimulationResult({self.backend}, {self.num_qubits} qubits)"
+
+
+def simulate(
+    circuit: QuantumCircuit,
+    backend: str = "arrays",
+    **options,
+) -> SimulationResult:
+    """Simulate a measurement-free circuit to its full output state.
+
+    Backends: ``"arrays"`` (dense Schrödinger), ``"dd"`` (decision
+    diagrams), ``"tn"`` (tensor-network contraction), ``"mps"`` (matrix
+    product states; accepts ``max_bond``/``cutoff``).
+    """
+    clean = circuit.without_measurements()
+    if backend == "arrays":
+        sim = StatevectorSimulator(seed=options.get("seed", 0))
+        return SimulationResult("arrays", sim.statevector(clean))
+    if backend == "dd":
+        sim = DDSimulator(seed=options.get("seed", 0))
+        result = sim.run(clean, track_peak=options.get("track_peak", False))
+        meta = {
+            "nodes": result.state.num_nodes(),
+            "peak_nodes": sim.peak_nodes,
+        }
+        return SimulationResult("dd", result.to_statevector(), meta)
+    if backend == "tn":
+        state = statevector_from_circuit(clean, plan=options.get("plan"))
+        return SimulationResult("tn", state)
+    if backend == "mps":
+        sim = MPSSimulator(
+            max_bond=options.get("max_bond"),
+            cutoff=options.get("cutoff", 1e-12),
+            seed=options.get("seed", 0),
+        )
+        result = sim.run(clean)
+        meta = {
+            "max_bond_reached": result.mps.max_bond_reached,
+            "truncation_error": result.mps.truncation_error,
+            "entries": result.mps.total_entries(),
+        }
+        return SimulationResult("mps", result.to_statevector(), meta)
+    raise ValueError(f"unknown backend '{backend}'; choose from {BACKENDS}")
+
+
+def sample(
+    circuit: QuantumCircuit,
+    shots: int,
+    backend: str = "arrays",
+    seed: int = 0,
+    **options,
+) -> Dict[str, int]:
+    """Sample measurement outcomes on the chosen backend.
+
+    ``"dd"``, ``"mps"``, and ``"stab"`` sample natively from their
+    structures (no dense 2^n array); ``"arrays"`` samples from the full
+    state.  ``"stab"`` requires a Clifford circuit.
+    """
+    clean = circuit.without_measurements()
+    if backend == "arrays":
+        sim = StatevectorSimulator(seed=seed)
+        from ..arrays.measurement import sample_counts
+
+        return sample_counts(sim.statevector(clean), shots, seed=seed)
+    if backend == "dd":
+        sim = DDSimulator(seed=seed)
+        return sim.run(clean).state.sample_counts(shots, seed=seed)
+    if backend == "mps":
+        sim = MPSSimulator(
+            max_bond=options.get("max_bond"),
+            cutoff=options.get("cutoff", 1e-12),
+            seed=seed,
+        )
+        return sim.run(clean).mps.sample_counts(shots, seed=seed)
+    if backend == "stab":
+        from ..stab import StabilizerSimulator
+
+        return StabilizerSimulator(seed=seed).sample_counts(
+            clean, shots, seed=seed
+        )
+    raise ValueError(
+        f"unknown sampling backend '{backend}'; "
+        "choose from ('arrays', 'dd', 'mps', 'stab')"
+    )
+
+
+def expectation(
+    circuit: QuantumCircuit,
+    pauli: str,
+    backend: str = "arrays",
+    **options,
+) -> float:
+    """Expectation value ``<psi| P |psi>`` of a Pauli string observable.
+
+    ``"arrays"`` applies the string to the dense state; ``"dd"`` works
+    inside the decision-diagram algebra; ``"mps"`` uses transfer matrices;
+    ``"tn"`` contracts the closed sandwich network (never building the
+    state at all).
+    """
+    clean = circuit.without_measurements()
+    if backend == "arrays":
+        from ..arrays.measurement import expectation_value
+
+        sim = StatevectorSimulator(seed=options.get("seed", 0))
+        return expectation_value(sim.statevector(clean), pauli)
+    if backend == "dd":
+        sim = DDSimulator(seed=options.get("seed", 0))
+        return sim.run(clean).state.expectation_pauli(pauli)
+    if backend == "mps":
+        sim = MPSSimulator(
+            max_bond=options.get("max_bond"),
+            cutoff=options.get("cutoff", 1e-12),
+        )
+        return sim.run(clean).mps.expectation_pauli(pauli)
+    if backend == "tn":
+        from ..tn.circuit_tn import expectation_value as tn_expectation
+
+        return tn_expectation(clean, pauli, plan=options.get("plan"))
+    raise ValueError(f"unknown backend '{backend}'; choose from {BACKENDS}")
+
+
+def single_amplitude(
+    circuit: QuantumCircuit,
+    basis_index: int,
+    backend: str = "tn",
+    **options,
+) -> complex:
+    """Compute one output amplitude without materializing the full state.
+
+    This is where the structured backends shine (paper Secs. III/IV): the
+    tensor-network backend contracts a capped network; the DD backend walks
+    one path of the simulated diagram.
+    """
+    clean = circuit.without_measurements()
+    if backend == "tn":
+        return tn_amplitude(clean, basis_index, plan=options.get("plan"))
+    if backend == "dd":
+        sim = DDSimulator(seed=options.get("seed", 0))
+        state = sim.run(clean).state
+        return state.amplitude(basis_index)
+    if backend == "mps":
+        sim = MPSSimulator(
+            max_bond=options.get("max_bond"),
+            cutoff=options.get("cutoff", 1e-12),
+        )
+        return sim.run(clean).mps.amplitude(basis_index)
+    if backend == "arrays":
+        sim = StatevectorSimulator()
+        return complex(sim.statevector(clean)[basis_index])
+    raise ValueError(f"unknown backend '{backend}'; choose from {BACKENDS}")

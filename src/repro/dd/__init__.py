@@ -1,0 +1,30 @@
+"""Decision diagrams for quantum states and operations: paper Sec. III."""
+
+from .approximation import approximate
+from .complex_table import ComplexTable
+from .export import to_ascii, to_dot
+from .matrix import MatrixDD
+from .node import TERMINAL, DDNode, Edge
+from .noise_sim import NoisyDDResult, NoisyDDSimulator
+from .package import ONE_EDGE, ZERO_EDGE, DDPackage
+from .simulator import DDSimulationResult, DDSimulator
+from .vector import VectorDD
+
+__all__ = [
+    "ComplexTable",
+    "DDNode",
+    "DDPackage",
+    "DDSimulationResult",
+    "DDSimulator",
+    "Edge",
+    "MatrixDD",
+    "NoisyDDResult",
+    "NoisyDDSimulator",
+    "ONE_EDGE",
+    "approximate",
+    "TERMINAL",
+    "VectorDD",
+    "ZERO_EDGE",
+    "to_ascii",
+    "to_dot",
+]

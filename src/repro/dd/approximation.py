@@ -1,0 +1,74 @@
+"""Approximate decision diagrams (paper ref. [12]).
+
+"As accurate as needed, as efficient as possible": prune branches whose
+contribution to the state's norm is negligible, shrinking the diagram while
+tracking the fidelity cost.  The pruning rule is local: at every node, a
+child branch is cut when its share of the node's squared norm falls below
+``threshold``; the result is renormalized to unit norm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .node import TERMINAL, DDNode, Edge
+from .package import ZERO_EDGE, DDPackage
+
+
+def approximate(
+    package: DDPackage, edge: Edge, threshold: float
+) -> Tuple[Edge, float]:
+    """Prune low-contribution branches of a vector DD.
+
+    Returns ``(approximated_edge, fidelity)`` where fidelity is
+    ``|<original|approx>|^2`` with both states normalized.  ``threshold`` is
+    the per-node relative squared-norm cut-off: 0 keeps everything, larger
+    values prune more aggressively.
+    """
+    if edge.weight == 0:
+        return edge, 1.0
+    norms = package.node_norms(edge)
+    memo: Dict[int, Edge] = {}
+
+    def rebuild(node: DDNode) -> Edge:
+        if node.is_terminal:
+            return Edge(TERMINAL, 1.0 + 0j)
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        contributions = []
+        total = 0.0
+        for child in node.edges:
+            value = (
+                abs(child.weight) ** 2 * norms[id(child.node)]
+                if child.weight != 0
+                else 0.0
+            )
+            contributions.append(value)
+            total += value
+        children = []
+        for child, contribution in zip(node.edges, contributions):
+            if child.weight == 0 or (total > 0 and contribution / total < threshold):
+                children.append(ZERO_EDGE)
+            else:
+                sub = rebuild(child.node)
+                children.append(
+                    package.make_edge(sub.node, sub.weight * child.weight)
+                )
+        result = package.make_node(node.var, tuple(children))
+        memo[id(node)] = result
+        return result
+
+    rebuilt = rebuild(edge.node)
+    if rebuilt.weight == 0:
+        return ZERO_EDGE, 0.0
+    approx = package.make_edge(rebuilt.node, rebuilt.weight * edge.weight)
+    # Renormalize and measure fidelity against the (normalized) original.
+    approx_norm = package.norm(approx)
+    original_norm = package.norm(edge)
+    if approx_norm == 0:
+        return ZERO_EDGE, 0.0
+    normalized = package.make_edge(approx.node, approx.weight / approx_norm)
+    overlap = package.inner_product(edge, normalized)
+    fidelity = abs(overlap / original_norm) ** 2
+    return normalized, float(fidelity)

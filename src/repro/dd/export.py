@@ -1,0 +1,104 @@
+"""Graphviz-dot and ASCII rendering of decision diagrams.
+
+Offline stand-in for the paper's web-based DD visualization tool [30]:
+``to_dot`` output can be rendered with ``dot -Tpdf``, ``to_ascii`` prints a
+path-decomposition view directly in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .node import TERMINAL, DDNode, Edge
+
+
+def _format_weight(weight: complex) -> str:
+    if abs(weight.imag) < 1e-12:
+        return f"{weight.real:.4g}"
+    if abs(weight.real) < 1e-12:
+        return f"{weight.imag:.4g}i"
+    return f"{weight.real:.3g}{weight.imag:+.3g}i"
+
+
+def to_dot(edge: Edge, name: str = "dd") -> str:
+    """Render a vector or matrix DD as Graphviz dot source."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;", '  node [shape=circle];']
+    ids: Dict[int, int] = {}
+    order: List[DDNode] = []
+
+    def visit(node: DDNode) -> int:
+        key = id(node)
+        if key in ids:
+            return ids[key]
+        ids[key] = len(order)
+        order.append(node)
+        return ids[key]
+
+    stack = [edge.node]
+    while stack:
+        node = stack.pop()
+        if id(node) in ids:
+            continue
+        visit(node)
+        for e in node.edges:
+            if e.weight != 0 and id(e.node) not in ids:
+                stack.append(e.node)
+
+    lines.append('  root [shape=point];')
+    lines.append(f'  root -> n{ids[id(edge.node)]} [label="{_format_weight(edge.weight)}"];')
+    for node in order:
+        idx = ids[id(node)]
+        if node.is_terminal:
+            lines.append(f'  n{idx} [shape=box, label="1"];')
+            continue
+        lines.append(f'  n{idx} [label="q{node.var}"];')
+        for child_pos, e in enumerate(node.edges):
+            if e.weight == 0:
+                lines.append(f'  z{idx}_{child_pos} [shape=plaintext, label="0"];')
+                lines.append(f'  n{idx} -> z{idx}_{child_pos} [style=dashed];')
+                continue
+            label = _format_weight(e.weight)
+            label_part = f' [label="{label}"]' if label != "1" else ""
+            lines.append(f"  n{idx} -> n{ids[id(e.node)]}{label_part};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(edge: Edge, indent: str = "") -> str:
+    """Compact indented-tree rendering (shared nodes printed once)."""
+    seen: Dict[int, str] = {}
+    lines: List[str] = []
+    counter = [0]
+
+    def label_for(node: DDNode) -> str:
+        if node.is_terminal:
+            return "T"
+        key = id(node)
+        if key not in seen:
+            seen[key] = f"N{counter[0]}"
+            counter[0] += 1
+        return seen[key]
+
+    def rec(e: Edge, prefix: str, branch: str) -> None:
+        if e.weight == 0:
+            lines.append(f"{prefix}{branch} 0")
+            return
+        node_label = label_for(e.node)
+        weight = _format_weight(e.weight)
+        lines.append(f"{prefix}{branch} ({weight}) {node_label}"
+                     + ("" if e.node.is_terminal else f" [q{e.node.var}]"))
+        if e.node.is_terminal:
+            return
+        if lines.count(f"ref {node_label}"):
+            return
+        # expand each node only the first time it is printed
+        if node_label in _expanded:
+            lines[-1] += " (shared)"
+            return
+        _expanded.add(node_label)
+        for i, child in enumerate(e.node.edges):
+            rec(child, prefix + "  ", f"e{i}:")
+
+    _expanded: set = set()
+    rec(edge, indent, "root:")
+    return "\n".join(lines)

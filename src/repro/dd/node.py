@@ -1,0 +1,51 @@
+"""Node and edge primitives for quantum decision diagrams.
+
+A vector node has two successors (the |0> and |1> sub-vectors of its qubit,
+paper Sec. III); a matrix node has four (the quadrants, index ``2*row+col``).
+Nodes are interned by the :class:`~repro.dd.package.DDPackage`; equality of
+interned nodes is object identity.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+
+class DDNode:
+    """An interned decision-diagram node.
+
+    ``var`` is the qubit level (0 = least significant); the shared terminal
+    node has ``var == -1`` and no edges.
+    """
+
+    __slots__ = ("var", "edges")
+
+    def __init__(self, var: int, edges: Tuple["Edge", ...]) -> None:
+        self.var = var
+        self.edges = edges
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.var < 0
+
+    def __repr__(self) -> str:
+        if self.is_terminal:
+            return "DDNode(terminal)"
+        return f"DDNode(q{self.var}, {len(self.edges)} edges)"
+
+
+class Edge(NamedTuple):
+    """A weighted pointer to a node."""
+
+    node: DDNode
+    weight: complex
+
+    @property
+    def is_zero(self) -> bool:
+        return self.weight == 0
+
+    def __repr__(self) -> str:
+        return f"Edge({self.node!r}, w={self.weight:.6g})"
+
+
+TERMINAL = DDNode(-1, ())

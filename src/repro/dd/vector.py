@@ -1,0 +1,101 @@
+"""High-level vector decision diagram wrapper."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .node import Edge
+from .package import DDPackage
+
+
+class VectorDD:
+    """A quantum state represented as a decision diagram.
+
+    Thin wrapper pairing an edge with its owning package; exposes the
+    state-level queries (amplitudes, sampling, fidelity) without the caller
+    having to thread the package around.
+    """
+
+    def __init__(self, package: DDPackage, edge: Edge, num_qubits: int) -> None:
+        self.package = package
+        self.edge = edge
+        self.num_qubits = num_qubits
+
+    @classmethod
+    def zero_state(cls, num_qubits: int, package: Optional[DDPackage] = None) -> "VectorDD":
+        package = package or DDPackage()
+        return cls(package, package.zero_state_edge(num_qubits), num_qubits)
+
+    @classmethod
+    def basis_state(
+        cls, num_qubits: int, index: int, package: Optional[DDPackage] = None
+    ) -> "VectorDD":
+        package = package or DDPackage()
+        return cls(package, package.basis_state_edge(num_qubits, index), num_qubits)
+
+    @classmethod
+    def from_statevector(
+        cls, state: np.ndarray, package: Optional[DDPackage] = None
+    ) -> "VectorDD":
+        package = package or DDPackage()
+        num_qubits = int(len(state)).bit_length() - 1
+        return cls(package, package.from_statevector(state), num_qubits)
+
+    def to_statevector(self) -> np.ndarray:
+        return self.package.to_statevector(self.edge, self.num_qubits)
+
+    def amplitude(self, index: int) -> complex:
+        return self.package.amplitude(self.edge, index)
+
+    def probability(self, index: int) -> float:
+        return abs(self.amplitude(index)) ** 2
+
+    def norm(self) -> float:
+        return self.package.norm(self.edge)
+
+    def inner_product(self, other: "VectorDD") -> complex:
+        if other.package is not self.package:
+            raise ValueError("vectors belong to different DD packages")
+        return self.package.inner_product(self.edge, other.edge)
+
+    def fidelity(self, other: "VectorDD") -> float:
+        return abs(self.inner_product(other)) ** 2
+
+    def expectation_pauli(self, pauli: str) -> float:
+        """Expectation value of a Pauli string (leftmost char = top qubit)."""
+        from ..circuits import gates as g
+        from ..circuits.circuit import Operation
+
+        if len(pauli) != self.num_qubits:
+            raise ValueError("Pauli string length mismatch")
+        gates = {"X": g.X, "Y": g.Y, "Z": g.Z}
+        applied = self.edge
+        for position, ch in enumerate(pauli):
+            if ch == "I":
+                continue
+            if ch not in gates:
+                raise ValueError(f"invalid Pauli character {ch!r}")
+            qubit = self.num_qubits - 1 - position
+            op = Operation(gates[ch], [qubit])
+            applied = self.package.mv_multiply(
+                self.package.gate_edge(op, self.num_qubits), applied
+            )
+        return float(self.package.inner_product(self.edge, applied).real)
+
+    def approximate(self, threshold: float) -> "VectorDD":
+        """Prune low-contribution branches (paper ref. [12]); renormalizes."""
+        from .approximation import approximate
+
+        edge, _fidelity = approximate(self.package, self.edge, threshold)
+        return VectorDD(self.package, edge, self.num_qubits)
+
+    def sample_counts(self, shots: int, seed: int = 0) -> Dict[str, int]:
+        return self.package.sample(self.edge, self.num_qubits, shots, seed=seed)
+
+    def num_nodes(self) -> int:
+        return self.package.count_nodes(self.edge)
+
+    def __repr__(self) -> str:
+        return f"VectorDD({self.num_qubits} qubits, {self.num_nodes()} nodes)"

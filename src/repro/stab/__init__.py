@@ -1,0 +1,5 @@
+"""Stabilizer-tableau simulation of Clifford circuits (paper ref. [11])."""
+
+from .tableau import NotCliffordError, StabilizerSimulator, StabilizerTableau
+
+__all__ = ["NotCliffordError", "StabilizerSimulator", "StabilizerTableau"]

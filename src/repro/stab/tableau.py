@@ -1,0 +1,272 @@
+"""Stabilizer-tableau (CHP) simulation of Clifford circuits.
+
+The paper cites improved classical simulation of Clifford-dominated
+circuits (ref. [11]); the underlying machine is the Aaronson-Gottesman
+tableau: ``2n`` Pauli rows (destabilizers + stabilizers) over GF(2), with
+H/S/CX updates in O(n) and measurements in O(n^2).  This gives the library
+a polynomial-time baseline for the Clifford workloads the other backends
+are benchmarked on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Operation, QuantumCircuit
+
+
+class StabilizerTableau:
+    """The state of ``n`` qubits as stabilizer/destabilizer generators.
+
+    Row ``i < n`` holds the i-th destabilizer, row ``n + i`` the i-th
+    stabilizer.  ``x[k, q]``/``z[k, q]`` are the Pauli X/Z components of row
+    ``k`` on qubit ``q``; ``r[k]`` is the sign bit (1 = negative).
+    """
+
+    def __init__(self, num_qubits: int) -> None:
+        self.num_qubits = num_qubits
+        n = num_qubits
+        self.x = np.zeros((2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n, dtype=np.uint8)
+        for q in range(n):
+            self.x[q, q] = 1          # destabilizer X_q
+            self.z[n + q, q] = 1      # stabilizer Z_q
+
+    # -- elementary Clifford gates ------------------------------------------------
+
+    def h(self, q: int) -> None:
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+
+    def s(self, q: int) -> None:
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.z[:, q] ^= self.x[:, q]
+
+    def sdg(self, q: int) -> None:
+        self.s(q)
+        self.z_gate(q)
+
+    def x_gate(self, q: int) -> None:
+        self.r ^= self.z[:, q]
+
+    def z_gate(self, q: int) -> None:
+        self.r ^= self.x[:, q]
+
+    def y_gate(self, q: int) -> None:
+        self.r ^= self.x[:, q] ^ self.z[:, q]
+
+    def cx(self, control: int, target: int) -> None:
+        self.r ^= (
+            self.x[:, control]
+            & self.z[:, target]
+            & (self.x[:, target] ^ self.z[:, control] ^ 1)
+        )
+        self.x[:, target] ^= self.x[:, control]
+        self.z[:, control] ^= self.z[:, target]
+
+    def cz(self, a: int, b: int) -> None:
+        self.h(b)
+        self.cx(a, b)
+        self.h(b)
+
+    def swap(self, a: int, b: int) -> None:
+        self.cx(a, b)
+        self.cx(b, a)
+        self.cx(a, b)
+
+    # -- measurement -----------------------------------------------------------------
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Row ``h`` *= row ``i`` (Pauli product with sign tracking)."""
+        # 2-bit phase exponent of the product, computed per qubit.
+        x1, z1 = self.x[i], self.z[i]
+        x2, z2 = self.x[h], self.z[h]
+        # g in {-1, 0, 1} per qubit per Aaronson-Gottesman.
+        g = (
+            x1 * z1 * (np.int8(z2) - np.int8(x2))
+            + x1 * (1 - z1) * z2 * (2 * np.int8(x2) - 1)
+            + (1 - x1) * z1 * x2 * (1 - 2 * np.int8(z2))
+        ).astype(np.int64)
+        total = 2 * int(self.r[h]) + 2 * int(self.r[i]) + int(g.sum())
+        self.r[h] = (total % 4) // 2
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    def measure(self, q: int, rng: np.random.Generator) -> int:
+        """Projective Z measurement on qubit ``q``."""
+        n = self.num_qubits
+        stab_rows = [n + k for k in range(n) if self.x[n + k, q]]
+        if stab_rows:
+            # Random outcome.
+            p = stab_rows[0]
+            for k in range(2 * n):
+                if k != p and self.x[k, q]:
+                    self._rowsum(k, p)
+            # Destabilizer row p-n gets the old stabilizer row p.
+            self.x[p - n] = self.x[p]
+            self.z[p - n] = self.z[p]
+            self.r[p - n] = self.r[p]
+            self.x[p] = 0
+            self.z[p] = 0
+            self.z[p, q] = 1
+            outcome = int(rng.integers(0, 2))
+            self.r[p] = outcome
+            return outcome
+        # Deterministic outcome: accumulate into a scratch row.
+        scratch_x = np.zeros(self.num_qubits, dtype=np.uint8)
+        scratch_z = np.zeros(self.num_qubits, dtype=np.uint8)
+        scratch_r = 0
+        for k in range(n):
+            if self.x[k, q]:
+                scratch_r = self._scratch_rowsum(
+                    scratch_x, scratch_z, scratch_r, n + k
+                )
+        return scratch_r
+
+    def _scratch_rowsum(
+        self, sx: np.ndarray, sz: np.ndarray, sr: int, i: int
+    ) -> int:
+        x1, z1 = self.x[i], self.z[i]
+        g = (
+            x1 * z1 * (np.int8(sz) - np.int8(sx))
+            + x1 * (1 - z1) * sz * (2 * np.int8(sx) - 1)
+            + (1 - x1) * z1 * sx * (1 - 2 * np.int8(sz))
+        ).astype(np.int64)
+        total = 2 * sr + 2 * int(self.r[i]) + int(g.sum())
+        sx ^= self.x[i]
+        sz ^= self.z[i]
+        return (total % 4) // 2
+
+    def expectation_z(self, q: int) -> Optional[int]:
+        """<Z_q> if it is ±1 (deterministic), else None (it is 0)."""
+        n = self.num_qubits
+        if any(self.x[n + k, q] for k in range(n)):
+            return None
+        scratch_x = np.zeros(n, dtype=np.uint8)
+        scratch_z = np.zeros(n, dtype=np.uint8)
+        scratch_r = 0
+        for k in range(n):
+            if self.x[k, q]:
+                scratch_r = self._scratch_rowsum(
+                    scratch_x, scratch_z, scratch_r, n + k
+                )
+        return 1 - 2 * scratch_r
+
+    # -- inspection --------------------------------------------------------------------
+
+    def stabilizer_strings(self) -> List[Tuple[int, str]]:
+        """Stabilizer generators as ``(sign, pauli)`` pairs.
+
+        The Pauli string is written with the highest qubit leftmost, to
+        match the observable convention used across the library.
+        """
+        n = self.num_qubits
+        result = []
+        for k in range(n, 2 * n):
+            chars = []
+            for q in range(n - 1, -1, -1):
+                xq, zq = self.x[k, q], self.z[k, q]
+                chars.append("IXZY"[xq + 2 * zq] if xq + 2 * zq != 3 else "Y")
+            sign = -1 if self.r[k] else 1
+            result.append((sign, "".join(chars)))
+        return result
+
+    def copy(self) -> "StabilizerTableau":
+        dup = StabilizerTableau(self.num_qubits)
+        dup.x = self.x.copy()
+        dup.z = self.z.copy()
+        dup.r = self.r.copy()
+        return dup
+
+
+class NotCliffordError(ValueError):
+    """The circuit contains a gate outside the Clifford group."""
+
+
+class StabilizerSimulator:
+    """Polynomial-time simulator for Clifford circuits."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def run(
+        self, circuit: QuantumCircuit, tableau: Optional[StabilizerTableau] = None
+    ) -> Tuple[StabilizerTableau, Dict[int, int]]:
+        tableau = tableau or StabilizerTableau(circuit.num_qubits)
+        classical: Dict[int, int] = {}
+        for op in circuit.operations:
+            if op.is_barrier:
+                continue
+            if op.is_measurement:
+                outcome = tableau.measure(op.targets[0], self._rng)
+                if op.clbits:
+                    classical[op.clbits[0]] = outcome
+                continue
+            self._apply(tableau, op)
+        return tableau, classical
+
+    def sample_counts(
+        self, circuit: QuantumCircuit, shots: int, seed: int = 0
+    ) -> Dict[str, int]:
+        """Measure all qubits ``shots`` times (fresh run per shot)."""
+        rng = np.random.default_rng(seed)
+        base, _ = self.run(circuit.without_measurements())
+        counts: Dict[str, int] = {}
+        n = circuit.num_qubits
+        for _ in range(shots):
+            tableau = base.copy()
+            bits = [str(tableau.measure(q, rng)) for q in range(n)]
+            key = "".join(reversed(bits))
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def _apply(self, tableau: StabilizerTableau, op: Operation) -> None:
+        name = op.gate.name
+        controls = op.controls
+        if not controls:
+            if name == "h":
+                tableau.h(op.targets[0])
+            elif name == "s":
+                tableau.s(op.targets[0])
+            elif name == "sdg":
+                tableau.sdg(op.targets[0])
+            elif name == "x":
+                tableau.x_gate(op.targets[0])
+            elif name == "y":
+                tableau.y_gate(op.targets[0])
+            elif name == "z":
+                tableau.z_gate(op.targets[0])
+            elif name == "id" or name == "gphase":
+                pass
+            elif name == "swap":
+                tableau.swap(*op.targets)
+            elif name == "sx":
+                q = op.targets[0]
+                tableau.h(q)
+                tableau.s(q)
+                tableau.h(q)
+                # HSH = SX up to phase i^{-1/2}; global phase is irrelevant
+                # for stabilizer states.
+            elif name == "sxdg":
+                q = op.targets[0]
+                tableau.h(q)
+                tableau.sdg(q)
+                tableau.h(q)
+            else:
+                raise NotCliffordError(f"gate '{name}' is not Clifford")
+        elif len(controls) == 1 and name == "x":
+            tableau.cx(controls[0], op.targets[0])
+        elif len(controls) == 1 and name == "z":
+            tableau.cz(controls[0], op.targets[0])
+        elif len(controls) == 1 and name == "y":
+            c, t = controls[0], op.targets[0]
+            tableau.sdg(t)
+            tableau.cx(c, t)
+            tableau.s(t)
+        else:
+            raise NotCliffordError(
+                f"operation '{op.name_with_controls()}' is not Clifford"
+            )

@@ -1,0 +1,31 @@
+"""Tensor networks for quantum circuits: paper Sec. IV."""
+
+from . import circuit_tn, contraction
+from .contraction import (
+    greedy_plan,
+    optimal_plan,
+    plan_quality_report,
+    random_greedy_plan,
+    random_plan,
+)
+from .mps import MPS, MPSResult, MPSSimulator
+from .network import Plan, TensorNetwork
+from .tensor import Tensor, contract, outer
+
+__all__ = [
+    "MPS",
+    "MPSResult",
+    "MPSSimulator",
+    "Plan",
+    "Tensor",
+    "TensorNetwork",
+    "circuit_tn",
+    "contract",
+    "contraction",
+    "greedy_plan",
+    "optimal_plan",
+    "outer",
+    "plan_quality_report",
+    "random_greedy_plan",
+    "random_plan",
+]

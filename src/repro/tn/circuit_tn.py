@@ -1,0 +1,169 @@
+"""Translating quantum circuits into tensor networks (paper Sec. IV, Fig. 2).
+
+Every circuit object becomes a tensor: the |0> inputs are rank-1 tensors,
+each gate a rank-2k tensor, and optional output "caps" (<0| / <1| effects)
+turn the network into a single-amplitude computation — the paper's point
+that fixing the outputs lets the contraction stay cheap while the full
+output state would be of size ``2**n``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Operation, QuantumCircuit
+from ..circuits.gates import controlled_matrix
+from .network import Plan, TensorNetwork
+from .tensor import Tensor
+
+_KET = {
+    0: np.array([1.0, 0.0], dtype=np.complex128),
+    1: np.array([0.0, 1.0], dtype=np.complex128),
+}
+
+
+def operation_tensor(op: Operation, wire_in: Dict[int, str], wire_out: Dict[int, str]) -> Tensor:
+    """Tensor of one operation.
+
+    ``wire_in[q]`` / ``wire_out[q]`` name the index entering/leaving qubit
+    ``q``.  Controls are folded into the matrix (as most-significant qubits),
+    so the tensor covers ``targets + controls``.
+    """
+    qubits = list(op.targets) + list(op.controls)
+    matrix = controlled_matrix(op.gate.matrix, len(op.controls))
+    k = len(qubits)
+    data = matrix.reshape((2,) * (2 * k))
+    # Row (output) axes come first, most significant qubit first.  Our qubit
+    # list has qubits[0] least significant, so reverse for axis order.
+    out_indices = [wire_out[q] for q in reversed(qubits)]
+    in_indices = [wire_in[q] for q in reversed(qubits)]
+    return Tensor(data, out_indices + in_indices)
+
+
+def circuit_to_network(
+    circuit: QuantumCircuit,
+    initial_bits: Optional[int] = None,
+) -> Tuple[TensorNetwork, List[str]]:
+    """Build the tensor network of a measurement-free circuit.
+
+    Returns ``(network, output_indices)`` where ``output_indices[q]`` is the
+    open index of qubit ``q``'s final wire.  ``initial_bits`` selects the
+    computational basis input (default all zeros).
+    """
+    n = circuit.num_qubits
+    network = TensorNetwork()
+    wire: Dict[int, str] = {}
+    counter: Dict[int, int] = {}
+    for q in range(n):
+        bit = (initial_bits >> q) & 1 if initial_bits is not None else 0
+        index = f"q{q}_0"
+        network.add(Tensor(_KET[bit], [index]))
+        wire[q] = index
+        counter[q] = 0
+    for pos, op in enumerate(circuit.operations):
+        if op.is_barrier:
+            continue
+        if op.is_measurement:
+            raise ValueError("measurement-free circuit required for TN translation")
+        if op.gate.num_qubits == 0 and not op.controls:
+            # Global phase: a rank-0 tensor multiplied into the network.
+            network.add(Tensor(np.asarray(op.gate.matrix[0, 0]), []))
+            continue
+        qubits = list(op.targets) + list(op.controls)
+        wire_in = {q: wire[q] for q in qubits}
+        wire_out = {}
+        for q in qubits:
+            counter[q] += 1
+            wire_out[q] = f"q{q}_{counter[q]}"
+        network.add(operation_tensor(op, wire_in, wire_out))
+        for q in qubits:
+            wire[q] = wire_out[q]
+    return network, [wire[q] for q in range(n)]
+
+
+def amplitude_network(
+    circuit: QuantumCircuit,
+    basis_index: int,
+    initial_bits: Optional[int] = None,
+) -> TensorNetwork:
+    """Network whose full contraction is the single amplitude <basis|C|init>.
+
+    This adds the paper's output "bubbles": an effect tensor on every output
+    wire, making the contraction result a rank-0 tensor (a scalar).
+    """
+    network, outputs = circuit_to_network(circuit, initial_bits)
+    for q, index in enumerate(outputs):
+        bit = (basis_index >> q) & 1
+        network.add(Tensor(_KET[bit].conj(), [index]))
+    return network
+
+
+def statevector_from_circuit(
+    circuit: QuantumCircuit,
+    plan: Optional[Plan] = None,
+    initial_bits: Optional[int] = None,
+) -> np.ndarray:
+    """Contract the circuit network to the full ``2**n`` output state."""
+    network, outputs = circuit_to_network(circuit, initial_bits)
+    result = network.contract_all(plan)
+    # Order axes most-significant qubit first, then flatten.
+    order = [outputs[q] for q in range(circuit.num_qubits - 1, -1, -1)]
+    if result.rank == 0:
+        return np.asarray([result.scalar()], dtype=np.complex128)
+    return result.transpose_to(order).data.reshape(-1)
+
+
+def amplitude(
+    circuit: QuantumCircuit,
+    basis_index: int,
+    plan: Optional[Plan] = None,
+    initial_bits: Optional[int] = None,
+) -> complex:
+    """Single output amplitude via capped-network contraction."""
+    network = amplitude_network(circuit, basis_index, initial_bits)
+    return network.contract_all(plan).scalar()
+
+
+_PAULI_MATS = {
+    "I": np.eye(2, dtype=np.complex128),
+    "X": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "Z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+
+
+def expectation_network(circuit: QuantumCircuit, pauli: str) -> TensorNetwork:
+    """Sandwich network for ``<psi| P |psi>`` with ``psi = C|0...0>``.
+
+    The bra side reuses the circuit network with conjugated tensors and its
+    own wire namespace; Pauli tensors bridge the ket outputs to the bra
+    outputs.
+    """
+    n = circuit.num_qubits
+    if len(pauli) != n:
+        raise ValueError(f"Pauli string must have length {n}")
+    ket_net, ket_out = circuit_to_network(circuit)
+    bra_net, bra_out = circuit_to_network(circuit)
+    network = TensorNetwork()
+    for tensor in ket_net.tensors:
+        network.add(tensor)
+    for tensor in bra_net.tensors:
+        relabeled = tensor.relabeled(
+            {i: f"bra_{i}" for i in tensor.indices}
+        )
+        network.add(relabeled.conj())
+    for q in range(n):
+        ch = pauli[n - 1 - q]  # leftmost Pauli char = highest qubit
+        network.add(
+            Tensor(_PAULI_MATS[ch], [f"bra_{bra_out[q]}", ket_out[q]])
+        )
+    return network
+
+
+def expectation_value(
+    circuit: QuantumCircuit, pauli: str, plan: Optional[Plan] = None
+) -> float:
+    network = expectation_network(circuit, pauli)
+    return float(network.contract_all(plan).scalar().real)

@@ -1,0 +1,300 @@
+"""Contraction-plan search (paper Sec. IV).
+
+Finding the best contraction order is NP-hard (paper reference [33]); this
+module provides the standard practical ladder:
+
+- :func:`greedy_plan` — contract the pair with the smallest result first,
+- :func:`optimal_plan` — exact dynamic programming over subsets (exponential
+  in the number of tensors; fine up to ~14 tensors),
+- :func:`random_plan` — a valid but unoptimized order, used to measure how
+  much plan quality matters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .network import Plan, TensorNetwork
+from .tensor import contraction_result_indices
+
+
+def _result_size(indices: Sequence[str], dims: Dict[str, int]) -> int:
+    size = 1
+    for index in indices:
+        size *= dims[index]
+    return size
+
+
+def greedy_plan(network: TensorNetwork) -> Plan:
+    """Repeatedly contract the pair whose result tensor is smallest.
+
+    Pairs sharing at least one bond are preferred; disconnected pairs are
+    only merged once no connected pair remains.
+    """
+    dims = network.index_dimensions()
+    # live: slot position -> indices
+    live: Dict[int, Tuple[str, ...]] = {
+        pos: t.indices for pos, t in enumerate(network.tensors)
+    }
+    # owners: index -> live positions carrying it (candidate pairs share one).
+    owners: Dict[str, set] = {}
+    for pos, indices in live.items():
+        for index in indices:
+            owners.setdefault(index, set()).add(pos)
+    next_slot = len(network.tensors)
+    plan: Plan = []
+
+    def contract_pair(a: int, b: int) -> None:
+        nonlocal next_slot
+        result = tuple(contraction_result_indices(live[a], live[b]))
+        plan.append((min(a, b), max(a, b)))
+        for pos in (a, b):
+            for index in live[pos]:
+                owners[index].discard(pos)
+            del live[pos]
+        live[next_slot] = result
+        for index in result:
+            owners.setdefault(index, set()).add(next_slot)
+        next_slot += 1
+
+    while len(live) > 1:
+        best_key: Optional[int] = None
+        best_pair: Optional[Tuple[int, int]] = None
+        seen = set()
+        for index, holders in owners.items():
+            if len(holders) < 2:
+                continue
+            holder_list = sorted(holders)
+            for ai in range(len(holder_list)):
+                for bi in range(ai + 1, len(holder_list)):
+                    pair = (holder_list[ai], holder_list[bi])
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    result = contraction_result_indices(
+                        live[pair[0]], live[pair[1]]
+                    )
+                    size = _result_size(result, dims)
+                    if best_key is None or size < best_key:
+                        best_key = size
+                        best_pair = pair
+        if best_pair is None:
+            # Disconnected network: merge the two smallest pieces.
+            by_size = sorted(live, key=lambda p: _result_size(live[p], dims))
+            best_pair = (by_size[0], by_size[1])
+        contract_pair(*best_pair)
+    return plan
+
+
+def random_plan(network: TensorNetwork, seed: int = 0) -> Plan:
+    """A uniformly random (valid) pairwise contraction order."""
+    rng = np.random.default_rng(seed)
+    live = list(range(network.num_tensors))
+    next_slot = network.num_tensors
+    plan: Plan = []
+    while len(live) > 1:
+        i, j = rng.choice(len(live), size=2, replace=False)
+        a, b = live[int(i)], live[int(j)]
+        live = [s for s in live if s not in (a, b)]
+        plan.append((min(a, b), max(a, b)))
+        live.append(next_slot)
+        next_slot += 1
+    return plan
+
+
+def random_greedy_plan(
+    network: TensorNetwork,
+    trials: int = 16,
+    seed: int = 0,
+    temperature: float = 1.0,
+) -> Plan:
+    """Randomized-restart greedy search (paper ref. [34] style).
+
+    Runs ``trials`` stochastic greedy passes — candidate pairs are sampled
+    with Boltzmann weights on the log of the would-be result size instead of
+    taken deterministically — and keeps the cheapest plan found.  This is
+    the "hyper-optimization" recipe in miniature: greedy quality at the
+    median, occasionally much better plans from the noise.
+    """
+    rng = np.random.default_rng(seed)
+    dims = network.index_dimensions()
+    # The deterministic greedy plan is always in the candidate pool, so the
+    # randomized search can only improve on it.
+    best_plan: Plan = greedy_plan(network)
+    best_cost, _ = network.contraction_cost(best_plan)
+    for _ in range(max(trials, 1)):
+        plan = _stochastic_greedy_pass(network, dims, rng, temperature)
+        cost, _peak = network.contraction_cost(plan)
+        if cost < best_cost:
+            best_cost = cost
+            best_plan = plan
+    return best_plan
+
+
+def _stochastic_greedy_pass(
+    network: TensorNetwork,
+    dims: Dict[str, int],
+    rng: np.random.Generator,
+    temperature: float,
+) -> Plan:
+    live: Dict[int, Tuple[str, ...]] = {
+        pos: t.indices for pos, t in enumerate(network.tensors)
+    }
+    owners: Dict[str, set] = {}
+    for pos, indices in live.items():
+        for index in indices:
+            owners.setdefault(index, set()).add(pos)
+    next_slot = len(network.tensors)
+    plan: Plan = []
+    while len(live) > 1:
+        candidates: List[Tuple[int, int]] = []
+        sizes: List[float] = []
+        seen = set()
+        for index, holders in owners.items():
+            if len(holders) < 2:
+                continue
+            holder_list = sorted(holders)
+            for ai in range(len(holder_list)):
+                for bi in range(ai + 1, len(holder_list)):
+                    pair = (holder_list[ai], holder_list[bi])
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    result = contraction_result_indices(
+                        live[pair[0]], live[pair[1]]
+                    )
+                    candidates.append(pair)
+                    sizes.append(float(_result_size(result, dims)))
+        if not candidates:
+            by_size = sorted(live, key=lambda p: _result_size(live[p], dims))
+            pair = (by_size[0], by_size[1])
+        else:
+            log_sizes = np.log2(np.asarray(sizes) + 1.0)
+            weights = np.exp(-(log_sizes - log_sizes.min()) / max(temperature, 1e-6))
+            weights /= weights.sum()
+            pair = candidates[int(rng.choice(len(candidates), p=weights))]
+        a, b = pair
+        result = tuple(contraction_result_indices(live[a], live[b]))
+        plan.append((min(a, b), max(a, b)))
+        for pos in (a, b):
+            for index in live[pos]:
+                owners[index].discard(pos)
+            del live[pos]
+        live[next_slot] = result
+        for index in result:
+            owners.setdefault(index, set()).add(next_slot)
+        next_slot += 1
+    return plan
+
+
+def optimal_plan(network: TensorNetwork, max_tensors: int = 14) -> Plan:
+    """Exact minimum-flops plan via dynamic programming over subsets.
+
+    Classic Θ(3^T) subset DP; raises for networks above ``max_tensors``.
+    """
+    num = network.num_tensors
+    if num > max_tensors:
+        raise ValueError(
+            f"optimal plan search limited to {max_tensors} tensors, got {num}"
+        )
+    if num == 0:
+        raise ValueError("empty network")
+    dims = network.index_dimensions()
+
+    # For a subset S, the surviving indices are those that occur in S and
+    # also occur outside S or are open globally.
+    index_owners: Dict[str, List[int]] = {}
+    for pos, tensor in enumerate(network.tensors):
+        for index in tensor.indices:
+            index_owners.setdefault(index, []).append(pos)
+
+    def surviving(mask: int) -> Tuple[str, ...]:
+        result = []
+        seen = set()
+        for pos in range(num):
+            if not (mask >> pos) & 1:
+                continue
+            for index in network.tensors[pos].indices:
+                if index in seen:
+                    continue
+                seen.add(index)
+                owners = index_owners[index]
+                internal = all((mask >> o) & 1 for o in owners)
+                is_open = len(owners) == 1
+                if is_open or not internal:
+                    result.append(index)
+        return tuple(result)
+
+    full = (1 << num) - 1
+    surviving_cache = {1 << i: network.tensors[i].indices for i in range(num)}
+    best_cost: Dict[int, int] = {1 << i: 0 for i in range(num)}
+    best_split: Dict[int, Tuple[int, int]] = {}
+
+    masks_by_size: List[List[int]] = [[] for _ in range(num + 1)]
+    for mask in range(1, full + 1):
+        masks_by_size[bin(mask).count("1")].append(mask)
+
+    for size in range(2, num + 1):
+        for mask in masks_by_size[size]:
+            surviving_cache[mask] = surviving(mask)
+            best: Optional[Tuple[int, int, int]] = None
+            # Enumerate proper submasks; take each unordered split once.
+            sub = (mask - 1) & mask
+            while sub:
+                other = mask ^ sub
+                if sub < other:
+                    sub = (sub - 1) & mask
+                    continue
+                if sub in best_cost and other in best_cost:
+                    left = surviving_cache[sub]
+                    right = surviving_cache[other]
+                    involved = set(left) | set(right)
+                    flops = 1
+                    for index in involved:
+                        flops *= dims[index]
+                    cost = best_cost[sub] + best_cost[other] + flops
+                    if best is None or cost < best[0]:
+                        best = (cost, sub, other)
+                sub = (sub - 1) & mask
+            if best is not None:
+                best_cost[mask] = best[0]
+                best_split[mask] = (best[1], best[2])
+
+    if full not in best_cost:
+        raise RuntimeError("subset DP failed to cover the full network")
+
+    # Reconstruct an SSA-form plan from the split tree.
+    plan: Plan = []
+    next_slot = [num]
+
+    def emit(mask: int) -> int:
+        if bin(mask).count("1") == 1:
+            return mask.bit_length() - 1
+        left, right = best_split[mask]
+        a = emit(left)
+        b = emit(right)
+        plan.append((min(a, b), max(a, b)))
+        slot = next_slot[0]
+        next_slot[0] += 1
+        return slot
+
+    emit(full)
+    return plan
+
+
+def plan_quality_report(network: TensorNetwork, seeds: Sequence[int] = range(10)) -> Dict:
+    """Compare greedy / optimal / random plan costs on one network."""
+    report: Dict = {}
+    greedy = greedy_plan(network)
+    report["greedy"] = network.contraction_cost(greedy)
+    if network.num_tensors <= 14:
+        optimal = optimal_plan(network)
+        report["optimal"] = network.contraction_cost(optimal)
+    random_costs = [
+        network.contraction_cost(random_plan(network, seed=s))[0] for s in seeds
+    ]
+    report["random_mean_flops"] = float(np.mean(random_costs))
+    report["random_max_flops"] = int(max(random_costs))
+    return report

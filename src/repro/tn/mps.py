@@ -1,0 +1,341 @@
+"""Matrix-product-state simulation (paper Sec. IV).
+
+MPS are the "specialized types of tensor networks ... decomposing the whole
+state into smaller tensors" the paper points to: qubit ``k`` owns a rank-3
+tensor of shape ``(D_left, 2, D_right)`` and the bond dimension ``D`` caps
+the representable entanglement.  Two-qubit gates are absorbed with an SVD
+split; singular values below ``cutoff`` (or beyond ``max_bond``) are
+truncated, trading fidelity for memory exactly as in approximate
+tensor-network simulators.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Operation, QuantumCircuit
+from ..circuits.gates import SWAP, controlled_matrix
+
+_SWAP_MATRIX = SWAP.matrix
+
+
+class MPS:
+    """A matrix product state over ``n`` qubits (site ``k`` = qubit ``k``)."""
+
+    def __init__(self, tensors: List[np.ndarray]) -> None:
+        self.tensors = tensors
+        self.truncation_error = 0.0
+        self.max_bond_reached = 1
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "MPS":
+        site = np.zeros((1, 2, 1), dtype=np.complex128)
+        site[0, 0, 0] = 1.0
+        return cls([site.copy() for _ in range(num_qubits)])
+
+    @classmethod
+    def basis_state(cls, num_qubits: int, index: int) -> "MPS":
+        tensors = []
+        for q in range(num_qubits):
+            site = np.zeros((1, 2, 1), dtype=np.complex128)
+            site[0, (index >> q) & 1, 0] = 1.0
+            tensors.append(site)
+        return cls(tensors)
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.tensors)
+
+    def bond_dimensions(self) -> List[int]:
+        return [int(t.shape[2]) for t in self.tensors[:-1]]
+
+    def total_entries(self) -> int:
+        return sum(int(t.size) for t in self.tensors)
+
+    # -- gate application -----------------------------------------------------
+
+    def apply_single_qubit(self, matrix: np.ndarray, site: int) -> None:
+        self.tensors[site] = np.einsum(
+            "ab,ibj->iaj", matrix, self.tensors[site]
+        )
+
+    def apply_two_qubit_adjacent(
+        self,
+        matrix: np.ndarray,
+        site: int,
+        max_bond: Optional[int] = None,
+        cutoff: float = 1e-12,
+    ) -> None:
+        """Apply a 4x4 gate to sites ``(site, site+1)``.
+
+        The matrix's least-significant qubit is ``site`` (our global index
+        convention); the SVD re-splits and truncates the merged tensor.
+        """
+        left = self.tensors[site]
+        right = self.tensors[site + 1]
+        dl = left.shape[0]
+        dr = right.shape[2]
+        theta = np.einsum("iaj,jbk->iabk", left, right)
+        # gate axes (out_hi, out_lo, in_hi, in_lo); hi = site+1, lo = site.
+        gate = matrix.reshape(2, 2, 2, 2)
+        theta = np.einsum("BAba,iabk->iABk", gate, theta)
+        merged = theta.reshape(dl * 2, 2 * dr)
+        u, s, vh = np.linalg.svd(merged, full_matrices=False)
+        keep = int(np.sum(s > cutoff))
+        keep = max(keep, 1)
+        if max_bond is not None:
+            keep = min(keep, max_bond)
+        discarded = s[keep:]
+        if discarded.size:
+            self.truncation_error += float(np.sum(discarded**2))
+        s = s[:keep]
+        u = u[:, :keep]
+        vh = vh[:keep, :]
+        self.max_bond_reached = max(self.max_bond_reached, keep)
+        self.tensors[site] = u.reshape(dl, 2, keep)
+        self.tensors[site + 1] = (np.diag(s) @ vh).reshape(keep, 2, dr)
+
+    def apply_two_qubit(
+        self,
+        matrix: np.ndarray,
+        low: int,
+        high: int,
+        max_bond: Optional[int] = None,
+        cutoff: float = 1e-12,
+    ) -> None:
+        """Apply a 4x4 gate to arbitrary sites; ``low`` is the matrix's
+        least-significant qubit.  Non-adjacent pairs are routed by swapping
+        neighbours together and back."""
+        if low == high:
+            raise ValueError("two-qubit gate needs distinct sites")
+        if low > high:
+            # Reorder the matrix so the lower site is least significant.
+            matrix = _SWAP_MATRIX @ matrix @ _SWAP_MATRIX
+            low, high = high, low
+        moved = []
+        while high - low > 1:
+            self.apply_two_qubit_adjacent(
+                _SWAP_MATRIX, high - 1, max_bond=max_bond, cutoff=cutoff
+            )
+            moved.append(high - 1)
+            high -= 1
+        self.apply_two_qubit_adjacent(matrix, low, max_bond=max_bond, cutoff=cutoff)
+        for position in reversed(moved):
+            self.apply_two_qubit_adjacent(
+                _SWAP_MATRIX, position, max_bond=max_bond, cutoff=cutoff
+            )
+
+    # -- extraction --------------------------------------------------------------
+
+    def amplitude(self, index: int) -> complex:
+        vector = np.ones((1,), dtype=np.complex128)
+        for q, tensor in enumerate(self.tensors):
+            bit = (index >> q) & 1
+            vector = vector @ tensor[:, bit, :]
+        return complex(vector[0])
+
+    def to_statevector(self) -> np.ndarray:
+        """Dense state (exponential; for testing / small systems only)."""
+        n = self.num_qubits
+        result = np.ones((1, 1), dtype=np.complex128)  # (configs, bond)
+        for tensor in self.tensors:
+            dl, _, dr = tensor.shape
+            result = np.einsum("cb,bsd->csd", result, tensor).reshape(-1, dr)
+        amps = result.reshape(-1)
+        # Configs are ordered with earlier sites more significant; our global
+        # convention puts qubit k at bit k.  That is a bit reversal, which a
+        # reshape/transpose does without any Python-level loop.
+        state = amps.reshape((2,) * n).transpose(tuple(range(n - 1, -1, -1)))
+        return state.reshape(-1).copy()
+
+    def norm(self) -> float:
+        env = np.ones((1, 1), dtype=np.complex128)
+        for tensor in self.tensors:
+            env = np.einsum("ab,asc,bsd->cd", env, tensor.conj(), tensor)
+        return float(math.sqrt(abs(env[0, 0].real)))
+
+    def normalize(self) -> None:
+        norm = self.norm()
+        if norm > 0:
+            self.tensors[-1] = self.tensors[-1] / norm
+
+    def _right_environments(self) -> List[np.ndarray]:
+        """``R[k]`` sums out sites ``k..n-1``;  ``R[n]`` is the scalar 1."""
+        n = self.num_qubits
+        envs: List[np.ndarray] = [np.zeros(0)] * (n + 1)
+        envs[n] = np.ones((1, 1), dtype=np.complex128)
+        for k in range(n - 1, -1, -1):
+            tensor = self.tensors[k]
+            envs[k] = np.einsum("asc,bsd,cd->ab", tensor, tensor.conj(), envs[k + 1])
+        return envs
+
+    def sample_counts(self, shots: int, seed: int = 0) -> Dict[str, int]:
+        """Sample bitstrings without building the dense state."""
+        rng = np.random.default_rng(seed)
+        envs = self._right_environments()
+        n = self.num_qubits
+        counts: Dict[str, int] = {}
+        for _ in range(shots):
+            bits = []
+            vector = np.ones((1,), dtype=np.complex128)
+            weight = 1.0
+            for k in range(n):
+                tensor = self.tensors[k]
+                probs = []
+                candidates = []
+                for s in (0, 1):
+                    v = vector @ tensor[:, s, :]
+                    p = float(
+                        np.real(v.conj() @ envs[k + 1] @ v)
+                    )
+                    probs.append(max(p, 0.0))
+                    candidates.append(v)
+                total = probs[0] + probs[1]
+                pick = 1 if rng.random() < probs[1] / total else 0
+                bits.append(pick)
+                vector = candidates[pick] / math.sqrt(max(probs[pick], 1e-300))
+            key = "".join(str(b) for b in reversed(bits))
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def expectation_pauli(self, pauli: str) -> float:
+        """<psi| P |psi> for a Pauli string (leftmost char = highest qubit)."""
+        from ..arrays.measurement import _PAULIS
+
+        n = self.num_qubits
+        if len(pauli) != n:
+            raise ValueError("Pauli string length mismatch")
+        env = np.ones((1, 1), dtype=np.complex128)
+        for k in range(n):
+            op = _PAULIS[pauli[n - 1 - k]]
+            tensor = self.tensors[k]
+            applied = np.einsum("st,atc->asc", op, tensor)
+            env = np.einsum("ab,bsd,asc->cd", env, applied, tensor.conj())
+        return float(env[0, 0].real)
+
+    def bipartite_entropies(self) -> List[float]:
+        """Von Neumann entanglement entropy at every cut (needs <= ~20 qubits
+        worth of bond dimension; works on a canonicalized copy)."""
+        tensors = [t.copy() for t in self.tensors]
+        n = len(tensors)
+        # Left-canonicalize with QR.
+        for k in range(n - 1):
+            dl, _, dr = tensors[k].shape
+            mat = tensors[k].reshape(dl * 2, dr)
+            q, r = np.linalg.qr(mat)
+            tensors[k] = q.reshape(dl, 2, q.shape[1])
+            tensors[k + 1] = np.einsum("ab,bsc->asc", r, tensors[k + 1])
+        entropies: List[float] = []
+        # Sweep back with SVD collecting Schmidt spectra.
+        for k in range(n - 1, 0, -1):
+            dl, _, dr = tensors[k].shape
+            mat = tensors[k].reshape(dl, 2 * dr)
+            u, s, vh = np.linalg.svd(mat, full_matrices=False)
+            s2 = (s / max(np.linalg.norm(s), 1e-300)) ** 2
+            s2 = s2[s2 > 1e-15]
+            entropies.append(float(-np.sum(s2 * np.log2(s2))))
+            tensors[k] = vh.reshape(vh.shape[0], 2, dr)
+            tensors[k - 1] = np.einsum(
+                "asb,bc->asc", tensors[k - 1], u @ np.diag(s)
+            )
+        entropies.reverse()
+        return entropies
+
+
+class MPSResult:
+    def __init__(self, mps: MPS, classical_bits: Dict[int, int]) -> None:
+        self.mps = mps
+        self.classical_bits = classical_bits
+
+    def to_statevector(self) -> np.ndarray:
+        return self.mps.to_statevector()
+
+    def sample_counts(self, shots: int, seed: int = 0) -> Dict[str, int]:
+        return self.mps.sample_counts(shots, seed=seed)
+
+
+class MPSSimulator:
+    """Circuit simulator on matrix product states with bond truncation."""
+
+    def __init__(
+        self,
+        max_bond: Optional[int] = None,
+        cutoff: float = 1e-12,
+        seed: int = 0,
+    ) -> None:
+        self.max_bond = max_bond
+        self.cutoff = cutoff
+        self._rng = np.random.default_rng(seed)
+
+    def run(
+        self, circuit: QuantumCircuit, initial: Optional[MPS] = None
+    ) -> MPSResult:
+        from ..compile.decompositions import decompose_to_two_qubit
+
+        circuit = decompose_to_two_qubit(circuit)
+        n = circuit.num_qubits
+        mps = initial or MPS.zero_state(n)
+        classical: Dict[int, int] = {}
+        for op in circuit.operations:
+            if op.is_barrier:
+                continue
+            if op.is_measurement:
+                outcome = self._measure(mps, op.targets[0])
+                if op.clbits:
+                    classical[op.clbits[0]] = outcome
+                continue
+            if op.condition is not None:
+                clbit, value = op.condition
+                if classical.get(clbit, 0) != value:
+                    continue
+            self._apply(mps, op)
+        return MPSResult(mps, classical)
+
+    def statevector(self, circuit: QuantumCircuit) -> np.ndarray:
+        return self.run(circuit.without_measurements()).to_statevector()
+
+    def _apply(self, mps: MPS, op: Operation) -> None:
+        qubits = list(op.targets) + list(op.controls)
+        if op.gate.num_qubits == 0 and not op.controls:
+            mps.tensors[0] = mps.tensors[0] * op.gate.matrix[0, 0]
+            return
+        matrix = controlled_matrix(op.gate.matrix, len(op.controls))
+        if len(qubits) == 1:
+            mps.apply_single_qubit(matrix, qubits[0])
+        elif len(qubits) == 2:
+            mps.apply_two_qubit(
+                matrix,
+                qubits[0],
+                qubits[1],
+                max_bond=self.max_bond,
+                cutoff=self.cutoff,
+            )
+        else:
+            raise ValueError(
+                f"MPS simulation needs <=2-qubit ops after lowering, got {op!r}"
+            )
+
+    def _measure(self, mps: MPS, qubit: int) -> int:
+        envs = mps._right_environments()
+        # Left environment up to the measured site.
+        left = np.ones((1, 1), dtype=np.complex128)
+        for k in range(qubit):
+            tensor = mps.tensors[k]
+            left = np.einsum("ab,asc,bsd->cd", left, tensor, tensor.conj())
+        tensor = mps.tensors[qubit]
+        probs = []
+        for s in (0, 1):
+            block = tensor[:, s, :]
+            value = np.einsum(
+                "ab,ac,bd,cd->", left, block, block.conj(), envs[qubit + 1]
+            )
+            probs.append(max(float(value.real), 0.0))
+        total = probs[0] + probs[1]
+        outcome = 1 if self._rng.random() < probs[1] / total else 0
+        projected = np.zeros_like(tensor)
+        projected[:, outcome, :] = tensor[:, outcome, :]
+        mps.tensors[qubit] = projected / math.sqrt(max(probs[outcome] / total, 1e-300) * total)
+        return outcome

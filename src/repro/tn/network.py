@@ -1,0 +1,132 @@
+"""Tensor networks and contraction execution (paper Sec. IV).
+
+A :class:`TensorNetwork` is a collection of labelled tensors.  Indices
+appearing in exactly one tensor are *open* (the network's external legs);
+indices shared by two tensors are *bonds*.  Contracting a network follows a
+*contraction plan* — the order determines the size of intermediate tensors
+and thereby the cost, which is what the plan-search benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, contract, contraction_result_indices
+
+# A plan is a sequence of (i, j) pairs in SSA form: positions refer to the
+# growing list [t_0, ..., t_{k-1}, r_0, r_1, ...] where r_m is the result of
+# the m-th contraction.  Each position may be consumed at most once.
+Plan = List[Tuple[int, int]]
+
+
+class TensorNetwork:
+    """A bag of tensors with shared-index (bond) structure."""
+
+    def __init__(self, tensors: Optional[Iterable[Tensor]] = None) -> None:
+        self.tensors: List[Tensor] = list(tensors or [])
+
+    def add(self, tensor: Tensor) -> int:
+        self.tensors.append(tensor)
+        return len(self.tensors) - 1
+
+    @property
+    def num_tensors(self) -> int:
+        return len(self.tensors)
+
+    def total_entries(self) -> int:
+        """Total complex numbers stored — the paper's 'linear memory' claim."""
+        return sum(t.size for t in self.tensors)
+
+    def index_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for tensor in self.tensors:
+            for index in tensor.indices:
+                counts[index] = counts.get(index, 0) + 1
+        return counts
+
+    def open_indices(self) -> List[str]:
+        return [i for i, c in self.index_counts().items() if c == 1]
+
+    def bond_indices(self) -> List[str]:
+        return [i for i, c in self.index_counts().items() if c >= 2]
+
+    def index_dimensions(self) -> Dict[str, int]:
+        dims: Dict[str, int] = {}
+        for tensor in self.tensors:
+            for index, dim in zip(tensor.indices, tensor.data.shape):
+                dims[index] = int(dim)
+        return dims
+
+    # -- contraction ---------------------------------------------------------
+
+    def contract_pairwise(self, plan: Plan) -> Tensor:
+        """Execute an SSA-form plan down to a single tensor."""
+        slots: List[Optional[Tensor]] = list(self.tensors)
+        for i, j in plan:
+            a, b = slots[i], slots[j]
+            if a is None or b is None:
+                raise ValueError(f"plan reuses a consumed tensor at ({i}, {j})")
+            slots[i] = None
+            slots[j] = None
+            slots.append(contract(a, b))
+        remaining = [t for t in slots if t is not None]
+        if len(remaining) != 1:
+            raise ValueError(
+                f"plan left {len(remaining)} tensors; expected exactly one"
+            )
+        return remaining[0]
+
+    def contract_all(self, plan: Optional[Plan] = None) -> Tensor:
+        """Contract to a single tensor, finding a greedy plan if none given."""
+        if not self.tensors:
+            raise ValueError("empty network")
+        if len(self.tensors) == 1:
+            return self.tensors[0]
+        if plan is None:
+            from .contraction import greedy_plan
+
+            plan = greedy_plan(self)
+        return self.contract_pairwise(plan)
+
+    def contraction_cost(self, plan: Plan) -> Tuple[int, int]:
+        """Simulate a plan symbolically.
+
+        Returns ``(total_flops, peak_intermediate_size)`` where flops counts
+        multiply-adds as ``prod(dims of all involved indices)`` per pairwise
+        contraction and size counts complex entries of the largest
+        intermediate produced.
+        """
+        dims = self.index_dimensions()
+        slots: List[Optional[Tuple[str, ...]]] = [t.indices for t in self.tensors]
+        total_flops = 0
+        peak = max((t.size for t in self.tensors), default=0)
+        for i, j in plan:
+            a, b = slots[i], slots[j]
+            if a is None or b is None:
+                raise ValueError(f"plan reuses a consumed tensor at ({i}, {j})")
+            slots[i] = None
+            slots[j] = None
+            involved = set(a) | set(b)
+            flops = 1
+            for index in involved:
+                flops *= dims[index]
+            total_flops += flops
+            result = tuple(contraction_result_indices(a, b))
+            size = 1
+            for index in result:
+                size *= dims[index]
+            peak = max(peak, size)
+            slots.append(result)
+        return total_flops, peak
+
+    def copy(self) -> "TensorNetwork":
+        return TensorNetwork(list(self.tensors))
+
+    def __repr__(self) -> str:
+        return (
+            f"TensorNetwork({self.num_tensors} tensors, "
+            f"{len(self.bond_indices())} bonds, "
+            f"{len(self.open_indices())} open)"
+        )

@@ -1,0 +1,30 @@
+"""Verification (equivalence checking) over all four data structures."""
+
+from .dd_check import check_equivalence_dd, peak_nodes_alternating
+from .stab_check import (
+    check_equivalence_stabilizer,
+    try_check_equivalence_stabilizer,
+)
+from .equivalence import METHODS, check_all_methods, check_equivalence
+from .tn_check import (
+    check_equivalence_random_stimuli,
+    check_equivalence_tn,
+    hilbert_schmidt_overlap,
+)
+from .unitary_check import check_equivalence_unitary
+from .zx_check import check_equivalence_zx
+
+__all__ = [
+    "METHODS",
+    "check_all_methods",
+    "check_equivalence",
+    "check_equivalence_dd",
+    "check_equivalence_random_stimuli",
+    "check_equivalence_stabilizer",
+    "check_equivalence_tn",
+    "check_equivalence_unitary",
+    "check_equivalence_zx",
+    "hilbert_schmidt_overlap",
+    "peak_nodes_alternating",
+    "try_check_equivalence_stabilizer",
+]

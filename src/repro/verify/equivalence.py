@@ -1,0 +1,55 @@
+"""Unified equivalence-checking facade over all four data structures."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..circuits.circuit import QuantumCircuit
+from .dd_check import check_equivalence_dd
+from .stab_check import try_check_equivalence_stabilizer
+from .tn_check import check_equivalence_random_stimuli, check_equivalence_tn
+from .unitary_check import check_equivalence_unitary
+from .zx_check import check_equivalence_zx
+
+METHODS = ("arrays", "dd", "zx", "tn", "tn_stimuli", "stab")
+
+
+def check_equivalence(
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+    method: str = "dd",
+    **kwargs,
+) -> Optional[bool]:
+    """Check two circuits for equivalence up to global phase.
+
+    ``method`` selects the backing data structure:
+
+    - ``"arrays"``  — dense unitary comparison (exact, exponential memory),
+    - ``"dd"``      — alternating decision-diagram scheme (exact),
+    - ``"zx"``      — ZX rewriting of ``A . B^dagger`` (sound, may return
+      ``None`` for "inconclusive"),
+    - ``"tn"``      — tensor-network trace overlap (exact),
+    - ``"tn_stimuli"`` — random-stimuli amplitude comparison (probabilistic),
+    - ``"stab"``    — stabilizer tableau (exact and polynomial, Clifford
+      circuits only; ``None`` on non-Clifford inputs).
+    """
+    if method == "arrays":
+        return check_equivalence_unitary(circuit_a, circuit_b, **kwargs)
+    if method == "dd":
+        return check_equivalence_dd(circuit_a, circuit_b, **kwargs)
+    if method == "zx":
+        return check_equivalence_zx(circuit_a, circuit_b, **kwargs)
+    if method == "tn":
+        return check_equivalence_tn(circuit_a, circuit_b, **kwargs)
+    if method == "tn_stimuli":
+        return check_equivalence_random_stimuli(circuit_a, circuit_b, **kwargs)
+    if method == "stab":
+        return try_check_equivalence_stabilizer(circuit_a, circuit_b, **kwargs)
+    raise ValueError(f"unknown method '{method}'; choose from {METHODS}")
+
+
+def check_all_methods(
+    circuit_a: QuantumCircuit, circuit_b: QuantumCircuit
+) -> Dict[str, Optional[bool]]:
+    """Run every checker; useful for cross-validation and benchmarking."""
+    return {method: check_equivalence(circuit_a, circuit_b, method) for method in METHODS}

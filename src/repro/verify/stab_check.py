@@ -1,0 +1,52 @@
+"""Stabilizer-tableau equivalence checking for Clifford circuits.
+
+``A`` equals ``B`` up to global phase iff ``U = B^dagger A`` conjugates
+every generator ``X_q``/``Z_q`` to itself with a + sign — i.e. running the
+composite circuit on a fresh tableau leaves the tableau exactly in its
+initial configuration.  Polynomial time, exact, but only defined on the
+Clifford fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..stab.tableau import NotCliffordError, StabilizerSimulator, StabilizerTableau
+
+
+def check_equivalence_stabilizer(
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+) -> bool:
+    """Exact equivalence (up to global phase) of two Clifford circuits.
+
+    Raises :class:`NotCliffordError` when either circuit leaves the
+    Clifford gate set.
+    """
+    if circuit_a.num_qubits != circuit_b.num_qubits:
+        return False
+    composite = circuit_a.without_measurements().copy()
+    composite.compose(circuit_b.without_measurements().inverse())
+    simulator = StabilizerSimulator()
+    tableau, _ = simulator.run(composite)
+    fresh = StabilizerTableau(circuit_a.num_qubits)
+    return (
+        np.array_equal(tableau.x, fresh.x)
+        and np.array_equal(tableau.z, fresh.z)
+        and np.array_equal(tableau.r, fresh.r)
+    )
+
+
+def try_check_equivalence_stabilizer(
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+) -> Optional[bool]:
+    """Like :func:`check_equivalence_stabilizer`, but returns ``None``
+    (inconclusive) instead of raising on non-Clifford inputs."""
+    try:
+        return check_equivalence_stabilizer(circuit_a, circuit_b)
+    except NotCliffordError:
+        return None

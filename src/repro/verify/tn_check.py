@@ -1,0 +1,158 @@
+"""Tensor-network equivalence checking (paper Sec. IV flavour).
+
+Two complementary checks:
+
+- :func:`hilbert_schmidt_overlap`: contract the closed network
+  ``Tr(A^dagger B)`` — exact, one scalar, no full unitary ever built.
+- :func:`check_equivalence_random_stimuli`: run both circuits on random
+  computational basis states and compare output amplitudes on random
+  outputs; cheap, probabilistic (one-sided error).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..tn.circuit_tn import amplitude, circuit_to_network
+from ..tn.network import TensorNetwork
+
+
+def hilbert_schmidt_overlap(
+    circuit_a: QuantumCircuit, circuit_b: QuantumCircuit
+) -> complex:
+    """``Tr(A^dagger B) / 2^n`` via a single closed tensor network.
+
+    The value has modulus 1 iff the circuits are equivalent up to global
+    phase.
+    """
+    if circuit_a.num_qubits != circuit_b.num_qubits:
+        raise ValueError("circuits act on different register sizes")
+    n = circuit_a.num_qubits
+    net_b, out_b = circuit_to_network_unitary(circuit_b)
+    net_a, out_a = circuit_to_network_unitary(circuit_a)
+    network = TensorNetwork()
+    rename_b = {}
+    for tensor in net_b.tensors:
+        network.add(tensor.relabeled({i: f"B_{i}" for i in tensor.indices}))
+    for tensor in net_a.tensors:
+        network.add(
+            tensor.relabeled({i: f"A_{i}" for i in tensor.indices}).conj()
+        )
+    # Glue: A's outputs to B's outputs, A's inputs to B's inputs.
+    for q in range(n):
+        network.add(
+            _identity_bridge(f"A_{out_a[0][q]}", f"B_{out_b[0][q]}")
+        )
+        network.add(
+            _identity_bridge(f"A_{out_a[1][q]}", f"B_{out_b[1][q]}")
+        )
+    value = network.contract_all().scalar()
+    return value / (2**n)
+
+
+def _identity_bridge(left: str, right: str):
+    from ..tn.tensor import Tensor
+
+    return Tensor(np.eye(2, dtype=np.complex128), [left, right])
+
+
+def circuit_to_network_unitary(circuit: QuantumCircuit):
+    """Network of the circuit's *unitary* (open inputs and outputs).
+
+    Returns ``(network, (output_indices, input_indices))``.
+    """
+    from ..circuits.circuit import Operation
+    from ..tn.circuit_tn import operation_tensor
+
+    n = circuit.num_qubits
+    network = TensorNetwork()
+    wire = {}
+    counter = {}
+    input_indices = []
+    for q in range(n):
+        index = f"q{q}_in"
+        wire[q] = index
+        counter[q] = 0
+        input_indices.append(index)
+    for op in circuit.operations:
+        if op.is_barrier:
+            continue
+        if op.is_measurement:
+            raise ValueError("measurement-free circuit required")
+        if op.gate.num_qubits == 0 and not op.controls:
+            from ..tn.tensor import Tensor
+
+            network.add(Tensor(np.asarray(op.gate.matrix[0, 0]), []))
+            continue
+        qubits = list(op.targets) + list(op.controls)
+        wire_in = {q: wire[q] for q in qubits}
+        wire_out = {}
+        for q in qubits:
+            counter[q] += 1
+            wire_out[q] = f"q{q}_{counter[q]}"
+        network.add(operation_tensor(op, wire_in, wire_out))
+        for q in qubits:
+            wire[q] = wire_out[q]
+    output_indices = [wire[q] for q in range(n)]
+    # Idle qubits: identity bridge so inputs and outputs stay distinct.
+    for q in range(n):
+        if output_indices[q] == input_indices[q]:
+            out_name = f"q{q}_out"
+            network.add(_identity_bridge(input_indices[q], out_name))
+            output_indices[q] = out_name
+    return network, (output_indices, input_indices)
+
+
+def check_equivalence_tn(
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+    tol: float = 1e-8,
+) -> bool:
+    """Exact equivalence up to global phase via the trace overlap."""
+    overlap = hilbert_schmidt_overlap(
+        circuit_a.without_measurements(), circuit_b.without_measurements()
+    )
+    return abs(abs(overlap) - 1.0) <= tol
+
+
+def check_equivalence_random_stimuli(
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+    num_stimuli: int = 8,
+    amplitudes_per_stimulus: int = 4,
+    seed: int = 0,
+    tol: float = 1e-8,
+) -> bool:
+    """Probabilistic check: compare single amplitudes on random basis inputs.
+
+    Each (input basis state, output basis state) pair is evaluated as one
+    capped tensor-network contraction per circuit; global-phase alignment is
+    estimated from the first non-negligible amplitude pair.
+    """
+    if circuit_a.num_qubits != circuit_b.num_qubits:
+        return False
+    n = circuit_a.num_qubits
+    rng = np.random.default_rng(seed)
+    a_clean = circuit_a.without_measurements()
+    b_clean = circuit_b.without_measurements()
+    phase: Optional[complex] = None
+    for _ in range(num_stimuli):
+        basis_in = int(rng.integers(0, 2**n))
+        for _ in range(amplitudes_per_stimulus):
+            basis_out = int(rng.integers(0, 2**n))
+            amp_a = amplitude(a_clean, basis_out, initial_bits=basis_in)
+            amp_b = amplitude(b_clean, basis_out, initial_bits=basis_in)
+            if abs(amp_a) <= tol and abs(amp_b) <= tol:
+                continue
+            if abs(amp_a) <= tol or abs(amp_b) <= tol:
+                return False
+            if phase is None:
+                phase = amp_a / amp_b
+                if abs(abs(phase) - 1.0) > 1e-6:
+                    return False
+            if abs(amp_a - phase * amp_b) > 1e-6:
+                return False
+    return True

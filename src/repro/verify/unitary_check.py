@@ -1,0 +1,28 @@
+"""Array-based equivalence checking: build both unitaries and compare.
+
+The brute-force baseline (paper Sec. II): exact, simple, exponential in
+memory — the reference point the structured checkers are measured against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arrays.unitary import allclose_up_to_global_phase, circuit_unitary
+from ..circuits.circuit import QuantumCircuit
+
+
+def check_equivalence_unitary(
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+    up_to_global_phase: bool = True,
+    tol: float = 1e-8,
+) -> bool:
+    """Dense unitary comparison of two measurement-free circuits."""
+    if circuit_a.num_qubits != circuit_b.num_qubits:
+        return False
+    ua = circuit_unitary(circuit_a.without_measurements())
+    ub = circuit_unitary(circuit_b.without_measurements())
+    if up_to_global_phase:
+        return allclose_up_to_global_phase(ua, ub, tol)
+    return bool(np.allclose(ua, ub, atol=tol))

@@ -1,0 +1,68 @@
+"""ZX-calculus equivalence checking (paper Sec. V, refs. [38]-[41]).
+
+Composes one circuit's diagram with the other's adjoint and reduces; if the
+rewriting engine shrinks ``G . G'^dagger`` to the identity diagram (bare
+wires from inputs to outputs), the circuits are equivalent up to global
+phase.  The method is sound but incomplete: a non-identity residual is
+reported as "unknown" rather than "inequivalent".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuits.circuit import QuantumCircuit
+from ..zx.circuit_conv import circuit_to_zx
+from ..zx.diagram import EdgeType, ZXDiagram
+from ..zx.simplify import full_reduce
+
+
+def _is_identity_diagram(diagram: ZXDiagram) -> bool:
+    """True iff every input is wired straight to the matching output."""
+    if diagram.spiders():
+        return False
+    if len(diagram.inputs) != len(diagram.outputs):
+        return False
+    for i, o in zip(diagram.inputs, diagram.outputs):
+        edge = diagram.edge_type(i, o)
+        if edge != EdgeType.SIMPLE:
+            return False
+    return True
+
+
+def check_equivalence_zx(
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+) -> Optional[bool]:
+    """Reduce ``A . B^dagger`` with the ZX engine.
+
+    Returns ``True`` when the composite reduces to the identity diagram,
+    ``None`` when the reduction gets stuck on a non-identity residual
+    (inconclusive — the calculus fragment implemented here is incomplete).
+    """
+    if circuit_a.num_qubits != circuit_b.num_qubits:
+        return False
+    da = circuit_to_zx(circuit_a.without_measurements())
+    db = circuit_to_zx(circuit_b.without_measurements())
+    composite = da.compose(db.adjoint())
+    full_reduce(composite)
+    # After reduction identity wires may still have an even number of
+    # chained phase-free spiders (boundary protection); clean them up.
+    _strip_boundary_identities(composite)
+    if _is_identity_diagram(composite):
+        return True
+    return None
+
+
+def _strip_boundary_identities(diagram: ZXDiagram) -> None:
+    """Remove leftover phase-free degree-2 spiders on boundary wires."""
+    from ..zx.rules import check_identity, remove_identity
+
+    changed = True
+    while changed:
+        changed = False
+        for v in list(diagram.vertices()):
+            if v in diagram.types and not diagram.is_boundary(v):
+                if check_identity(diagram, v):
+                    remove_identity(diagram, v)
+                    changed = True

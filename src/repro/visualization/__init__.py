@@ -1,0 +1,17 @@
+"""Rendering helpers for all representations (Fig. 1-3 style output)."""
+
+from .figures import (
+    bell_figure_ascii,
+    render_dd_dot,
+    render_tn_dot,
+    render_zx_dot,
+    statevector_table,
+)
+
+__all__ = [
+    "bell_figure_ascii",
+    "render_dd_dot",
+    "render_tn_dot",
+    "render_zx_dot",
+    "statevector_table",
+]

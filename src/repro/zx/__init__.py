@@ -1,0 +1,39 @@
+"""ZX-calculus: diagrams, rewriting, extraction: paper Sec. V."""
+
+from . import rules
+from .circuit_conv import circuit_to_zx
+from .diagram import EdgeType, Phase, VertexType, ZXDiagram
+from .export import to_dot, to_text
+from .extract import ExtractionError, extract_circuit
+from .simplify import (
+    clifford_simp,
+    full_reduce,
+    id_simp,
+    interior_clifford_simp,
+    simplification_report,
+    spider_simp,
+    to_graph_like,
+)
+from .tensor_eval import diagram_to_matrix, proportional
+
+__all__ = [
+    "EdgeType",
+    "ExtractionError",
+    "Phase",
+    "VertexType",
+    "ZXDiagram",
+    "circuit_to_zx",
+    "clifford_simp",
+    "diagram_to_matrix",
+    "extract_circuit",
+    "full_reduce",
+    "id_simp",
+    "interior_clifford_simp",
+    "proportional",
+    "rules",
+    "simplification_report",
+    "spider_simp",
+    "to_dot",
+    "to_graph_like",
+    "to_text",
+]

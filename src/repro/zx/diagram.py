@@ -1,0 +1,386 @@
+"""ZX-diagrams: spiders, wires, and Hadamard edges (paper Sec. V).
+
+A diagram is an open graph whose vertices are green Z-spiders, red
+X-spiders, or boundary points (inputs/outputs), and whose edges are either
+plain wires or wires carrying a Hadamard box.  Phases are multiples of pi,
+stored exactly as :class:`fractions.Fraction` where possible so that
+Clifford(+T) structure survives arbitrarily long rewrite chains.
+
+Semantics are "up to global scalar": rewrite rules preserve the linear map
+of the diagram up to a nonzero complex factor, which is the standard working
+convention for automated ZX reasoning (and is verified against dense tensors
+in the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+
+class VertexType(Enum):
+    BOUNDARY = 0
+    Z = 1
+    X = 2
+
+
+class EdgeType(Enum):
+    SIMPLE = 0
+    HADAMARD = 1
+
+
+PhaseLike = Union["Phase", Fraction, float, int]
+
+
+class Phase:
+    """An angle in units of pi, reduced mod 2.
+
+    Exact :class:`Fraction` arithmetic is used whenever both operands are
+    exact; mixing with a float degrades to float (with tolerance-based
+    predicates).
+    """
+
+    __slots__ = ("value",)
+    _TOL = 1e-9
+
+    def __init__(self, value: Union[Fraction, float, int] = 0) -> None:
+        if isinstance(value, Phase):
+            value = value.value
+        if isinstance(value, int):
+            value = Fraction(value)
+        if isinstance(value, Fraction):
+            self.value: Union[Fraction, float] = value % 2
+        else:
+            value = float(value) % 2.0
+            # Snap floats that are (numerically) small multiples of pi/4 or
+            # other simple fractions back to exact arithmetic.
+            snapped = Fraction(value).limit_denominator(64)
+            if abs(float(snapped) - value) < 1e-12:
+                self.value = snapped % 2
+            else:
+                self.value = value
+
+    @classmethod
+    def from_radians(cls, angle: float) -> "Phase":
+        return cls(angle / math.pi)
+
+    def to_radians(self) -> float:
+        return float(self.value) * math.pi
+
+    @property
+    def is_exact(self) -> bool:
+        return isinstance(self.value, Fraction)
+
+    def __add__(self, other: PhaseLike) -> "Phase":
+        other = other if isinstance(other, Phase) else Phase(other)
+        if self.is_exact and other.is_exact:
+            return Phase(self.value + other.value)
+        return Phase(float(self.value) + float(other.value))
+
+    def __neg__(self) -> "Phase":
+        if self.is_exact:
+            return Phase(-self.value)
+        return Phase(-float(self.value))
+
+    def __sub__(self, other: PhaseLike) -> "Phase":
+        other = other if isinstance(other, Phase) else Phase(other)
+        return self + (-other)
+
+    def _close_to(self, target: float) -> bool:
+        diff = (float(self.value) - target) % 2.0
+        return diff < self._TOL or diff > 2.0 - self._TOL
+
+    @property
+    def is_zero(self) -> bool:
+        return self._close_to(0.0)
+
+    @property
+    def is_pi(self) -> bool:
+        return self._close_to(1.0)
+
+    @property
+    def is_pauli(self) -> bool:
+        """Phase 0 or pi."""
+        return self.is_zero or self.is_pi
+
+    @property
+    def is_clifford(self) -> bool:
+        """Multiple of pi/2."""
+        return self.is_pauli or self._close_to(0.5) or self._close_to(1.5)
+
+    @property
+    def is_proper_clifford(self) -> bool:
+        """Exactly +-pi/2."""
+        return self._close_to(0.5) or self._close_to(1.5)
+
+    @property
+    def is_t_like(self) -> bool:
+        """An odd multiple of pi/4 (counts toward the T-count)."""
+        return self.is_exact and self.value.denominator == 4
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (Phase, Fraction, float, int)):
+            return NotImplemented
+        other = other if isinstance(other, Phase) else Phase(other)
+        diff = (float(self.value) - float(other.value)) % 2.0
+        return diff < self._TOL or diff > 2.0 - self._TOL
+
+    def __hash__(self) -> int:
+        # Tolerant equality forbids a finer hash than the coarse bucket.
+        return hash(round(float(self.value) * 4) % 8)
+
+    def __repr__(self) -> str:
+        if self.is_exact:
+            return f"{self.value}π"
+        return f"{float(self.value):.4f}π"
+
+
+class ZXDiagram:
+    """An open ZX-diagram with at most one edge per vertex pair.
+
+    Parallel edges never need to be stored: the moment a second edge between
+    two vertices appears (during rewriting), it resolves by the Hopf law or
+    self-loop rules inside :meth:`add_edge_smart`.
+    """
+
+    def __init__(self) -> None:
+        self._next_id = 0
+        self.types: Dict[int, VertexType] = {}
+        self.phases: Dict[int, Phase] = {}
+        self.edges: Dict[int, Dict[int, EdgeType]] = {}
+        self.inputs: List[int] = []
+        self.outputs: List[int] = []
+        # Layout hints for rendering only.
+        self.qubit_of: Dict[int, float] = {}
+        self.row_of: Dict[int, float] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_vertex(
+        self,
+        ty: VertexType,
+        phase: PhaseLike = 0,
+        qubit: float = 0.0,
+        row: float = 0.0,
+    ) -> int:
+        v = self._next_id
+        self._next_id += 1
+        self.types[v] = ty
+        self.phases[v] = phase if isinstance(phase, Phase) else Phase(phase)
+        self.edges[v] = {}
+        self.qubit_of[v] = qubit
+        self.row_of[v] = row
+        return v
+
+    def add_edge(self, u: int, v: int, ty: EdgeType = EdgeType.SIMPLE) -> None:
+        if u == v:
+            raise ValueError("use add_edge_smart for self-loops")
+        if v in self.edges[u]:
+            raise ValueError(f"edge ({u}, {v}) already present; use add_edge_smart")
+        self.edges[u][v] = ty
+        self.edges[v][u] = ty
+
+    def add_edge_smart(self, u: int, v: int, ty: EdgeType) -> None:
+        """Add an edge, resolving self-loops and parallel edges by ZX laws.
+
+        Only same-coloured (or boundary-free) situations arise in this
+        library's rewrite pipeline:
+
+        - simple self-loop on a spider: drop it,
+        - Hadamard self-loop: drop it and add pi to the spider's phase,
+        - two Hadamard edges between same-colour spiders: both vanish (Hopf),
+        - Hadamard + simple between same-colour spiders: the pair resolves
+          to a simple edge plus a pi phase (fuse, then Hadamard self-loop),
+        - two simple edges between different-colour spiders: vanish (Hopf),
+        - two simple edges between same-colour spiders: one survives (the
+          second fuses into a plain self-loop, which drops).
+        """
+        if u == v:
+            if ty == EdgeType.HADAMARD:
+                self.phases[u] = self.phases[u] + Phase(1)
+            return
+        existing = self.edges[u].get(v)
+        if existing is None:
+            self.edges[u][v] = ty
+            self.edges[v][u] = ty
+            return
+        tu, tv = self.types[u], self.types[v]
+        same_colour = tu == tv and tu != VertexType.BOUNDARY
+        if same_colour:
+            if existing == EdgeType.HADAMARD and ty == EdgeType.HADAMARD:
+                self.remove_edge(u, v)
+            elif existing == EdgeType.SIMPLE and ty == EdgeType.SIMPLE:
+                pass  # second simple edge fuses into a trivial self-loop
+            else:
+                # simple + hadamard -> simple edge, pi phase on one spider
+                self.edges[u][v] = EdgeType.SIMPLE
+                self.edges[v][u] = EdgeType.SIMPLE
+                self.phases[u] = self.phases[u] + Phase(1)
+        else:
+            if tu == VertexType.BOUNDARY or tv == VertexType.BOUNDARY:
+                raise ValueError("parallel edge onto a boundary vertex")
+            # Different colours.
+            if existing == EdgeType.SIMPLE and ty == EdgeType.SIMPLE:
+                self.remove_edge(u, v)  # Hopf for Z-X
+            elif existing == EdgeType.HADAMARD and ty == EdgeType.HADAMARD:
+                pass  # H-H between Z-X == simple-simple after colour change
+            else:
+                # simple + hadamard between different colours: colour-change
+                # view -> same-colour simple+simple: one simple survives as a
+                # hadamard here.
+                self.edges[u][v] = EdgeType.HADAMARD
+                self.edges[v][u] = EdgeType.HADAMARD
+                self.phases[u] = self.phases[u] + Phase(1)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        self.edges[u].pop(v, None)
+        self.edges[v].pop(u, None)
+
+    def remove_vertex(self, v: int) -> None:
+        for u in list(self.edges[v]):
+            self.remove_edge(u, v)
+        del self.edges[v]
+        del self.types[v]
+        del self.phases[v]
+        self.qubit_of.pop(v, None)
+        self.row_of.pop(v, None)
+        if v in self.inputs:
+            self.inputs.remove(v)
+        if v in self.outputs:
+            self.outputs.remove(v)
+
+    # -- queries ----------------------------------------------------------------
+
+    def vertices(self) -> List[int]:
+        return list(self.types)
+
+    def num_vertices(self) -> int:
+        return len(self.types)
+
+    def num_edges(self) -> int:
+        return sum(len(n) for n in self.edges.values()) // 2
+
+    def neighbors(self, v: int) -> List[int]:
+        return list(self.edges[v])
+
+    def degree(self, v: int) -> int:
+        return len(self.edges[v])
+
+    def edge_type(self, u: int, v: int) -> Optional[EdgeType]:
+        return self.edges[u].get(v)
+
+    def edge_list(self) -> List[Tuple[int, int, EdgeType]]:
+        out = []
+        for u, nbrs in self.edges.items():
+            for v, ty in nbrs.items():
+                if u < v:
+                    out.append((u, v, ty))
+        return out
+
+    def spiders(self) -> List[int]:
+        return [v for v, ty in self.types.items() if ty != VertexType.BOUNDARY]
+
+    def phase(self, v: int) -> Phase:
+        return self.phases[v]
+
+    def set_phase(self, v: int, phase: PhaseLike) -> None:
+        self.phases[v] = phase if isinstance(phase, Phase) else Phase(phase)
+
+    def add_to_phase(self, v: int, phase: PhaseLike) -> None:
+        self.phases[v] = self.phases[v] + (
+            phase if isinstance(phase, Phase) else Phase(phase)
+        )
+
+    def is_boundary(self, v: int) -> bool:
+        return self.types[v] == VertexType.BOUNDARY
+
+    def is_interior(self, v: int) -> bool:
+        """A spider none of whose neighbours is a boundary vertex."""
+        return not self.is_boundary(v) and all(
+            not self.is_boundary(u) for u in self.edges[v]
+        )
+
+    def t_count(self) -> int:
+        return sum(1 for v in self.spiders() if self.phases[v].is_t_like)
+
+    def non_clifford_count(self) -> int:
+        return sum(1 for v in self.spiders() if not self.phases[v].is_clifford)
+
+    # -- bulk helpers -------------------------------------------------------------
+
+    def copy(self) -> "ZXDiagram":
+        dup = ZXDiagram()
+        dup._next_id = self._next_id
+        dup.types = dict(self.types)
+        dup.phases = dict(self.phases)
+        dup.edges = {v: dict(nbrs) for v, nbrs in self.edges.items()}
+        dup.inputs = list(self.inputs)
+        dup.outputs = list(self.outputs)
+        dup.qubit_of = dict(self.qubit_of)
+        dup.row_of = dict(self.row_of)
+        return dup
+
+    def compose(self, other: "ZXDiagram") -> "ZXDiagram":
+        """Sequential composition: ``other`` after ``self`` (new diagram).
+
+        ``self``'s outputs are glued to ``other``'s inputs wire by wire.
+        """
+        if len(self.outputs) != len(other.inputs):
+            raise ValueError("composition arity mismatch")
+        result = self.copy()
+        mapping: Dict[int, int] = {}
+        for v in other.vertices():
+            mapping[v] = result.add_vertex(
+                other.types[v],
+                other.phases[v],
+                other.qubit_of.get(v, 0.0),
+                other.row_of.get(v, 0.0),
+            )
+        for u, v, ty in other.edge_list():
+            result.add_edge(mapping[u], mapping[v], ty)
+        # Glue: out_i -- in_i become a single wire.  Each boundary vertex has
+        # exactly one incident edge; joining two wires XORs their Hadamard
+        # markers.  Processing sequentially keeps chained glue points valid.
+        glue_pairs = list(zip(list(result.outputs), [mapping[v] for v in other.inputs]))
+        for out_v, in_v in glue_pairs:
+            ((out_nbr, out_ty),) = list(result.edges[out_v].items())
+            ((in_nbr, in_ty),) = list(result.edges[in_v].items())
+            joined = (
+                EdgeType.HADAMARD
+                if (out_ty == EdgeType.HADAMARD) != (in_ty == EdgeType.HADAMARD)
+                else EdgeType.SIMPLE
+            )
+            result.remove_vertex(out_v)
+            result.remove_vertex(in_v)
+            if out_nbr == in_v:
+                # self's output wire ran straight into the glue point pair;
+                # after removal the surviving neighbour is on the other side.
+                raise ValueError("degenerate composition wire")
+            result.add_edge_smart(out_nbr, in_nbr, joined)
+        result.outputs = [mapping[v] for v in other.outputs]
+        return result
+
+    def adjoint(self) -> "ZXDiagram":
+        """The dagger diagram: phases negated, inputs and outputs swapped."""
+        dag = self.copy()
+        for v in dag.spiders():
+            dag.phases[v] = -dag.phases[v]
+        dag.inputs, dag.outputs = dag.outputs, dag.inputs
+        return dag
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "vertices": self.num_vertices(),
+            "edges": self.num_edges(),
+            "spiders": len(self.spiders()),
+            "t_count": self.t_count(),
+            "non_clifford": self.non_clifford_count(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ZXDiagram({len(self.spiders())} spiders, {self.num_edges()} edges, "
+            f"{len(self.inputs)}->{len(self.outputs)})"
+        )

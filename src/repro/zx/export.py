@@ -1,0 +1,60 @@
+"""Graphviz-dot rendering of ZX-diagrams (paper Fig. 3 style)."""
+
+from __future__ import annotations
+
+from .diagram import EdgeType, VertexType, ZXDiagram
+
+_COLORS = {
+    VertexType.Z: "#99ee99",
+    VertexType.X: "#ee9999",
+    VertexType.BOUNDARY: "#000000",
+}
+
+
+def to_dot(diagram: ZXDiagram, name: str = "zx") -> str:
+    """Render a diagram as Graphviz dot source.
+
+    Z-spiders are green circles, X-spiders red circles, boundaries points;
+    Hadamard edges are dashed blue (the usual compressed notation for the
+    yellow box).
+    """
+    lines = [f"graph {name} {{", "  rankdir=LR;"]
+    for v in diagram.vertices():
+        ty = diagram.types[v]
+        if ty == VertexType.BOUNDARY:
+            role = "in" if v in diagram.inputs else "out"
+            lines.append(f'  v{v} [shape=point, xlabel="{role}{v}"];')
+            continue
+        phase = diagram.phases[v]
+        label = "" if phase.is_zero else repr(phase)
+        lines.append(
+            f'  v{v} [shape=circle, style=filled, fillcolor="{_COLORS[ty]}", '
+            f'label="{label}"];'
+        )
+    for u, v, ty in diagram.edge_list():
+        if ty == EdgeType.HADAMARD:
+            lines.append(f"  v{u} -- v{v} [style=dashed, color=blue];")
+        else:
+            lines.append(f"  v{u} -- v{v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(diagram: ZXDiagram) -> str:
+    """A terminal-friendly listing of spiders and wires."""
+    lines = [repr(diagram)]
+    for v in sorted(diagram.vertices()):
+        ty = diagram.types[v]
+        if ty == VertexType.BOUNDARY:
+            kind = "input" if v in diagram.inputs else "output"
+            lines.append(f"  {v}: {kind}")
+        else:
+            color = "Z" if ty == VertexType.Z else "X"
+            phase = diagram.phases[v]
+            phase_text = "" if phase.is_zero else f" phase={phase!r}"
+            lines.append(f"  {v}: {color}{phase_text}")
+        for u, ety in sorted(diagram.edges[v].items()):
+            if u > v:
+                marker = "~H~" if ety == EdgeType.HADAMARD else "---"
+                lines.append(f"      {v} {marker} {u}")
+    return "\n".join(lines)

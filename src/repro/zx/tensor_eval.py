@@ -1,0 +1,120 @@
+"""Dense tensor semantics of ZX-diagrams.
+
+Evaluates a diagram to the linear map it denotes by contracting one tensor
+per spider (plus a Hadamard matrix per H-edge) with the library's own
+tensor-network engine.  This is the ground truth used to prove every rewrite
+rule sound in the test suite.
+"""
+
+from __future__ import annotations
+
+import cmath
+from typing import Dict, List
+
+import numpy as np
+
+from ..tn.network import TensorNetwork
+from ..tn.tensor import Tensor
+from .diagram import EdgeType, VertexType, ZXDiagram
+
+_HADAMARD = np.array([[1, 1], [1, -1]], dtype=np.complex128) / np.sqrt(2)
+
+
+def _spider_tensor(ty: VertexType, phase_radians: float, degree: int) -> np.ndarray:
+    """|0..0><0..0| + e^{i phase} |1..1><1..1| (Z); Hadamard-conjugated for X."""
+    if degree == 0:
+        return np.asarray(1.0 + cmath.exp(1j * phase_radians), dtype=np.complex128)
+    shape = (2,) * degree
+    data = np.zeros(shape, dtype=np.complex128)
+    data[(0,) * degree] = 1.0
+    data[(1,) * degree] = cmath.exp(1j * phase_radians)
+    if ty == VertexType.X:
+        for axis in range(degree):
+            data = np.moveaxis(
+                np.tensordot(_HADAMARD, data, axes=([1], [axis])), 0, axis
+            )
+    return data
+
+
+def diagram_to_network(diagram: ZXDiagram) -> TensorNetwork:
+    """One tensor per spider, a Hadamard tensor per H-edge, open boundaries."""
+    network = TensorNetwork()
+    # Name the wire attached to vertex v towards neighbour u.
+    port: Dict[tuple, str] = {}
+    for u, v, ty in diagram.edge_list():
+        base = f"e{u}_{v}"
+        if ty == EdgeType.HADAMARD:
+            port[(u, v)] = base + "a"
+            port[(v, u)] = base + "b"
+            network.add(Tensor(_HADAMARD, [base + "a", base + "b"]))
+        else:
+            port[(u, v)] = base
+            port[(v, u)] = base
+    for v in diagram.vertices():
+        if diagram.is_boundary(v):
+            continue
+        indices = [port[(v, u)] for u in diagram.neighbors(v)]
+        data = _spider_tensor(
+            diagram.types[v], diagram.phases[v].to_radians(), len(indices)
+        )
+        network.add(Tensor(data, indices))
+    return network
+
+
+def _boundary_index(diagram: ZXDiagram, v: int) -> str:
+    """The open index name owned by boundary vertex ``v``."""
+    (u,) = diagram.neighbors(v)
+    ty = diagram.edge_type(v, u)
+    base = f"e{min(u, v)}_{max(u, v)}"
+    if ty == EdgeType.HADAMARD:
+        return base + ("a" if v < u else "b")
+    return base
+
+
+def diagram_to_matrix(diagram: ZXDiagram) -> np.ndarray:
+    """Dense ``2**n_out x 2**n_in`` matrix of the diagram.
+
+    Row/column bit conventions match the rest of the library: qubit ``k``
+    (the k-th entry of ``inputs``/``outputs``) owns bit ``k`` of the index.
+    Exponential in the boundary count — testing/small diagrams only.
+    """
+    network = diagram_to_network(diagram)
+    degenerate: Dict[str, List[int]] = {}
+    for v in diagram.inputs + diagram.outputs:
+        (u,) = diagram.neighbors(v)
+        if diagram.is_boundary(u) and diagram.edge_type(v, u) == EdgeType.SIMPLE:
+            # Plain wire between two boundaries: no tensor carries it, and
+            # both ends would otherwise claim the same open index name.
+            index = _boundary_index(diagram, v)
+            degenerate.setdefault(index, []).append(v)
+    for index in degenerate:
+        network.add(Tensor(np.eye(2, dtype=np.complex128), [index + "_l", index + "_r"]))
+
+    def index_for(v: int) -> str:
+        base = _boundary_index(diagram, v)
+        if base in degenerate:
+            pair = degenerate[base]
+            return base + ("_l" if v == pair[0] else "_r")
+        return base
+
+    result = network.contract_all()
+    out_order = [index_for(v) for v in reversed(diagram.outputs)]
+    in_order = [index_for(v) for v in reversed(diagram.inputs)]
+    result = result.transpose_to(out_order + in_order)
+    n_out = len(diagram.outputs)
+    n_in = len(diagram.inputs)
+    return result.data.reshape(1 << n_out, 1 << n_in)
+
+
+def proportional(a: np.ndarray, b: np.ndarray, tol: float = 1e-8) -> bool:
+    """Whether two maps are equal up to a nonzero complex scalar."""
+    a = np.asarray(a, dtype=np.complex128)
+    b = np.asarray(b, dtype=np.complex128)
+    if a.shape != b.shape:
+        return False
+    pivot = int(np.argmax(np.abs(a)))
+    pa = a.reshape(-1)[pivot]
+    pb = b.reshape(-1)[pivot]
+    if abs(pa) < tol or abs(pb) < tol:
+        return bool(np.allclose(a, 0, atol=tol) and np.allclose(b, 0, atol=tol))
+    return bool(np.allclose(a / pa, b / pb, atol=tol))

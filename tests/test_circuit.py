@@ -1,0 +1,150 @@
+"""Unit tests for the circuit IR."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import circuit_unitary
+from repro.circuits import gates as g
+from repro.circuits.circuit import Operation, QuantumCircuit
+
+
+def test_builder_methods_record_operations():
+    qc = QuantumCircuit(3)
+    qc.h(0).cx(0, 1).ccx(0, 1, 2).rz(0.3, 2).swap(0, 2)
+    assert len(qc) == 5
+    assert qc.operations[1].controls == (0,)
+    assert qc.operations[2].controls == (0, 1)
+    assert qc.count_ops() == {"h": 1, "cx": 1, "ccx": 1, "rz": 1, "swap": 1}
+
+
+def test_qubit_range_validation():
+    qc = QuantumCircuit(2)
+    with pytest.raises(ValueError):
+        qc.h(2)
+    with pytest.raises(ValueError):
+        qc.cx(0, 5)
+
+
+def test_duplicate_qubits_rejected():
+    with pytest.raises(ValueError):
+        Operation(g.X, [0], [0])
+    with pytest.raises(ValueError):
+        Operation(g.SWAP, [1, 1])
+
+
+def test_operation_target_arity_checked():
+    with pytest.raises(ValueError):
+        Operation(g.SWAP, [0])
+
+
+def test_depth_parallel_gates():
+    qc = QuantumCircuit(4)
+    qc.h(0).h(1).h(2).h(3)
+    assert qc.depth() == 1
+    qc.cx(0, 1).cx(2, 3)
+    assert qc.depth() == 2
+    qc.cx(1, 2)
+    assert qc.depth() == 3
+
+
+def test_depth_with_barrier():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.barrier()
+    qc.h(1)
+    # barrier forces h(1) into a later layer than h(0)
+    assert qc.depth() == 2
+
+
+def test_inverse_reverses_and_inverts(sv_sim):
+    qc = QuantumCircuit(3)
+    qc.h(0).cx(0, 1).t(2).rz(0.4, 1).ccx(0, 1, 2)
+    combined = qc.copy()
+    combined.compose(qc.inverse())
+    unitary = circuit_unitary(combined)
+    assert np.allclose(unitary, np.eye(8), atol=1e-10)
+
+
+def test_compose_with_mapping():
+    inner = QuantumCircuit(2)
+    inner.cx(0, 1)
+    outer = QuantumCircuit(3)
+    outer.compose(inner, qubits=[2, 0])
+    op = outer.operations[0]
+    assert op.controls == (2,)
+    assert op.targets == (0,)
+
+
+def test_compose_arity_checks():
+    big = QuantumCircuit(3)
+    big.h(2)
+    small = QuantumCircuit(2)
+    with pytest.raises(ValueError):
+        small.compose(big)
+    with pytest.raises(ValueError):
+        small.compose(QuantumCircuit(1), qubits=[0, 1])
+
+
+def test_remapped_circuit():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    moved = qc.remapped({0: 3, 1: 1}, num_qubits=4)
+    assert moved.operations[0].controls == (3,)
+    assert moved.operations[0].targets == (1,)
+
+
+def test_measure_tracks_clbits():
+    qc = QuantumCircuit(3)
+    qc.measure(1, 4)
+    assert qc.num_clbits == 5
+    qc2 = QuantumCircuit(2)
+    qc2.measure_all()
+    assert qc2.num_clbits == 2
+    assert sum(1 for op in qc2 if op.is_measurement) == 2
+
+
+def test_without_measurements():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.measure_all()
+    qc.barrier()
+    clean = qc.without_measurements()
+    assert len(clean) == 1
+    assert clean.operations[0].gate.name == "h"
+
+
+def test_counts_and_tcount():
+    qc = QuantumCircuit(2)
+    qc.t(0).tdg(1).t(0).cx(0, 1)
+    assert qc.t_count() == 3
+    assert qc.two_qubit_gate_count() == 1
+    assert qc.num_unitary_ops() == 4
+
+
+def test_operation_name_with_controls():
+    assert Operation(g.X, [1], [0]).name_with_controls() == "cx"
+    assert Operation(g.Z, [2], [0, 1]).name_with_controls() == "ccz"
+    assert Operation(g.H, [0]).name_with_controls() == "h"
+
+
+def test_operation_equality_ignores_control_order():
+    a = Operation(g.X, [2], [0, 1])
+    b = Operation(g.X, [2], [1, 0])
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_draw_contains_gates():
+    qc = QuantumCircuit(2, name="demo")
+    qc.h(0).cp(0.25, 0, 1)
+    text = qc.draw()
+    assert "demo" in text
+    assert "h q0" in text
+    assert "cp(0.25)" in text
+
+
+def test_inverse_of_measurement_fails():
+    qc = QuantumCircuit(1)
+    qc.measure(0)
+    with pytest.raises(ValueError):
+        qc.inverse()

@@ -1,0 +1,155 @@
+"""Tests for commutation analysis and commutation-aware cancellation."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import circuit_unitary
+from repro.circuits import gates as g
+from repro.circuits import library, random_circuits
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.compile import commutative_cancellation, operations_commute, optimize
+
+
+# -- commutation oracle ----------------------------------------------------------
+
+
+def test_disjoint_supports_commute():
+    assert operations_commute(
+        Operation(g.H, [0]), Operation(g.X, [1])
+    )
+
+
+@pytest.mark.parametrize(
+    "op1,op2,expected",
+    [
+        (Operation(g.Z, [0]), Operation(g.rz(0.3), [0]), True),
+        (Operation(g.X, [0]), Operation(g.Z, [0]), False),
+        (Operation(g.X, [1], [0]), Operation(g.rz(0.5), [0]), True),  # rz on control
+        (Operation(g.X, [1], [0]), Operation(g.X, [1]), True),        # X on target
+        (Operation(g.X, [1], [0]), Operation(g.X, [0]), False),       # X on control
+        (Operation(g.X, [1], [0]), Operation(g.X, [0], [1]), False),  # reversed CX
+        (Operation(g.Z, [1], [0]), Operation(g.Z, [0], [1]), True),   # CZ symmetric
+        (Operation(g.X, [1], [0]), Operation(g.X, [2], [0]), True),   # shared control
+        (Operation(g.rzz(0.4), [0, 1]), Operation(g.Z, [0]), True),
+        (Operation(g.SWAP, [0, 1]), Operation(g.SWAP, [1, 0]), True),
+    ],
+    ids=[
+        "z-rz", "x-z", "cx-rzc", "cx-xt", "cx-xc", "cx-cxrev", "cz-czrev",
+        "cx-cx-sharedctl", "rzz-z", "swap-swap",
+    ],
+)
+def test_commutation_oracle(op1, op2, expected):
+    assert operations_commute(op1, op2) is expected
+    assert operations_commute(op2, op1) is expected  # symmetry
+
+
+def test_measurements_never_commute():
+    measure = Operation(g.MEASURE, [0], clbits=[0])
+    assert not operations_commute(measure, Operation(g.Z, [0]))
+
+
+def test_conditioned_ops_never_commute():
+    conditioned = Operation(g.X, [0], condition=(0, 1))
+    assert not operations_commute(conditioned, Operation(g.Z, [1]))
+
+
+# -- the cancellation pass ----------------------------------------------------------
+
+
+def test_cx_pair_cancels_through_control_rz():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    qc.rz(0.5, 0)
+    qc.cx(0, 1)
+    optimized = commutative_cancellation(qc)
+    assert [op.name_with_controls() for op in optimized] == ["rz"]
+    assert np.allclose(circuit_unitary(qc), circuit_unitary(optimized))
+
+
+def test_cx_pair_cancels_through_target_x():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    qc.x(1)
+    qc.cx(0, 1)
+    optimized = commutative_cancellation(qc)
+    assert len(optimized) == 1
+    assert np.allclose(circuit_unitary(qc), circuit_unitary(optimized))
+
+
+def test_blocked_by_non_commuting_gate():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    qc.h(0)  # does not commute with CX on the control
+    qc.cx(0, 1)
+    optimized = commutative_cancellation(qc)
+    assert len(optimized) == 3
+
+
+def test_rotation_merge_through_commuting_layer():
+    qc = QuantumCircuit(2)
+    qc.rz(0.3, 0)
+    qc.cz(0, 1)   # diagonal: commutes with rz
+    qc.rz(0.4, 0)
+    optimized = commutative_cancellation(qc)
+    names = sorted(op.name_with_controls() for op in optimized)
+    assert names == ["cz", "rz"]
+    rz_op = next(op for op in optimized if op.gate.name == "rz")
+    assert rz_op.gate.params[0] == pytest.approx(0.7)
+    assert np.allclose(circuit_unitary(qc), circuit_unitary(optimized), atol=1e-10)
+
+
+def test_chain_of_commuting_blockers():
+    qc = QuantumCircuit(3)
+    qc.cz(0, 1)
+    qc.rz(0.1, 0)
+    qc.z(1)
+    qc.cz(1, 2)
+    qc.cz(0, 1)  # cancels with the first CZ through three commuting gates
+    optimized = commutative_cancellation(qc)
+    assert all(op.name_with_controls() != "cz" or op.qubits != (1, 0) for op in optimized)
+    assert len(optimized) == 3
+    assert np.allclose(circuit_unitary(qc), circuit_unitary(optimized), atol=1e-10)
+
+
+def test_pass_preserves_semantics_on_workloads(workload):
+    clean = workload.without_measurements()
+    if clean.num_qubits > 4:
+        return
+    optimized = commutative_cancellation(clean)
+    assert np.allclose(
+        circuit_unitary(clean), circuit_unitary(optimized), atol=1e-8
+    )
+    assert len(optimized) <= len(clean)
+
+
+@pytest.mark.parametrize("seed", [1, 4, 22, 29, 37])
+def test_soundness_on_lowered_circuits(seed):
+    """Regression: rz(2*pi) ∝ -I commutes with everything, its merge
+    partner may not — these seeds caught exactly that bug."""
+    from repro.compile.decompositions import BASIS_CX_RZ_RY, decompose_to_basis
+
+    circuit = random_circuits.random_clifford_t_circuit(3, 25, seed=seed)
+    lowered = decompose_to_basis(circuit, BASIS_CX_RZ_RY)
+    optimized = commutative_cancellation(lowered)
+    assert np.allclose(
+        circuit_unitary(lowered), circuit_unitary(optimized), atol=1e-8
+    )
+
+
+def test_optimize_beats_adjacent_only_pass():
+    rng_circuit = QuantumCircuit(3)
+    rng_circuit.cx(0, 1)
+    rng_circuit.rz(0.2, 0)
+    rng_circuit.x(1)
+    rng_circuit.cx(0, 1)
+    rng_circuit.cz(1, 2)
+    rng_circuit.z(2)
+    rng_circuit.cz(1, 2)
+    adjacent_only = optimize(rng_circuit, commutation=False)
+    with_commutation = optimize(rng_circuit, commutation=True)
+    assert len(with_commutation) < len(adjacent_only)
+    assert np.allclose(
+        circuit_unitary(rng_circuit),
+        circuit_unitary(with_commutation),
+        atol=1e-9,
+    )

@@ -1,0 +1,123 @@
+"""Tests for the ZX optimizer pass and the full compilation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import (
+    StatevectorSimulator,
+    allclose_up_to_global_phase,
+    circuit_unitary,
+)
+from repro.circuits import library, random_circuits
+from repro.compile import (
+    BASIS_CX_RZ_RY,
+    BASIS_IBM,
+    compile_circuit,
+    coupling,
+    zx_optimize,
+    zx_t_count,
+)
+from repro.compile.routing import undo_layout_statevector
+
+
+@pytest.fixture(scope="module")
+def sv():
+    return StatevectorSimulator(seed=2)
+
+
+def test_zx_optimize_equivalence(workload):
+    clean = workload.without_measurements()
+    if clean.num_qubits > 4 or len(clean) > 60:
+        pytest.skip("dense comparison kept small")
+    report = zx_optimize(clean)
+    assert allclose_up_to_global_phase(
+        circuit_unitary(clean), circuit_unitary(report.optimized), tol=1e-7
+    )
+    summary = report.summary()
+    assert summary["spiders_after"] <= summary["spiders_before"]
+
+
+def test_zx_optimize_reduces_clifford_two_qubit_count():
+    wins = 0
+    for seed in range(5):
+        circuit = random_circuits.random_clifford_circuit(4, 60, seed=seed)
+        report = zx_optimize(circuit)
+        if report.optimized.two_qubit_gate_count() <= circuit.two_qubit_gate_count():
+            wins += 1
+    assert wins >= 3  # ZX wins on most dense Clifford circuits
+
+
+def test_zx_t_count_metric():
+    assert zx_t_count(library.qft(3)) < library.qft(3).t_count() + 6
+    terms = [(0b11, np.pi / 4), (0b11, np.pi / 4)]
+    circuit = library.phase_polynomial_circuit(2, terms)
+    assert zx_t_count(circuit) <= 1
+
+
+@pytest.mark.parametrize("level", [0, 1, 2])
+def test_compile_no_coupling(level, sv):
+    circuit = library.qft(3)
+    result = compile_circuit(circuit, optimization_level=level)
+    names = {
+        op.name_with_controls() for op in result.circuit if op.is_unitary
+    }
+    assert names <= set(BASIS_CX_RZ_RY)
+    assert allclose_up_to_global_phase(
+        circuit_unitary(circuit), circuit_unitary(result.circuit), tol=1e-7
+    )
+
+
+@pytest.mark.parametrize("level", [0, 1, 2])
+@pytest.mark.parametrize("router", ["greedy", "sabre"])
+def test_compile_with_coupling(level, router, sv):
+    circuit = library.qft(4)
+    cmap = coupling.line(4)
+    result = compile_circuit(
+        circuit, coupling=cmap, optimization_level=level, router=router
+    )
+    for op in result.circuit.operations:
+        if op.is_unitary and len(op.qubits) == 2:
+            assert cmap.are_adjacent(*op.qubits)
+    state = sv.statevector(result.circuit)
+    logical = undo_layout_statevector(
+        state, type("R", (), {"final_layout": result.final_layout})(), 4
+    )
+    assert allclose_up_to_global_phase(
+        sv.statevector(circuit), logical, tol=1e-6
+    )
+
+
+def test_compile_ibm_basis(sv):
+    circuit = library.grover(3, 2)
+    result = compile_circuit(circuit, basis=BASIS_IBM, optimization_level=1)
+    names = {op.name_with_controls() for op in result.circuit if op.is_unitary}
+    assert names <= set(BASIS_IBM)
+    assert allclose_up_to_global_phase(
+        circuit_unitary(circuit), circuit_unitary(result.circuit), tol=1e-6
+    )
+
+
+def test_compile_stats_recorded():
+    result = compile_circuit(
+        library.qft(4), coupling=coupling.ring(4), optimization_level=1
+    )
+    for key in ("input_ops", "post_basis_ops", "swaps", "output_ops"):
+        assert key in result.stats
+    assert result.stats["output_two_qubit"] >= result.stats["input_two_qubit"]
+
+
+def test_compile_unknown_router():
+    with pytest.raises(ValueError):
+        compile_circuit(
+            library.bell_pair(), coupling=coupling.line(2), router="nope"
+        )
+
+
+def test_optimization_level_reduces_gates():
+    # A deliberately redundant circuit: QFT . QFT^-1 . GHZ
+    circuit = library.qft(4)
+    circuit.compose(library.qft(4).inverse())
+    circuit.compose(library.ghz_state(4))
+    level0 = compile_circuit(circuit, optimization_level=0)
+    level1 = compile_circuit(circuit, optimization_level=1)
+    assert len(level1.circuit) < len(level0.circuit)

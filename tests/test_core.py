@@ -1,0 +1,62 @@
+"""Tests for the unified simulation facade."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import library, random_circuits
+from repro.core import BACKENDS, simulate, single_amplitude
+
+
+def test_all_backends_agree(workload, sv_sim):
+    clean = workload.without_measurements()
+    reference = sv_sim.statevector(clean)
+    for backend in BACKENDS:
+        state = simulate(clean, backend=backend).state
+        assert np.allclose(state, reference, atol=1e-8), backend
+
+
+def test_unknown_backend():
+    with pytest.raises(ValueError):
+        simulate(library.bell_pair(), backend="quantum_realm")
+    with pytest.raises(ValueError):
+        single_amplitude(library.bell_pair(), 0, backend="quantum_realm")
+
+
+def test_dd_metadata():
+    result = simulate(library.ghz_state(10), backend="dd", track_peak=True)
+    assert result.metadata["nodes"] <= 20
+    assert result.metadata["peak_nodes"] >= result.metadata["nodes"]
+
+
+def test_mps_metadata_and_truncation():
+    circuit = random_circuits.brickwork_circuit(8, 4, seed=1)
+    exact = simulate(circuit, backend="mps")
+    assert exact.metadata["truncation_error"] < 1e-12
+    truncated = simulate(circuit, backend="mps", max_bond=2)
+    assert truncated.metadata["truncation_error"] > 0
+    assert truncated.metadata["max_bond_reached"] == 2
+
+
+def test_single_amplitude_backends(sv_sim):
+    circuit = random_circuits.brickwork_circuit(4, 3, seed=6)
+    reference = sv_sim.statevector(circuit)
+    for index in (0, 7, 12):
+        for backend in BACKENDS:
+            value = single_amplitude(circuit, index, backend=backend)
+            assert value == pytest.approx(complex(reference[index]), abs=1e-8), backend
+
+
+def test_result_helpers():
+    result = simulate(library.bell_pair(), backend="arrays")
+    assert result.num_qubits == 2
+    assert result.probabilities()[0] == pytest.approx(0.5)
+    assert result.amplitude(3) == pytest.approx(1 / np.sqrt(2))
+    counts = result.sample_counts(64, seed=0)
+    assert sum(counts.values()) == 64
+
+
+def test_measurements_stripped():
+    circuit = library.bell_pair()
+    circuit.measure_all()
+    result = simulate(circuit, backend="dd")
+    assert np.linalg.norm(result.state) == pytest.approx(1.0)

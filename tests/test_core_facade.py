@@ -1,0 +1,63 @@
+"""Tests for the sample() and expectation() facades."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.measurement import expectation_value
+from repro.circuits import library, random_circuits
+from repro.core import expectation, sample, simulate
+
+SAMPLING_BACKENDS = ("arrays", "dd", "mps", "stab")
+EXPECTATION_BACKENDS = ("arrays", "dd", "mps", "tn")
+
+
+@pytest.mark.parametrize("backend", SAMPLING_BACKENDS)
+def test_sample_ghz_support(backend):
+    counts = sample(library.ghz_state(5), 60, backend=backend, seed=4)
+    assert sum(counts.values()) == 60
+    assert set(counts) <= {"0" * 5, "1" * 5}
+
+
+@pytest.mark.parametrize("backend", ("arrays", "dd", "mps"))
+def test_sample_distribution_matches_probabilities(backend):
+    circuit = random_circuits.random_circuit(3, 6, seed=2)
+    probs = simulate(circuit, backend="arrays").probabilities()
+    counts = sample(circuit, 3000, backend=backend, seed=9)
+    for bits, count in counts.items():
+        index = int(bits, 2)
+        assert abs(count / 3000 - probs[index]) < 0.05
+
+
+def test_sample_stab_requires_clifford():
+    from repro.stab import NotCliffordError
+
+    with pytest.raises(NotCliffordError):
+        sample(library.qft(3), 10, backend="stab")
+
+
+def test_sample_unknown_backend():
+    with pytest.raises(ValueError):
+        sample(library.bell_pair(), 10, backend="abacus")
+
+
+@pytest.mark.parametrize("backend", EXPECTATION_BACKENDS)
+@pytest.mark.parametrize("pauli", ["ZZZZ", "XYIX", "IIZI"])
+def test_expectation_backends_agree(backend, pauli):
+    circuit = random_circuits.brickwork_circuit(4, 3, seed=5)
+    reference = expectation_value(
+        simulate(circuit, backend="arrays").state, pauli
+    )
+    value = expectation(circuit, pauli, backend=backend)
+    assert value == pytest.approx(reference, abs=1e-8)
+
+
+def test_expectation_unknown_backend():
+    with pytest.raises(ValueError):
+        expectation(library.bell_pair(), "ZZ", backend="tarot")
+
+
+def test_expectation_physical_bounds():
+    circuit = random_circuits.random_circuit(3, 8, seed=7)
+    for pauli in ("ZZZ", "XXX"):
+        value = expectation(circuit, pauli, backend="dd")
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9

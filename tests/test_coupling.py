@@ -1,0 +1,73 @@
+"""Tests for coupling-map topologies."""
+
+import pytest
+
+from repro.compile import coupling
+
+
+def test_line_topology():
+    cmap = coupling.line(5)
+    assert cmap.num_qubits == 5
+    assert cmap.are_adjacent(0, 1)
+    assert not cmap.are_adjacent(0, 2)
+    assert cmap.distance(0, 4) == 4
+    assert cmap.shortest_path(0, 3) == [0, 1, 2, 3]
+
+
+def test_ring_topology():
+    cmap = coupling.ring(6)
+    assert cmap.are_adjacent(0, 5)
+    assert cmap.distance(0, 3) == 3
+    assert cmap.distance(0, 5) == 1
+
+
+def test_grid_topology():
+    cmap = coupling.grid(2, 3)
+    assert cmap.num_qubits == 6
+    assert cmap.are_adjacent(0, 1)
+    assert cmap.are_adjacent(0, 3)
+    assert not cmap.are_adjacent(0, 4)
+    assert cmap.distance(0, 5) == 3
+
+
+def test_star_topology():
+    cmap = coupling.star(5)
+    assert all(cmap.are_adjacent(0, q) for q in range(1, 5))
+    assert cmap.distance(1, 4) == 2
+
+
+def test_fully_connected():
+    cmap = coupling.fully_connected(4)
+    assert len(cmap.edges) == 6
+    assert all(cmap.distance(a, b) <= 1 for a in range(4) for b in range(4))
+
+
+def test_ibm_qx5():
+    cmap = coupling.ibm_qx5()
+    assert cmap.num_qubits == 16
+    assert cmap.are_adjacent(0, 15)
+    assert cmap.distance(0, 8) >= 2
+
+
+def test_heavy_hex():
+    cmap = coupling.heavy_hex()
+    assert cmap.num_qubits == 27
+    degrees = [len(cmap.neighbors(q)) for q in range(27)]
+    assert max(degrees) <= 3
+    with pytest.raises(ValueError):
+        coupling.heavy_hex(distance=5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        coupling.CouplingMap(2, [(0, 5)])
+    with pytest.raises(ValueError):
+        coupling.CouplingMap(2, [(0, 0)])
+    with pytest.raises(ValueError):
+        coupling.CouplingMap(3, [(0, 1)])  # disconnected
+
+
+def test_neighbors():
+    cmap = coupling.line(4)
+    assert sorted(cmap.neighbors(1)) == [0, 2]
+    assert sorted(cmap.neighbors(0)) == [1]

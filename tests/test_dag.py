@@ -1,0 +1,138 @@
+"""Tests for the circuit dependency DAG."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import circuit_unitary
+from repro.circuits import library, random_circuits
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDAG
+
+
+def test_dag_depth_matches_circuit_depth(workload):
+    clean = workload.without_measurements()
+    dag = CircuitDAG.from_circuit(clean)
+    assert dag.depth() == clean.depth()
+
+
+def test_layers_have_disjoint_qubits():
+    circuit = random_circuits.random_circuit(5, 8, seed=3)
+    dag = CircuitDAG.from_circuit(circuit)
+    for layer in dag.layers():
+        seen = set()
+        for index in layer:
+            qubits = set(dag.nodes[index].op.qubits)
+            assert not qubits & seen
+            seen |= qubits
+
+
+def test_dependencies_respect_order():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.x(1)
+    dag = CircuitDAG.from_circuit(qc)
+    assert dag.nodes[1].predecessors == {0}
+    assert dag.nodes[2].predecessors == {1}
+    assert dag.nodes[0].successors == {1}
+
+
+def test_to_circuit_preserves_semantics(workload):
+    clean = workload.without_measurements()
+    if clean.num_qubits > 4:
+        pytest.skip("dense comparison kept small")
+    dag = CircuitDAG.from_circuit(clean)
+    rebuilt = dag.to_circuit()
+    assert np.allclose(
+        circuit_unitary(clean), circuit_unitary(rebuilt), atol=1e-9
+    )
+    assert len(rebuilt) == len(clean)
+
+
+def test_commutation_aware_depth_not_worse(workload):
+    clean = workload.without_measurements()
+    if clean.num_qubits > 4 or len(clean) > 60:
+        pytest.skip("commutation checks kept small")
+    plain = CircuitDAG.from_circuit(clean).depth()
+    aware = CircuitDAG.from_circuit(clean, commutation_aware=True).depth()
+    assert aware <= plain
+
+
+def test_commutation_aware_depth_strictly_better_on_diagonal_chain():
+    qc = QuantumCircuit(2)
+    qc.rz(0.1, 0)
+    qc.cz(0, 1)
+    qc.rz(0.2, 0)
+    qc.rz(0.3, 1)
+    plain = CircuitDAG.from_circuit(qc).depth()
+    aware = CircuitDAG.from_circuit(qc, commutation_aware=True).depth()
+    # Everything is diagonal: the whole circuit commutes, depth collapses.
+    assert aware == 1
+    assert plain >= 3
+
+
+def test_commutation_aware_rebuild_is_sound():
+    circuit = random_circuits.random_clifford_t_circuit(4, 30, seed=7)
+    dag = CircuitDAG.from_circuit(circuit, commutation_aware=True)
+    rebuilt = dag.to_circuit()
+    assert np.allclose(
+        circuit_unitary(circuit), circuit_unitary(rebuilt), atol=1e-8
+    )
+
+
+def test_critical_path_is_a_chain():
+    circuit = library.qft(4)
+    dag = CircuitDAG.from_circuit(circuit)
+    path = dag.critical_path()
+    assert len(path) == dag.depth()
+    for earlier, later in zip(path, path[1:]):
+        assert earlier in dag.nodes[later].predecessors
+
+
+def test_measurement_and_condition_dependencies():
+    circuit = library.teleportation()
+    dag = CircuitDAG.from_circuit(circuit)
+    # The conditioned X must depend on the measurement writing its clbit.
+    cond_nodes = [
+        n for n in dag.nodes if n.op.condition is not None
+    ]
+    assert cond_nodes
+    for node in cond_nodes:
+        clbit = node.op.condition[0]
+        writers = [
+            n.index
+            for n in dag.nodes
+            if n.op.is_measurement and n.op.clbits and n.op.clbits[0] == clbit
+        ]
+        assert any(w in _ancestors(dag, node.index) for w in writers)
+
+
+def _ancestors(dag, index):
+    seen = set()
+    stack = [index]
+    while stack:
+        current = stack.pop()
+        for p in dag.nodes[current].predecessors:
+            if p not in seen:
+                seen.add(p)
+                stack.append(p)
+    return seen
+
+
+def test_parallelism_metric():
+    wide = QuantumCircuit(4)
+    for q in range(4):
+        wide.h(q)
+    dag = CircuitDAG.from_circuit(wide)
+    assert dag.parallelism() == pytest.approx(4.0)
+    narrow = QuantumCircuit(1)
+    for _ in range(4):
+        narrow.h(0)
+    assert CircuitDAG.from_circuit(narrow).parallelism() == pytest.approx(1.0)
+
+
+def test_empty_circuit():
+    dag = CircuitDAG.from_circuit(QuantumCircuit(2))
+    assert dag.depth() == 0
+    assert dag.layers() == []
+    assert dag.critical_path() == []

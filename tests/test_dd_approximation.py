@@ -1,0 +1,98 @@
+"""Tests for approximate decision diagrams (paper ref. [12])."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import library, random_circuits
+from repro.dd import DDPackage, DDSimulator, VectorDD
+from repro.dd.approximation import approximate
+from tests.conftest import random_state
+
+
+def test_zero_threshold_is_exact():
+    pkg = DDPackage()
+    state = random_state(4, seed=1)
+    edge = pkg.from_statevector(state)
+    approx, fidelity = approximate(pkg, edge, 0.0)
+    assert fidelity == pytest.approx(1.0, abs=1e-9)
+    assert np.allclose(pkg.to_statevector(approx, 4), state, atol=1e-8)
+
+
+def test_structured_states_survive_small_thresholds():
+    sim = DDSimulator()
+    state = sim.simulate_state(library.ghz_state(8))
+    approx, fidelity = approximate(state.package, state.edge, 0.01)
+    assert fidelity == pytest.approx(1.0, abs=1e-9)
+    assert state.package.count_nodes(approx) == state.num_nodes()
+
+
+def test_pruning_reduces_nodes_and_tracks_fidelity():
+    # A dominant branch plus small noise: pruning cuts the noise branches.
+    pkg = DDPackage()
+    rng = np.random.default_rng(3)
+    n = 8
+    state = np.zeros(2**n, dtype=complex)
+    state[0] = 1.0
+    state += 0.02 * (rng.normal(size=2**n) + 1j * rng.normal(size=2**n))
+    state /= np.linalg.norm(state)
+    edge = pkg.from_statevector(state)
+    nodes_before = pkg.count_nodes(edge)
+    approx, fidelity = approximate(pkg, edge, 0.05)
+    nodes_after = pkg.count_nodes(approx)
+    assert nodes_after < nodes_before
+    assert fidelity > 0.5
+    # The approximated state is normalized.
+    assert pkg.norm(approx) == pytest.approx(1.0, abs=1e-9)
+    # Reported fidelity is honest: matches the dense computation.
+    dense = pkg.to_statevector(approx, n)
+    assert abs(np.vdot(state, dense)) ** 2 == pytest.approx(fidelity, abs=1e-8)
+
+
+def test_fidelity_degrades_monotonically():
+    pkg = DDPackage()
+    state = random_state(6, seed=9)
+    edge = pkg.from_statevector(state)
+    fidelities = []
+    for threshold in (0.0, 0.02, 0.1, 0.4):
+        _, fidelity = approximate(pkg, edge, threshold)
+        fidelities.append(fidelity)
+    assert all(
+        later <= earlier + 1e-9
+        for earlier, later in zip(fidelities, fidelities[1:])
+    )
+    assert fidelities[0] == pytest.approx(1.0, abs=1e-9)
+
+
+def test_extreme_threshold_keeps_dominant_path():
+    pkg = DDPackage()
+    state = np.array([0.95, 0.05, 0.05, 0.05], dtype=complex)
+    state /= np.linalg.norm(state)
+    edge = pkg.from_statevector(state)
+    approx, fidelity = approximate(pkg, edge, 0.9)
+    dense = pkg.to_statevector(approx, 2)
+    assert abs(dense[0]) == pytest.approx(1.0, abs=1e-9)
+    assert fidelity == pytest.approx(abs(state[0]) ** 2, abs=1e-8)
+
+
+def test_vector_dd_wrapper_approximate():
+    sim = DDSimulator()
+    state = sim.simulate_state(random_circuits.random_circuit(6, 8, seed=4))
+    approx = state.approximate(0.01)
+    assert approx.norm() == pytest.approx(1.0, abs=1e-9)
+    assert approx.num_nodes() <= state.num_nodes()
+
+
+def test_expectation_pauli_on_dd(sv_sim):
+    from repro.arrays.measurement import expectation_value
+
+    circuit = random_circuits.random_circuit(4, 8, seed=5)
+    dense = sv_sim.statevector(circuit)
+    state = DDSimulator().simulate_state(circuit)
+    for pauli in ("ZZZZ", "XIXI", "IYZX"):
+        assert state.expectation_pauli(pauli) == pytest.approx(
+            expectation_value(dense, pauli), abs=1e-8
+        )
+    with pytest.raises(ValueError):
+        state.expectation_pauli("ZZ")
+    with pytest.raises(ValueError):
+        state.expectation_pauli("ABCD")

@@ -1,0 +1,62 @@
+"""Tests for noise-aware decision-diagram simulation (paper ref. [13])."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import DensityMatrixSimulator, NoiseModel, bit_flip
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.dd import NoisyDDSimulator
+
+
+def test_noiseless_dd_trajectories_exact():
+    circuit = library.ghz_state(4)
+    result = NoisyDDSimulator(None).run(circuit, trajectories=2)
+    expected = np.zeros(16)
+    expected[0] = expected[15] = 0.5
+    assert np.allclose(result.probabilities(), expected, atol=1e-10)
+
+
+def test_dd_trajectories_match_density_matrix():
+    circuit = library.ghz_state(3)
+    noise = NoiseModel.uniform_depolarizing(0.02, 0.05)
+    dm = DensityMatrixSimulator(noise).run(circuit).probabilities()
+    dd = NoisyDDSimulator(noise, seed=5).run(circuit, trajectories=700)
+    assert np.allclose(dd.probabilities(), dm, atol=0.06)
+
+
+def test_dd_trajectories_stay_compact_under_noise():
+    """The point of DD-based noise simulation: Kraus branches of structured
+    states are still structured, so diagrams stay near-linear."""
+    circuit = library.ghz_state(12)
+    noise = NoiseModel(default_1q=bit_flip(0.05), default_2q=bit_flip(0.05))
+    result = NoisyDDSimulator(noise, seed=2).run(circuit, trajectories=15)
+    assert result.peak_nodes <= 4 * 12
+    assert result.mean_nodes <= 4 * 12
+
+
+def test_dd_noisy_sampling_without_dense_state():
+    circuit = library.ghz_state(20)  # 2^20 — never materialized
+    noise = NoiseModel(default_1q=bit_flip(0.01), default_2q=bit_flip(0.02))
+    counts = NoisyDDSimulator(noise, seed=3).run_sampling(circuit, shots=20)
+    assert sum(counts.values()) == 20
+    for bits in counts:
+        assert len(bits) == 20
+
+
+def test_bit_flip_statistics_on_dd():
+    noise = NoiseModel(gate_errors={"x": bit_flip(0.3)})
+    qc = QuantumCircuit(1)
+    qc.x(0)
+    result = NoisyDDSimulator(noise, seed=1).run(qc, trajectories=800)
+    assert result.probabilities()[1] == pytest.approx(0.7, abs=0.05)
+
+
+def test_channel_arity_mismatch_rejected():
+    from repro.arrays import two_qubit_depolarizing
+
+    noise = NoiseModel(gate_errors={"ccx": two_qubit_depolarizing(0.1)})
+    qc = QuantumCircuit(3)
+    qc.ccx(0, 1, 2)
+    with pytest.raises(ValueError):
+        NoisyDDSimulator(noise).run(qc, trajectories=1)

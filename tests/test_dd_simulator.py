@@ -1,0 +1,125 @@
+"""Tests for DD-based simulation and the high-level wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import StatevectorSimulator, circuit_unitary
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.dd import DDPackage, DDSimulator, MatrixDD, VectorDD
+
+
+def test_matches_arrays_backend(workload, sv_sim):
+    clean = workload.without_measurements()
+    dd_state = DDSimulator().statevector(clean)
+    sv_state = sv_sim.statevector(clean)
+    assert np.allclose(dd_state, sv_state, atol=1e-8)
+
+
+def test_ghz_stays_linear():
+    sim = DDSimulator()
+    result = sim.run(library.ghz_state(24), track_peak=True)
+    assert result.state.num_nodes() <= 2 * 24
+    assert sim.peak_nodes <= 2 * 24 + 2
+    assert result.state.amplitude(0) == pytest.approx(1 / np.sqrt(2), abs=1e-9)
+    assert result.state.amplitude(2**24 - 1) == pytest.approx(
+        1 / np.sqrt(2), abs=1e-9
+    )
+
+
+def test_sampling_from_large_ghz():
+    sim = DDSimulator()
+    state = sim.simulate_state(library.ghz_state(16))
+    counts = state.sample_counts(50, seed=3)
+    assert set(counts) <= {"0" * 16, "1" * 16}
+    assert sum(counts.values()) == 50
+
+
+def test_mid_circuit_measurement_collapses():
+    qc = library.ghz_state(3)
+    qc.measure(0, 0)
+    sim = DDSimulator(seed=11)
+    result = sim.run(qc)
+    bit = result.classical_bits[0]
+    vec = result.to_statevector()
+    expected = np.zeros(8)
+    expected[0b111 if bit else 0] = 1.0
+    assert np.allclose(vec, expected, atol=1e-9)
+
+
+def test_measurement_statistics():
+    ones = 0
+    sim = DDSimulator(seed=23)
+    for _ in range(200):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.measure(0)
+        ones += sim.run(qc).classical_bits[0]
+    assert 0.35 < ones / 200 < 0.65
+
+
+def test_vector_dd_wrapper():
+    state = VectorDD.basis_state(3, 5)
+    assert state.amplitude(5) == pytest.approx(1.0)
+    assert state.probability(5) == pytest.approx(1.0)
+    assert state.norm() == pytest.approx(1.0)
+    other = VectorDD.basis_state(3, 5, package=state.package)
+    assert state.fidelity(other) == pytest.approx(1.0)
+    cross = VectorDD.basis_state(3, 2, package=state.package)
+    assert state.fidelity(cross) == pytest.approx(0.0)
+
+
+def test_vector_dd_package_mismatch():
+    a = VectorDD.zero_state(2)
+    b = VectorDD.zero_state(2)
+    with pytest.raises(ValueError):
+        a.inner_product(b)
+
+
+def test_matrix_dd_from_circuit(workload):
+    clean = workload.without_measurements()
+    if clean.num_qubits > 4:
+        pytest.skip("dense comparison kept small")
+    matrix_dd = MatrixDD.from_circuit(clean)
+    assert np.allclose(
+        matrix_dd.to_matrix(), circuit_unitary(clean), atol=1e-8
+    )
+
+
+def test_matrix_dd_algebra():
+    qft = MatrixDD.from_circuit(library.qft(3))
+    composed = qft.adjoint().compose(qft)
+    assert composed.is_identity()
+    assert not qft.is_identity()
+
+
+def test_matrix_dd_apply():
+    pkg = DDPackage()
+    bell_circuit = library.bell_pair()
+    matrix_dd = MatrixDD.from_circuit(bell_circuit, package=pkg)
+    state = matrix_dd.apply(VectorDD.zero_state(2, pkg))
+    assert np.allclose(
+        state.to_statevector(), [1 / np.sqrt(2), 0, 0, 1 / np.sqrt(2)], atol=1e-9
+    )
+
+
+def test_measured_circuit_has_no_matrix_dd():
+    qc = QuantumCircuit(1)
+    qc.measure(0)
+    with pytest.raises(ValueError):
+        MatrixDD.from_circuit(qc)
+
+
+def test_compactness_vs_random_state():
+    """Structured states compress; random states do not (paper Sec. III)."""
+    pkg = DDPackage()
+    rng = np.random.default_rng(0)
+    n = 8
+    random_vec = rng.normal(size=2**n) + 1j * rng.normal(size=2**n)
+    random_vec /= np.linalg.norm(random_vec)
+    random_nodes = pkg.count_nodes(pkg.from_statevector(random_vec))
+    ghz_nodes = pkg.count_nodes(
+        pkg.from_statevector(DDSimulator().statevector(library.ghz_state(n)))
+    )
+    assert ghz_nodes <= 2 * n
+    assert random_nodes > 2 ** (n - 1) - 1  # essentially no sharing

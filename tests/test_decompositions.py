@@ -1,0 +1,164 @@
+"""Tests for gate decompositions and basis translation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arrays import circuit_unitary
+from repro.circuits import gates as g
+from repro.circuits import library, random_circuits
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.compile.decompositions import (
+    BASIS_CX_RZ_RY,
+    BASIS_CX_U,
+    BASIS_CZ_RZ_RY,
+    BASIS_IBM,
+    decompose_controlled_single_qubit,
+    decompose_multi_controlled,
+    decompose_single_qubit,
+    decompose_to_basis,
+    decompose_to_two_qubit,
+    decompose_toffoli,
+    decompose_two_qubit_named,
+    euler_zyz,
+)
+from tests.conftest import random_unitary
+
+ALL_BASES = [BASIS_CX_U, BASIS_CX_RZ_RY, BASIS_IBM, BASIS_CZ_RZ_RY]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_euler_zyz_reconstructs(seed):
+    unitary = random_unitary(2, seed)
+    alpha, beta, gamma, delta = euler_zyz(unitary)
+    rebuilt = (
+        np.exp(1j * alpha)
+        * g.rz(beta).matrix
+        @ g.ry(gamma).matrix
+        @ g.rz(delta).matrix
+    )
+    assert np.allclose(rebuilt, unitary, atol=1e-9)
+
+
+@pytest.mark.parametrize(
+    "matrix",
+    [g.H.matrix, g.T.matrix, g.X.matrix, np.eye(2), g.rz(0.3).matrix],
+    ids=["h", "t", "x", "id", "rz"],
+)
+def test_euler_zyz_special_matrices(matrix):
+    alpha, beta, gamma, delta = euler_zyz(matrix)
+    rebuilt = (
+        np.exp(1j * alpha)
+        * g.rz(beta).matrix
+        @ g.ry(gamma).matrix
+        @ g.rz(delta).matrix
+    )
+    assert np.allclose(rebuilt, matrix, atol=1e-10)
+
+
+@pytest.mark.parametrize("basis", ALL_BASES, ids=lambda b: "+".join(sorted(b)))
+@pytest.mark.parametrize("seed", range(4))
+def test_single_qubit_decomposition_exact(basis, seed):
+    unitary = random_unitary(2, seed + 100)
+    ops = decompose_single_qubit(unitary, 0, basis)
+    qc = QuantumCircuit(1)
+    for op in ops:
+        qc.append(op)
+    assert np.allclose(circuit_unitary(qc), unitary, atol=1e-9)
+
+
+def test_single_qubit_unsupported_basis():
+    with pytest.raises(ValueError):
+        decompose_single_qubit(g.H.matrix, 0, frozenset({"cx"}))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_controlled_single_qubit(seed):
+    unitary = random_unitary(2, seed + 50)
+    op = Operation(g.Gate("unitary1q", 1, unitary), [1], [0])
+    qc_ref = QuantumCircuit(2)
+    qc_ref.append(op)
+    qc = QuantumCircuit(2)
+    for piece in decompose_controlled_single_qubit(op):
+        qc.append(piece)
+    assert np.allclose(circuit_unitary(qc), circuit_unitary(qc_ref), atol=1e-9)
+    assert all(len(piece.qubits) <= 2 for piece in qc)
+
+
+def test_toffoli_decomposition():
+    qc_ref = QuantumCircuit(3)
+    qc_ref.ccx(0, 1, 2)
+    qc = QuantumCircuit(3)
+    for piece in decompose_toffoli(0, 1, 2):
+        qc.append(piece)
+    assert len(qc) == 15
+    assert np.allclose(circuit_unitary(qc), circuit_unitary(qc_ref), atol=1e-9)
+
+
+@pytest.mark.parametrize("num_controls", [2, 3, 4])
+def test_multi_controlled_gates(num_controls):
+    n = num_controls + 1
+    for gate in (g.X, g.Z, g.rz(0.7)):
+        op = Operation(gate, [0], list(range(1, n)))
+        qc_ref = QuantumCircuit(n)
+        qc_ref.append(op)
+        qc = QuantumCircuit(n)
+        for piece in decompose_multi_controlled(op):
+            qc.append(piece)
+        assert np.allclose(
+            circuit_unitary(qc), circuit_unitary(qc_ref), atol=1e-8
+        ), f"{gate.name} with {num_controls} controls"
+        assert all(len(piece.qubits) <= 2 for piece in qc)
+
+
+@pytest.mark.parametrize(
+    "op",
+    [
+        Operation(g.SWAP, [0, 1]),
+        Operation(g.ISWAP, [0, 1]),
+        Operation(g.ISWAPDG, [1, 0]),
+        Operation(g.rzz(0.7), [0, 1]),
+        Operation(g.rxx(1.2), [1, 0]),
+        Operation(g.ryy(-0.4), [0, 1]),
+    ],
+    ids=lambda o: o.gate.name,
+)
+def test_two_qubit_named_decompositions(op):
+    qc_ref = QuantumCircuit(2)
+    qc_ref.append(op)
+    qc = QuantumCircuit(2)
+    for piece in decompose_two_qubit_named(op):
+        qc.append(piece)
+    assert np.allclose(circuit_unitary(qc), circuit_unitary(qc_ref), atol=1e-9)
+
+
+def test_decompose_to_two_qubit_covers_cswap():
+    qc_ref = QuantumCircuit(3)
+    qc_ref.cswap(0, 1, 2)
+    lowered = decompose_to_two_qubit(qc_ref)
+    assert all(len(op.qubits) <= 2 for op in lowered if op.is_unitary)
+    assert np.allclose(
+        circuit_unitary(lowered), circuit_unitary(qc_ref), atol=1e-8
+    )
+
+
+def test_decompose_to_two_qubit_keeps_measurements():
+    qc = QuantumCircuit(3)
+    qc.ccx(0, 1, 2)
+    qc.measure(2, 0)
+    lowered = decompose_to_two_qubit(qc)
+    assert lowered.operations[-1].is_measurement
+
+
+@pytest.mark.parametrize("basis", ALL_BASES, ids=lambda b: "+".join(sorted(b)))
+def test_workload_lowering_exact(workload, basis):
+    clean = workload.without_measurements()
+    if clean.num_qubits > 4:
+        pytest.skip("dense comparison kept small")
+    lowered = decompose_to_basis(clean, basis)
+    names = {op.name_with_controls() for op in lowered if op.is_unitary}
+    assert names <= set(basis), names - set(basis)
+    assert np.allclose(
+        circuit_unitary(clean), circuit_unitary(lowered), atol=1e-8
+    )

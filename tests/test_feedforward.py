@@ -1,0 +1,115 @@
+"""Tests for classically-controlled (feed-forward) operations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arrays import StatevectorSimulator, circuit_unitary, zero_state
+from repro.arrays.statevector import apply_operation
+from repro.circuits import gates as g
+from repro.circuits import library
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.dd import DDSimulator
+from repro.tn import MPSSimulator
+
+
+def _prepared_state(theta, phi):
+    state = zero_state(1)
+    apply_operation(state, Operation(g.ry(theta), [0]), 1)
+    apply_operation(state, Operation(g.rz(phi), [0]), 1)
+    return state
+
+
+def _bob_state(full_state, classical):
+    """Extract qubit 2's state given the collapsed measurement outcomes."""
+    m0 = classical[0]
+    m1 = classical[1]
+    base = m0 | (m1 << 1)
+    return np.array([full_state[base], full_state[base | 0b100]])
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_teleportation_statevector(seed):
+    theta, phi = 0.7, -1.3
+    circuit = library.teleportation(theta, phi)
+    sim = StatevectorSimulator(seed=seed)
+    result = sim.run(circuit)
+    expected = _prepared_state(theta, phi)
+    bob = _bob_state(result.state, result.classical_bits)
+    # Compare up to global phase.
+    overlap = abs(np.vdot(expected, bob))
+    assert overlap == pytest.approx(1.0, abs=1e-9)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_teleportation_dd(seed):
+    theta, phi = 1.9, 0.4
+    circuit = library.teleportation(theta, phi)
+    sim = DDSimulator(seed=seed)
+    result = sim.run(circuit)
+    expected = _prepared_state(theta, phi)
+    bob = _bob_state(result.to_statevector(), result.classical_bits)
+    assert abs(np.vdot(expected, bob)) == pytest.approx(1.0, abs=1e-8)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_teleportation_mps(seed):
+    theta, phi = 0.3, 2.2
+    circuit = library.teleportation(theta, phi)
+    sim = MPSSimulator(seed=seed)
+    result = sim.run(circuit)
+    expected = _prepared_state(theta, phi)
+    bob = _bob_state(result.to_statevector(), result.classical_bits)
+    assert abs(np.vdot(expected, bob)) == pytest.approx(1.0, abs=1e-8)
+
+
+def test_condition_skipped_when_bit_differs():
+    qc = QuantumCircuit(2)
+    qc.x(0)
+    qc.measure(0, 0)           # always 1
+    qc.conditional(g.X, [1], clbit=0, value=0)  # must NOT fire
+    result = StatevectorSimulator(seed=1).run(qc)
+    assert result.classical_bits[0] == 1
+    assert abs(result.state[0b01]) == pytest.approx(1.0)
+
+
+def test_condition_fires_when_bit_matches():
+    qc = QuantumCircuit(2)
+    qc.x(0)
+    qc.measure(0, 0)
+    qc.conditional(g.X, [1], clbit=0, value=1)  # must fire
+    result = StatevectorSimulator(seed=1).run(qc)
+    assert abs(result.state[0b11]) == pytest.approx(1.0)
+
+
+def test_unmeasured_condition_defaults_to_zero():
+    qc = QuantumCircuit(1)
+    qc.conditional(g.X, [0], clbit=3, value=1)
+    result = StatevectorSimulator().run(qc)
+    # clbit 3 was never written: defaults to 0, so the X is skipped.
+    assert abs(result.state[0]) == pytest.approx(1.0)
+    assert qc.num_clbits == 4
+
+
+def test_conditioned_circuit_has_no_unitary():
+    qc = QuantumCircuit(1)
+    qc.conditional(g.X, [0], clbit=0)
+    with pytest.raises(ValueError):
+        circuit_unitary(qc)
+
+
+def test_without_measurements_strips_feedforward():
+    circuit = library.teleportation()
+    clean = circuit.without_measurements()
+    assert all(op.condition is None for op in clean)
+    assert all(not op.is_measurement for op in clean)
+
+
+def test_condition_survives_remap_and_inverse():
+    op = Operation(g.X, [0], condition=(2, 1))
+    moved = op.remapped({0: 3})
+    assert moved.condition == (2, 1)
+    assert moved.inverse().condition == (2, 1)
+    assert op != Operation(g.X, [0])
+    assert "if c2==1" in repr(op)

@@ -1,0 +1,137 @@
+"""Unit tests for the gate library."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates as g
+
+
+ALL_FIXED = list(g.FIXED_GATES.values())
+SAMPLE_ANGLES = [0.0, math.pi / 7, math.pi / 2, math.pi, -2.3, 5.1]
+
+
+@pytest.mark.parametrize("gate", ALL_FIXED, ids=lambda x: x.name)
+def test_fixed_gates_are_unitary(gate):
+    matrix = gate.matrix
+    dim = 2**gate.num_qubits
+    assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-12)
+
+
+@pytest.mark.parametrize("name", sorted(g.PARAMETRIC_GATES))
+@pytest.mark.parametrize("angle", SAMPLE_ANGLES)
+def test_parametric_gates_are_unitary(name, angle):
+    factory = g.PARAMETRIC_GATES[name]
+    if name in ("u", "u3"):
+        gate = factory(angle, 0.3, -0.7)
+    elif name == "u2":
+        gate = factory(angle, 0.4)
+    else:
+        gate = factory(angle)
+    dim = 2**gate.num_qubits
+    assert np.allclose(gate.matrix @ gate.matrix.conj().T, np.eye(dim), atol=1e-12)
+
+
+@pytest.mark.parametrize("gate", ALL_FIXED, ids=lambda x: x.name)
+def test_fixed_gate_inverse(gate):
+    inv = gate.inverse()
+    dim = 2**gate.num_qubits
+    assert np.allclose(gate.matrix @ inv.matrix, np.eye(dim), atol=1e-12)
+
+
+@pytest.mark.parametrize("name", sorted(g.PARAMETRIC_GATES))
+def test_parametric_gate_inverse(name):
+    factory = g.PARAMETRIC_GATES[name]
+    if name in ("u", "u3"):
+        gate = factory(0.9, 0.3, -0.7)
+    elif name == "u2":
+        gate = factory(0.9, 0.4)
+    else:
+        gate = factory(0.9)
+    inv = gate.inverse()
+    dim = 2**gate.num_qubits
+    assert np.allclose(gate.matrix @ inv.matrix, np.eye(dim), atol=1e-12)
+
+
+def test_specific_matrices():
+    assert np.allclose(g.X.matrix, [[0, 1], [1, 0]])
+    assert np.allclose(g.H.matrix, np.array([[1, 1], [1, -1]]) / math.sqrt(2))
+    assert np.allclose(g.S.matrix @ g.S.matrix, g.Z.matrix)
+    assert np.allclose(g.T.matrix @ g.T.matrix, g.S.matrix)
+    assert np.allclose(g.SX.matrix @ g.SX.matrix, g.X.matrix)
+
+
+def test_rotation_composition():
+    a, b = 0.7, 1.1
+    assert np.allclose(g.rz(a).matrix @ g.rz(b).matrix, g.rz(a + b).matrix)
+    assert np.allclose(g.rx(a).matrix @ g.rx(b).matrix, g.rx(a + b).matrix)
+    assert np.allclose(g.ry(a).matrix @ g.ry(b).matrix, g.ry(a + b).matrix)
+
+
+def test_rz_vs_p_differ_by_phase():
+    theta = 0.9
+    ratio = g.p(theta).matrix @ np.linalg.inv(g.rz(theta).matrix)
+    phase = ratio[0, 0]
+    assert abs(abs(phase) - 1) < 1e-12
+    assert np.allclose(ratio, phase * np.eye(2))
+
+
+def test_u_gate_covers_named_gates():
+    assert np.allclose(g.u(0, 0, math.pi / 2).matrix, g.S.matrix, atol=1e-12)
+    # H = u(pi/2, 0, pi) up to nothing (exact in this convention)
+    assert np.allclose(g.u(math.pi / 2, 0, math.pi).matrix, g.H.matrix, atol=1e-12)
+
+
+def test_controlled_matrix_structure():
+    cx = g.controlled_matrix(g.X.matrix, 1)
+    expected = np.eye(4, dtype=complex)
+    expected[2:, 2:] = g.X.matrix
+    assert np.allclose(cx, expected)
+    ccx = g.controlled_matrix(g.X.matrix, 2)
+    assert ccx.shape == (8, 8)
+    assert np.allclose(ccx[:6, :6], np.eye(6))
+    assert np.allclose(ccx[6:, 6:], g.X.matrix)
+
+
+def test_make_gate_dispatch():
+    assert g.make_gate("h") is g.H
+    gate = g.make_gate("rz", [0.5])
+    assert gate.name == "rz" and gate.params == (0.5,)
+    with pytest.raises(ValueError):
+        g.make_gate("h", [0.1])
+    with pytest.raises(ValueError):
+        g.make_gate("nosuchgate")
+
+
+def test_gate_equality_and_hash():
+    assert g.rz(0.5) == g.rz(0.5)
+    assert g.rz(0.5) != g.rz(0.6)
+    assert hash(g.rz(0.5)) == hash(g.rz(0.5))
+    assert g.H == g.H
+    assert g.H != g.X
+
+
+def test_gate_matrix_is_readonly():
+    with pytest.raises(ValueError):
+        g.H.matrix[0, 0] = 5.0
+
+
+def test_bad_matrix_shape_rejected():
+    with pytest.raises(ValueError):
+        g.Gate("bad", 2, np.eye(2))
+
+
+def test_pseudo_gates_have_no_matrix():
+    assert not g.MEASURE.has_matrix
+    with pytest.raises(ValueError):
+        _ = g.BARRIER.matrix
+
+
+def test_gphase():
+    gate = g.gphase(0.8)
+    assert gate.num_qubits == 0
+    assert np.allclose(gate.matrix, [[cmath.exp(0.8j)]])
+    inv = gate.inverse()
+    assert np.allclose(inv.matrix, [[cmath.exp(-0.8j)]])

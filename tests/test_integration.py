@@ -1,0 +1,118 @@
+"""End-to-end integration tests: the full design flow across all systems.
+
+These chase the paper's storyline: take an algorithm, simulate it on every
+data structure, compile it to a constrained device, and verify the compiled
+result with every checker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays import StatevectorSimulator, allclose_up_to_global_phase
+from repro.circuits import library, qasm, random_circuits
+from repro.compile import compile_circuit, coupling, zx_optimize
+from repro.compile.routing import undo_layout_statevector
+from repro.core import BACKENDS, simulate
+from repro.verify import check_all_methods, check_equivalence
+
+
+def test_full_flow_qft():
+    """Design flow on the QFT: simulate -> compile -> verify."""
+    circuit = library.qft(4)
+    reference = simulate(circuit, backend="arrays").state
+    # 1. every simulation backend agrees
+    for backend in BACKENDS:
+        assert np.allclose(simulate(circuit, backend=backend).state, reference, atol=1e-8)
+    # 2. compile to a line device in the IBM-ish basis
+    result = compile_circuit(
+        circuit, coupling=coupling.line(4), optimization_level=1, seed=3
+    )
+    # 3. compiled circuit still computes the QFT (modulo layout)
+    sv = StatevectorSimulator()
+    logical = undo_layout_statevector(
+        sv.statevector(result.circuit),
+        type("R", (), {"final_layout": result.final_layout})(),
+        4,
+    )
+    assert allclose_up_to_global_phase(reference, logical, tol=1e-6)
+
+
+def test_full_flow_grover_with_verification():
+    circuit = library.grover(3, 6)
+    compiled = compile_circuit(circuit, optimization_level=2).circuit
+    results = check_all_methods(circuit, compiled)
+    assert results["arrays"] is True
+    assert results["dd"] is True
+    assert results["tn"] is True
+    # Grover still finds the marked item after compilation.
+    probs = simulate(compiled, backend="dd").probabilities()
+    assert int(np.argmax(probs)) == 6
+
+
+def test_miscompilation_is_caught():
+    """A deliberately broken compilation result must be rejected."""
+    circuit = library.qft(3)
+    broken = compile_circuit(circuit, optimization_level=1).circuit.copy()
+    broken.z(0)  # inject a bug
+    assert check_equivalence(circuit, broken, method="dd") is False
+    assert check_equivalence(circuit, broken, method="arrays") is False
+
+
+def test_qasm_interchange_roundtrip():
+    """Export -> import -> re-verify, as a cross-tool interchange story."""
+    circuit = library.qft(4)
+    compiled = compile_circuit(circuit, optimization_level=1).circuit
+    text = qasm.dumps(compiled)
+    reloaded = qasm.loads(text)
+    assert check_equivalence(circuit, reloaded, method="dd") is True
+
+
+def test_zx_optimize_then_route_then_verify():
+    circuit = random_circuits.random_clifford_t_circuit(4, 30, seed=12)
+    optimized = zx_optimize(circuit).optimized
+    assert check_equivalence(circuit, optimized, method="dd") is True
+    routed = compile_circuit(
+        optimized, coupling=coupling.ring(4), optimization_level=1
+    )
+    sv = StatevectorSimulator()
+    logical = undo_layout_statevector(
+        sv.statevector(routed.circuit),
+        type("R", (), {"final_layout": routed.final_layout})(),
+        4,
+    )
+    assert allclose_up_to_global_phase(
+        sv.statevector(circuit), logical, tol=1e-6
+    )
+
+
+def test_noisy_vs_ideal_simulation():
+    """Noise-aware density simulation sits consistently below the ideal."""
+    from repro.arrays import DensityMatrixSimulator, NoiseModel
+
+    circuit = library.grover(3, 5)
+    ideal = simulate(circuit, backend="arrays").state
+    noisy = DensityMatrixSimulator(
+        NoiseModel.uniform_depolarizing(0.002, 0.01)
+    ).run(circuit)
+    ideal_prob = abs(ideal[5]) ** 2
+    noisy_prob = noisy.probabilities()[5]
+    assert noisy_prob < ideal_prob
+    assert noisy_prob > 0.5  # still finds the marked element
+
+
+def test_every_workload_through_every_backend(workload, sv_sim):
+    clean = workload.without_measurements()
+    reference = sv_sim.statevector(clean)
+    for backend in BACKENDS:
+        state = simulate(clean, backend=backend).state
+        assert np.allclose(state, reference, atol=1e-8), backend
+
+
+def test_mps_scales_where_arrays_cannot_easily():
+    """Structured 40-qubit state: MPS handles it in milliseconds."""
+    result = simulate(library.ghz_state(12), backend="mps")
+    from repro.tn import MPSSimulator
+
+    big = MPSSimulator().run(library.ghz_state(40))
+    assert big.mps.amplitude(0) == pytest.approx(1 / np.sqrt(2), abs=1e-9)
+    assert max(big.mps.bond_dimensions()) == 2

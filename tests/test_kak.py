@@ -1,0 +1,123 @@
+"""Tests for the Cartan (KAK) two-qubit decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import circuit_unitary, operation_unitary
+from repro.circuits import gates as g
+from repro.circuits import library
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.compile.decompositions import (
+    BASIS_CX_RZ_RY,
+    BASIS_IBM,
+    decompose_to_basis,
+)
+from repro.compile.kak import decompose_two_qubit_unitary, kak_decompose
+from tests.conftest import random_unitary
+
+
+def _circuit_from_ops(ops, n=2):
+    qc = QuantumCircuit(n)
+    for op in ops:
+        qc.append(op)
+    return qc
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_unitaries_reconstruct_exactly(seed):
+    unitary = random_unitary(4, seed + 1000)
+    ops = decompose_two_qubit_unitary(unitary, 0, 1)
+    rebuilt = circuit_unitary(_circuit_from_ops(ops))
+    assert np.allclose(rebuilt, unitary, atol=1e-7)
+
+
+@pytest.mark.parametrize(
+    "name,matrix",
+    [
+        ("identity", np.eye(4)),
+        ("swap", g.SWAP.matrix),
+        ("iswap", g.ISWAP.matrix),
+        ("cz", np.diag([1, 1, 1, -1])),
+        ("rzz", g.rzz(0.7).matrix),
+        ("rxx", g.rxx(-1.2).matrix),
+    ],
+)
+def test_known_gates(name, matrix):
+    ops = decompose_two_qubit_unitary(np.asarray(matrix, dtype=complex), 0, 1)
+    rebuilt = circuit_unitary(_circuit_from_ops(ops))
+    assert np.allclose(rebuilt, matrix, atol=1e-8), name
+
+
+def test_cx_canonical_coefficients():
+    cx = operation_unitary(Operation(g.X, [1], [0]), 2)
+    decomposition = kak_decompose(cx)
+    c = sorted(abs(x) % (np.pi / 2) for x in decomposition.coefficients)
+    # CX has canonical class (pi/4, 0, 0).
+    nonzero = [x for x in c if x > 1e-8]
+    assert len(nonzero) == 1
+    assert nonzero[0] == pytest.approx(np.pi / 4, abs=1e-7)
+
+
+def test_swap_canonical_coefficients():
+    decomposition = kak_decompose(np.asarray(g.SWAP.matrix))
+    magnitudes = sorted(abs(x) for x in decomposition.coefficients)
+    assert np.allclose(magnitudes, [np.pi / 4] * 3, atol=1e-7)
+
+
+def test_kron_products_have_zero_interaction():
+    a = random_unitary(2, 5)
+    b = random_unitary(2, 6)
+    decomposition = kak_decompose(np.kron(a, b))
+    # Local gates need no interaction: all coefficients ~ multiples of pi/2.
+    for c in decomposition.coefficients:
+        assert min(abs(c % (np.pi / 2)), np.pi / 2 - abs(c % (np.pi / 2))) < 1e-7
+
+
+def test_non_unitary_rejected():
+    with pytest.raises(ValueError):
+        kak_decompose(np.ones((4, 4)))
+    with pytest.raises(ValueError):
+        kak_decompose(np.eye(3))
+
+
+def test_qubit_ordering_respected():
+    unitary = random_unitary(4, 9)
+    ops = decompose_two_qubit_unitary(unitary, 1, 0)  # low = qubit 1!
+    qc = _circuit_from_ops(ops)
+    # Build the reference: matrix with qubit 1 as the least significant bit
+    # equals SWAP . U . SWAP in the default ordering.
+    swap = np.asarray(g.SWAP.matrix)
+    assert np.allclose(circuit_unitary(qc), swap @ unitary @ swap, atol=1e-7)
+
+
+def test_quantum_volume_circuit_lowers_to_basis():
+    circuit = library.quantum_volume_circuit(3, 2, seed=4)
+    for basis in (BASIS_CX_RZ_RY, BASIS_IBM):
+        lowered = decompose_to_basis(circuit, basis)
+        names = {op.name_with_controls() for op in lowered if op.is_unitary}
+        assert names <= set(basis)
+        assert np.allclose(
+            circuit_unitary(circuit), circuit_unitary(lowered), atol=1e-7
+        )
+
+
+def test_controlled_arbitrary_two_qubit_gate():
+    from repro.compile.decompositions import decompose_to_two_qubit
+
+    unitary = random_unitary(4, 11)
+    qc = QuantumCircuit(3)
+    qc.add_gate(g.Gate("unitary2q", 2, unitary), [0, 1], [2])
+    lowered = decompose_to_two_qubit(qc)
+    assert all(len(op.qubits) <= 2 for op in lowered if op.is_unitary)
+    assert np.allclose(
+        circuit_unitary(qc), circuit_unitary(lowered), atol=1e-6
+    )
+
+
+def test_quantum_volume_through_zx():
+    from repro.arrays import allclose_up_to_global_phase
+    from repro.zx import circuit_to_zx, diagram_to_matrix, proportional
+
+    circuit = library.quantum_volume_circuit(2, 2, seed=8)
+    diagram = circuit_to_zx(circuit)
+    assert proportional(diagram_to_matrix(diagram), circuit_unitary(circuit))

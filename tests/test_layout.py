@@ -1,0 +1,88 @@
+"""Tests for the interaction-graph initial layout heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import StatevectorSimulator, allclose_up_to_global_phase
+from repro.circuits import library, random_circuits
+from repro.circuits.circuit import QuantumCircuit
+from repro.compile import compile_circuit, coupling, interaction_layout
+from repro.compile.routing import route_sabre, undo_layout_statevector
+
+
+def test_layout_is_a_valid_injection():
+    circuit = library.qft(5)
+    cmap = coupling.grid(2, 3)
+    layout = interaction_layout(circuit, cmap)
+    assert set(layout.keys()) == set(range(5))
+    values = list(layout.values())
+    assert len(set(values)) == 5
+    assert all(0 <= p < 6 for p in values)
+
+
+def test_interacting_pairs_are_placed_close():
+    # Two hot pairs that never talk to each other.
+    circuit = QuantumCircuit(4)
+    for _ in range(10):
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+    cmap = coupling.line(4)
+    layout = interaction_layout(circuit, cmap)
+    assert cmap.distance(layout[0], layout[1]) == 1
+    assert cmap.distance(layout[2], layout[3]) == 1
+
+
+def test_star_circuit_centers_on_hub():
+    # Qubit 0 talks to everyone: it must land on the star's centre.
+    circuit = QuantumCircuit(5)
+    for q in range(1, 5):
+        circuit.cx(0, q)
+    cmap = coupling.star(5)
+    layout = interaction_layout(circuit, cmap)
+    assert layout[0] == 0  # physical hub
+
+
+def test_layout_reduces_swaps_on_mismatched_ordering():
+    # A line circuit whose logical order is reversed relative to the device.
+    circuit = QuantumCircuit(6)
+    for _ in range(3):
+        for q in range(5):
+            circuit.cx(5 - q, 4 - q if False else (4 - q))
+    # interactions between (5,4), (4,3), ... still line-shaped; scramble:
+    circuit = QuantumCircuit(6)
+    pairs = [(0, 3), (3, 5), (5, 1), (1, 4), (4, 2)]
+    for _ in range(4):
+        for a, b in pairs:
+            circuit.cx(a, b)
+    cmap = coupling.line(6)
+    trivial = route_sabre(circuit, cmap).swap_count
+    layout = interaction_layout(circuit, cmap)
+    smart = route_sabre(circuit, cmap, initial_layout=layout).swap_count
+    assert smart <= trivial
+
+
+def test_layout_with_measurement_only_circuit():
+    circuit = QuantumCircuit(3)
+    circuit.h(0)
+    layout = interaction_layout(circuit, coupling.line(3))
+    assert len(set(layout.values())) == 3
+
+
+def test_compile_with_layout_strategies():
+    circuit = library.qft(4)
+    cmap = coupling.line(4)
+    sv = StatevectorSimulator()
+    for strategy in ("trivial", "interaction"):
+        result = compile_circuit(
+            circuit, coupling=cmap, optimization_level=1, layout=strategy
+        )
+        logical = undo_layout_statevector(
+            sv.statevector(result.circuit),
+            type("R", (), {"final_layout": result.final_layout})(),
+            4,
+        )
+        assert allclose_up_to_global_phase(
+            sv.statevector(circuit), logical, tol=1e-6
+        ), strategy
+    with pytest.raises(ValueError):
+        compile_circuit(circuit, coupling=cmap, layout="astrology")

@@ -1,0 +1,211 @@
+"""Semantic tests for the algorithm library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arrays import StatevectorSimulator, basis_state, circuit_unitary
+from repro.circuits import library
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return StatevectorSimulator(seed=0)
+
+
+def test_bell_pair_state(sim):
+    state = sim.statevector(library.bell_pair())
+    expected = np.zeros(4)
+    expected[0] = expected[3] = 1 / math.sqrt(2)
+    assert np.allclose(state, expected)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_ghz_state(sim, n):
+    state = sim.statevector(library.ghz_state(n))
+    assert abs(state[0] - 1 / math.sqrt(2)) < 1e-10 or n == 1
+    if n == 1:
+        assert abs(state[0] - 1 / math.sqrt(2)) < 1e-10
+    assert abs(state[-1] - 1 / math.sqrt(2)) < 1e-10
+    middle = state[1:-1]
+    assert np.allclose(middle, 0, atol=1e-10)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 6])
+def test_w_state(sim, n):
+    state = sim.statevector(library.w_state(n))
+    expected_amp = 1 / math.sqrt(n)
+    for index in range(2**n):
+        weight = bin(index).count("1")
+        if weight == 1:
+            assert abs(state[index] - expected_amp) < 1e-9
+        else:
+            assert abs(state[index]) < 1e-9
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_qft_matrix(n):
+    unitary = circuit_unitary(library.qft(n))
+    dim = 2**n
+    omega = np.exp(2j * np.pi / dim)
+    expected = np.array(
+        [[omega ** (r * c) for c in range(dim)] for r in range(dim)]
+    ) / math.sqrt(dim)
+    assert np.allclose(unitary, expected, atol=1e-10)
+
+
+def test_qft_without_swaps_is_bit_reversed():
+    n = 3
+    plain = circuit_unitary(library.qft(n, include_swaps=True))
+    noswap = circuit_unitary(library.qft(n, include_swaps=False))
+    # Applying the swap permutation to the no-swap version gives the QFT.
+    perm = np.zeros((8, 8))
+    for i in range(8):
+        bits = format(i, "03b")
+        perm[int(bits[::-1], 2), i] = 1
+    assert np.allclose(perm @ noswap, plain, atol=1e-10)
+
+
+def test_inverse_qft(sim):
+    n = 3
+    qc = library.qft(n)
+    qc.compose(library.inverse_qft(n))
+    assert np.allclose(circuit_unitary(qc), np.eye(8), atol=1e-9)
+
+
+def test_deutsch_jozsa_constant(sim):
+    circuit = library.deutsch_jozsa(3, balanced_mask=0)
+    state = sim.statevector(circuit)
+    # Input register must return to |000>; probability mass on indices with
+    # the three input qubits zero.
+    probs = np.abs(state) ** 2
+    mass = sum(probs[i] for i in range(16) if i & 0b111 == 0)
+    assert mass == pytest.approx(1.0, abs=1e-9)
+
+
+@pytest.mark.parametrize("mask", [0b001, 0b101, 0b111])
+def test_deutsch_jozsa_balanced(sim, mask):
+    circuit = library.deutsch_jozsa(3, balanced_mask=mask)
+    state = sim.statevector(circuit)
+    probs = np.abs(state) ** 2
+    mass_zero = sum(probs[i] for i in range(16) if i & 0b111 == 0)
+    assert mass_zero == pytest.approx(0.0, abs=1e-9)
+
+
+@pytest.mark.parametrize("secret", [0b0, 0b101, 0b111, 0b010])
+def test_bernstein_vazirani_recovers_secret(sim, secret):
+    n = 3
+    circuit = library.bernstein_vazirani(secret, n)
+    state = sim.statevector(circuit)
+    probs = np.abs(state) ** 2
+    best = int(np.argmax(probs))
+    assert best & ((1 << n) - 1) == secret
+
+
+@pytest.mark.parametrize("marked", [0, 3, 7, 11])
+def test_grover_amplifies_marked(sim, marked):
+    n = 4
+    circuit = library.grover(n, marked)
+    probs = np.abs(sim.statevector(circuit)) ** 2
+    assert int(np.argmax(probs)) == marked
+    assert probs[marked] > 0.9
+
+
+def test_grover_rejects_bad_marked():
+    with pytest.raises(ValueError):
+        library.grover(2, 7)
+
+
+@pytest.mark.parametrize("phase", [0.0, 0.25, 0.375, 0.8125])
+def test_phase_estimation_exact_phases(sim, phase):
+    n = 4
+    circuit = library.phase_estimation(n, phase)
+    probs = np.abs(sim.statevector(circuit)) ** 2
+    best = int(np.argmax(probs))
+    eval_register = best & ((1 << n) - 1)
+    assert eval_register == int(round(phase * 2**n)) % (2**n)
+
+
+@pytest.mark.parametrize("a,b", [(0, 0), (1, 2), (3, 3), (2, 1)])
+def test_cuccaro_adder(sim, a, b):
+    n = 2
+    circuit = library.cuccaro_adder(n)
+    index = a | (b << n)
+    state = sim.run(circuit, initial_state=basis_state(2 * n + 2, index)).state
+    out = int(np.argmax(np.abs(state)))
+    out_a = out & (2**n - 1)
+    out_b = (out >> n) & (2**n - 1)
+    carry = (out >> (2 * n + 1)) & 1
+    assert out_a == a
+    assert out_b == (a + b) % 2**n
+    assert carry == (a + b) // 2**n
+
+
+def test_ansatz_parameter_count():
+    with pytest.raises(ValueError):
+        library.hardware_efficient_ansatz(3, 2, [0.0] * 5)
+    circuit = library.hardware_efficient_ansatz(3, 1, [0.1] * 12)
+    assert circuit.num_qubits == 3
+    assert circuit.count_ops()["cx"] == 2
+
+
+def test_phase_polynomial_semantics(sim):
+    # theta * parity(x & mask) phases on basis states.
+    terms = [(0b011, 0.7), (0b100, -0.4)]
+    circuit = library.phase_polynomial_circuit(3, terms)
+    unitary = circuit_unitary(circuit)
+    for x in range(8):
+        expected = 1.0
+        for mask, theta in terms:
+            parity = bin(x & mask).count("1") % 2
+            # rz convention: e^{-i theta/2} on parity 0, e^{+i theta/2} on 1
+            expected *= np.exp(1j * theta * (parity - 0.5))
+        assert abs(unitary[x, x] - expected) < 1e-9
+    off_diag = unitary - np.diag(np.diag(unitary))
+    assert np.allclose(off_diag, 0, atol=1e-10)
+
+
+def test_qaoa_layer_structure(sim):
+    edges = [(0, 1), (1, 2)]
+    circuit = library.qaoa_maxcut(edges, [0.3, 0.5], [0.2, 0.4])
+    counts = circuit.count_ops()
+    assert counts["h"] == 3
+    assert counts["rzz"] == 4  # 2 edges x 2 layers
+    assert counts["rx"] == 6
+    with pytest.raises(ValueError):
+        library.qaoa_maxcut(edges, [0.3], [0.2, 0.4])
+
+
+def test_qaoa_uniform_at_zero_angles(sim):
+    circuit = library.qaoa_maxcut([(0, 1)], [0.0], [0.0])
+    state = sim.statevector(circuit)
+    assert np.allclose(np.abs(state), 0.5)
+
+
+def test_quantum_volume_is_unitary_and_seeded():
+    a = library.quantum_volume_circuit(4, 3, seed=5)
+    b = library.quantum_volume_circuit(4, 3, seed=5)
+    assert len(a) == len(b) == 6  # 2 pairs per layer x 3 layers
+    ua = circuit_unitary(a)
+    assert np.allclose(ua @ ua.conj().T, np.eye(16), atol=1e-9)
+    assert np.allclose(ua, circuit_unitary(b))
+    c = library.quantum_volume_circuit(4, 3, seed=6)
+    assert not np.allclose(ua, circuit_unitary(c))
+
+
+def test_teleportation_structure():
+    circuit = library.teleportation()
+    assert circuit.num_qubits == 3
+    assert sum(1 for op in circuit if op.is_measurement) == 2
+    assert sum(1 for op in circuit if op.condition is not None) == 2
+
+
+def test_hidden_shift_is_real_output(sim):
+    circuit = library.hidden_shift(4, 0b1001)
+    state = sim.statevector(circuit)
+    # Clifford hidden-shift output collapses to a single basis state family.
+    probs = np.abs(state) ** 2
+    assert probs.max() > 0.24
+    with pytest.raises(ValueError):
+        library.hidden_shift(3, 1)

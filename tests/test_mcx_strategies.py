@@ -1,0 +1,103 @@
+"""Tests for the alternative multi-controlled decompositions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arrays import circuit_unitary, operation_unitary
+from repro.circuits import gates as g
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.compile.decompositions import (
+    decompose_mcp_parity,
+    decompose_mcx_with_ancillas,
+    decompose_multi_controlled,
+)
+
+
+def _unitary_of(ops, n):
+    qc = QuantumCircuit(n)
+    for op in ops:
+        qc.append(op)
+    return circuit_unitary(qc)
+
+
+@pytest.mark.parametrize("num_controls", [3, 4, 5])
+def test_vchain_mcx_correct(num_controls):
+    k = num_controls
+    ancillas = list(range(k + 1, k + 1 + (k - 2)))
+    n = k + 1 + (k - 2)
+    ops = decompose_mcx_with_ancillas(list(range(k)), k, ancillas)
+    full = _unitary_of(ops, n)
+    # On the ancilla=|0> subspace this must act as MCX; ancillas return to 0.
+    reference = operation_unitary(Operation(g.X, [k], list(range(k))), k + 1)
+    dim_main = 1 << (k + 1)
+    block = full[:dim_main, :dim_main]
+    assert np.allclose(block, reference, atol=1e-9)
+    # No leakage out of the ancilla-zero subspace.
+    assert np.allclose(full[dim_main:, :dim_main], 0, atol=1e-9)
+
+
+def test_vchain_ancilla_count_checked():
+    with pytest.raises(ValueError):
+        decompose_mcx_with_ancillas([0, 1, 2, 3], 4, [5])
+
+
+def test_vchain_two_controls_is_plain_toffoli():
+    ops = decompose_mcx_with_ancillas([0, 1], 2, [])
+    assert len(ops) == 1
+    assert ops[0].controls == (0, 1)
+
+
+@pytest.mark.parametrize("num_controls", [3, 4, 5])
+def test_vchain_linear_toffoli_count(num_controls):
+    k = num_controls
+    ancillas = list(range(k + 1, k + 1 + (k - 2)))
+    ops = decompose_mcx_with_ancillas(list(range(k)), k, ancillas)
+    assert len(ops) == 2 * (k - 2) + 1  # linear, unlike Barenco
+
+
+@pytest.mark.parametrize("num_controls", [1, 2, 3, 4])
+@pytest.mark.parametrize("angle", [math.pi, math.pi / 4, -0.7])
+def test_parity_mcp_exact(num_controls, angle):
+    k = num_controls
+    n = k + 1
+    ops = decompose_mcp_parity(angle, list(range(k)), k)
+    built = _unitary_of(ops, n)
+    reference = operation_unitary(
+        Operation(g.p(angle), [k], list(range(k))), n
+    )
+    assert np.allclose(built, reference, atol=1e-9)
+
+
+def test_parity_mcp_emits_only_cx_rz_gphase():
+    ops = decompose_mcp_parity(0.9, [0, 1, 2], 3)
+    names = {op.name_with_controls() for op in ops}
+    assert names <= {"cx", "rz", "gphase"}
+
+
+def test_parity_mcz_matches_barenco():
+    k = 4
+    n = k + 1
+    parity = _unitary_of(decompose_mcp_parity(math.pi, list(range(k)), k), n)
+    barenco = _unitary_of(
+        decompose_multi_controlled(Operation(g.Z, [k], list(range(k)))), n
+    )
+    assert np.allclose(parity, barenco, atol=1e-7)
+
+
+def test_parity_mcp_count_comparable_to_barenco():
+    k = 5
+    parity_ops = decompose_mcp_parity(math.pi, list(range(k)), k)
+    parity_2q = sum(1 for op in parity_ops if len(op.qubits) == 2)
+    barenco_ops = decompose_multi_controlled(
+        Operation(g.Z, [k], list(range(k)))
+    )
+    qc = QuantumCircuit(k + 1)
+    for op in barenco_ops:
+        qc.append(op)
+    from repro.compile.decompositions import BASIS_CX_RZ_RY, decompose_to_basis
+
+    barenco_2q = decompose_to_basis(qc, BASIS_CX_RZ_RY).two_qubit_gate_count()
+    # Same ballpark of CX gates, but using only {CX, rz} as primitives.
+    assert parity_2q < 1.5 * barenco_2q

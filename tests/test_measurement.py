@@ -1,0 +1,87 @@
+"""Tests for measurement, sampling, and observable utilities."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import circuit_unitary
+from repro.arrays.measurement import (
+    expectation_value,
+    fidelity,
+    marginal_probability,
+    pauli_string_matrix,
+    probabilities,
+    sample_counts,
+)
+from repro.arrays.statevector import StatevectorSimulator, zero_state
+from repro.circuits import library
+from tests.conftest import random_state
+
+
+def test_probabilities_sum_to_one():
+    state = random_state(4, seed=0)
+    probs = probabilities(state)
+    assert probs.sum() == pytest.approx(1.0)
+    assert (probs >= 0).all()
+
+
+def test_sample_counts_bitstring_convention():
+    # |10> (qubit 1 set) must sample as "10" (qubit n-1 first).
+    state = np.zeros(4)
+    state[0b10] = 1.0
+    counts = sample_counts(state, 10, seed=0)
+    assert counts == {"10": 10}
+
+
+def test_sample_counts_statistics():
+    sim = StatevectorSimulator()
+    state = sim.statevector(library.bell_pair())
+    counts = sample_counts(state, 2000, seed=1)
+    assert set(counts) == {"00", "11"}
+    assert abs(counts["00"] - 1000) < 150
+
+
+def test_marginal_probability():
+    sim = StatevectorSimulator()
+    state = sim.statevector(library.w_state(3))
+    for q in range(3):
+        assert marginal_probability(state, q, 1) == pytest.approx(1 / 3, abs=1e-9)
+
+
+def test_pauli_string_matrix_ordering():
+    # "ZI": Z on the high qubit (qubit 1), identity on qubit 0.
+    matrix = pauli_string_matrix("ZI")
+    assert np.allclose(matrix, np.diag([1, 1, -1, -1]))
+    matrix = pauli_string_matrix("IZ")
+    assert np.allclose(matrix, np.diag([1, -1, 1, -1]))
+    with pytest.raises(ValueError):
+        pauli_string_matrix("AB")
+
+
+@pytest.mark.parametrize("pauli", ["ZZZ", "XXI", "IYX", "XYZ", "III"])
+def test_expectation_matches_dense(pauli):
+    state = random_state(3, seed=17)
+    dense = pauli_string_matrix(pauli)
+    expected = np.real(np.vdot(state, dense @ state))
+    assert expectation_value(state, pauli) == pytest.approx(expected, abs=1e-10)
+
+
+def test_expectation_ghz_parity():
+    sim = StatevectorSimulator()
+    state = sim.statevector(library.ghz_state(3))
+    assert expectation_value(state, "XXX") == pytest.approx(1.0, abs=1e-9)
+    assert expectation_value(state, "ZZI") == pytest.approx(1.0, abs=1e-9)
+    assert expectation_value(state, "ZII") == pytest.approx(0.0, abs=1e-9)
+
+
+def test_expectation_length_check():
+    with pytest.raises(ValueError):
+        expectation_value(zero_state(2), "ZZZ")
+
+
+def test_fidelity():
+    a = random_state(3, seed=1)
+    assert fidelity(a, a) == pytest.approx(1.0)
+    b = random_state(3, seed=2)
+    value = fidelity(a, b)
+    assert 0.0 <= value < 1.0
+    assert fidelity(a, 1j * a) == pytest.approx(1.0)

@@ -1,0 +1,133 @@
+"""Tests for the matrix-product-state simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arrays.measurement import expectation_value as array_expectation
+from repro.circuits import library, random_circuits
+from repro.circuits.circuit import QuantumCircuit
+from repro.tn import MPS, MPSSimulator
+
+
+def test_matches_arrays_backend(workload, sv_sim):
+    clean = workload.without_measurements()
+    expected = sv_sim.statevector(clean)
+    state = MPSSimulator().statevector(clean)
+    assert np.allclose(state, expected, atol=1e-8)
+
+
+def test_basis_state_construction():
+    mps = MPS.basis_state(4, 0b1010)
+    assert mps.amplitude(0b1010) == pytest.approx(1.0)
+    assert mps.amplitude(0b1011) == pytest.approx(0.0)
+
+
+def test_ghz_bond_dimension_is_two():
+    result = MPSSimulator().run(library.ghz_state(20))
+    assert max(result.mps.bond_dimensions()) == 2
+    assert result.mps.total_entries() < 2**12
+
+
+def test_amplitude_large_system():
+    result = MPSSimulator().run(library.ghz_state(40))
+    assert result.mps.amplitude(0) == pytest.approx(1 / math.sqrt(2), abs=1e-9)
+    assert result.mps.amplitude(2**40 - 1) == pytest.approx(
+        1 / math.sqrt(2), abs=1e-9
+    )
+    assert result.mps.amplitude(1) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_norm_preserved_without_truncation():
+    circuit = random_circuits.brickwork_circuit(6, 4, seed=2)
+    result = MPSSimulator().run(circuit)
+    assert result.mps.norm() == pytest.approx(1.0, abs=1e-9)
+    # Only numerically-zero singular values may be discarded.
+    assert result.mps.truncation_error < 1e-20
+
+
+def test_truncation_error_grows_with_tighter_bond():
+    circuit = random_circuits.brickwork_circuit(8, 5, seed=3)
+    errors = []
+    for max_bond in (16, 4, 2):
+        result = MPSSimulator(max_bond=max_bond).run(circuit)
+        errors.append(result.mps.truncation_error)
+    assert errors[0] <= errors[1] <= errors[2]
+    assert errors[2] > 0
+
+
+def test_truncated_fidelity_improves_with_bond(sv_sim):
+    circuit = random_circuits.brickwork_circuit(8, 4, seed=4)
+    exact = sv_sim.statevector(circuit)
+    fidelities = []
+    for max_bond in (1, 2, 4, 16):
+        state = MPSSimulator(max_bond=max_bond).statevector(circuit)
+        norm = np.linalg.norm(state)
+        fidelities.append(abs(np.vdot(exact, state / norm)) ** 2)
+    assert fidelities == sorted(fidelities)
+    assert fidelities[-1] == pytest.approx(1.0, abs=1e-6)
+
+
+def test_nonadjacent_gates_routed(sv_sim):
+    qc = QuantumCircuit(5)
+    qc.h(0)
+    qc.cx(0, 4)
+    qc.rzz(0.7, 4, 1)
+    expected = sv_sim.statevector(qc)
+    assert np.allclose(MPSSimulator().statevector(qc), expected, atol=1e-9)
+
+
+def test_three_qubit_ops_lowered(sv_sim):
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.h(1)
+    qc.ccx(0, 1, 2)
+    expected = sv_sim.statevector(qc)
+    assert np.allclose(MPSSimulator().statevector(qc), expected, atol=1e-8)
+
+
+def test_sampling():
+    result = MPSSimulator().run(library.ghz_state(10))
+    counts = result.sample_counts(400, seed=9)
+    assert set(counts) <= {"0" * 10, "1" * 10}
+    assert abs(counts.get("0" * 10, 0) - 200) < 60
+
+
+def test_sampling_weighted_state():
+    qc = QuantumCircuit(2)
+    qc.ry(2 * math.asin(math.sqrt(0.8)), 0)
+    counts = MPSSimulator().run(qc).sample_counts(1000, seed=2)
+    assert abs(counts.get("01", 0) - 800) < 60
+
+
+def test_expectation_pauli(sv_sim):
+    circuit = random_circuits.brickwork_circuit(5, 3, seed=6)
+    state = sv_sim.statevector(circuit)
+    mps = MPSSimulator().run(circuit).mps
+    for pauli in ("ZZZZZ", "XIZIX", "IYIYI"):
+        assert mps.expectation_pauli(pauli) == pytest.approx(
+            array_expectation(state, pauli), abs=1e-8
+        )
+
+
+def test_entanglement_entropy_ghz_and_product():
+    ghz = MPSSimulator().run(library.ghz_state(6)).mps
+    assert np.allclose(ghz.bipartite_entropies(), 1.0, atol=1e-9)
+    product = QuantumCircuit(4)
+    for q in range(4):
+        product.h(q)
+    flat = MPSSimulator().run(product).mps
+    assert np.allclose(flat.bipartite_entropies(), 0.0, atol=1e-9)
+
+
+def test_mid_circuit_measurement():
+    qc = library.ghz_state(4)
+    qc.measure(1, 0)
+    sim = MPSSimulator(seed=5)
+    result = sim.run(qc)
+    bit = result.classical_bits[0]
+    state = result.mps.to_statevector()
+    expected = np.zeros(16)
+    expected[0b1111 if bit else 0] = 1.0
+    assert np.allclose(np.abs(state), np.abs(expected), atol=1e-8)

@@ -1,0 +1,118 @@
+"""Tests for the peephole optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import circuit_unitary
+from repro.circuits import library, random_circuits
+from repro.circuits.circuit import QuantumCircuit
+from repro.compile.optimize import (
+    cancel_inverses,
+    merge_rotations,
+    optimize,
+    remove_identities,
+)
+
+
+def test_h_h_cancels():
+    qc = QuantumCircuit(1)
+    qc.h(0).h(0)
+    assert len(cancel_inverses(qc)) == 0
+
+
+def test_cx_cx_cancels():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1).cx(0, 1)
+    assert len(cancel_inverses(qc)) == 0
+
+
+def test_cancellation_blocked_by_interference():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    qc.x(1)  # touches the target in between
+    qc.cx(0, 1)
+    assert len(cancel_inverses(qc)) == 3
+
+
+def test_cancellation_through_disjoint_gates():
+    qc = QuantumCircuit(3)
+    qc.cx(0, 1)
+    qc.h(2)  # disjoint qubit: no interference
+    qc.cx(0, 1)
+    assert len(cancel_inverses(qc)) == 1
+
+
+def test_nested_cancellation():
+    qc = QuantumCircuit(1)
+    qc.t(0).s(0).sdg(0).tdg(0)
+    assert len(optimize(qc)) == 0
+
+
+def test_rotation_merging():
+    qc = QuantumCircuit(1)
+    qc.rz(0.3, 0).rz(0.4, 0)
+    merged = merge_rotations(qc)
+    assert len(merged) == 1
+    assert merged.operations[0].gate.params[0] == pytest.approx(0.7)
+
+
+def test_rotation_merging_to_identity():
+    qc = QuantumCircuit(1)
+    qc.rx(0.5, 0).rx(-0.5, 0)
+    assert len(merge_rotations(qc)) == 0
+
+
+def test_phase_gate_merging():
+    qc = QuantumCircuit(1)
+    qc.t(0).t(0)
+    merged = optimize(qc)
+    assert len(merged) == 1
+    # T.T == S == p(pi/2)
+    assert np.allclose(
+        circuit_unitary(merged), circuit_unitary(qc), atol=1e-10
+    )
+
+
+def test_controlled_rotation_merging():
+    qc = QuantumCircuit(2)
+    qc.crz(0.2, 0, 1).crz(0.3, 0, 1)
+    merged = merge_rotations(qc)
+    assert len(merged) == 1
+    assert merged.operations[0].gate.params[0] == pytest.approx(0.5)
+
+
+def test_remove_identities():
+    qc = QuantumCircuit(1)
+    qc.rz(0.0, 0)
+    qc.i(0)
+    qc.h(0)
+    cleaned = remove_identities(qc)
+    assert len(cleaned) == 1
+    assert cleaned.operations[0].gate.name == "h"
+
+
+def test_circuit_times_inverse_vanishes():
+    circuit = library.qft(4)
+    combined = circuit.copy()
+    combined.compose(circuit.inverse())
+    assert len(optimize(combined)) == 0
+
+
+def test_optimize_preserves_unitary(workload):
+    clean = workload.without_measurements()
+    if clean.num_qubits > 4:
+        pytest.skip("dense comparison kept small")
+    optimized = optimize(clean)
+    assert np.allclose(
+        circuit_unitary(clean), circuit_unitary(optimized), atol=1e-8
+    )
+    assert len(optimized) <= len(clean)
+
+
+def test_measurements_survive_optimization():
+    qc = QuantumCircuit(1)
+    qc.h(0).h(0)
+    qc.measure(0)
+    optimized = optimize(qc)
+    assert len(optimized) == 1
+    assert optimized.operations[0].is_measurement

@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cross-check the structured backends against dense linear algebra on
+randomly generated states, operators, and circuits.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import StatevectorSimulator, circuit_unitary
+from repro.circuits import gates as g
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.dd import DDPackage
+from repro.tn import MPSSimulator, Tensor, contract
+from repro.tn.circuit_tn import statevector_from_circuit
+from repro.zx import circuit_to_zx, diagram_to_matrix, full_reduce, proportional
+
+# -- strategies ---------------------------------------------------------------
+
+
+@st.composite
+def normalized_states(draw, max_qubits=4):
+    n = draw(st.integers(min_value=1, max_value=max_qubits))
+    dim = 2**n
+    real = draw(
+        st.lists(
+            st.floats(min_value=-1, max_value=1, allow_nan=False),
+            min_size=dim,
+            max_size=dim,
+        )
+    )
+    imag = draw(
+        st.lists(
+            st.floats(min_value=-1, max_value=1, allow_nan=False),
+            min_size=dim,
+            max_size=dim,
+        )
+    )
+    vec = np.array(real) + 1j * np.array(imag)
+    norm = np.linalg.norm(vec)
+    if norm < 1e-6:
+        vec = np.zeros(dim, dtype=complex)
+        vec[0] = 1.0
+        norm = 1.0
+    return vec / norm
+
+
+_GATE_POOL = ["h", "x", "z", "s", "t", "sdg", "tdg"]
+
+
+@st.composite
+def small_circuits(draw, max_qubits=3, max_gates=12):
+    n = draw(st.integers(min_value=1, max_value=max_qubits))
+    circuit = QuantumCircuit(n)
+    num_gates = draw(st.integers(min_value=0, max_value=max_gates))
+    for _ in range(num_gates):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 0 and n >= 2:
+            a = draw(st.integers(min_value=0, max_value=n - 1))
+            b = draw(st.integers(min_value=0, max_value=n - 1))
+            if a != b:
+                circuit.cx(a, b)
+        elif kind == 1:
+            q = draw(st.integers(min_value=0, max_value=n - 1))
+            theta = draw(st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+            circuit.rz(theta, q)
+        elif kind == 2 and n >= 2:
+            a = draw(st.integers(min_value=0, max_value=n - 1))
+            b = draw(st.integers(min_value=0, max_value=n - 1))
+            if a != b:
+                circuit.cz(a, b)
+        else:
+            q = draw(st.integers(min_value=0, max_value=n - 1))
+            name = draw(st.sampled_from(_GATE_POOL))
+            getattr(circuit, name)(q)
+    return circuit
+
+
+# -- DD properties --------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(normalized_states())
+def test_dd_statevector_roundtrip(state):
+    pkg = DDPackage()
+    edge = pkg.from_statevector(state)
+    assert np.allclose(pkg.to_statevector(edge), state, atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(normalized_states(max_qubits=3), normalized_states(max_qubits=3))
+def test_dd_add_commutes(a, b):
+    if len(a) != len(b):
+        return
+    pkg = DDPackage()
+    ea, eb = pkg.from_statevector(a), pkg.from_statevector(b)
+    ab = pkg.add(ea, eb)
+    ba = pkg.add(eb, ea)
+    n = int(len(a)).bit_length() - 1
+    va = pkg.to_statevector(ab, n) if ab.weight != 0 else np.zeros(len(a))
+    vb = pkg.to_statevector(ba, n) if ba.weight != 0 else np.zeros(len(a))
+    assert np.allclose(va, vb, atol=1e-8)
+    assert np.allclose(va, a + b, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(normalized_states(max_qubits=3))
+def test_dd_canonicity_property(state):
+    """Equal vectors intern to the identical node, whatever the path."""
+    pkg = DDPackage()
+    e1 = pkg.from_statevector(state)
+    e2 = pkg.from_statevector(state * 1.0)
+    assert e1.node is e2.node
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_circuits())
+def test_dd_simulation_property(circuit):
+    from repro.dd import DDSimulator
+
+    expected = StatevectorSimulator().statevector(circuit)
+    actual = DDSimulator().statevector(circuit)
+    assert np.allclose(actual, expected, atol=1e-8)
+
+
+# -- TN properties ----------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_circuits())
+def test_tn_contraction_property(circuit):
+    expected = StatevectorSimulator().statevector(circuit)
+    actual = statevector_from_circuit(circuit)
+    assert np.allclose(actual, expected, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_circuits())
+def test_mps_simulation_property(circuit):
+    expected = StatevectorSimulator().statevector(circuit)
+    actual = MPSSimulator().statevector(circuit)
+    assert np.allclose(actual, expected, atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_tensor_contraction_associativity(da, db, dc, seed):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(da, db)), ["i", "j"])
+    b = Tensor(rng.normal(size=(db, dc)), ["j", "k"])
+    c = Tensor(rng.normal(size=(dc, da)), ["k", "l"])
+    left = contract(contract(a, b), c)
+    right = contract(a, contract(b, c))
+    assert np.allclose(
+        left.transpose_to(["i", "l"]).data,
+        right.transpose_to(["i", "l"]).data,
+        atol=1e-9,
+    )
+
+
+# -- ZX properties ----------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_circuits(max_qubits=3, max_gates=10))
+def test_zx_full_reduce_soundness_property(circuit):
+    diagram = circuit_to_zx(circuit)
+    reference = diagram_to_matrix(diagram)
+    full_reduce(diagram)
+    assert proportional(diagram_to_matrix(diagram), reference)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_circuits(max_qubits=3, max_gates=10))
+def test_zx_conversion_soundness_property(circuit):
+    diagram = circuit_to_zx(circuit)
+    assert proportional(diagram_to_matrix(diagram), circuit_unitary(circuit))
+
+
+# -- compiler properties -------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_circuits(max_qubits=3, max_gates=10))
+def test_peephole_preserves_semantics_property(circuit):
+    from repro.compile import optimize
+
+    optimized = optimize(circuit)
+    assert np.allclose(
+        circuit_unitary(circuit), circuit_unitary(optimized), atol=1e-8
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(small_circuits(max_qubits=3, max_gates=8))
+def test_routing_preserves_semantics_property(circuit):
+    from repro.arrays import allclose_up_to_global_phase
+    from repro.compile import coupling
+    from repro.compile.routing import route_sabre, undo_layout_statevector
+
+    cmap = coupling.line(circuit.num_qubits) if circuit.num_qubits > 1 else None
+    if cmap is None:
+        return
+    result = route_sabre(circuit, cmap)
+    sv = StatevectorSimulator()
+    logical = undo_layout_statevector(
+        sv.statevector(result.circuit), result, circuit.num_qubits
+    )
+    assert allclose_up_to_global_phase(
+        sv.statevector(circuit), logical, tol=1e-7
+    )

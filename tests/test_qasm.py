@@ -1,0 +1,188 @@
+"""Tests for the OpenQASM 2 reader/writer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arrays import circuit_unitary
+from repro.circuits import library, qasm
+from repro.circuits.circuit import QuantumCircuit
+
+
+def test_angle_expressions():
+    assert qasm.evaluate_angle("pi") == pytest.approx(math.pi)
+    assert qasm.evaluate_angle("-pi/4") == pytest.approx(-math.pi / 4)
+    assert qasm.evaluate_angle("3*pi/8") == pytest.approx(3 * math.pi / 8)
+    assert qasm.evaluate_angle("(pi+1)/2") == pytest.approx((math.pi + 1) / 2)
+    assert qasm.evaluate_angle("1.5e-1") == pytest.approx(0.15)
+    assert qasm.evaluate_angle("2-3-4") == pytest.approx(-5)
+    assert qasm.evaluate_angle("8/4/2") == pytest.approx(1.0)
+
+
+def test_angle_expression_errors():
+    with pytest.raises(qasm.QasmError):
+        qasm.evaluate_angle("pi+")
+    with pytest.raises(qasm.QasmError):
+        qasm.evaluate_angle("(pi")
+    with pytest.raises(qasm.QasmError):
+        qasm.evaluate_angle("foo")
+
+
+def test_parse_basic_program():
+    src = """
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[2];
+    creg c[2];
+    h q[0];
+    cx q[0], q[1];
+    rz(pi/2) q[1];
+    measure q[0] -> c[0];
+    measure q[1] -> c[1];
+    """
+    circuit = qasm.loads(src)
+    assert circuit.num_qubits == 2
+    assert circuit.num_clbits == 2
+    names = [op.name_with_controls() for op in circuit.operations]
+    assert names == ["h", "cx", "rz", "measure", "measure"]
+
+
+def test_parse_comments_and_whitespace():
+    src = "OPENQASM 2.0; qreg q[1]; // a comment\n x q[0]; // trailing"
+    circuit = qasm.loads(src)
+    assert [op.gate.name for op in circuit.operations] == ["x"]
+
+
+def test_multiple_registers_concatenate():
+    src = "OPENQASM 2.0; qreg a[2]; qreg b[1]; cx a[1], b[0];"
+    circuit = qasm.loads(src)
+    assert circuit.num_qubits == 3
+    op = circuit.operations[0]
+    assert op.controls == (1,)
+    assert op.targets == (2,)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: library.bell_pair(),
+        lambda: library.ghz_state(4),
+        lambda: library.qft(3),
+        lambda: library.w_state(3),
+        lambda: library.cuccaro_adder(1),
+    ],
+    ids=["bell", "ghz", "qft", "w", "adder"],
+)
+def test_roundtrip_preserves_unitary(make):
+    circuit = make()
+    text = qasm.dumps(circuit)
+    parsed = qasm.loads(text)
+    assert np.allclose(
+        circuit_unitary(circuit), circuit_unitary(parsed), atol=1e-10
+    )
+
+
+def test_roundtrip_with_measurements():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.measure(0, 1)
+    parsed = qasm.loads(qasm.dumps(qc))
+    assert parsed.operations[-1].is_measurement
+    assert parsed.operations[-1].clbits == (1,)
+
+
+def test_writer_rejects_exotic_controls():
+    qc = QuantumCircuit(4)
+    qc.mcx([0, 1, 2], 3)
+    with pytest.raises(qasm.QasmError):
+        qasm.dumps(qc)
+
+
+def test_parse_unknown_gate_errors():
+    with pytest.raises(qasm.QasmError):
+        qasm.loads("OPENQASM 2.0; qreg q[1]; frobnicate q[0];")
+
+
+def test_parse_wrong_arity_errors():
+    with pytest.raises(qasm.QasmError):
+        qasm.loads("OPENQASM 2.0; qreg q[2]; cx q[0];")
+    with pytest.raises(qasm.QasmError):
+        qasm.loads("OPENQASM 2.0; qreg q[1]; rz q[0];")
+
+
+def test_barrier_parsing():
+    circuit = qasm.loads("OPENQASM 2.0; qreg q[2]; barrier q;")
+    assert circuit.operations[0].is_barrier
+
+
+def test_custom_gate_definition():
+    src = """
+    OPENQASM 2.0;
+    gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }
+    qreg q[3];
+    majority q[2],q[0],q[1];
+    """
+    circuit = qasm.loads(src)
+    names = [op.name_with_controls() for op in circuit]
+    assert names == ["cx", "cx", "ccx"]
+    # formal a,b,c bound to q2,q0,q1: first body stmt cx c,b -> cx q1,q0
+    assert circuit.operations[0].controls == (1,)
+    assert circuit.operations[0].targets == (0,)
+
+
+def test_custom_gate_with_parameters():
+    src = """
+    OPENQASM 2.0;
+    gate rot(theta, phi) q { rz(theta/2) q; rx(phi + theta) q; }
+    qreg q[1];
+    rot(pi, pi/2) q[0];
+    """
+    circuit = qasm.loads(src)
+    assert circuit.operations[0].gate.params[0] == pytest.approx(math.pi / 2)
+    assert circuit.operations[1].gate.params[0] == pytest.approx(
+        3 * math.pi / 2
+    )
+
+
+def test_nested_custom_gates():
+    src = """
+    OPENQASM 2.0;
+    gate bellpair a,b { h a; cx a,b; }
+    gate twobell a,b,c,d { bellpair a,b; bellpair c,d; }
+    qreg q[4];
+    twobell q[0],q[1],q[2],q[3];
+    """
+    circuit = qasm.loads(src)
+    assert [op.name_with_controls() for op in circuit] == ["h", "cx", "h", "cx"]
+
+
+def test_custom_gate_errors():
+    with pytest.raises(qasm.QasmError):
+        qasm.loads(
+            "OPENQASM 2.0; gate f a { h a; } qreg q[2]; f q[0], q[1];"
+        )  # wrong qubit count
+    with pytest.raises(qasm.QasmError):
+        qasm.loads(
+            "OPENQASM 2.0; gate f(t) a { rz(t) a; } qreg q[1]; f q[0];"
+        )  # missing parameter
+    with pytest.raises(qasm.QasmError):
+        qasm.loads(
+            "OPENQASM 2.0; gate f a { h b; } qreg q[1]; f q[0];"
+        )  # unbound body qubit
+
+
+def test_unknown_variable_in_angle():
+    with pytest.raises(qasm.QasmError):
+        qasm.evaluate_angle("2*tau")
+    assert qasm.evaluate_angle("2*tau", {"tau": 0.5}) == pytest.approx(1.0)
+
+
+def test_file_roundtrip(tmp_path):
+    circuit = library.qft(3)
+    path = tmp_path / "qft.qasm"
+    qasm.dump(circuit, str(path))
+    loaded = qasm.load(str(path))
+    assert np.allclose(
+        circuit_unitary(circuit), circuit_unitary(loaded), atol=1e-10
+    )

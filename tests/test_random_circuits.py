@@ -1,0 +1,58 @@
+"""Tests for the random workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import circuit_unitary
+from repro.circuits import random_circuits
+
+
+def test_random_circuit_deterministic_per_seed():
+    a = random_circuits.random_circuit(4, 6, seed=9)
+    b = random_circuits.random_circuit(4, 6, seed=9)
+    assert [op.name_with_controls() for op in a] == [
+        op.name_with_controls() for op in b
+    ]
+    assert np.allclose(circuit_unitary(a), circuit_unitary(b))
+    c = random_circuits.random_circuit(4, 6, seed=10)
+    assert not np.allclose(circuit_unitary(a), circuit_unitary(c))
+
+
+def test_clifford_generator_gate_set():
+    circuit = random_circuits.random_clifford_circuit(4, 60, seed=1)
+    allowed = {"h", "s", "sdg", "x", "y", "z", "cx", "cz"}
+    assert {op.name_with_controls() for op in circuit} <= allowed
+    assert len(circuit) == 60
+
+
+def test_clifford_t_generator_t_density():
+    circuit = random_circuits.random_clifford_t_circuit(
+        5, 400, seed=2, t_prob=0.25
+    )
+    t_gates = circuit.t_count()
+    assert 60 < t_gates < 140  # ~100 expected
+
+
+def test_brickwork_structure():
+    circuit = random_circuits.brickwork_circuit(6, 4, seed=3)
+    counts = circuit.count_ops()
+    assert counts["u"] == 24  # one SU(2) per qubit per layer
+    # staggered bricks: layers alternate 3 and 2 CZs on 6 qubits
+    assert counts["cz"] == 2 * (3 + 2)
+
+
+def test_two_qubit_probability_extremes():
+    only_1q = random_circuits.random_circuit(4, 5, seed=4, two_qubit_prob=0.0)
+    assert only_1q.two_qubit_gate_count() == 0
+    heavy = random_circuits.random_circuit(4, 5, seed=4, two_qubit_prob=1.0)
+    assert heavy.two_qubit_gate_count() == 10  # 2 pairs per layer x 5
+
+
+def test_phase_polynomial_terms_are_valid():
+    terms = random_circuits.random_phase_polynomial_terms(4, 12, seed=5)
+    assert len(terms) == 12
+    for mask, theta in terms:
+        assert 1 <= mask < 16
+        # angles are odd multiples of pi/4 (Clifford+T regime)
+        ratio = theta / (np.pi / 4)
+        assert round(ratio) % 2 == 1

@@ -1,0 +1,108 @@
+"""Tests for the SWAP routers."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import StatevectorSimulator, allclose_up_to_global_phase
+from repro.circuits import library, random_circuits
+from repro.circuits.circuit import QuantumCircuit
+from repro.compile import coupling
+from repro.compile.routing import (
+    route_greedy,
+    route_sabre,
+    undo_layout_statevector,
+)
+
+ROUTERS = {
+    "greedy": route_greedy,
+    "sabre": route_sabre,
+}
+
+
+def _assert_equivalent(circuit, cmap, router, sv):
+    result = router(circuit, cmap)
+    # Coupling conformance is checked inside the router; re-verify manually.
+    for op in result.circuit.operations:
+        if op.is_unitary and len(op.qubits) == 2:
+            assert cmap.are_adjacent(*op.qubits)
+    routed_state = sv.statevector(result.circuit)
+    logical = undo_layout_statevector(routed_state, result, circuit.num_qubits)
+    expected = sv.statevector(circuit)
+    assert allclose_up_to_global_phase(expected, logical, tol=1e-7)
+    return result
+
+
+@pytest.fixture(scope="module")
+def sv():
+    return StatevectorSimulator(seed=1)
+
+
+@pytest.mark.parametrize("router", ROUTERS.values(), ids=list(ROUTERS))
+@pytest.mark.parametrize(
+    "make_cmap",
+    [lambda: coupling.line(5), lambda: coupling.ring(5), lambda: coupling.star(5)],
+    ids=["line", "ring", "star"],
+)
+def test_qft_routing_equivalence(router, make_cmap, sv):
+    _assert_equivalent(library.qft(5), make_cmap(), router, sv)
+
+
+@pytest.mark.parametrize("router", ROUTERS.values(), ids=list(ROUTERS))
+@pytest.mark.parametrize("seed", range(4))
+def test_random_circuit_routing(router, seed, sv):
+    circuit = random_circuits.random_circuit(5, 6, seed=seed)
+    _assert_equivalent(circuit, coupling.line(5), router, sv)
+
+
+@pytest.mark.parametrize("router", ROUTERS.values(), ids=list(ROUTERS))
+def test_multiqubit_ops_are_lowered_first(router, sv):
+    circuit = QuantumCircuit(4)
+    circuit.h(0)
+    circuit.ccx(0, 1, 3)
+    circuit.cswap(3, 0, 2)
+    _assert_equivalent(circuit, coupling.line(4), router, sv)
+
+
+def test_adjacent_gates_need_no_swaps():
+    circuit = library.ghz_state(5)  # CNOT chain is line-native
+    result = route_greedy(circuit, coupling.line(5))
+    assert result.swap_count == 0
+    result = route_sabre(circuit, coupling.line(5))
+    assert result.swap_count == 0
+
+
+def test_sabre_beats_greedy_on_qft():
+    cmap = coupling.line(6)
+    circuit = library.qft(6)
+    greedy = route_greedy(circuit, cmap)
+    sabre = route_sabre(circuit, cmap, seed=0)
+    assert sabre.swap_count <= greedy.swap_count
+
+
+def test_circuit_too_large_rejected():
+    with pytest.raises(ValueError):
+        route_greedy(library.ghz_state(5), coupling.line(3))
+
+
+def test_initial_layout_respected(sv):
+    circuit = library.bell_pair()
+    layout = {0: 2, 1: 0}
+    result = route_greedy(circuit, coupling.line(3), initial_layout=layout)
+    assert result.initial_layout == layout
+    # Output: logical qubits live at their final physical positions.
+    state = sv.statevector(result.circuit)
+    logical = undo_layout_statevector(state, result, 2)
+    assert allclose_up_to_global_phase(
+        logical, sv.statevector(circuit), tol=1e-9
+    )
+
+
+def test_larger_device_than_circuit(sv):
+    circuit = library.qft(3)
+    result = route_sabre(circuit, coupling.grid(2, 3))
+    assert result.circuit.num_qubits == 6
+    state = sv.statevector(result.circuit)
+    logical = undo_layout_statevector(state, result, 3)
+    assert allclose_up_to_global_phase(
+        logical, sv.statevector(circuit), tol=1e-7
+    )

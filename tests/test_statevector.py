@@ -1,0 +1,163 @@
+"""Tests for the dense statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import (
+    StatevectorSimulator,
+    apply_matrix,
+    apply_operation,
+    basis_state,
+    measure_qubit,
+    zero_state,
+)
+from repro.circuits import gates as g
+from repro.circuits import library
+from repro.circuits.circuit import Operation, QuantumCircuit
+from tests.conftest import random_state, random_unitary
+
+
+def _dense_reference(op: Operation, num_qubits: int) -> np.ndarray:
+    """Kronecker-product reference implementation of a (controlled) gate."""
+    qubits = list(op.targets) + list(op.controls)
+    small = g.controlled_matrix(op.gate.matrix, len(op.controls))
+    k = len(qubits)
+    dim = 1 << num_qubits
+    full = np.zeros((dim, dim), dtype=np.complex128)
+    for row in range(dim):
+        row_local = 0
+        for i, q in enumerate(qubits):
+            row_local |= ((row >> q) & 1) << i
+        rest = row
+        for q in qubits:
+            rest &= ~(1 << q)
+        for col_local in range(1 << k):
+            amp = small[row_local, col_local]
+            if amp == 0:
+                continue
+            col = rest
+            for i, q in enumerate(qubits):
+                if (col_local >> i) & 1:
+                    col |= 1 << q
+            full[row, col] += amp
+    return full
+
+
+@pytest.mark.parametrize(
+    "op,n",
+    [
+        (Operation(g.H, [0]), 3),
+        (Operation(g.X, [2]), 3),
+        (Operation(g.rz(0.7), [1]), 3),
+        (Operation(g.X, [0], [2]), 3),
+        (Operation(g.X, [1], [0, 2]), 3),
+        (Operation(g.SWAP, [0, 2]), 3),
+        (Operation(g.rzz(0.9), [1, 3]), 4),
+        (Operation(g.rxx(0.4), [3, 0]), 4),
+        (Operation(g.p(1.1), [2], [0]), 4),
+        (Operation(g.SWAP, [1, 3], [0]), 4),
+    ],
+    ids=lambda x: repr(x) if isinstance(x, Operation) else str(x),
+)
+def test_apply_operation_matches_dense_reference(op, n):
+    state = random_state(n, seed=42)
+    expected = _dense_reference(op, n) @ state
+    actual = apply_operation(state.copy(), op, n)
+    assert np.allclose(actual, expected, atol=1e-10)
+
+
+def test_zero_and_basis_states():
+    assert np.allclose(zero_state(2), [1, 0, 0, 0])
+    assert np.allclose(basis_state(2, 3), [0, 0, 0, 1])
+    with pytest.raises(ValueError):
+        basis_state(2, 4)
+
+
+def test_gphase_application():
+    state = zero_state(1)
+    op = Operation(g.gphase(np.pi / 2), [])
+    apply_operation(state, op, 1)
+    assert np.allclose(state, [1j, 0])
+
+
+def test_controlled_gphase_is_phase_on_controls():
+    # controlled global phase == phase gate on the control qubit
+    state = random_state(2, seed=1)
+    op = Operation(g.gphase(0.8), [], [1])
+    result = apply_operation(state.copy(), op, 2)
+    ref = apply_operation(state.copy(), Operation(g.p(0.8), [1]), 2)
+    assert np.allclose(result, ref, atol=1e-12)
+
+
+def test_apply_matrix_arbitrary():
+    unitary = random_unitary(4, seed=3)
+    state = random_state(3, seed=4)
+    result = apply_matrix(state.copy(), unitary, [0, 2])
+    ref = _dense_reference(
+        Operation(g.Gate("u2q", 2, unitary), [0, 2]), 3
+    ) @ state
+    assert np.allclose(result, ref, atol=1e-10)
+
+
+def test_simulator_preserves_norm(workload, sv_sim):
+    state = sv_sim.statevector(workload)
+    assert np.linalg.norm(state) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_initial_state_override(sv_sim):
+    qc = QuantumCircuit(2)
+    qc.x(0)
+    init = basis_state(2, 0b10)
+    out = sv_sim.run(qc, initial_state=init).state
+    assert np.allclose(out, basis_state(2, 0b11))
+
+
+def test_initial_state_dimension_check(sv_sim):
+    qc = QuantumCircuit(2)
+    with pytest.raises(ValueError):
+        sv_sim.run(qc, initial_state=np.ones(3))
+
+
+def test_measurement_collapse_deterministic():
+    rng = np.random.default_rng(0)
+    state = basis_state(2, 0b10)
+    outcome, collapsed = measure_qubit(state, 1, rng)
+    assert outcome == 1
+    assert np.allclose(collapsed, basis_state(2, 0b10))
+    outcome0, _ = measure_qubit(collapsed.copy(), 0, rng)
+    assert outcome0 == 0
+
+
+def test_measurement_statistics_on_plus_state():
+    sim = StatevectorSimulator(seed=5)
+    ones = 0
+    shots = 400
+    for _ in range(shots):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.measure(0)
+        result = sim.run(qc)
+        ones += result.classical_bits[0]
+    assert 0.4 < ones / shots < 0.6
+
+
+def test_mid_circuit_measurement_feedforwardless(sv_sim):
+    # Measuring a GHZ qubit collapses the rest.
+    qc = library.ghz_state(3)
+    qc.measure(2, 0)
+    sim = StatevectorSimulator(seed=9)
+    result = sim.run(qc)
+    bit = result.classical_bits[0]
+    expected = basis_state(3, 0b111 if bit else 0)
+    assert np.allclose(result.state, expected, atol=1e-9)
+
+
+def test_result_helpers(sv_sim):
+    result = sv_sim.run(library.bell_pair())
+    assert result.num_qubits == 2
+    probs = result.probabilities()
+    assert probs[0] == pytest.approx(0.5)
+    assert result.amplitude(3) == pytest.approx(1 / np.sqrt(2))
+    counts = result.sample_counts(100, seed=1)
+    assert set(counts) <= {"00", "11"}
+    assert sum(counts.values()) == 100

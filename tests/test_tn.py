@@ -1,0 +1,173 @@
+"""Tests for tensors, networks, and contraction planning."""
+
+import numpy as np
+import pytest
+
+from repro.tn import (
+    Tensor,
+    TensorNetwork,
+    contract,
+    greedy_plan,
+    optimal_plan,
+    outer,
+    plan_quality_report,
+    random_plan,
+)
+from repro.tn.tensor import contraction_result_indices
+
+
+def _random_tensor(shape, indices, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    return Tensor(data, indices)
+
+
+def test_tensor_validation():
+    with pytest.raises(ValueError):
+        Tensor(np.zeros((2, 2)), ["a"])
+    with pytest.raises(ValueError):
+        Tensor(np.zeros((2, 2)), ["a", "a"])
+
+
+def test_contract_is_matrix_product():
+    a = _random_tensor((3, 4), ["i", "k"], 1)
+    b = _random_tensor((4, 5), ["k", "j"], 2)
+    result = contract(a, b)
+    assert result.indices == ("i", "j")
+    assert np.allclose(result.data, a.data @ b.data)
+
+
+def test_contract_multiple_shared_indices():
+    a = _random_tensor((2, 3, 4), ["i", "j", "k"], 3)
+    b = _random_tensor((3, 4, 5), ["j", "k", "l"], 4)
+    result = contract(a, b)
+    assert result.indices == ("i", "l")
+    expected = np.einsum("ijk,jkl->il", a.data, b.data)
+    assert np.allclose(result.data, expected)
+
+
+def test_outer_product():
+    a = _random_tensor((2,), ["i"], 5)
+    b = _random_tensor((3,), ["j"], 6)
+    result = outer(a, b)
+    assert result.data.shape == (2, 3)
+    with pytest.raises(ValueError):
+        outer(a, a)
+
+
+def test_transpose_and_relabel():
+    t = _random_tensor((2, 3), ["a", "b"], 7)
+    swapped = t.transpose_to(["b", "a"])
+    assert swapped.data.shape == (3, 2)
+    assert np.allclose(swapped.data, t.data.T)
+    renamed = t.relabeled({"a": "x"})
+    assert renamed.indices == ("x", "b")
+    with pytest.raises(ValueError):
+        t.transpose_to(["a", "c"])
+
+
+def test_scalar_extraction():
+    t = Tensor(np.asarray(2.5 + 0j), [])
+    assert t.scalar() == 2.5
+    with pytest.raises(ValueError):
+        _random_tensor((2,), ["i"], 8).scalar()
+
+
+def test_contraction_result_indices():
+    assert contraction_result_indices(["i", "k"], ["k", "j"]) == ["i", "j"]
+    assert contraction_result_indices(["a"], ["b"]) == ["a", "b"]
+
+
+def _chain_network(length, bond=3, seed=0):
+    """t0 - t1 - ... - t_{length-1} with open ends."""
+    network = TensorNetwork()
+    for pos in range(length):
+        left = f"b{pos - 1}" if pos > 0 else "open_l"
+        right = f"b{pos}" if pos < length - 1 else "open_r"
+        network.add(_random_tensor((bond, bond), [left, right], seed + pos))
+    return network
+
+
+def test_network_index_classification():
+    net = _chain_network(4)
+    assert set(net.open_indices()) == {"open_l", "open_r"}
+    assert set(net.bond_indices()) == {"b0", "b1", "b2"}
+    assert net.total_entries() == 4 * 9
+
+
+@pytest.mark.parametrize("planner", [greedy_plan, optimal_plan, None, "random"])
+def test_plans_give_same_tensor(planner):
+    net = _chain_network(5, seed=11)
+    reference = None
+    if planner == "random":
+        plan = random_plan(net, seed=3)
+    elif planner is None:
+        plan = None
+    else:
+        plan = planner(net)
+    result = net.contract_all(plan)
+    # Reference: sequential matrix product.
+    ref = net.tensors[0].data
+    for t in net.tensors[1:]:
+        ref = ref @ t.data
+    result = result.transpose_to(["open_l", "open_r"])
+    assert np.allclose(result.data, ref, atol=1e-9)
+
+
+def test_plan_validation_errors():
+    net = _chain_network(3)
+    with pytest.raises(ValueError):
+        net.contract_pairwise([(0, 1), (0, 3)])  # slot 0 consumed twice
+    with pytest.raises(ValueError):
+        net.contract_pairwise([(0, 1)])  # leaves two tensors
+
+
+def test_contraction_cost_model():
+    net = _chain_network(3, bond=2)
+    plan = [(0, 1), (3, 2)]
+    flops, peak = net.contraction_cost(plan)
+    # (0,1): indices open_l,b0,b1 -> 2^3 = 8 flops, result 2x2
+    # (3,2): open_l,b1,open_r -> 8 flops
+    assert flops == 16
+    assert peak == 4
+
+
+def test_optimal_never_worse_than_greedy():
+    for seed in range(5):
+        rng = np.random.default_rng(seed)
+        # Random small network: a ring with one dangling leg.
+        net = TensorNetwork()
+        size = 6
+        for pos in range(size):
+            left = f"r{pos}"
+            right = f"r{(pos + 1) % size}"
+            net.add(_random_tensor((2, 2, 2), [left, right, f"leg{pos}"], seed * 10 + pos))
+        greedy_cost, _ = net.contraction_cost(greedy_plan(net))
+        optimal_cost, _ = net.contraction_cost(optimal_plan(net))
+        assert optimal_cost <= greedy_cost
+
+
+def test_optimal_plan_size_cap():
+    net = _chain_network(16)
+    with pytest.raises(ValueError):
+        optimal_plan(net, max_tensors=14)
+
+
+def test_plan_quality_report():
+    net = _chain_network(5)
+    report = plan_quality_report(net, seeds=range(4))
+    assert report["optimal"][0] <= report["greedy"][0]
+    assert report["random_max_flops"] >= report["greedy"][0]
+
+
+def test_disconnected_network_contracts():
+    net = TensorNetwork()
+    net.add(_random_tensor((2,), ["a"], 1))
+    net.add(_random_tensor((2,), ["b"], 2))
+    result = net.contract_all()
+    assert result.data.shape == (2, 2)
+
+
+def test_empty_network_errors():
+    with pytest.raises(ValueError):
+        TensorNetwork().contract_all()

@@ -1,0 +1,112 @@
+"""Tests for circuit -> tensor network translation."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import StatevectorSimulator
+from repro.arrays.measurement import expectation_value as array_expectation
+from repro.circuits import library, random_circuits
+from repro.circuits.circuit import QuantumCircuit
+from repro.tn import greedy_plan, optimal_plan
+from repro.tn.circuit_tn import (
+    amplitude,
+    amplitude_network,
+    circuit_to_network,
+    expectation_value,
+    statevector_from_circuit,
+)
+
+
+def test_statevector_matches_arrays(workload, sv_sim):
+    clean = workload.without_measurements()
+    if clean.num_qubits > 5:
+        pytest.skip("full contraction kept small")
+    expected = sv_sim.statevector(clean)
+    assert np.allclose(statevector_from_circuit(clean), expected, atol=1e-8)
+
+
+def test_amplitudes_match_arrays(sv_sim):
+    circuit = random_circuits.brickwork_circuit(4, 3, seed=8)
+    state = sv_sim.statevector(circuit)
+    for index in (0, 5, 9, 15):
+        assert amplitude(circuit, index) == pytest.approx(
+            complex(state[index]), abs=1e-9
+        )
+
+
+def test_amplitude_with_basis_input(sv_sim):
+    from repro.arrays import basis_state
+
+    circuit = library.qft(3)
+    init = 0b101
+    state = sv_sim.run(circuit, initial_state=basis_state(3, init)).state
+    for index in (0, 2, 7):
+        assert amplitude(circuit, index, initial_bits=init) == pytest.approx(
+            complex(state[index]), abs=1e-9
+        )
+
+
+def test_amplitude_network_is_closed():
+    net = amplitude_network(library.bell_pair(), 0)
+    assert net.open_indices() == []
+    result = net.contract_all()
+    assert result.scalar() == pytest.approx(1 / np.sqrt(2), abs=1e-10)
+
+
+def test_network_memory_is_linear():
+    """The paper's Sec. IV claim: TN memory grows linearly, not 2^n."""
+    entries = []
+    for n in (4, 8, 12):
+        net, _ = circuit_to_network(library.ghz_state(n))
+        entries.append(net.total_entries())
+    assert entries[1] - entries[0] == entries[2] - entries[1]
+    assert entries[2] < 2**12
+
+
+def test_expectation_values(sv_sim):
+    circuit = random_circuits.brickwork_circuit(3, 2, seed=5)
+    state = sv_sim.statevector(circuit)
+    for pauli in ("ZZZ", "XIZ", "YXI", "III"):
+        assert expectation_value(circuit, pauli) == pytest.approx(
+            array_expectation(state, pauli), abs=1e-8
+        )
+
+
+def test_expectation_length_check():
+    with pytest.raises(ValueError):
+        expectation_value(library.bell_pair(), "ZZZ")
+
+
+def test_measurement_rejected():
+    qc = QuantumCircuit(1)
+    qc.measure(0)
+    with pytest.raises(ValueError):
+        circuit_to_network(qc)
+
+
+def test_global_phase_tensor():
+    qc = QuantumCircuit(1)
+    qc.gphase(np.pi / 2)
+    state = statevector_from_circuit(qc)
+    assert state[0] == pytest.approx(1j, abs=1e-10)
+
+
+def test_custom_plans_agree(sv_sim):
+    circuit = library.qft(3)
+    net, _ = circuit_to_network(circuit)
+    expected = sv_sim.statevector(circuit)
+    for plan in (greedy_plan(net), optimal_plan(net) if net.num_tensors <= 14 else None):
+        if plan is None:
+            continue
+        state = statevector_from_circuit(circuit, plan=plan)
+        assert np.allclose(state, expected, atol=1e-8)
+
+
+def test_controlled_gates_fold_controls():
+    circuit = QuantumCircuit(3)
+    circuit.ccx(0, 1, 2)
+    net, _ = circuit_to_network(circuit)
+    # one tensor per input + a single rank-6 gate tensor
+    assert net.num_tensors == 4
+    gate_tensor = net.tensors[-1]
+    assert gate_tensor.rank == 6

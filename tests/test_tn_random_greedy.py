@@ -1,0 +1,61 @@
+"""Tests for the randomized-restart contraction planner (ref. [34] style)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import library, random_circuits
+from repro.tn import greedy_plan, optimal_plan, random_greedy_plan
+from repro.tn.circuit_tn import amplitude_network, circuit_to_network
+
+
+def _networks():
+    yield "qft3", circuit_to_network(library.qft(3))[0]
+    yield "ghz6", circuit_to_network(library.ghz_state(6))[0]
+    yield "brick", amplitude_network(
+        random_circuits.brickwork_circuit(5, 3, seed=1), 0
+    )
+
+
+@pytest.mark.parametrize("name,network", list(_networks()), ids=lambda x: x if isinstance(x, str) else "")
+def test_never_worse_than_greedy(name, network):
+    greedy_cost, _ = network.contraction_cost(greedy_plan(network))
+    rg_cost, _ = network.contraction_cost(
+        random_greedy_plan(network, trials=8, seed=3)
+    )
+    assert rg_cost <= greedy_cost
+
+
+def test_plan_is_valid_and_correct():
+    network = amplitude_network(library.grover(3, 5), 2)
+    plan = random_greedy_plan(network, trials=4, seed=7)
+    value = network.contract_all(plan).scalar()
+    reference = network.contract_all().scalar()
+    assert value == pytest.approx(reference, abs=1e-9)
+
+
+def test_deterministic_for_fixed_seed():
+    network = circuit_to_network(library.qft(4))[0]
+    plan_a = random_greedy_plan(network, trials=6, seed=11)
+    plan_b = random_greedy_plan(network, trials=6, seed=11)
+    assert plan_a == plan_b
+
+
+def test_more_trials_never_hurt():
+    network = amplitude_network(
+        random_circuits.brickwork_circuit(6, 4, seed=9), 0
+    )
+    costs = []
+    for trials in (1, 8, 32):
+        plan = random_greedy_plan(network, trials=trials, seed=5)
+        costs.append(network.contraction_cost(plan)[0])
+    assert costs[2] <= costs[1] <= costs[0]
+
+
+def test_matches_optimal_on_small_networks():
+    network = circuit_to_network(library.ghz_state(5))[0]
+    optimal_cost, _ = network.contraction_cost(optimal_plan(network))
+    rg_cost, _ = network.contraction_cost(
+        random_greedy_plan(network, trials=64, seed=1, temperature=0.8)
+    )
+    # Within a small factor of exact-optimal on toy networks.
+    assert rg_cost <= 2 * optimal_cost

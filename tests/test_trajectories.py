@@ -1,0 +1,69 @@
+"""Tests for Monte-Carlo trajectory noise simulation vs density matrices."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    StatevectorSimulator,
+    TrajectorySimulator,
+    amplitude_damping,
+    bit_flip,
+)
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+
+
+def test_noiseless_trajectories_are_exact():
+    circuit = library.ghz_state(3)
+    result = TrajectorySimulator(None).run(circuit, trajectories=3)
+    expected = np.abs(StatevectorSimulator().statevector(circuit)) ** 2
+    assert np.allclose(result.probabilities(), expected, atol=1e-10)
+
+
+def test_trajectories_converge_to_density_matrix():
+    circuit = library.ghz_state(3)
+    noise = NoiseModel.uniform_depolarizing(0.02, 0.05)
+    dm_probs = DensityMatrixSimulator(noise).run(circuit).probabilities()
+    traj = TrajectorySimulator(noise, seed=7).run(circuit, trajectories=800)
+    # Monte-Carlo error ~ 1/sqrt(800) per bin.
+    assert np.allclose(traj.probabilities(), dm_probs, atol=0.06)
+
+
+def test_bit_flip_channel_statistics():
+    noise = NoiseModel(gate_errors={"x": bit_flip(0.25)})
+    qc = QuantumCircuit(1)
+    qc.x(0)
+    traj = TrajectorySimulator(noise, seed=1).run(qc, trajectories=1000)
+    probs = traj.probabilities()
+    # After X then 25% flip: P(|1>) = 0.75.
+    assert probs[1] == pytest.approx(0.75, abs=0.05)
+
+
+def test_amplitude_damping_bias():
+    noise = NoiseModel(default_1q=amplitude_damping(0.3), default_2q=None)
+    qc = QuantumCircuit(1)
+    qc.x(0)
+    dm = DensityMatrixSimulator(noise).run(qc).probabilities()
+    traj = TrajectorySimulator(noise, seed=2).run(qc, trajectories=1500)
+    assert traj.probabilities()[0] == pytest.approx(dm[0], abs=0.04)
+    assert dm[0] == pytest.approx(0.3, abs=1e-9)
+
+
+def test_trajectory_sampling():
+    circuit = library.bell_pair()
+    result = TrajectorySimulator(None).run(circuit, trajectories=1)
+    counts = result.sample_counts(100, seed=3)
+    assert set(counts) <= {"00", "11"}
+    assert sum(counts.values()) == 100
+
+
+def test_trajectories_with_measurement():
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    qc.measure(0)
+    result = TrajectorySimulator(None, seed=4).run(qc, trajectories=300)
+    probs = result.probabilities()
+    # Each trajectory collapses to |0> or |1>; the average is ~50/50.
+    assert probs[0] == pytest.approx(0.5, abs=0.1)

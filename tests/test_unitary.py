@@ -1,0 +1,69 @@
+"""Tests for dense unitary construction and phase-insensitive comparison."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import (
+    StatevectorSimulator,
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    operation_unitary,
+    zero_state,
+)
+from repro.circuits import gates as g
+from repro.circuits import library
+from repro.circuits.circuit import Operation, QuantumCircuit
+
+
+def test_circuit_unitary_is_unitary(workload):
+    unitary = circuit_unitary(workload.without_measurements())
+    dim = unitary.shape[0]
+    assert np.allclose(unitary @ unitary.conj().T, np.eye(dim), atol=1e-9)
+
+
+def test_unitary_consistent_with_simulation(workload, sv_sim):
+    clean = workload.without_measurements()
+    unitary = circuit_unitary(clean)
+    state = sv_sim.statevector(clean)
+    assert np.allclose(unitary @ zero_state(clean.num_qubits), state, atol=1e-9)
+
+
+def test_operation_unitary_cnot():
+    unitary = operation_unitary(Operation(g.X, [0], [1]), 2)
+    expected = np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]]
+    )
+    assert np.allclose(unitary, expected)
+
+
+def test_operation_unitary_cnot_other_direction():
+    # control on qubit 0, target qubit 1 (paper's Example 1 matrix)
+    unitary = operation_unitary(Operation(g.X, [1], [0]), 2)
+    expected = np.array(
+        [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]]
+    )
+    assert np.allclose(unitary, expected)
+
+
+def test_measurement_circuit_has_no_unitary():
+    qc = QuantumCircuit(1)
+    qc.measure(0)
+    with pytest.raises(ValueError):
+        circuit_unitary(qc)
+
+
+def test_global_phase_comparison():
+    a = circuit_unitary(library.qft(2))
+    b = np.exp(0.42j) * a
+    assert allclose_up_to_global_phase(a, b)
+    assert not allclose_up_to_global_phase(a, 1.1 * a)
+    c = a.copy()
+    c[0, 0] += 0.1
+    assert not allclose_up_to_global_phase(a, c)
+    assert not allclose_up_to_global_phase(a, np.eye(3))
+
+
+def test_global_phase_comparison_zero_vectors():
+    zero = np.zeros(4)
+    assert allclose_up_to_global_phase(zero, zero)
+    assert not allclose_up_to_global_phase(zero, np.array([1.0, 0, 0, 0]))

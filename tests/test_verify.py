@@ -1,0 +1,203 @@
+"""Tests for the equivalence checkers (all four data structures)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import library, random_circuits
+from repro.circuits.circuit import QuantumCircuit
+from repro.compile import compile_circuit, coupling, zx_optimize
+from repro.verify import (
+    check_all_methods,
+    check_equivalence,
+    check_equivalence_dd,
+    check_equivalence_random_stimuli,
+    check_equivalence_tn,
+    check_equivalence_unitary,
+    check_equivalence_zx,
+    hilbert_schmidt_overlap,
+    peak_nodes_alternating,
+)
+
+EXACT_METHODS = ["arrays", "dd", "tn", "tn_stimuli"]
+
+
+def _equivalent_pair(seed=0):
+    """A circuit and a differently-structured equivalent version of it."""
+    circuit = random_circuits.random_clifford_t_circuit(3, 20, seed=seed)
+    padded = circuit.copy()
+    inverse_block = library.qft(3)
+    padded.compose(inverse_block)
+    padded.compose(inverse_block.inverse())
+    return circuit, padded
+
+
+def _inequivalent_pair(seed=0):
+    circuit = random_circuits.random_clifford_t_circuit(3, 20, seed=seed)
+    other = circuit.copy()
+    other.x(1)
+    return circuit, other
+
+
+@pytest.mark.parametrize("method", EXACT_METHODS)
+def test_equivalent_pairs_accepted(method):
+    a, b = _equivalent_pair()
+    assert check_equivalence(a, b, method=method) is True
+
+
+@pytest.mark.parametrize("method", EXACT_METHODS)
+def test_inequivalent_pairs_rejected(method):
+    a, b = _inequivalent_pair()
+    assert check_equivalence(a, b, method=method) is False
+
+
+def test_zx_checker_confirms_equivalence():
+    # Clifford pairs are inside the implemented fragment's power: the
+    # composite A . B^dagger always rewrites to bare wires.
+    a = random_circuits.random_clifford_circuit(3, 25, seed=1)
+    b = a.copy()
+    b.compose(library.ghz_state(3))
+    b.compose(library.ghz_state(3).inverse())
+    assert check_equivalence_zx(a, b) is True
+    # Clifford+T identity-padding also reduces.
+    qft = library.qft(3)
+    padded = library.qft(3)
+    padded.compose(library.qft(3).inverse())
+    padded.compose(library.qft(3))
+    assert check_equivalence_zx(qft, padded) is True
+
+
+def test_zx_checker_inconclusive_not_wrong():
+    a, b = _inequivalent_pair()
+    # ZX rewriting is incomplete: must never claim equivalence here.
+    assert check_equivalence_zx(a, b) is not True
+
+
+def test_global_phase_insensitivity():
+    a = QuantumCircuit(2)
+    a.h(0).cx(0, 1)
+    b = a.copy()
+    b.gphase(1.234)
+    for method in EXACT_METHODS + ["zx"]:
+        assert check_equivalence(a, b, method=method) is True
+
+
+def test_different_qubit_counts():
+    assert check_equivalence(library.bell_pair(), library.ghz_state(3)) is False
+
+
+def test_unknown_method():
+    with pytest.raises(ValueError):
+        check_equivalence(library.bell_pair(), library.bell_pair(), method="magic")
+
+
+def test_check_all_methods_consistency():
+    a, b = _equivalent_pair(seed=3)
+    results = check_all_methods(a, b)
+    for method in EXACT_METHODS:
+        assert results[method] is True, method
+    # ZX is sound-but-incomplete: True or inconclusive, never False here.
+    assert results["zx"] in (True, None)
+
+
+def test_dd_strategies_agree():
+    a, b = _equivalent_pair(seed=5)
+    for strategy in ("proportional", "sequential", "naive"):
+        assert check_equivalence_dd(a, b, strategy=strategy) is True
+    a, b = _inequivalent_pair(seed=5)
+    for strategy in ("proportional", "sequential", "naive"):
+        assert check_equivalence_dd(a, b, strategy=strategy) is False
+
+
+def test_dd_unknown_strategy():
+    with pytest.raises(ValueError):
+        check_equivalence_dd(
+            library.bell_pair(), library.bell_pair(), strategy="bogus"
+        )
+
+
+def test_alternating_keeps_dd_small():
+    """The paper-cited advantage (ref. [20]): G' . G^-1 stays near identity."""
+    circuit = library.qft(5)
+    same = library.qft(5)
+    equivalent, peak_alt = peak_nodes_alternating(circuit, same, "proportional")
+    assert equivalent
+    _, peak_seq = peak_nodes_alternating(circuit, same, "sequential")
+    assert peak_alt <= peak_seq
+
+
+def test_hilbert_schmidt_overlap_values():
+    a = library.bell_pair()
+    overlap = hilbert_schmidt_overlap(a, a)
+    assert abs(overlap) == pytest.approx(1.0, abs=1e-9)
+    b = a.copy()
+    b.z(0)
+    assert abs(hilbert_schmidt_overlap(a, b)) < 0.99
+
+
+def test_random_stimuli_catches_local_difference():
+    # GHZ outputs are 2-sparse, so random output picks rarely land on the
+    # support; enough samples make a miss astronomically unlikely.
+    a = library.ghz_state(4)
+    b = library.ghz_state(4)
+    b.rz(0.3, 2)
+    assert (
+        check_equivalence_random_stimuli(
+            a, b, num_stimuli=24, amplitudes_per_stimulus=12, seed=4
+        )
+        is False
+    )
+
+
+def test_stabilizer_checker_on_clifford_pairs():
+    from repro.verify import check_equivalence_stabilizer
+
+    a = random_circuits.random_clifford_circuit(4, 40, seed=2)
+    b = a.copy()
+    b.compose(library.ghz_state(4))
+    b.compose(library.ghz_state(4).inverse())
+    assert check_equivalence_stabilizer(a, b) is True
+    broken = a.copy()
+    broken.z(1)
+    assert check_equivalence_stabilizer(a, broken) is False
+    # Global phase insensitivity: S.S.S.S = Z^2 = I exactly, but
+    # X.Z.X.Z = -I differs only by phase and must still pass.
+    phase_only = QuantumCircuit(1)
+    phase_only.x(0)
+    phase_only.z(0)
+    phase_only.x(0)
+    phase_only.z(0)
+    empty = QuantumCircuit(1)
+    assert check_equivalence_stabilizer(empty, phase_only) is True
+
+
+def test_stabilizer_checker_scales():
+    """60-qubit Clifford equivalence in polynomial time."""
+    a = random_circuits.random_clifford_circuit(60, 400, seed=3)
+    b = a.copy()
+    b.compose(library.ghz_state(60))
+    b.compose(library.ghz_state(60).inverse())
+    assert check_equivalence(a, b, method="stab") is True
+    broken = a.copy()
+    broken.x(30)
+    assert check_equivalence(a, broken, method="stab") is False
+
+
+def test_stabilizer_checker_inconclusive_on_t_gates():
+    circuit = library.qft(3)
+    assert check_equivalence(circuit, circuit, method="stab") is None
+
+
+def test_verify_compiled_circuit_unrouted():
+    """Compilation without routing must be verifiable directly."""
+    circuit = library.qft(3)
+    compiled = compile_circuit(circuit, optimization_level=2).circuit
+    results = check_all_methods(circuit, compiled)
+    for method in EXACT_METHODS:
+        assert results[method] is True, method
+
+
+def test_verify_zx_optimized_circuit():
+    circuit = random_circuits.random_clifford_t_circuit(3, 25, seed=8)
+    optimized = zx_optimize(circuit).optimized
+    assert check_equivalence(circuit, optimized, method="dd") is True
+    assert check_equivalence_zx(circuit, optimized) is True

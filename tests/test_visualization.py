@@ -1,0 +1,80 @@
+"""Tests for the figure renderers (dot/ASCII output sanity)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import library
+from repro.dd import DDSimulator, to_ascii, to_dot
+from repro.tn.circuit_tn import circuit_to_network
+from repro.visualization import (
+    bell_figure_ascii,
+    render_dd_dot,
+    render_tn_dot,
+    render_zx_dot,
+    statevector_table,
+)
+from repro.zx import circuit_to_zx
+from repro.zx.export import to_text
+
+
+def _dot_is_balanced(text: str) -> bool:
+    return text.count("{") == text.count("}") and text.strip().endswith("}")
+
+
+def test_statevector_table_bell():
+    state = np.array([1, 0, 0, 1]) / np.sqrt(2)
+    table = statevector_table(state)
+    assert "|00>" in table and "|11>" in table
+    assert "+0.7071" in table
+
+
+def test_dd_dot_output():
+    sim = DDSimulator()
+    state = sim.simulate_state(library.bell_pair())
+    dot = render_dd_dot(state.edge, name="bell")
+    assert dot.startswith("digraph bell")
+    assert _dot_is_balanced(dot)
+    assert "q1" in dot and "q0" in dot
+    assert "0.7071" in dot
+
+
+def test_dd_ascii_shares_nodes():
+    sim = DDSimulator()
+    plus = library.ghz_state(2)
+    state = sim.simulate_state(plus)
+    text = to_ascii(state.edge)
+    assert "root" in text
+    assert "[q1]" in text
+
+
+def test_tn_dot_output():
+    network, _ = circuit_to_network(library.bell_pair())
+    dot = render_tn_dot(network, name="belltn")
+    assert dot.startswith("graph belltn")
+    assert _dot_is_balanced(dot)
+    # 2 inputs + 2 gates = 4 tensors
+    assert dot.count("label=\"T") == 4
+    assert "open_" in dot  # output legs are open
+
+
+def test_zx_dot_output():
+    diagram = circuit_to_zx(library.bell_pair())
+    dot = render_zx_dot(diagram, name="bellzx")
+    assert dot.startswith("graph bellzx")
+    assert _dot_is_balanced(dot)
+    assert "#99ee99" in dot  # Z spider
+    assert "#ee9999" in dot  # X spider
+
+
+def test_zx_text_output():
+    diagram = circuit_to_zx(library.qft(2))
+    text = to_text(diagram)
+    assert "input" in text and "output" in text
+    assert "Z" in text
+
+
+def test_bell_figure_ascii_regenerates_fig1():
+    text = bell_figure_ascii()
+    assert "Fig. 1a" in text and "Fig. 1b" in text
+    assert "|11>  +0.7071" in text
+    assert "3 nodes vs 4 vector entries" in text

@@ -1,0 +1,177 @@
+"""Tests for the ZX-diagram data structure and phase arithmetic."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.arrays import circuit_unitary
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.zx import (
+    EdgeType,
+    Phase,
+    VertexType,
+    ZXDiagram,
+    circuit_to_zx,
+    diagram_to_matrix,
+    proportional,
+)
+
+
+# -- Phase --------------------------------------------------------------------
+
+
+def test_phase_exact_arithmetic():
+    a = Phase(Fraction(1, 4))
+    b = Phase(Fraction(3, 4))
+    assert (a + b).value == Fraction(1)
+    assert (a + b).is_pi
+    assert (-a).value == Fraction(7, 4)
+    assert a.is_exact
+
+
+def test_phase_mod_two():
+    assert Phase(Fraction(9, 4)) == Phase(Fraction(1, 4))
+    assert Phase(2) == Phase(0)
+    assert Phase(2).is_zero
+
+
+def test_phase_float_snapping():
+    p = Phase.from_radians(math.pi / 4)
+    assert p.is_exact
+    assert p.value == Fraction(1, 4)
+    irrational = Phase.from_radians(1.2345)
+    assert not irrational.is_exact
+    assert irrational.to_radians() == pytest.approx(1.2345)
+
+
+def test_phase_predicates():
+    assert Phase(0).is_pauli and Phase(1).is_pauli
+    assert Phase(Fraction(1, 2)).is_proper_clifford
+    assert Phase(Fraction(3, 2)).is_proper_clifford
+    assert Phase(Fraction(1, 2)).is_clifford
+    assert not Phase(Fraction(1, 4)).is_clifford
+    assert Phase(Fraction(1, 4)).is_t_like
+    assert Phase(Fraction(3, 4)).is_t_like
+    assert not Phase(Fraction(1, 2)).is_t_like
+
+
+def test_phase_mixed_arithmetic():
+    irrational = 0.123456789  # not close to any small fraction of pi
+    mixed = Phase(Fraction(1, 2)) + Phase(irrational)
+    assert not mixed.is_exact
+    assert float(mixed.value) == pytest.approx(0.5 + irrational)
+
+
+# -- diagram structure ---------------------------------------------------------
+
+
+def test_vertex_and_edge_management():
+    d = ZXDiagram()
+    a = d.add_vertex(VertexType.Z, Fraction(1, 2))
+    b = d.add_vertex(VertexType.X)
+    d.add_edge(a, b, EdgeType.HADAMARD)
+    assert d.num_vertices() == 2
+    assert d.num_edges() == 1
+    assert d.edge_type(a, b) == EdgeType.HADAMARD
+    assert d.neighbors(a) == [b]
+    d.remove_vertex(b)
+    assert d.num_edges() == 0
+    assert d.degree(a) == 0
+
+
+def test_duplicate_edge_rejected():
+    d = ZXDiagram()
+    a = d.add_vertex(VertexType.Z)
+    b = d.add_vertex(VertexType.Z)
+    d.add_edge(a, b)
+    with pytest.raises(ValueError):
+        d.add_edge(a, b)
+
+
+def test_add_edge_smart_hopf_law():
+    # Two H-edges between Z spiders cancel; verify semantically.
+    circuit = QuantumCircuit(2)
+    circuit.cz(0, 1)
+    circuit.cz(0, 1)
+    d = circuit_to_zx(circuit)
+    from repro.zx.simplify import spider_simp
+
+    spider_simp(d)  # fusing spiders forces the parallel H-edges to meet
+    matrix = diagram_to_matrix(d)
+    assert proportional(matrix, np.eye(4))
+
+
+def test_smart_self_loop_hadamard_adds_pi():
+    d = ZXDiagram()
+    v = d.add_vertex(VertexType.Z, 0)
+    d.add_edge_smart(v, v, EdgeType.HADAMARD)
+    assert d.phases[v].is_pi
+    d.add_edge_smart(v, v, EdgeType.SIMPLE)
+    assert d.phases[v].is_pi  # unchanged
+
+
+def test_interior_detection():
+    d = circuit_to_zx(library.bell_pair())
+    boundary_adjacent = [v for v in d.spiders() if not d.is_interior(v)]
+    assert len(boundary_adjacent) == len(d.spiders())  # tiny circuit: all touch IO
+
+
+def test_stats_and_tcount():
+    circuit = QuantumCircuit(2)
+    circuit.t(0).tdg(1).s(0).cx(0, 1)
+    d = circuit_to_zx(circuit)
+    assert d.t_count() == 2
+    stats = d.stats()
+    assert stats["t_count"] == 2
+    assert stats["spiders"] == len(d.spiders())
+
+
+def test_copy_is_independent():
+    d = circuit_to_zx(library.bell_pair())
+    dup = d.copy()
+    dup.remove_vertex(dup.spiders()[0])
+    assert len(d.spiders()) != len(dup.spiders())
+
+
+# -- semantics of composition ----------------------------------------------------
+
+
+def test_compose_is_circuit_concatenation():
+    a = library.bell_pair()
+    b = QuantumCircuit(2)
+    b.s(0)
+    b.cx(1, 0)
+    da = circuit_to_zx(a)
+    db = circuit_to_zx(b)
+    combined = da.compose(db)
+    reference = a.copy()
+    reference.compose(b)
+    assert proportional(
+        diagram_to_matrix(combined), circuit_unitary(reference)
+    )
+
+
+def test_compose_arity_mismatch():
+    da = circuit_to_zx(library.bell_pair())
+    db = circuit_to_zx(library.ghz_state(3))
+    with pytest.raises(ValueError):
+        da.compose(db)
+
+
+def test_adjoint_semantics():
+    circuit = QuantumCircuit(2)
+    circuit.t(0)
+    circuit.cx(0, 1)
+    circuit.rz(0.3, 1)
+    d = circuit_to_zx(circuit)
+    adjoint_matrix = diagram_to_matrix(d.adjoint())
+    assert proportional(adjoint_matrix, circuit_unitary(circuit).conj().T)
+
+
+def test_compose_with_adjoint_is_identity_semantics():
+    d = circuit_to_zx(library.qft(2))
+    composite = d.compose(d.adjoint())
+    assert proportional(diagram_to_matrix(composite), np.eye(4))

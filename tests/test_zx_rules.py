@@ -1,0 +1,226 @@
+"""Soundness tests for every ZX rewrite rule.
+
+Each rule is applied to concrete diagrams and the dense tensor before/after
+is compared up to a scalar — the ground-truth notion of rewrite soundness.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_circuits
+from repro.zx import (
+    EdgeType,
+    VertexType,
+    ZXDiagram,
+    circuit_to_zx,
+    diagram_to_matrix,
+    proportional,
+    to_graph_like,
+)
+from repro.zx.rules import (
+    check_fusable,
+    check_identity,
+    check_local_complementation,
+    check_pivot,
+    collapse_single_support_gadget,
+    color_change,
+    find_phase_gadgets,
+    fuse_spiders,
+    local_complementation,
+    merge_phase_gadgets,
+    pivot,
+    remove_identity,
+    unfuse_phase_gadget,
+)
+
+
+def _assert_sound(before: ZXDiagram, after: ZXDiagram):
+    assert proportional(diagram_to_matrix(before), diagram_to_matrix(after))
+
+
+def _graph_like_workloads():
+    out = []
+    for seed in range(4):
+        circuit = random_circuits.random_clifford_t_circuit(3, 20, seed=seed)
+        d = circuit_to_zx(circuit)
+        to_graph_like(d)
+        out.append(d)
+    return out
+
+
+def test_fuse_spiders_all_instances():
+    checked = 0
+    for seed in range(4):
+        circuit = random_circuits.random_clifford_t_circuit(3, 15, seed=seed)
+        d = circuit_to_zx(circuit)
+        for u, v, ty in d.edge_list():
+            if check_fusable(d, u, v):
+                before = d.copy()
+                work = d.copy()
+                fuse_spiders(work, u, v)
+                _assert_sound(before, work)
+                checked += 1
+                if checked >= 5:
+                    return
+    assert checked > 0
+
+
+def test_fuse_requires_same_colour_simple_edge():
+    d = ZXDiagram()
+    a = d.add_vertex(VertexType.Z)
+    b = d.add_vertex(VertexType.X)
+    d.add_edge(a, b, EdgeType.SIMPLE)
+    assert not check_fusable(d, a, b)
+    with pytest.raises(ValueError):
+        fuse_spiders(d, a, b)
+
+
+def test_remove_identity_instances():
+    d = ZXDiagram()
+    i = d.add_vertex(VertexType.BOUNDARY)
+    mid = d.add_vertex(VertexType.Z, 0)
+    o = d.add_vertex(VertexType.BOUNDARY)
+    d.add_edge(i, mid, EdgeType.HADAMARD)
+    d.add_edge(mid, o, EdgeType.HADAMARD)
+    d.inputs, d.outputs = [i], [o]
+    before = d.copy()
+    assert check_identity(d, mid)
+    remove_identity(d, mid)
+    # H-H composes to a plain wire.
+    assert d.edge_type(i, o) == EdgeType.SIMPLE
+    _assert_sound(before, d)
+
+
+def test_remove_identity_rejects_phase():
+    d = ZXDiagram()
+    i = d.add_vertex(VertexType.BOUNDARY)
+    mid = d.add_vertex(VertexType.Z, Fraction(1, 4))
+    o = d.add_vertex(VertexType.BOUNDARY)
+    d.add_edge(i, mid)
+    d.add_edge(mid, o)
+    d.inputs, d.outputs = [i], [o]
+    assert not check_identity(d, mid)
+
+
+def test_color_change_soundness():
+    for seed in range(3):
+        circuit = random_circuits.random_clifford_circuit(3, 12, seed=seed)
+        d = circuit_to_zx(circuit)
+        spiders = d.spiders()
+        target = spiders[seed % len(spiders)]
+        before = d.copy()
+        color_change(d, target)
+        _assert_sound(before, d)
+        assert d.types[target] in (VertexType.Z, VertexType.X)
+
+
+def test_color_change_boundary_rejected():
+    d = circuit_to_zx(random_circuits.random_clifford_circuit(2, 5, seed=0))
+    with pytest.raises(ValueError):
+        color_change(d, d.inputs[0])
+
+
+def test_local_complementation_soundness():
+    checked = 0
+    for d in _graph_like_workloads():
+        for v in list(d.spiders()):
+            if v in d.types and check_local_complementation(d, v):
+                before = d.copy()
+                work = d.copy()
+                local_complementation(work, v)
+                _assert_sound(before, work)
+                assert v not in work.types
+                checked += 1
+                break
+    assert checked >= 1
+
+
+def test_pivot_soundness():
+    checked = 0
+    for d in _graph_like_workloads():
+        for u, v, ty in d.edge_list():
+            if ty == EdgeType.HADAMARD and check_pivot(d, u, v):
+                before = d.copy()
+                work = d.copy()
+                pivot(work, u, v)
+                _assert_sound(before, work)
+                assert u not in work.types and v not in work.types
+                checked += 1
+                break
+    assert checked >= 1
+
+
+def test_pivot_preconditions():
+    d = ZXDiagram()
+    a = d.add_vertex(VertexType.Z, Fraction(1, 4))  # non-Pauli
+    b = d.add_vertex(VertexType.Z, 0)
+    d.add_edge(a, b, EdgeType.HADAMARD)
+    assert not check_pivot(d, a, b)
+    with pytest.raises(ValueError):
+        pivot(d, a, b)
+
+
+def test_unfuse_phase_gadget_soundness():
+    d = _graph_like_workloads()[0]
+    target = next(
+        v for v in d.spiders() if not d.phases[v].is_clifford and d.degree(v) > 1
+    )
+    before = d.copy()
+    hub, leaf = unfuse_phase_gadget(d, target)
+    _assert_sound(before, d)
+    assert d.phases[target].is_zero
+    assert d.degree(leaf) == 1
+    assert d.edge_type(hub, leaf) == EdgeType.HADAMARD
+
+
+def test_find_and_merge_phase_gadgets():
+    # Build a diagram with two gadgets over the same support by hand.
+    d = ZXDiagram()
+    i = d.add_vertex(VertexType.BOUNDARY)
+    o = d.add_vertex(VertexType.BOUNDARY)
+    s1 = d.add_vertex(VertexType.Z, 0)
+    s2 = d.add_vertex(VertexType.Z, 0)
+    d.add_edge(i, s1)
+    d.add_edge(s1, s2, EdgeType.HADAMARD)
+    d.add_edge(s2, o)
+    d.inputs, d.outputs = [i], [o]
+    gadget_specs = []
+    for phase in (Fraction(1, 4), Fraction(1, 4)):
+        hub = d.add_vertex(VertexType.Z, 0)
+        leaf = d.add_vertex(VertexType.Z, phase)
+        d.add_edge(hub, leaf, EdgeType.HADAMARD)
+        d.add_edge(hub, s1, EdgeType.HADAMARD)
+        d.add_edge(hub, s2, EdgeType.HADAMARD)
+        gadget_specs.append((hub, leaf))
+    gadgets = find_phase_gadgets(d)
+    assert len(gadgets) == 2
+    assert gadgets[0][2] == gadgets[1][2] == frozenset({s1, s2})
+    before = d.copy()
+    merge_phase_gadgets(d, gadgets[0], gadgets[1])
+    _assert_sound(before, d)
+    remaining = find_phase_gadgets(d)
+    assert len(remaining) == 1
+    # Phases added: pi/4 + pi/4 = pi/2.
+    leaf_phase = d.phases[remaining[0][1]]
+    assert leaf_phase == Fraction(1, 2)
+
+
+def test_collapse_single_support_gadget():
+    d = ZXDiagram()
+    i = d.add_vertex(VertexType.BOUNDARY)
+    o = d.add_vertex(VertexType.BOUNDARY)
+    s = d.add_vertex(VertexType.Z, 0)
+    d.add_edge(i, s)
+    d.add_edge(s, o)
+    d.inputs, d.outputs = [i], [o]
+    hub = d.add_vertex(VertexType.Z, 0)
+    leaf = d.add_vertex(VertexType.Z, Fraction(1, 4))
+    d.add_edge(hub, leaf, EdgeType.HADAMARD)
+    d.add_edge(hub, s, EdgeType.HADAMARD)
+    gadget = find_phase_gadgets(d)[0]
+    before = d.copy()
+    collapse_single_support_gadget(d, gadget)
+    _assert_sound(before, d)
+    assert d.phases[s] == Fraction(1, 4)

@@ -1,0 +1,111 @@
+"""Tests for the ZX simplification strategies (and their soundness)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import circuit_unitary
+from repro.circuits import library, random_circuits
+from repro.zx import (
+    EdgeType,
+    VertexType,
+    circuit_to_zx,
+    diagram_to_matrix,
+    full_reduce,
+    interior_clifford_simp,
+    proportional,
+    simplification_report,
+    to_graph_like,
+)
+
+
+def test_circuit_to_zx_sound(workload):
+    clean = workload.without_measurements()
+    if clean.num_qubits > 4 or len(clean) > 60:
+        pytest.skip("dense evaluation kept small")
+    d = circuit_to_zx(clean)
+    assert proportional(diagram_to_matrix(d), circuit_unitary(clean))
+
+
+def test_to_graph_like_properties():
+    for seed in range(3):
+        circuit = random_circuits.random_clifford_t_circuit(3, 20, seed=seed)
+        d = circuit_to_zx(circuit)
+        reference = diagram_to_matrix(d)
+        to_graph_like(d)
+        assert all(d.types[v] == VertexType.Z for v in d.spiders())
+        for u, v, ty in d.edge_list():
+            if not d.is_boundary(u) and not d.is_boundary(v):
+                assert ty == EdgeType.HADAMARD
+        assert proportional(diagram_to_matrix(d), reference)
+
+
+def test_interior_clifford_simp_sound_and_shrinks():
+    circuit = random_circuits.random_clifford_circuit(4, 40, seed=7)
+    d = circuit_to_zx(circuit)
+    reference = diagram_to_matrix(d)
+    spiders_before = len(d.spiders())
+    steps = interior_clifford_simp(d)
+    assert steps > 0
+    assert len(d.spiders()) < spiders_before
+    assert proportional(diagram_to_matrix(d), reference)
+
+
+def test_clifford_circuits_reduce_to_linear_size():
+    """Graph-like Clifford diagrams shrink to ~boundary-size (ref. [38])."""
+    for seed in range(3):
+        circuit = random_circuits.random_clifford_circuit(4, 60, seed=seed)
+        d = circuit_to_zx(circuit)
+        full_reduce(d)
+        # after reduction only boundary-adjacent spiders survive
+        assert len(d.spiders()) <= 3 * 4
+
+
+def test_full_reduce_sound(workload):
+    clean = workload.without_measurements()
+    if clean.num_qubits > 4 or len(clean) > 60:
+        pytest.skip("dense evaluation kept small")
+    d = circuit_to_zx(clean)
+    reference = diagram_to_matrix(d)
+    full_reduce(d)
+    assert proportional(diagram_to_matrix(d), reference)
+
+
+def test_full_reduce_never_increases_t_count():
+    for seed in range(5):
+        circuit = random_circuits.random_clifford_t_circuit(4, 40, seed=seed)
+        d = circuit_to_zx(circuit)
+        before = d.t_count()
+        full_reduce(d)
+        assert d.t_count() <= before
+
+
+def test_full_reduce_lowers_t_count_on_phase_polynomials():
+    """Identical-support gadgets must merge (refs. [39], [41])."""
+    terms = [(0b011, np.pi / 4), (0b011, np.pi / 4), (0b101, np.pi / 4)]
+    circuit = library.phase_polynomial_circuit(3, terms)
+    d = circuit_to_zx(circuit)
+    assert d.t_count() == 3
+    full_reduce(d)
+    assert d.t_count() <= 1
+
+
+def test_full_reduce_terminates_on_larger_circuits():
+    circuit = random_circuits.random_clifford_t_circuit(6, 150, seed=9)
+    d = circuit_to_zx(circuit)
+    full_reduce(d)  # must not hang
+    assert len(d.spiders()) < 150
+
+
+def test_simplification_report_fields():
+    report = simplification_report(circuit_to_zx(library.qft(3)))
+    assert report["spiders_after"] <= report["spiders_before"]
+    assert report["t_count_after"] <= report["t_count_before"]
+    assert report["rules_applied"] > 0
+
+
+def test_qft_t_count_reduction():
+    d = circuit_to_zx(library.qft(3))
+    before = d.t_count()
+    full_reduce(d)
+    assert before == 6
+    assert d.t_count() < before
