@@ -13,15 +13,40 @@ from repro.circuits import random_circuits
 QUBIT_RANGE = [8, 10, 12, 14, 16]
 
 
+@pytest.mark.parametrize("method", ["einsum", "gather"])
 @pytest.mark.parametrize("num_qubits", QUBIT_RANGE)
-def test_array_simulation_scaling(benchmark, num_qubits):
+def test_array_simulation_scaling(benchmark, num_qubits, method):
     circuit = random_circuits.brickwork_circuit(num_qubits, depth=4, seed=1)
-    sim = StatevectorSimulator()
+    sim = StatevectorSimulator(method=method)
     state = benchmark(sim.statevector, circuit)
     assert np.linalg.norm(state) == pytest.approx(1.0, abs=1e-8)
     memory_bytes = state.nbytes
     benchmark.extra_info["state_bytes"] = memory_bytes
     assert memory_bytes == 16 * 2**num_qubits  # complex128: exact 2^n growth
+
+
+def test_kernel_scaling_report():
+    """Einsum-vs-gather ratio widens with qubit count (print with -s)."""
+    import time
+
+    print()
+    print("qubits  gather_s   einsum_s   speedup")
+    speedups = []
+    for n in QUBIT_RANGE:
+        circuit = random_circuits.brickwork_circuit(n, depth=4, seed=1)
+        timings = {}
+        for method in ("gather", "einsum"):
+            sim = StatevectorSimulator(method=method)
+            start = time.perf_counter()
+            sim.statevector(circuit)
+            timings[method] = time.perf_counter() - start
+        speedups.append(timings["gather"] / timings["einsum"])
+        print(
+            f"{n:6d}  {timings['gather']:8.5f}  {timings['einsum']:9.5f}"
+            f"  {speedups[-1]:7.2f}x"
+        )
+    # At the largest size the einsum kernels must clearly beat gather.
+    assert speedups[-1] > 1.5
 
 
 def test_memory_wall_extrapolation():

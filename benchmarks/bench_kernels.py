@@ -1,0 +1,107 @@
+"""Kernel A/B benchmark: einsum/slice kernels vs the legacy gather path.
+
+Pytest benchmarks compare the two gate-application methods (plus gate
+fusion) on the workloads the kernels were built for.  Running the module
+as a script reproduces the headline measurement — a 20-qubit, 200-gate
+random Clifford+T circuit — and writes ``BENCH_kernels.json`` at the
+repository root:
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--quick]
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.arrays import StatevectorSimulator
+from repro.circuits import random_circuits
+from repro.compile.fusion import fusion_report
+
+METHODS = ["gather", "einsum", "einsum+fusion"]
+
+
+def _simulator(method: str, seed: int = 0) -> StatevectorSimulator:
+    if method == "einsum+fusion":
+        return StatevectorSimulator(seed=seed, method="einsum", fusion=True)
+    return StatevectorSimulator(seed=seed, method=method)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_clifford_t_kernels(benchmark, method):
+    circuit = random_circuits.random_clifford_t_circuit(14, 120, seed=7)
+    sim = _simulator(method)
+    benchmark(sim.statevector, circuit)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_brickwork_kernels(benchmark, method):
+    circuit = random_circuits.brickwork_circuit(14, 6, seed=3)
+    sim = _simulator(method)
+    benchmark(sim.statevector, circuit)
+
+
+def _time_method(circuit, method: str, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        sim = _simulator(method)
+        start = time.perf_counter()
+        sim.statevector(circuit)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_headline(num_qubits: int = 20, num_gates: int = 200, repeats: int = 3):
+    """The ISSUE-1 acceptance measurement, as a machine-readable record."""
+    circuit = random_circuits.random_clifford_t_circuit(
+        num_qubits, num_gates, seed=7
+    )
+    timings = {m: _time_method(circuit, m, repeats) for m in METHODS}
+    states = {
+        m: _simulator(m).statevector(circuit) for m in ("gather", "einsum")
+    }
+    agreement = float(np.abs(states["gather"] - states["einsum"]).max())
+    report = fusion_report(circuit, max_fused_qubits=2)
+    return {
+        "workload": {
+            "circuit": "random_clifford_t",
+            "num_qubits": num_qubits,
+            "num_gates": num_gates,
+            "seed": 7,
+        },
+        "repeats": repeats,
+        "seconds": timings,
+        "speedup_einsum_vs_gather": timings["gather"] / timings["einsum"],
+        "speedup_fusion_vs_gather": timings["gather"] / timings["einsum+fusion"],
+        "max_abs_state_diff_einsum_vs_gather": agreement,
+        "fusion": report,
+    }
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    if quick:
+        # Smoke mode (CI): smaller workload, correctness only — small
+        # sizes don't show the asymptotic speedup, and the checked-in
+        # artifact must keep the headline numbers.
+        result = run_headline(num_qubits=12, num_gates=80, repeats=2)
+        print(json.dumps(result, indent=2))
+        diff = result["max_abs_state_diff_einsum_vs_gather"]
+        if diff > 1e-10:
+            raise SystemExit(f"FAIL: einsum/gather disagree ({diff})")
+        return
+    result = run_headline()
+    out = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    speedup = result["speedup_einsum_vs_gather"]
+    print(f"\neinsum speedup over gather: {speedup:.2f}x")
+    if speedup < 5.0:
+        raise SystemExit("FAIL: expected >= 5x speedup over the gather path")
+
+
+if __name__ == "__main__":
+    main()

@@ -48,17 +48,72 @@ def test_ghz_mps(benchmark, num_qubits):
     benchmark.extra_info["entries"] = result.mps.total_entries()
 
 
-@pytest.mark.parametrize("backend", ["arrays", "dd", "mps"])
+@pytest.mark.parametrize(
+    "backend", ["arrays", "arrays-gather", "arrays-fused", "dd", "mps"]
+)
 def test_random_dense_circuit(benchmark, backend):
     """Unstructured workload: structure exploitation cannot win here."""
     circuit = random_circuits.random_circuit(10, 12, seed=5)
     if backend == "arrays":
-        sim = StatevectorSimulator()
+        sim = StatevectorSimulator(method="einsum")
+        benchmark(sim.statevector, circuit)
+    elif backend == "arrays-gather":
+        sim = StatevectorSimulator(method="gather")
+        benchmark(sim.statevector, circuit)
+    elif backend == "arrays-fused":
+        sim = StatevectorSimulator(method="einsum", fusion=True)
         benchmark(sim.statevector, circuit)
     elif backend == "dd":
         benchmark(lambda: DDSimulator().simulate_state(circuit))
     else:
         benchmark(lambda: MPSSimulator().run(circuit))
+
+
+def test_kernel_method_report():
+    """Old gather path vs einsum kernels vs fusion (print with -s)."""
+    print()
+    print("workload              gather_s   einsum_s   fused_s")
+    workloads = [
+        ("cliffT 14q x 120", random_circuits.random_clifford_t_circuit(14, 120, seed=7)),
+        ("brickwork 14q d6", random_circuits.brickwork_circuit(14, 6, seed=3)),
+        ("qft 14q", library.qft(14)),
+    ]
+    for name, circuit in workloads:
+        timings = {}
+        for label, kwargs in (
+            ("gather", {"method": "gather"}),
+            ("einsum", {"method": "einsum"}),
+            ("fused", {"method": "einsum", "fusion": True}),
+        ):
+            sim = StatevectorSimulator(**kwargs)
+            start = time.perf_counter()
+            sim.statevector(circuit)
+            timings[label] = time.perf_counter() - start
+        print(
+            f"{name:20s}  {timings['gather']:8.5f}  {timings['einsum']:9.5f}"
+            f"  {timings['fused']:8.5f}"
+        )
+        # The new kernels must never lose to the legacy path by more
+        # than noise; on these sizes they should clearly win.
+        assert timings["einsum"] < timings["gather"]
+
+
+def test_dd_cache_stats_report():
+    """Bounded operation caches: hit rates on a structured workload."""
+    from repro.dd.package import DDPackage
+    from repro.dd.simulator import DDSimulator as _DD
+
+    sim = _DD(package=DDPackage(max_cache_entries=1 << 16))
+    sim.simulate_state(library.qft(12))
+    stats = sim.package.cache_stats()
+    print()
+    print("cache  entries   hits  misses  clears")
+    for name, row in stats.items():
+        print(
+            f"{name:5s}  {row['entries']:7d}  {row['hits']:5d}"
+            f"  {row['misses']:6d}  {row['clears']:6d}"
+        )
+    assert sum(row["misses"] for row in stats.values()) > 0
 
 
 def test_structured_crossover_report():

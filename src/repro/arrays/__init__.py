@@ -6,6 +6,11 @@ from .density import (
     density_from_statevector,
     zero_density,
 )
+from .kernels import (
+    apply_matrix_fast,
+    apply_operation_fast,
+    classify_matrix,
+)
 from .measurement import (
     expectation_value,
     fidelity,
@@ -52,9 +57,12 @@ __all__ = [
     "allclose_up_to_global_phase",
     "amplitude_damping",
     "apply_matrix",
+    "apply_matrix_fast",
     "apply_operation",
+    "apply_operation_fast",
     "apply_operation_to_matrix",
     "basis_state",
+    "classify_matrix",
     "bit_flip",
     "circuit_unitary",
     "density_from_statevector",

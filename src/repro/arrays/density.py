@@ -13,6 +13,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
+from . import kernels
 from .noise import KrausChannel, NoiseModel
 from .statevector import _gather_indices
 
@@ -34,8 +35,16 @@ def _left_multiply(
     targets: Sequence[int],
     controls: Sequence[int],
     num_qubits: int,
+    method: str = "einsum",
 ) -> np.ndarray:
-    """``matrix <- Embed(small) @ matrix`` for an arbitrary small matrix."""
+    """``matrix <- Embed(small) @ matrix`` for an arbitrary small matrix.
+
+    The fast path treats ``matrix`` as a batch of columns and runs the
+    statevector kernels on the row index space; ``method="gather"`` keeps
+    the legacy fancy-indexing path for A/B comparison.
+    """
+    if method == "einsum":
+        return kernels.apply_matrix_fast(matrix, small, targets, controls, num_qubits)
     if len(targets) == 0:
         phase = small[0, 0]
         if controls:
@@ -59,12 +68,13 @@ def _conjugate_by(
     targets: Sequence[int],
     controls: Sequence[int],
     num_qubits: int,
+    method: str = "einsum",
 ) -> np.ndarray:
     """``rho -> Embed(small) rho Embed(small)^dagger`` (in place)."""
-    _left_multiply(rho, small, targets, controls, num_qubits)
+    _left_multiply(rho, small, targets, controls, num_qubits, method)
     # Right-multiply by the adjoint:  A K† = (K A†)†.
     temp = rho.conj().T.copy()
-    _left_multiply(temp, small, targets, controls, num_qubits)
+    _left_multiply(temp, small, targets, controls, num_qubits, method)
     rho[...] = temp.conj().T
     return rho
 
@@ -74,12 +84,13 @@ def apply_channel(
     channel: KrausChannel,
     targets: Sequence[int],
     num_qubits: int,
+    method: str = "einsum",
 ) -> np.ndarray:
     """Apply ``sum_k K rho K^dagger`` on the given targets."""
     result = np.zeros_like(rho)
     for kraus in channel.operators:
         term = rho.copy()
-        _conjugate_by(term, kraus, targets, (), num_qubits)
+        _conjugate_by(term, kraus, targets, (), num_qubits, method)
         result += term
     rho[...] = result
     return rho
@@ -118,8 +129,13 @@ class DensityMatrixResult:
 class DensityMatrixSimulator:
     """Noise-aware mixed-state simulator."""
 
-    def __init__(self, noise_model: Optional[NoiseModel] = None) -> None:
+    def __init__(
+        self,
+        noise_model: Optional[NoiseModel] = None,
+        method: str = "einsum",
+    ) -> None:
         self.noise_model = noise_model
+        self.method = method
 
     def run(
         self,
@@ -138,7 +154,7 @@ class DensityMatrixSimulator:
                 self._dephase(rho, op.targets[0], n)
                 continue
             matrix = op.gate.matrix
-            _conjugate_by(rho, matrix, op.targets, op.controls, n)
+            _conjugate_by(rho, matrix, op.targets, op.controls, n, self.method)
             self._apply_noise(rho, op, n)
         return DensityMatrixResult(rho)
 
@@ -151,9 +167,9 @@ class DensityMatrixSimulator:
             return
         if channel.num_qubits == 1:
             for q in op.qubits:
-                apply_channel(rho, channel, [q], num_qubits)
+                apply_channel(rho, channel, [q], num_qubits, self.method)
         elif channel.num_qubits == len(op.qubits):
-            apply_channel(rho, channel, list(op.qubits), num_qubits)
+            apply_channel(rho, channel, list(op.qubits), num_qubits, self.method)
         else:
             raise ValueError(
                 f"channel '{channel.name}' arity does not match op '{name}'"
@@ -161,8 +177,13 @@ class DensityMatrixSimulator:
 
     @staticmethod
     def _dephase(rho: np.ndarray, qubit: int, num_qubits: int) -> None:
-        """Non-selective measurement: zero the coherences across ``qubit``."""
-        indices = np.arange(rho.shape[0])
-        bit = (indices >> qubit) & 1
-        off_diagonal = bit[:, np.newaxis] != bit[np.newaxis, :]
-        rho[off_diagonal] = 0.0
+        """Non-selective measurement: zero the coherences across ``qubit``.
+
+        Works on a reshape view exposing the qubit's bit on both the row
+        and column index — no boolean mask allocation.
+        """
+        high = rho.shape[0] >> (qubit + 1)
+        low = 1 << qubit
+        view = rho.reshape(high, 2, low, high, 2, low)
+        view[:, 0, :, :, 1, :] = 0.0
+        view[:, 1, :, :, 0, :] = 0.0

@@ -34,10 +34,14 @@ def sample_counts(state: np.ndarray, shots: int, seed: int = 0) -> Dict[str, int
 
 
 def marginal_probability(state: np.ndarray, qubit: int, outcome: int) -> float:
-    """Probability that measuring ``qubit`` yields ``outcome``."""
-    indices = np.arange(len(state))
-    mask = ((indices >> qubit) & 1) == outcome
-    return float(np.sum(np.abs(state[mask]) ** 2))
+    """Probability that measuring ``qubit`` yields ``outcome``.
+
+    Computed on a reshape view of the state (the amplitudes with the
+    qubit's bit equal to ``outcome`` form a strided slice) — no index
+    array is allocated.
+    """
+    view = state.reshape(-1, 2, 1 << qubit)[:, outcome, :]
+    return float(np.sum(np.abs(view) ** 2))
 
 
 def pauli_string_matrix(pauli: str) -> np.ndarray:

@@ -11,6 +11,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from . import kernels
+
 
 class KrausChannel:
     """A completely-positive trace-preserving map given by Kraus operators."""
@@ -34,6 +36,23 @@ class KrausChannel:
     @property
     def num_qubits(self) -> int:
         return int(self.operators[0].shape[0]).bit_length() - 1
+
+    def apply_operator(
+        self,
+        state: np.ndarray,
+        index: int,
+        targets: Sequence[int],
+        num_qubits: Optional[int] = None,
+    ) -> np.ndarray:
+        """``K_index |state>`` on a copy of ``state``, via the fast kernels.
+
+        Kraus operators are generally non-unitary, which the kernels
+        support (diagonal damping operators hit the elementwise path).
+        """
+        work = state.copy()
+        return kernels.apply_matrix_fast(
+            work, self.operators[index], targets, num_qubits=num_qubits
+        )
 
     def __repr__(self) -> str:
         return f"KrausChannel({self.name}, {len(self.operators)} ops)"

@@ -1,9 +1,18 @@
 """Dense array-based statevector simulation (paper Sec. II).
 
-States are 1-D numpy arrays of length ``2**n``; operations are applied by
-gathering the amplitude groups a gate touches and multiplying by the gate's
-small matrix.  Memory and time grow exponentially with the qubit count —
-this is exactly the behaviour benchmarked in ``bench_array_scaling``.
+States are 1-D numpy arrays of length ``2**n``.  Two gate-application
+methods are available:
+
+- ``"einsum"`` (default) — the reshape/slice kernels in
+  :mod:`repro.arrays.kernels`: the state is viewed as a rank-``n`` tensor
+  and gates act on views of it, with specialized diagonal/permutation/
+  controlled fast paths and no index-matrix allocation;
+- ``"gather"`` — the legacy path that materializes a ``(2**k, 2**(n-k))``
+  int64 gather matrix per gate and round-trips through fancy indexing,
+  kept for A/B comparison (see ``benchmarks/bench_kernels.py``).
+
+Memory and time still grow exponentially with the qubit count — this is
+exactly the behaviour benchmarked in ``bench_array_scaling``.
 """
 
 from __future__ import annotations
@@ -13,6 +22,9 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
+from . import kernels
+
+METHODS = ("einsum", "gather")
 
 
 def zero_state(num_qubits: int) -> np.ndarray:
@@ -65,13 +77,20 @@ def _gather_indices(
 
 
 def apply_operation(
-    state: np.ndarray, op: Operation, num_qubits: Optional[int] = None
+    state: np.ndarray,
+    op: Operation,
+    num_qubits: Optional[int] = None,
+    method: str = "einsum",
 ) -> np.ndarray:
     """Apply a unitary operation to ``state`` in place and return it."""
     if num_qubits is None:
         num_qubits = _infer_qubits(state)
     if not op.is_unitary:
         raise ValueError(f"cannot apply non-unitary op '{op.gate.name}' here")
+    if method == "einsum":
+        return kernels.apply_operation_fast(state, op, num_qubits)
+    if method != "gather":
+        raise ValueError(f"unknown method '{method}'; choose from {METHODS}")
     matrix = op.gate.matrix
     if op.gate.num_qubits == 0:
         # Global phase: controls turn it into a (multi-)controlled phase.
@@ -94,10 +113,15 @@ def apply_matrix(
     targets: Sequence[int],
     controls: Sequence[int] = (),
     num_qubits: Optional[int] = None,
+    method: str = "einsum",
 ) -> np.ndarray:
-    """Apply an arbitrary small unitary to ``state`` in place."""
+    """Apply an arbitrary small matrix to ``state`` in place."""
     if num_qubits is None:
         num_qubits = _infer_qubits(state)
+    if method == "einsum":
+        return kernels.apply_matrix_fast(state, matrix, targets, controls, num_qubits)
+    if method != "gather":
+        raise ValueError(f"unknown method '{method}'; choose from {METHODS}")
     bases, offsets = _gather_indices(num_qubits, targets, controls)
     gather = bases[np.newaxis, :] + offsets[:, np.newaxis]
     state[gather] = matrix @ state[gather]
@@ -135,10 +159,28 @@ class StatevectorResult:
 
 
 class StatevectorSimulator:
-    """Schrödinger-style full statevector simulator."""
+    """Schrödinger-style full statevector simulator.
 
-    def __init__(self, seed: int = 0) -> None:
+    ``method`` selects the gate-application kernels (``"einsum"`` fast
+    path or the legacy ``"gather"`` path).  With ``fusion=True``, runs of
+    adjacent gates acting on at most ``max_fused_qubits`` qubits are
+    merged into single unitaries before simulation (see
+    :mod:`repro.compile.fusion`).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        method: str = "einsum",
+        fusion: bool = False,
+        max_fused_qubits: int = 2,
+    ) -> None:
+        if method not in METHODS:
+            raise ValueError(f"unknown method '{method}'; choose from {METHODS}")
         self._rng = np.random.default_rng(seed)
+        self.method = method
+        self.fusion = fusion
+        self.max_fused_qubits = max_fused_qubits
 
     def run(
         self,
@@ -147,6 +189,10 @@ class StatevectorSimulator:
     ) -> StatevectorResult:
         """Execute ``circuit``; mid-circuit measurements collapse the state."""
         n = circuit.num_qubits
+        if self.fusion:
+            from ..compile.fusion import fuse_gates
+
+            circuit = fuse_gates(circuit, max_fused_qubits=self.max_fused_qubits)
         if initial_state is None:
             state = zero_state(n)
         else:
@@ -166,7 +212,7 @@ class StatevectorSimulator:
                 clbit, value = op.condition
                 if classical.get(clbit, 0) != value:
                     continue
-            apply_operation(state, op, n)
+            apply_operation(state, op, n, method=self.method)
         return StatevectorResult(state, classical)
 
     def statevector(self, circuit: QuantumCircuit) -> np.ndarray:
@@ -180,18 +226,18 @@ def measure_qubit(
     rng: np.random.Generator,
     num_qubits: Optional[int] = None,
 ) -> Tuple[int, np.ndarray]:
-    """Projectively measure one qubit; returns ``(outcome, collapsed state)``."""
+    """Projectively measure one qubit; returns ``(outcome, collapsed state)``.
+
+    The one-probability comes from a reshape view of the state — no
+    ``np.arange`` index array is allocated.
+    """
     if num_qubits is None:
         num_qubits = _infer_qubits(state)
-    indices = np.arange(len(state))
-    one_mask = (indices >> qubit) & 1 == 1
-    prob_one = float(np.sum(np.abs(state[one_mask]) ** 2))
+    prob_one = kernels.probability_of_one(state, qubit, num_qubits)
     outcome = 1 if rng.random() < prob_one else 0
     if outcome == 1:
-        state[~one_mask] = 0.0
         norm = np.sqrt(prob_one)
     else:
-        state[one_mask] = 0.0
         norm = np.sqrt(max(1.0 - prob_one, 1e-300))
-    state /= norm
+    state = kernels.collapse_qubit(state, qubit, outcome, norm, num_qubits)
     return outcome, state

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
 from .noise import KrausChannel, NoiseModel
-from .statevector import apply_matrix, apply_operation, measure_qubit, zero_state
+from .statevector import apply_operation, measure_qubit, zero_state
 
 
 class TrajectoryResult:
@@ -43,9 +43,15 @@ class TrajectoryResult:
 class TrajectorySimulator:
     """Monte-Carlo unraveling of a noisy circuit."""
 
-    def __init__(self, noise_model: Optional[NoiseModel], seed: int = 0) -> None:
+    def __init__(
+        self,
+        noise_model: Optional[NoiseModel],
+        seed: int = 0,
+        method: str = "einsum",
+    ) -> None:
         self.noise_model = noise_model
         self._rng = np.random.default_rng(seed)
+        self.method = method
 
     def run(self, circuit: QuantumCircuit, trajectories: int = 100) -> TrajectoryResult:
         n = circuit.num_qubits
@@ -63,7 +69,7 @@ class TrajectorySimulator:
             if op.is_measurement:
                 _, state = measure_qubit(state, op.targets[0], self._rng, n)
                 continue
-            apply_operation(state, op, n)
+            apply_operation(state, op, n, method=self.method)
             self._apply_noise(state, op, n)
         return state
 
@@ -89,8 +95,8 @@ class TrajectorySimulator:
         """Pick one Kraus branch with probability ||K|psi>||^2."""
         weights = []
         candidates = []
-        for kraus in channel.operators:
-            candidate = apply_matrix(state.copy(), kraus, targets, num_qubits=n)
+        for index in range(len(channel.operators)):
+            candidate = channel.apply_operator(state, index, targets, num_qubits=n)
             weight = float(np.real(np.vdot(candidate, candidate)))
             weights.append(weight)
             candidates.append(candidate)

@@ -14,6 +14,7 @@ from .decompositions import (
     decompose_to_two_qubit,
     euler_zyz,
 )
+from .fusion import fuse_gates, fused_matrix, fusion_report
 from .kak import decompose_two_qubit_unitary, kak_decompose
 from .commutation import commutative_cancellation, operations_commute
 from .optimize import cancel_inverses, merge_rotations, optimize, remove_identities
@@ -44,6 +45,9 @@ __all__ = [
     "decompose_to_basis",
     "decompose_to_two_qubit",
     "decompose_two_qubit_unitary",
+    "fuse_gates",
+    "fused_matrix",
+    "fusion_report",
     "kak_decompose",
     "euler_zyz",
     "interaction_layout",

@@ -63,10 +63,26 @@ def simulate(
     Backends: ``"arrays"`` (dense Schrödinger), ``"dd"`` (decision
     diagrams), ``"tn"`` (tensor-network contraction), ``"mps"`` (matrix
     product states; accepts ``max_bond``/``cutoff``).
+
+    Options shared by all backends: ``fusion=True`` merges runs of
+    adjacent gates on at most ``max_fused_qubits`` qubits into single
+    unitaries before simulation.  The arrays backend additionally accepts
+    ``method="einsum"`` (fast reshape/slice kernels, the default) or
+    ``method="gather"`` (legacy fancy-indexing path, kept for A/B
+    comparison).
     """
     clean = circuit.without_measurements()
+    if options.get("fusion", False):
+        from ..compile.fusion import fuse_gates
+
+        clean = fuse_gates(
+            clean, max_fused_qubits=options.get("max_fused_qubits", 2)
+        )
     if backend == "arrays":
-        sim = StatevectorSimulator(seed=options.get("seed", 0))
+        sim = StatevectorSimulator(
+            seed=options.get("seed", 0),
+            method=options.get("method", "einsum"),
+        )
         return SimulationResult("arrays", sim.statevector(clean))
     if backend == "dd":
         sim = DDSimulator(seed=options.get("seed", 0))
@@ -110,7 +126,7 @@ def sample(
     """
     clean = circuit.without_measurements()
     if backend == "arrays":
-        sim = StatevectorSimulator(seed=seed)
+        sim = StatevectorSimulator(seed=seed, method=options.get("method", "einsum"))
         from ..arrays.measurement import sample_counts
 
         return sample_counts(sim.statevector(clean), shots, seed=seed)
@@ -153,7 +169,10 @@ def expectation(
     if backend == "arrays":
         from ..arrays.measurement import expectation_value
 
-        sim = StatevectorSimulator(seed=options.get("seed", 0))
+        sim = StatevectorSimulator(
+            seed=options.get("seed", 0),
+            method=options.get("method", "einsum"),
+        )
         return expectation_value(sim.statevector(clean), pauli)
     if backend == "dd":
         sim = DDSimulator(seed=options.get("seed", 0))

@@ -30,22 +30,62 @@ ONE_EDGE = Edge(TERMINAL, ONE)
 
 
 class DDPackage:
-    """Shared tables and algorithms for vector and matrix decision diagrams."""
+    """Shared tables and algorithms for vector and matrix decision diagrams.
 
-    def __init__(self, tolerance: float = 1e-10) -> None:
+    Operation caches (``add``, ``mv``, ``mm``, ``ct``, ``ip``) are bounded
+    at ``max_cache_entries`` each; a cache that overflows is cleared
+    wholesale (the cheap policy used by real DD packages — entries are
+    re-derivable).  Hit/miss/clear counters are exposed via
+    :meth:`cache_stats` so benchmarks can report cache effectiveness.
+    """
+
+    def __init__(
+        self, tolerance: float = 1e-10, max_cache_entries: int = 1 << 18
+    ) -> None:
+        if max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be positive")
         self.ctable = ComplexTable(tolerance)
+        self.max_cache_entries = max_cache_entries
         self._unique: Dict[Tuple, DDNode] = {}
         self._add_cache: Dict[Tuple, Edge] = {}
         self._mv_cache: Dict[Tuple, Edge] = {}
         self._mm_cache: Dict[Tuple, Edge] = {}
         self._ct_cache: Dict[int, Edge] = {}
         self._ip_cache: Dict[Tuple[int, int], complex] = {}
+        self._cache_counters: Dict[str, Dict[str, int]] = {
+            name: {"hits": 0, "misses": 0, "clears": 0}
+            for name in ("add", "mv", "mm", "ct", "ip")
+        }
 
     # -- statistics ----------------------------------------------------------
 
     @property
     def unique_table_size(self) -> int:
         return len(self._unique)
+
+    def _cache_put(self, name: str, cache: Dict, key, value) -> None:
+        """Insert under the bound; clear wholesale on overflow."""
+        if len(cache) >= self.max_cache_entries:
+            cache.clear()
+            self._cache_counters[name]["clears"] += 1
+        cache[key] = value
+
+    def _count(self, name: str, hit: bool) -> None:
+        self._cache_counters[name]["hits" if hit else "misses"] += 1
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-cache entry counts and hit/miss/clear counters."""
+        sizes = {
+            "add": len(self._add_cache),
+            "mv": len(self._mv_cache),
+            "mm": len(self._mm_cache),
+            "ct": len(self._ct_cache),
+            "ip": len(self._ip_cache),
+        }
+        return {
+            name: {"entries": sizes[name], **counters}
+            for name, counters in self._cache_counters.items()
+        }
 
     def clear_caches(self) -> None:
         """Drop operation caches (the unique table is kept)."""
@@ -59,6 +99,8 @@ class DDPackage:
         """Drop every table; invalidates all previously created diagrams."""
         self._unique.clear()
         self.clear_caches()
+        for counters in self._cache_counters.values():
+            counters["hits"] = counters["misses"] = counters["clears"] = 0
         self.ctable = ComplexTable(self.ctable.tolerance)
 
     # -- node construction ----------------------------------------------------
@@ -256,6 +298,7 @@ class DDPackage:
         ratio = self.ctable.lookup(e2.weight / e1.weight)
         key = (id(e1.node), id(e2.node), ratio)
         cached = self._add_cache.get(key)
+        self._count("add", cached is not None)
         if cached is None:
             n1, n2 = e1.node, e2.node
             arity = len(n1.edges)
@@ -266,7 +309,7 @@ class DDPackage:
                 scaled = Edge(c2.node, c2.weight * ratio) if c2.weight != 0 else ZERO_EDGE
                 children.append(self.add(c1, scaled))
             cached = self.make_node(n1.var, tuple(children))
-            self._add_cache[key] = cached
+            self._cache_put("add", self._add_cache, key, cached)
         return self.make_edge(cached.node, cached.weight * e1.weight)
 
     def mv_multiply(self, m: Edge, v: Edge) -> Edge:
@@ -278,6 +321,7 @@ class DDPackage:
             return self.make_edge(TERMINAL, scale)
         key = (id(m.node), id(v.node))
         cached = self._mv_cache.get(key)
+        self._count("mv", cached is not None)
         if cached is None:
             rows = []
             for r in (0, 1):
@@ -290,7 +334,7 @@ class DDPackage:
                     acc = self.add(acc, self.mv_multiply(me, ve))
                 rows.append(acc)
             cached = self.make_node(m.node.var, tuple(rows))
-            self._mv_cache[key] = cached
+            self._cache_put("mv", self._mv_cache, key, cached)
         return self.make_edge(cached.node, cached.weight * scale)
 
     def mm_multiply(self, m1: Edge, m2: Edge) -> Edge:
@@ -302,6 +346,7 @@ class DDPackage:
             return self.make_edge(TERMINAL, scale)
         key = (id(m1.node), id(m2.node))
         cached = self._mm_cache.get(key)
+        self._count("mm", cached is not None)
         if cached is None:
             quadrants = []
             for r in (0, 1):
@@ -315,7 +360,7 @@ class DDPackage:
                         acc = self.add(acc, self.mm_multiply(a, b))
                     quadrants.append(acc)
             cached = self.make_node(m1.node.var, tuple(quadrants))
-            self._mm_cache[key] = cached
+            self._cache_put("mm", self._mm_cache, key, cached)
         return self.make_edge(cached.node, cached.weight * scale)
 
     def conjugate_transpose(self, m: Edge) -> Edge:
@@ -325,13 +370,14 @@ class DDPackage:
         if m.node.is_terminal:
             return self.make_edge(TERMINAL, m.weight.conjugate())
         cached = self._ct_cache.get(id(m.node))
+        self._count("ct", cached is not None)
         if cached is None:
             n = m.node
             # transpose swaps the off-diagonal quadrants
             order = (0, 2, 1, 3)
             children = tuple(self.conjugate_transpose(n.edges[i]) for i in order)
             cached = self.make_node(n.var, children)
-            self._ct_cache[id(m.node)] = cached
+            self._cache_put("ct", self._ct_cache, id(m.node), cached)
         return self.make_edge(cached.node, cached.weight * m.weight.conjugate())
 
     def expectation(self, matrix: Edge, vector: Edge) -> complex:
@@ -348,11 +394,12 @@ class DDPackage:
             return scale
         key = (id(a.node), id(b.node))
         cached = self._ip_cache.get(key)
+        self._count("ip", cached is not None)
         if cached is None:
             cached = 0j
             for c in (0, 1):
                 cached += self.inner_product(a.node.edges[c], b.node.edges[c])
-            self._ip_cache[key] = cached
+            self._cache_put("ip", self._ip_cache, key, cached)
         return cached * scale
 
     # -- extraction --------------------------------------------------------------

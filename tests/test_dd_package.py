@@ -268,3 +268,54 @@ def test_reset_clears_tables(pkg):
     pkg.zero_state_edge(3)
     pkg.reset()
     assert pkg.unique_table_size == 0
+
+
+# -- bounded operation caches ----------------------------------------------------
+
+
+def test_cache_stats_counts_hits_and_misses():
+    pkg = DDPackage()
+    from repro.circuits.circuit import QuantumCircuit
+    from repro.dd import DDSimulator
+
+    circuit = library.ghz_state(6)
+    DDSimulator(package=pkg).simulate_state(circuit)
+    stats = pkg.cache_stats()
+    assert set(stats) == {"add", "mv", "mm", "ct", "ip"}
+    for counters in stats.values():
+        assert {"entries", "hits", "misses", "clears"} <= set(counters)
+    assert stats["mv"]["misses"] > 0
+    assert stats["mv"]["entries"] <= pkg.max_cache_entries
+
+
+def test_cache_overflow_clears_and_stays_correct():
+    """A tiny cache bound forces clears without changing results."""
+    from repro.dd import DDSimulator
+
+    circuit = library.qft(5)
+    reference = DDSimulator(package=DDPackage()).statevector(circuit)
+    small = DDPackage(max_cache_entries=8)
+    state = DDSimulator(package=small).statevector(circuit)
+    np.testing.assert_allclose(state, reference, atol=1e-10)
+    stats = small.cache_stats()
+    assert any(counters["clears"] > 0 for counters in stats.values())
+    for name in ("add", "mv", "mm"):
+        assert stats[name]["entries"] <= 8
+
+
+def test_cache_stats_reset():
+    from repro.dd import DDSimulator
+
+    pkg = DDPackage()
+    DDSimulator(package=pkg).simulate_state(library.ghz_state(4))
+    pkg.reset()
+    stats = pkg.cache_stats()
+    for counters in stats.values():
+        assert counters["hits"] == 0
+        assert counters["misses"] == 0
+        assert counters["entries"] == 0
+
+
+def test_max_cache_entries_validation():
+    with pytest.raises(ValueError):
+        DDPackage(max_cache_entries=0)

@@ -1,0 +1,152 @@
+"""Tests for the gate-fusion compilation pass."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import StatevectorSimulator, allclose_up_to_global_phase, circuit_unitary
+from repro.circuits import library, random_circuits
+from repro.circuits.circuit import QuantumCircuit
+from repro.compile.fusion import fuse_gates, fusion_report
+
+
+@pytest.mark.parametrize("max_fused", [1, 2, 3])
+def test_fusion_preserves_unitary_random(max_fused):
+    for seed in range(4):
+        circuit = random_circuits.random_circuit(4, 6, seed=seed)
+        fused = fuse_gates(circuit, max_fused_qubits=max_fused)
+        np.testing.assert_allclose(
+            circuit_unitary(fused), circuit_unitary(circuit), atol=1e-10
+        )
+
+
+@pytest.mark.parametrize("max_fused", [2, 3])
+def test_fusion_preserves_unitary_clifford_t(max_fused):
+    circuit = random_circuits.random_clifford_t_circuit(5, 60, seed=11)
+    fused = fuse_gates(circuit, max_fused_qubits=max_fused)
+    np.testing.assert_allclose(
+        circuit_unitary(fused), circuit_unitary(circuit), atol=1e-10
+    )
+
+
+def test_fusion_preserves_library_circuits(workload):
+    if any(op.is_measurement or op.condition is not None for op in workload):
+        pytest.skip("unitary comparison needs a measurement-free circuit")
+    fused = fuse_gates(workload, max_fused_qubits=2)
+    np.testing.assert_allclose(
+        circuit_unitary(fused), circuit_unitary(workload), atol=1e-10
+    )
+
+
+def test_fusion_reduces_gate_count():
+    circuit = random_circuits.random_clifford_t_circuit(5, 80, seed=3)
+    report = fusion_report(circuit, max_fused_qubits=2)
+    assert report["ops_after"] < report["ops_before"]
+    assert report["fused_ops"] >= 1
+
+
+def test_fused_ops_respect_qubit_bound():
+    circuit = random_circuits.brickwork_circuit(6, 4, seed=2)
+    for max_fused in (1, 2, 3):
+        fused = fuse_gates(circuit, max_fused_qubits=max_fused)
+        for op in fused.operations:
+            assert op.num_qubits <= max(
+                max_fused, max(o.num_qubits for o in circuit.operations)
+            )
+            if op.gate.name.startswith("fused"):
+                assert op.num_qubits <= max_fused
+
+
+def test_fusion_keeps_singleton_ops_named():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.cx(1, 2)
+    fused = fuse_gates(qc, max_fused_qubits=2)
+    assert [op.gate.name for op in fused.operations] == ["h", "x"]
+
+
+def test_fusion_does_not_cross_measurements():
+    """A gate after a measurement must not fuse with gates before it."""
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.measure(0, 0)
+    qc.x(0)
+    fused = fuse_gates(qc, max_fused_qubits=2)
+    names = [op.gate.name for op in fused.operations]
+    assert names == ["h", "measure", "x"]
+
+
+def test_fusion_does_not_cross_measurement_via_neighbor():
+    """Re-acquiring a measured qubit through an open neighbor group is
+    illegal: h(0); h(1); measure(1); cx(0,1) must keep the cx after the
+    measurement."""
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.h(1)
+    qc.measure(1, 0)
+    qc.cx(0, 1)
+    fused = fuse_gates(qc, max_fused_qubits=2)
+    kinds = [
+        "measure" if op.is_measurement else "unitary" for op in fused.operations
+    ]
+    assert kinds.index("measure") < len(kinds) - 1
+    # The op(s) after the measurement must cover the cx.
+    post = fused.operations[kinds.index("measure") + 1 :]
+    assert any(1 in op.qubits for op in post)
+    # And behaviour matches the unfused circuit shot for shot.
+    for seed in range(5):
+        a = StatevectorSimulator(seed=seed).run(qc)
+        b = StatevectorSimulator(seed=seed).run(fused)
+        assert a.classical_bits == b.classical_bits
+        np.testing.assert_allclose(a.state, b.state, atol=1e-10)
+
+
+def test_fusion_preserves_feedforward():
+    """Teleportation-style feed-forward survives fusion bit for bit."""
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.t(0)
+    qc.h(1)
+    qc.cx(1, 2)
+    qc.cx(0, 1)
+    qc.h(0)
+    qc.measure(0, 0)
+    qc.measure(1, 1)
+    from repro.circuits import gates as g
+
+    qc.conditional(g.X, [2], clbit=1)
+    qc.conditional(g.Z, [2], clbit=0)
+    fused = fuse_gates(qc, max_fused_qubits=2)
+    for seed in range(8):
+        a = StatevectorSimulator(seed=seed).run(qc)
+        b = StatevectorSimulator(seed=seed).run(fused)
+        assert a.classical_bits == b.classical_bits
+        np.testing.assert_allclose(a.state, b.state, atol=1e-10)
+
+
+def test_fusion_barrier_is_fence():
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    qc.barrier()
+    qc.h(0)
+    fused = fuse_gates(qc, max_fused_qubits=1)
+    names = [op.gate.name for op in fused.operations]
+    assert names == ["h", "barrier", "h"]
+
+
+def test_fusion_handles_global_phase():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.gphase(0.7)
+    qc.h(0)
+    fused = fuse_gates(qc, max_fused_qubits=2)
+    np.testing.assert_allclose(
+        circuit_unitary(fused), circuit_unitary(qc), atol=1e-10
+    )
+
+
+def test_fusion_qft_statevector():
+    circuit = library.qft(5)
+    plain = StatevectorSimulator().statevector(circuit)
+    fused_sv = StatevectorSimulator().statevector(fuse_gates(circuit, 3))
+    assert allclose_up_to_global_phase(plain, fused_sv, tol=1e-10)
+    np.testing.assert_allclose(plain, fused_sv, atol=1e-10)

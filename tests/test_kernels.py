@@ -1,0 +1,208 @@
+"""Property-style tests for the fast gate-application kernels.
+
+Random circuits mixing every kernel family (dense, diagonal, permutation,
+controlled, global phase) must produce identical states through the
+einsum kernels, the legacy gather path, and the decision-diagram
+simulator.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arrays import StatevectorSimulator, apply_matrix, measure_qubit
+from repro.arrays.kernels import (
+    DENSE,
+    DIAGONAL,
+    PERMUTATION,
+    apply_matrix_fast,
+    classify_matrix,
+    probability_of_one,
+)
+from repro.circuits import gates as g
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.dd import DDSimulator
+
+from .conftest import random_state, random_unitary
+
+
+def _random_mixed_circuit(num_qubits: int, num_gates: int, seed: int) -> QuantumCircuit:
+    """Random circuit drawing from all kernel families."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, name=f"mixed_{num_qubits}_{seed}")
+    one_q = ["h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx"]
+    for _ in range(num_gates):
+        roll = rng.random()
+        if roll < 0.3:
+            q = int(rng.integers(num_qubits))
+            getattr(qc, one_q[int(rng.integers(len(one_q)))])(q)
+        elif roll < 0.45:
+            q = int(rng.integers(num_qubits))
+            angle = float(rng.uniform(0, 2 * math.pi))
+            getattr(qc, ("rx", "ry", "rz", "p")[int(rng.integers(4))])(angle, q)
+        elif roll < 0.7 and num_qubits >= 2:
+            a, b = (int(x) for x in rng.choice(num_qubits, size=2, replace=False))
+            kind = int(rng.integers(6))
+            if kind == 0:
+                qc.cx(a, b)
+            elif kind == 1:
+                qc.cz(a, b)
+            elif kind == 2:
+                qc.swap(a, b)
+            elif kind == 3:
+                qc.iswap(a, b)
+            elif kind == 4:
+                qc.cp(float(rng.uniform(0, 2 * math.pi)), a, b)
+            else:
+                qc.rzz(float(rng.uniform(0, 2 * math.pi)), a, b)
+        elif roll < 0.85 and num_qubits >= 3:
+            a, b, c = (int(x) for x in rng.choice(num_qubits, size=3, replace=False))
+            kind = int(rng.integers(3))
+            if kind == 0:
+                qc.ccx(a, b, c)
+            elif kind == 1:
+                qc.ccz(a, b, c)
+            else:
+                qc.cswap(a, b, c)
+        elif roll < 0.95:
+            qc.gphase(float(rng.uniform(0, 2 * math.pi)))
+        else:
+            # Controlled global phase exercises the zero-target kernel.
+            q = int(rng.integers(num_qubits))
+            qc.append(
+                Operation(g.gphase(float(rng.uniform(0, 2 * math.pi))), [], [q])
+            )
+    return qc
+
+
+@pytest.mark.parametrize("num_qubits", [2, 3, 4, 5, 6, 7, 8])
+def test_einsum_gather_dd_agree(num_qubits):
+    for seed in range(3):
+        circuit = _random_mixed_circuit(num_qubits, 4 * num_qubits + 10, seed)
+        fast = StatevectorSimulator(method="einsum").statevector(circuit)
+        slow = StatevectorSimulator(method="gather").statevector(circuit)
+        dd = DDSimulator().statevector(circuit)
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+        np.testing.assert_allclose(fast, dd, atol=1e-10)
+
+
+@pytest.mark.parametrize("num_qubits", [2, 4, 6])
+def test_fused_circuits_agree(num_qubits):
+    for seed in range(3):
+        circuit = _random_mixed_circuit(num_qubits, 4 * num_qubits + 10, seed)
+        plain = StatevectorSimulator(method="einsum").statevector(circuit)
+        fused = StatevectorSimulator(fusion=True).statevector(circuit)
+        np.testing.assert_allclose(plain, fused, atol=1e-10)
+
+
+def test_classify_matrix():
+    assert classify_matrix(g.Z.matrix) == DIAGONAL
+    assert classify_matrix(g.S.matrix) == DIAGONAL
+    assert classify_matrix(g.T.matrix) == DIAGONAL
+    assert classify_matrix(g.rz(0.3).matrix) == DIAGONAL
+    assert classify_matrix(g.p(0.7).matrix) == DIAGONAL
+    assert classify_matrix(g.rzz(1.1).matrix) == DIAGONAL
+    assert classify_matrix(g.I.matrix) == DIAGONAL
+    assert classify_matrix(g.X.matrix) == PERMUTATION
+    assert classify_matrix(g.Y.matrix) == PERMUTATION
+    assert classify_matrix(g.SWAP.matrix) == PERMUTATION
+    assert classify_matrix(g.ISWAP.matrix) == PERMUTATION
+    assert classify_matrix(g.H.matrix) == DENSE
+    assert classify_matrix(g.SX.matrix) == DENSE
+    assert classify_matrix(g.rx(0.4).matrix) == DENSE
+    assert classify_matrix(g.u(0.1, 0.2, 0.3).matrix) == DENSE
+
+
+@pytest.mark.parametrize("num_targets", [1, 2, 3])
+def test_apply_matrix_fast_matches_gather_on_random_unitaries(num_targets):
+    num_qubits = 5
+    rng = np.random.default_rng(42 + num_targets)
+    for trial in range(5):
+        targets = [int(q) for q in rng.choice(num_qubits, num_targets, replace=False)]
+        free = [q for q in range(num_qubits) if q not in targets]
+        num_controls = int(rng.integers(0, min(2, len(free)) + 1))
+        controls = [int(q) for q in rng.choice(free, num_controls, replace=False)]
+        matrix = random_unitary(1 << num_targets, seed=100 * trial + num_targets)
+        state = random_state(num_qubits, seed=trial)
+        fast = apply_matrix_fast(state.copy(), matrix, targets, controls, num_qubits)
+        slow = apply_matrix(
+            state.copy(), matrix, targets, controls, num_qubits, method="gather"
+        )
+        np.testing.assert_allclose(fast, slow, atol=1e-12)
+
+
+def test_apply_matrix_fast_non_unitary_kraus():
+    """Kraus operators (non-unitary, including diagonal ones) must work."""
+    gamma = 0.3
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
+    state = random_state(4, seed=9)
+    for kraus in (k0, k1):
+        fast = apply_matrix_fast(state.copy(), kraus, [2], (), 4)
+        slow = apply_matrix(state.copy(), kraus, [2], (), 4, method="gather")
+        np.testing.assert_allclose(fast, slow, atol=1e-12)
+
+
+def test_apply_matrix_fast_with_batch_axis():
+    """Trailing batch axes (density-matrix columns) follow the state path."""
+    num_qubits = 3
+    dim = 1 << num_qubits
+    rng = np.random.default_rng(3)
+    batch = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    matrix = random_unitary(2, seed=5)
+    fast = apply_matrix_fast(batch.copy(), matrix, [1], [2], num_qubits)
+    column_wise = np.stack(
+        [
+            apply_matrix(
+                batch[:, j].copy(), matrix, [1], [2], num_qubits, method="gather"
+            )
+            for j in range(dim)
+        ],
+        axis=1,
+    )
+    np.testing.assert_allclose(fast, column_wise, atol=1e-12)
+
+
+def test_all_controls_all_qubits_phase():
+    """Controlled global phase where every qubit is a control."""
+    num_qubits = 3
+    state = np.full(1 << num_qubits, 1 / math.sqrt(8), dtype=complex)
+    phase = np.exp(0.25j)
+    apply_matrix_fast(state, np.array([[phase]]), [], [0, 1, 2], num_qubits)
+    expected = np.full(1 << num_qubits, 1 / math.sqrt(8), dtype=complex)
+    expected[-1] *= phase
+    np.testing.assert_allclose(state, expected, atol=1e-12)
+
+
+def test_probability_of_one_matches_direct_sum():
+    state = random_state(6, seed=13)
+    for qubit in range(6):
+        indices = np.arange(len(state))
+        expected = float(
+            np.sum(np.abs(state[((indices >> qubit) & 1) == 1]) ** 2)
+        )
+        assert probability_of_one(state, qubit, 6) == pytest.approx(expected)
+
+
+def test_measure_qubit_no_index_array():
+    """Collapse via reshape views is identical to the legacy masking."""
+    for seed in range(5):
+        state = random_state(5, seed=seed)
+        rng_a = np.random.default_rng(seed)
+        rng_b = np.random.default_rng(seed)
+        outcome, collapsed = measure_qubit(state.copy(), 2, rng_a, 5)
+        # Legacy reference implementation.
+        ref = state.copy()
+        indices = np.arange(len(ref))
+        one_mask = (indices >> 2) & 1 == 1
+        prob_one = float(np.sum(np.abs(ref[one_mask]) ** 2))
+        ref_outcome = 1 if rng_b.random() < prob_one else 0
+        if ref_outcome == 1:
+            ref[~one_mask] = 0.0
+            ref /= np.sqrt(prob_one)
+        else:
+            ref[one_mask] = 0.0
+            ref /= np.sqrt(1.0 - prob_one)
+        assert outcome == ref_outcome
+        np.testing.assert_allclose(collapsed, ref, atol=1e-12)
