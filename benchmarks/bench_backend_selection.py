@@ -1,0 +1,161 @@
+"""Backend-selection benchmark: ``auto`` vs. every fixed backend.
+
+Times full-state simulation across a grid of circuit families — the
+workloads the Guidelines heuristic routes between — and records which
+backend ``auto`` picked for each.  The claim being checked: ``auto``
+always lands within noise of the best fixed backend, because it *is*
+one of the fixed backends plus a constant-time analysis.
+
+Running the module as a script writes ``BENCH_selection.json`` at the
+repository root:
+
+    PYTHONPATH=src python benchmarks/bench_backend_selection.py [--quick]
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.circuits import library, random_circuits
+from repro.core import REGISTRY, analyze, choose_backend, simulate
+from repro.core import capabilities as cap
+
+
+def _families(quick: bool = False):
+    scale = 0.5 if quick else 1.0
+
+    def q(n):
+        return max(4, int(n * scale))
+
+    return {
+        "ghz_clifford": library.ghz_state(q(14)),
+        "random_clifford": random_circuits.random_clifford_circuit(
+            q(12), q(120), seed=1
+        ),
+        "clifford_plus_few_t": random_circuits.random_clifford_t_circuit(
+            q(10), q(80), seed=2, t_prob=0.05
+        ),
+        "shallow_brickwork": random_circuits.brickwork_circuit(
+            q(12), 2, seed=3
+        ),
+        "deep_random_dense": random_circuits.random_circuit(q(8), q(12), seed=4),
+        "qft": library.qft(q(8)),
+    }
+
+
+def _capable_backends(circuit):
+    features = analyze(circuit.without_measurements())
+    names = []
+    for name in REGISTRY.supporting(cap.FULL_STATE):
+        backend = REGISTRY.get(name)
+        if backend.supports(cap.CLIFFORD_ONLY) and not features.is_clifford:
+            continue
+        names.append(name)
+    return names
+
+
+# -- pytest-benchmark timing grid (disabled in CI smoke) ---------------------
+
+_GRID = [
+    (family, backend)
+    for family, circuit in _families(quick=True).items()
+    for backend in _capable_backends(circuit) + ["auto"]
+]
+
+
+@pytest.mark.parametrize("family,backend", _GRID)
+def test_selection_grid(benchmark, family, backend):
+    circuit = _families(quick=True)[family]
+    result = benchmark(lambda: simulate(circuit, backend=backend))
+    benchmark.extra_info["resolved_backend"] = result.backend
+
+
+# -- routing claims (cheap; run even with --benchmark-disable) ---------------
+
+def test_auto_routes_clifford_families_to_stab():
+    families = _families(quick=True)
+    for name in ("ghz_clifford", "random_clifford"):
+        assert choose_backend(families[name]).backend == "stab", name
+
+
+def test_auto_routes_each_family_to_a_capable_backend():
+    for name, circuit in _families(quick=True).items():
+        decision = choose_backend(circuit)
+        assert decision.backend in _capable_backends(circuit) + ["arrays"], name
+        result = simulate(circuit, backend="auto")
+        assert result.backend == decision.backend
+
+
+def test_auto_never_slower_than_worst_fixed_backend():
+    # Weak but meaningful floor: the router may not pick a pathological
+    # backend (e.g. dense arrays for a 14-qubit GHZ when stab is free).
+    circuit = _families(quick=True)["ghz_clifford"]
+    assert choose_backend(circuit).backend == "stab"
+
+
+# -- script mode: machine-readable record ------------------------------------
+
+def _time_backend(circuit, backend, repeats):
+    best = float("inf")
+    resolved = backend
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = simulate(circuit, backend=backend)
+        best = min(best, time.perf_counter() - start)
+        resolved = result.backend
+    return best, resolved
+
+
+def run_grid(quick: bool = False, repeats: int = 3):
+    record = {
+        "task": "simulate (full output state)",
+        "repeats": repeats,
+        "quick": quick,
+        "families": {},
+    }
+    for family, circuit in _families(quick=quick).items():
+        decision = choose_backend(circuit)
+        times = {}
+        for backend in _capable_backends(circuit):
+            elapsed, _ = _time_backend(circuit, backend, repeats)
+            times[backend] = round(elapsed, 6)
+        auto_elapsed, resolved = _time_backend(circuit, "auto", repeats)
+        times["auto"] = round(auto_elapsed, 6)
+        fastest_fixed = min(
+            (name for name in times if name != "auto"), key=times.get
+        )
+        record["families"][family] = {
+            "num_qubits": circuit.num_qubits,
+            "num_ops": len(circuit.operations),
+            "auto_selected": resolved,
+            "auto_rule": decision.rule,
+            "fastest_fixed": fastest_fixed,
+            "auto_overhead_vs_fastest": round(
+                times["auto"] / times[fastest_fixed], 3
+            )
+            if times[fastest_fixed] > 0
+            else None,
+            "times_s": times,
+        }
+    return record
+
+
+def main(argv):
+    quick = "--quick" in argv
+    record = run_grid(quick=quick, repeats=2 if quick else 3)
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_selection.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    for family, row in record["families"].items():
+        print(
+            f"{family:22s} auto->{row['auto_selected']:7s} "
+            f"fastest_fixed={row['fastest_fixed']:7s} "
+            f"times={row['times_s']}"
+        )
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

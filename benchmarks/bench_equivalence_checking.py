@@ -5,7 +5,6 @@ arrays, alternating decision diagrams, ZX rewriting, and tensor-network
 stimuli — timing and the structural advantage of the alternating DD scheme.
 """
 
-import pytest
 
 from repro.circuits import library, random_circuits
 from repro.compile import compile_circuit

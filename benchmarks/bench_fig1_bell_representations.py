@@ -13,7 +13,7 @@ import pytest
 from repro.circuits import library
 from repro.core import simulate
 from repro.dd import DDSimulator, to_dot
-from repro.visualization import bell_figure_ascii, statevector_table
+from repro.visualization import bell_figure_ascii
 
 
 def test_fig1a_bell_statevector(benchmark):

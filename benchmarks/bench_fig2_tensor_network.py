@@ -11,7 +11,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.circuits import library, random_circuits
+from repro.circuits import library
 from repro.tn.circuit_tn import (
     amplitude,
     amplitude_network,

@@ -7,14 +7,11 @@ to the Bell state, (c) the graph-like form used by automated rewriting.
 import math
 
 import numpy as np
-import pytest
 
 from repro.circuits import library
-from repro.circuits.circuit import QuantumCircuit
 from repro.zx import (
     EdgeType,
     VertexType,
-    ZXDiagram,
     circuit_to_zx,
     diagram_to_matrix,
     full_reduce,

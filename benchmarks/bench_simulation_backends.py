@@ -8,7 +8,6 @@ random circuits where structure exploitation buys nothing.
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.arrays import StatevectorSimulator

@@ -5,7 +5,6 @@ Compares computing ONE output amplitude via (a) full state construction and
 circuits.
 """
 
-import numpy as np
 import pytest
 
 from repro.arrays import StatevectorSimulator

@@ -1,6 +1,5 @@
 """Benchmark-suite configuration."""
 
-import pytest
 
 
 def pytest_configure(config):

@@ -7,7 +7,6 @@ diagrams, tensor networks, ZX-calculus) consumes this IR.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from . import gates as g

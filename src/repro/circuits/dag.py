@@ -8,7 +8,7 @@ gates that provably commute do not constrain each other.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from .circuit import Operation, QuantumCircuit
 

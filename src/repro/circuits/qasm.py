@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from . import gates as g
 from .circuit import Operation, QuantumCircuit

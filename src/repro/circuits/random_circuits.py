@@ -7,7 +7,7 @@ reproducible run to run.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List
 
 import numpy as np
 

@@ -15,7 +15,6 @@ from .coupling import CouplingMap
 from .decompositions import BASIS_CX_RZ_RY, decompose_to_basis
 from .optimize import optimize
 from .routing import (
-    RoutingResult,
     interaction_layout,
     route_greedy,
     route_sabre,

@@ -9,11 +9,10 @@ provided: a greedy shortest-path router and a SABRE-style lookahead router
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..circuits import gates as g
 from ..circuits.circuit import Operation, QuantumCircuit
 from .coupling import CouplingMap
 from .decompositions import decompose_to_two_qubit

@@ -1,18 +1,57 @@
-"""Unified facade: simulate on any backend, check equivalence any way."""
+"""Unified facade: simulate on any backend, check equivalence any way.
 
+The package is organized as a pluggable backend registry:
+
+- :mod:`repro.core.options` — typed :class:`SimOptions` shared by all
+  backends (no more silently-dropped kwargs);
+- :mod:`repro.core.capabilities` — capability flags each backend
+  declares, and :class:`CapabilityError`;
+- :mod:`repro.core.registry` — the name -> backend mapping the facades
+  dispatch through (:data:`REGISTRY`);
+- :mod:`repro.core.backends` — one class per data structure (arrays,
+  dd, tn, mps, stab);
+- :mod:`repro.core.analyzer` — circuit features + the Guidelines-style
+  heuristic behind ``backend="auto"``.
+"""
+
+from .analyzer import (
+    AutoDecision,
+    CircuitFeatures,
+    analyze,
+    choose_backend,
+    op_is_clifford,
+)
 from .backend import (
+    AUTO,
     BACKENDS,
     SimulationResult,
+    available_backends,
     expectation,
     sample,
     simulate,
     single_amplitude,
 )
+from .backends.base import Backend
+from .capabilities import CapabilityError
+from .options import SimOptions
+from .registry import REGISTRY, BackendRegistry
 
 __all__ = [
+    "AUTO",
+    "AutoDecision",
     "BACKENDS",
+    "Backend",
+    "BackendRegistry",
+    "CapabilityError",
+    "CircuitFeatures",
+    "REGISTRY",
+    "SimOptions",
     "SimulationResult",
+    "analyze",
+    "available_backends",
+    "choose_backend",
     "expectation",
+    "op_is_clifford",
     "sample",
     "simulate",
     "single_amplitude",

@@ -1,0 +1,230 @@
+"""Circuit analysis and Guidelines-style automatic backend selection.
+
+Implements the selection heuristics of "Tensor Networks or Decision
+Diagrams?  Guidelines for Classical Quantum Circuit Simulation"
+(Burgholzer, Ploier, Wille 2023) on top of cheap static circuit
+features:
+
+- pure Clifford circuits have a polynomial-time simulator -> ``stab``;
+- Clifford-dominated circuits with few non-Clifford gates keep compact
+  decision diagrams -> ``dd``;
+- shallow / weakly-entangling circuits keep small bond dimensions ->
+  ``mps`` (or ``tn`` for single-amplitude queries, where the open
+  network can be capped and contracted directly);
+- small dense circuits are fastest on plain arrays, and decision
+  diagrams are the fallback once ``2**n`` memory is out of reach.
+
+The decision, the rule that fired, and the measured features are all
+recorded so results stay auditable (``SimulationResult.metadata["auto"]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Tuple
+
+from ..circuits.circuit import Operation, QuantumCircuit
+from . import capabilities as cap
+from .registry import REGISTRY, BackendRegistry
+
+# Gate names the stabilizer simulator accepts (mirrors
+# ``repro.stab.tableau.StabilizerSimulator._apply``).
+_CLIFFORD_NO_CONTROL = frozenset(
+    {"h", "s", "sdg", "x", "y", "z", "id", "i", "gphase", "swap", "sx", "sxdg"}
+)
+_CLIFFORD_ONE_CONTROL = frozenset({"x", "y", "z"})
+
+# Heuristic thresholds (tuned on the benchmark families in
+# ``benchmarks/bench_backend_selection.py``).
+DENSE_QUBIT_LIMIT = 22
+"""Largest register the dense fallback is allowed to pick."""
+
+DD_MAX_NON_CLIFFORD = 16
+"""Non-Clifford budget before decision diagrams stop being a safe bet."""
+
+DD_MIN_CLIFFORD_FRACTION = 0.85
+
+SHALLOW_TWO_QUBIT_DEPTH = 6
+"""Two-qubit depth below which MPS bond growth stays modest."""
+
+
+def op_is_clifford(op: Operation) -> bool:
+    """Whether the stabilizer backend can execute this operation."""
+    name = op.gate.name
+    if not op.controls:
+        return name in _CLIFFORD_NO_CONTROL
+    if len(op.controls) == 1:
+        return name in _CLIFFORD_ONE_CONTROL
+    return False
+
+
+@dataclass(frozen=True)
+class CircuitFeatures:
+    """Static features driving the backend-selection heuristic."""
+
+    num_qubits: int
+    num_ops: int
+    depth: int
+    two_qubit_depth: int
+    two_qubit_gates: int
+    t_count: int
+    non_clifford_ops: int
+    clifford_fraction: float
+    is_clifford: bool
+    lightcone_width: int
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def analyze(circuit: QuantumCircuit) -> CircuitFeatures:
+    """Measure the dispatch-relevant features of a circuit in one pass."""
+    ops = [
+        op
+        for op in circuit.operations
+        if op.is_unitary and op.condition is None
+    ]
+    non_clifford = sum(1 for op in ops if not op_is_clifford(op))
+    two_qubit_gates = sum(1 for op in ops if op.num_qubits >= 2)
+
+    # Depth restricted to entangling operations: the driver of MPS bond
+    # growth and TN contraction width.
+    level = [0] * max(circuit.num_qubits, 1)
+    two_qubit_depth = 0
+    # Union-find over qubits: the final component sizes bound how far
+    # entanglement can possibly spread (a lightcone-width proxy).
+    parent = list(range(max(circuit.num_qubits, 1)))
+
+    def find(q: int) -> int:
+        while parent[q] != q:
+            parent[q] = parent[parent[q]]
+            q = parent[q]
+        return q
+
+    for op in ops:
+        if op.num_qubits < 2:
+            continue
+        qubits = op.qubits
+        layer = max(level[q] for q in qubits) + 1
+        for q in qubits:
+            level[q] = layer
+        two_qubit_depth = max(two_qubit_depth, layer)
+        root = find(qubits[0])
+        for q in qubits[1:]:
+            parent[find(q)] = root
+
+    sizes: dict = {}
+    for q in range(circuit.num_qubits):
+        root = find(q)
+        sizes[root] = sizes.get(root, 0) + 1
+    lightcone_width = max(sizes.values(), default=0)
+
+    num_ops = len(ops)
+    return CircuitFeatures(
+        num_qubits=circuit.num_qubits,
+        num_ops=num_ops,
+        depth=circuit.depth(),
+        two_qubit_depth=two_qubit_depth,
+        two_qubit_gates=two_qubit_gates,
+        t_count=circuit.t_count(),
+        non_clifford_ops=non_clifford,
+        clifford_fraction=(
+            (num_ops - non_clifford) / num_ops if num_ops else 1.0
+        ),
+        is_clifford=non_clifford == 0,
+        lightcone_width=lightcone_width,
+    )
+
+
+@dataclass(frozen=True)
+class AutoDecision:
+    """Outcome of automatic backend selection, with its audit trail."""
+
+    backend: str
+    rule: str
+    features: CircuitFeatures
+    considered: Tuple[Tuple[str, str], ...]
+
+    def as_metadata(self) -> dict:
+        return {
+            "selected": self.backend,
+            "rule": self.rule,
+            "features": self.features.as_dict(),
+            "considered": [list(pair) for pair in self.considered],
+        }
+
+
+def _preferences(
+    features: CircuitFeatures, task: str
+) -> List[Tuple[str, str]]:
+    """Ranked (backend, reason) candidates before capability filtering."""
+    prefs: List[Tuple[str, str]] = []
+    if features.is_clifford:
+        prefs.append(("stab", "pure Clifford circuit -> stabilizer tableau"))
+    if (
+        not features.is_clifford
+        and features.clifford_fraction >= DD_MIN_CLIFFORD_FRACTION
+        and features.non_clifford_ops <= DD_MAX_NON_CLIFFORD
+    ):
+        prefs.append(
+            (
+                "dd",
+                "Clifford-dominated with few non-Clifford gates -> "
+                "decision diagrams stay compact",
+            )
+        )
+    shallow = (
+        features.two_qubit_depth <= SHALLOW_TWO_QUBIT_DEPTH
+        or 2 * features.lightcone_width <= features.num_qubits
+    )
+    if shallow:
+        reason = (
+            "shallow/weakly-entangling circuit -> bounded bond dimension"
+        )
+        if task == cap.SINGLE_AMPLITUDE:
+            prefs.append(("tn", reason + " (capped-network contraction)"))
+        prefs.append(("mps", reason))
+    if features.num_qubits <= DENSE_QUBIT_LIMIT:
+        prefs.append(
+            ("arrays", "unstructured circuit within dense memory budget")
+        )
+    prefs.append(("dd", "fallback: structured representation scales best"))
+    prefs.append(("mps", "fallback: truncated MPS as last resort"))
+    return prefs
+
+
+def choose_backend(
+    circuit: QuantumCircuit,
+    task: str = cap.FULL_STATE,
+    registry: Optional[BackendRegistry] = None,
+    features: Optional[CircuitFeatures] = None,
+) -> AutoDecision:
+    """Pick the cheapest capable backend for ``task`` on ``circuit``.
+
+    ``task`` is one of the capability constants (``FULL_STATE``,
+    ``SAMPLE``, ``EXPECTATION``, ``SINGLE_AMPLITUDE``).  Candidates that
+    do not declare ``task``, or are Clifford-only when the circuit is
+    not, are skipped; the first surviving preference wins.
+    """
+    registry = registry or REGISTRY
+    features = features or analyze(circuit)
+    considered: List[Tuple[str, str]] = []
+    for name, reason in _preferences(features, task):
+        considered.append((name, reason))
+        if name not in registry:
+            continue
+        backend = registry.get(name)
+        if not backend.supports(task):
+            continue
+        if backend.supports(cap.CLIFFORD_ONLY) and not features.is_clifford:
+            continue
+        return AutoDecision(
+            backend=name,
+            rule=reason,
+            features=features,
+            considered=tuple(considered),
+        )
+    raise ValueError(
+        f"no registered backend supports task '{task}' "
+        f"(registry: {registry.names()})"
+    )

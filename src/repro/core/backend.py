@@ -1,30 +1,76 @@
-"""Unified simulation facade over the four data structures.
+"""Unified simulation facade over the paper's data structures.
 
-``simulate(circuit, backend=...)`` runs the same circuit on any of the
-paper's four representations and returns a uniform result, making the
-trade-offs between the backends directly comparable (which is the whole
-point of the paper).
+Every entry point — :func:`simulate`, :func:`sample`,
+:func:`expectation`, :func:`single_amplitude` — dispatches through the
+backend registry (:mod:`repro.core.registry`): backends are looked up by
+name, options are validated once into a typed
+:class:`~repro.core.options.SimOptions`, gate fusion runs as a uniform
+registry-level pre-pass, and ``backend="auto"`` routes each request to
+the cheapest capable representation via the circuit analyzer
+(:mod:`repro.core.analyzer`).
+
+Registered backends and their declared capabilities:
+
+===========  ==========================================================
+``arrays``   full_state, sample, expectation, single_amplitude, noise
+``dd``       full_state, sample, expectation, single_amplitude, noise
+``tn``       full_state, expectation, single_amplitude
+``mps``      full_state, sample, expectation, single_amplitude
+``stab``     full_state, sample, expectation, single_amplitude
+             (clifford_only)
+===========  ==========================================================
+
+Requesting an undeclared capability raises
+:class:`~repro.core.capabilities.CapabilityError` (a ``ValueError``);
+unknown backend names raise ``ValueError``; unknown option names raise
+``TypeError``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import time
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..arrays.measurement import sample_counts as _sample_from_state
-from ..arrays.statevector import StatevectorSimulator
 from ..circuits.circuit import QuantumCircuit
-from ..dd.simulator import DDSimulator
-from ..tn.circuit_tn import amplitude as tn_amplitude
-from ..tn.circuit_tn import statevector_from_circuit
-from ..tn.mps import MPSSimulator
+from . import backends as _backends  # noqa: F401  (populates REGISTRY)
+from . import capabilities as cap
+from .analyzer import choose_backend
+from .backends.base import Backend
+from .options import SimOptions
+from .registry import REGISTRY
 
 BACKENDS = ("arrays", "dd", "tn", "mps")
+"""General-purpose full-state backends (stable, kept for compatibility).
+
+The full registry — including the Clifford-only ``stab`` backend — is
+available via :func:`available_backends` or ``repro.core.REGISTRY``.
+"""
+
+AUTO = "auto"
+
+
+def available_backends(capability: Optional[str] = None) -> Tuple[str, ...]:
+    """Registered backend names, optionally filtered by capability."""
+    if capability is None:
+        return REGISTRY.names()
+    return tuple(REGISTRY.supporting(capability))
 
 
 class SimulationResult:
-    """Uniform simulation result: a dense state plus backend metadata."""
+    """Uniform simulation result: a dense state plus backend metadata.
+
+    ``metadata`` always contains ``wall_time_s``, ``num_qubits``,
+    ``num_ops`` (post-fusion), and ``fusion``, plus backend-specific
+    resource keys (``memory_bytes`` for all backends; ``nodes`` /
+    ``peak_nodes`` for DD; ``max_bond_reached`` / ``truncation_error`` /
+    ``entries`` for MPS; ``method`` for arrays; ``network_tensors`` /
+    ``planned`` for TN; ``tableau_rows`` for stab).  When dispatched
+    with ``backend="auto"``, ``metadata["auto"]`` records the selected
+    backend, the rule that fired, and the analyzed circuit features.
+    """
 
     def __init__(
         self,
@@ -53,6 +99,46 @@ class SimulationResult:
         return f"SimulationResult({self.backend}, {self.num_qubits} qubits)"
 
 
+def _resolve(
+    backend: str, circuit: QuantumCircuit, task: str
+) -> Tuple[Backend, Dict]:
+    """Map a backend name (or ``"auto"``) to an implementation + trace."""
+    if backend == AUTO:
+        decision = choose_backend(circuit, task=task)
+        return REGISTRY.get(decision.backend), {"auto": decision.as_metadata()}
+    impl = REGISTRY.get(backend)
+    if not impl.supports(task):
+        raise impl._unsupported(f"capability '{task}'")
+    return impl, {}
+
+
+def _prepare(
+    circuit: QuantumCircuit, options: SimOptions, impl: Backend
+) -> Tuple[QuantumCircuit, Dict]:
+    """Registry-level pre-pass: strip measurements, optionally fuse gates.
+
+    Fusion is skipped for Clifford-only backends (fused gates are raw
+    matrices the tableau cannot execute) and the skip is recorded.
+    """
+    clean = circuit.without_measurements()
+    if not options.fusion:
+        return clean, {"fusion": False}
+    if impl.supports(cap.CLIFFORD_ONLY):
+        return clean, {"fusion": "skipped (clifford-only backend)"}
+    from ..compile.fusion import fuse_gates
+
+    fused = fuse_gates(clean, max_fused_qubits=options.max_fused_qubits)
+    return fused, {"fusion": True}
+
+
+def _base_metadata(circuit: QuantumCircuit, elapsed: float) -> Dict:
+    return {
+        "wall_time_s": elapsed,
+        "num_qubits": circuit.num_qubits,
+        "num_ops": len(circuit.operations),
+    }
+
+
 def simulate(
     circuit: QuantumCircuit,
     backend: str = "arrays",
@@ -60,55 +146,27 @@ def simulate(
 ) -> SimulationResult:
     """Simulate a measurement-free circuit to its full output state.
 
-    Backends: ``"arrays"`` (dense Schrödinger), ``"dd"`` (decision
-    diagrams), ``"tn"`` (tensor-network contraction), ``"mps"`` (matrix
-    product states; accepts ``max_bond``/``cutoff``).
+    ``backend`` is a registry name (``"arrays"``, ``"dd"``, ``"tn"``,
+    ``"mps"``, ``"stab"``) or ``"auto"``, which analyzes the circuit and
+    picks the cheapest capable backend (stab for pure Clifford, dd for
+    Clifford-dominated, mps/tn for shallow circuits, arrays otherwise)
+    and records the decision in ``result.metadata["auto"]``.
 
-    Options shared by all backends: ``fusion=True`` merges runs of
-    adjacent gates on at most ``max_fused_qubits`` qubits into single
-    unitaries before simulation.  The arrays backend additionally accepts
-    ``method="einsum"`` (fast reshape/slice kernels, the default) or
-    ``method="gather"`` (legacy fancy-indexing path, kept for A/B
-    comparison).
+    Options are validated into :class:`~repro.core.options.SimOptions`;
+    see its docstring for the full list (``seed``, ``method``,
+    ``fusion``/``max_fused_qubits``, ``max_bond``/``cutoff``, ``plan``,
+    ``track_peak``).
     """
+    opts = SimOptions.from_kwargs(**options)
     clean = circuit.without_measurements()
-    if options.get("fusion", False):
-        from ..compile.fusion import fuse_gates
-
-        clean = fuse_gates(
-            clean, max_fused_qubits=options.get("max_fused_qubits", 2)
-        )
-    if backend == "arrays":
-        sim = StatevectorSimulator(
-            seed=options.get("seed", 0),
-            method=options.get("method", "einsum"),
-        )
-        return SimulationResult("arrays", sim.statevector(clean))
-    if backend == "dd":
-        sim = DDSimulator(seed=options.get("seed", 0))
-        result = sim.run(clean, track_peak=options.get("track_peak", False))
-        meta = {
-            "nodes": result.state.num_nodes(),
-            "peak_nodes": sim.peak_nodes,
-        }
-        return SimulationResult("dd", result.to_statevector(), meta)
-    if backend == "tn":
-        state = statevector_from_circuit(clean, plan=options.get("plan"))
-        return SimulationResult("tn", state)
-    if backend == "mps":
-        sim = MPSSimulator(
-            max_bond=options.get("max_bond"),
-            cutoff=options.get("cutoff", 1e-12),
-            seed=options.get("seed", 0),
-        )
-        result = sim.run(clean)
-        meta = {
-            "max_bond_reached": result.mps.max_bond_reached,
-            "truncation_error": result.mps.truncation_error,
-            "entries": result.mps.total_entries(),
-        }
-        return SimulationResult("mps", result.to_statevector(), meta)
-    raise ValueError(f"unknown backend '{backend}'; choose from {BACKENDS}")
+    impl, trace = _resolve(backend, clean, cap.FULL_STATE)
+    prepared, fusion_meta = _prepare(circuit, opts, impl)
+    start = time.perf_counter()
+    state, meta = impl.statevector(prepared, opts)
+    meta.update(_base_metadata(prepared, time.perf_counter() - start))
+    meta.update(fusion_meta)
+    meta.update(trace)
+    return SimulationResult(impl.name, state, meta)
 
 
 def sample(
@@ -121,35 +179,17 @@ def sample(
     """Sample measurement outcomes on the chosen backend.
 
     ``"dd"``, ``"mps"``, and ``"stab"`` sample natively from their
-    structures (no dense 2^n array); ``"arrays"`` samples from the full
-    state.  ``"stab"`` requires a Clifford circuit.
+    structures (no dense ``2**n`` array); ``"arrays"`` samples from the
+    full state; ``"tn"`` declares no sampling capability.  ``"stab"``
+    requires a Clifford circuit; ``"auto"`` routes by circuit structure.
+    All options — including ``fusion`` — are honored uniformly.
     """
+    opts = SimOptions.from_kwargs(seed=seed, **options)
     clean = circuit.without_measurements()
-    if backend == "arrays":
-        sim = StatevectorSimulator(seed=seed, method=options.get("method", "einsum"))
-        from ..arrays.measurement import sample_counts
-
-        return sample_counts(sim.statevector(clean), shots, seed=seed)
-    if backend == "dd":
-        sim = DDSimulator(seed=seed)
-        return sim.run(clean).state.sample_counts(shots, seed=seed)
-    if backend == "mps":
-        sim = MPSSimulator(
-            max_bond=options.get("max_bond"),
-            cutoff=options.get("cutoff", 1e-12),
-            seed=seed,
-        )
-        return sim.run(clean).mps.sample_counts(shots, seed=seed)
-    if backend == "stab":
-        from ..stab import StabilizerSimulator
-
-        return StabilizerSimulator(seed=seed).sample_counts(
-            clean, shots, seed=seed
-        )
-    raise ValueError(
-        f"unknown sampling backend '{backend}'; "
-        "choose from ('arrays', 'dd', 'mps', 'stab')"
-    )
+    impl, _ = _resolve(backend, clean, cap.SAMPLE)
+    prepared, _ = _prepare(circuit, opts, impl)
+    counts, _ = impl.sample(prepared, shots, opts)
+    return counts
 
 
 def expectation(
@@ -161,33 +201,17 @@ def expectation(
     """Expectation value ``<psi| P |psi>`` of a Pauli string observable.
 
     ``"arrays"`` applies the string to the dense state; ``"dd"`` works
-    inside the decision-diagram algebra; ``"mps"`` uses transfer matrices;
-    ``"tn"`` contracts the closed sandwich network (never building the
-    state at all).
+    inside the decision-diagram algebra; ``"mps"`` uses transfer
+    matrices; ``"tn"`` contracts the closed sandwich network (never
+    building the state at all); ``"stab"`` answers group-theoretically
+    for Clifford circuits; ``"auto"`` routes by circuit structure.
     """
+    opts = SimOptions.from_kwargs(**options)
     clean = circuit.without_measurements()
-    if backend == "arrays":
-        from ..arrays.measurement import expectation_value
-
-        sim = StatevectorSimulator(
-            seed=options.get("seed", 0),
-            method=options.get("method", "einsum"),
-        )
-        return expectation_value(sim.statevector(clean), pauli)
-    if backend == "dd":
-        sim = DDSimulator(seed=options.get("seed", 0))
-        return sim.run(clean).state.expectation_pauli(pauli)
-    if backend == "mps":
-        sim = MPSSimulator(
-            max_bond=options.get("max_bond"),
-            cutoff=options.get("cutoff", 1e-12),
-        )
-        return sim.run(clean).mps.expectation_pauli(pauli)
-    if backend == "tn":
-        from ..tn.circuit_tn import expectation_value as tn_expectation
-
-        return tn_expectation(clean, pauli, plan=options.get("plan"))
-    raise ValueError(f"unknown backend '{backend}'; choose from {BACKENDS}")
+    impl, _ = _resolve(backend, clean, cap.EXPECTATION)
+    prepared, _ = _prepare(circuit, opts, impl)
+    value, _ = impl.expectation(prepared, pauli, opts)
+    return value
 
 
 def single_amplitude(
@@ -198,24 +222,14 @@ def single_amplitude(
 ) -> complex:
     """Compute one output amplitude without materializing the full state.
 
-    This is where the structured backends shine (paper Secs. III/IV): the
-    tensor-network backend contracts a capped network; the DD backend walks
-    one path of the simulated diagram.
+    This is where the structured backends shine (paper Secs. III/IV):
+    the tensor-network backend contracts a capped network; the DD
+    backend walks one path of the simulated diagram.  ``"auto"`` prefers
+    ``"tn"`` on shallow circuits and ``"stab"`` on Clifford ones.
     """
+    opts = SimOptions.from_kwargs(**options)
     clean = circuit.without_measurements()
-    if backend == "tn":
-        return tn_amplitude(clean, basis_index, plan=options.get("plan"))
-    if backend == "dd":
-        sim = DDSimulator(seed=options.get("seed", 0))
-        state = sim.run(clean).state
-        return state.amplitude(basis_index)
-    if backend == "mps":
-        sim = MPSSimulator(
-            max_bond=options.get("max_bond"),
-            cutoff=options.get("cutoff", 1e-12),
-        )
-        return sim.run(clean).mps.amplitude(basis_index)
-    if backend == "arrays":
-        sim = StatevectorSimulator()
-        return complex(sim.statevector(clean)[basis_index])
-    raise ValueError(f"unknown backend '{backend}'; choose from {BACKENDS}")
+    impl, _ = _resolve(backend, clean, cap.SINGLE_AMPLITUDE)
+    prepared, _ = _prepare(circuit, opts, impl)
+    value, _ = impl.amplitude(prepared, basis_index, opts)
+    return complex(value)

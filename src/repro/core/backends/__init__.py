@@ -1,0 +1,25 @@
+"""Backend implementations; importing this package populates the registry."""
+
+from ..registry import REGISTRY
+from .arrays_backend import ArraysBackend
+from .base import Backend
+from .dd_backend import DDBackend
+from .mps_backend import MPSBackend
+from .stab_backend import StabBackend
+from .tn_backend import TNBackend
+
+# Registration order is the tie-break order for capability queries.
+REGISTRY.register(ArraysBackend())
+REGISTRY.register(DDBackend())
+REGISTRY.register(TNBackend())
+REGISTRY.register(MPSBackend())
+REGISTRY.register(StabBackend())
+
+__all__ = [
+    "ArraysBackend",
+    "Backend",
+    "DDBackend",
+    "MPSBackend",
+    "StabBackend",
+    "TNBackend",
+]

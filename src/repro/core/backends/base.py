@@ -1,0 +1,68 @@
+"""The Backend protocol: what every registered backend implements.
+
+Each method returns ``(value, metadata)``; the facade merges the
+metadata with uniform bookkeeping (wall time, circuit shape, fusion
+info, auto-dispatch trace).  Backends only implement the methods they
+declare via :attr:`Backend.capabilities`; the rest raise
+:class:`~repro.core.capabilities.CapabilityError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ...circuits.circuit import QuantumCircuit
+from ..capabilities import CapabilityError
+from ..options import SimOptions
+
+Metadata = Dict[str, object]
+
+
+class Backend:
+    """Base class for registry backends.
+
+    Subclasses set ``name`` and ``capabilities`` and override the methods
+    matching their declared capabilities.
+    """
+
+    name: str = ""
+    capabilities: frozenset = frozenset()
+
+    def supports(self, capability: str) -> bool:
+        return capability in self.capabilities
+
+    # -- operations (override per declared capability) ----------------------
+
+    def statevector(
+        self, circuit: QuantumCircuit, options: SimOptions
+    ) -> Tuple[np.ndarray, Metadata]:
+        """Dense output state of a measurement-free circuit."""
+        raise self._unsupported("full-state simulation")
+
+    def sample(
+        self, circuit: QuantumCircuit, shots: int, options: SimOptions
+    ) -> Tuple[Dict[str, int], Metadata]:
+        """Bitstring counts from ``shots`` terminal measurements."""
+        raise self._unsupported("sampling")
+
+    def expectation(
+        self, circuit: QuantumCircuit, pauli: str, options: SimOptions
+    ) -> Tuple[float, Metadata]:
+        """Expectation value of a Pauli-string observable."""
+        raise self._unsupported("expectation values")
+
+    def amplitude(
+        self, circuit: QuantumCircuit, basis_index: int, options: SimOptions
+    ) -> Tuple[complex, Metadata]:
+        """One output amplitude ``<basis_index|C|0...0>``."""
+        raise self._unsupported("single-amplitude queries")
+
+    def _unsupported(self, what: str) -> CapabilityError:
+        return CapabilityError(
+            f"backend '{self.name}' does not support {what}"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

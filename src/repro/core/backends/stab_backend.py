@@ -1,0 +1,76 @@
+"""Stabilizer-tableau backend: polynomial time, Clifford circuits only.
+
+Raises :class:`~repro.stab.NotCliffordError` on circuits outside the
+Clifford gate set; the ``auto`` dispatcher only routes here when the
+analyzer proves the circuit Clifford.  Full-state extraction is dense in
+the output (unavoidable) but tableau-driven, and expectation values are
+computed group-theoretically without any dense state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ...circuits.circuit import QuantumCircuit
+from ...stab.tableau import StabilizerSimulator, StabilizerTableau
+from .. import capabilities as cap
+from ..options import SimOptions
+from .base import Backend, Metadata
+
+
+class StabBackend(Backend):
+    """Aaronson-Gottesman CHP tableau simulation (paper ref. [11])."""
+
+    name = "stab"
+    capabilities = frozenset(
+        {
+            cap.FULL_STATE,
+            cap.SAMPLE,
+            cap.EXPECTATION,
+            cap.SINGLE_AMPLITUDE,
+            cap.CLIFFORD_ONLY,
+        }
+    )
+
+    def _run(
+        self, circuit: QuantumCircuit, options: SimOptions
+    ) -> StabilizerTableau:
+        tableau, _ = StabilizerSimulator(seed=options.seed).run(circuit)
+        return tableau
+
+    def _meta(self, tableau: StabilizerTableau) -> Metadata:
+        n = tableau.num_qubits
+        return {
+            "tableau_rows": 2 * n,
+            "memory_bytes": int(
+                tableau.x.nbytes + tableau.z.nbytes + tableau.r.nbytes
+            ),
+        }
+
+    def statevector(
+        self, circuit: QuantumCircuit, options: SimOptions
+    ) -> Tuple[np.ndarray, Metadata]:
+        tableau = self._run(circuit, options)
+        return tableau.to_statevector(), self._meta(tableau)
+
+    def sample(
+        self, circuit: QuantumCircuit, shots: int, options: SimOptions
+    ) -> Tuple[Dict[str, int], Metadata]:
+        sim = StabilizerSimulator(seed=options.seed)
+        tableau, _ = sim.run(circuit)
+        counts = sim.sample_counts_from(tableau, shots, seed=options.seed)
+        return counts, self._meta(tableau)
+
+    def expectation(
+        self, circuit: QuantumCircuit, pauli: str, options: SimOptions
+    ) -> Tuple[float, Metadata]:
+        tableau = self._run(circuit, options)
+        return tableau.expectation_pauli(pauli), self._meta(tableau)
+
+    def amplitude(
+        self, circuit: QuantumCircuit, basis_index: int, options: SimOptions
+    ) -> Tuple[complex, Metadata]:
+        tableau = self._run(circuit, options)
+        return complex(tableau.to_statevector()[basis_index]), self._meta(tableau)

@@ -1,0 +1,39 @@
+"""Backend capability flags and the capability-violation error.
+
+Each registered backend declares a frozenset of the capability strings
+below; the facades in :mod:`repro.core.backend` and the ``auto``
+dispatcher in :mod:`repro.core.analyzer` consult them instead of
+hard-coding per-backend special cases.
+"""
+
+from __future__ import annotations
+
+FULL_STATE = "full_state"
+"""Can produce the dense ``2**n`` output statevector."""
+
+SAMPLE = "sample"
+"""Can sample measurement outcomes natively from its own structure."""
+
+EXPECTATION = "expectation"
+"""Can evaluate Pauli-string expectation values."""
+
+SINGLE_AMPLITUDE = "single_amplitude"
+"""Can compute one output amplitude."""
+
+NOISE = "noise"
+"""Has a noisy-simulation path (density matrices / trajectories)."""
+
+CLIFFORD_ONLY = "clifford_only"
+"""Restricted to the Clifford gate set (raises ``NotCliffordError`` otherwise)."""
+
+ALL_CAPABILITIES = frozenset(
+    {FULL_STATE, SAMPLE, EXPECTATION, SINGLE_AMPLITUDE, NOISE, CLIFFORD_ONLY}
+)
+
+
+class CapabilityError(ValueError):
+    """A backend was asked for an operation it does not declare.
+
+    Subclasses :class:`ValueError` so callers that treated "unsupported
+    backend" as a ``ValueError`` under the old facade keep working.
+    """

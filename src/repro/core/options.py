@@ -1,0 +1,62 @@
+"""Typed simulation options shared by every backend.
+
+:class:`SimOptions` replaces the facades' old ad-hoc ``**options``
+plumbing, which silently dropped options on some paths (``sample()``
+ignored ``fusion``, ``expectation(backend="mps")`` ignored ``seed``,
+``single_amplitude(backend="arrays")`` ignored ``method``/``seed``).
+Every backend method receives the same validated, immutable object, so an
+option either applies uniformly or is rejected loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Validated options for every simulation/verification entry point.
+
+    Fields irrelevant to a given backend are simply unused — e.g. the
+    arrays backend ignores ``max_bond`` — but unknown *names* raise
+    ``TypeError`` at the facade boundary instead of being dropped.
+
+    Attributes:
+        seed: RNG seed for every stochastic step (measurement collapse,
+            sampling).  Honored by all backends.
+        method: Arrays gate-application kernel, ``"einsum"`` (fast
+            reshape/slice kernels) or ``"gather"`` (legacy path).
+        fusion: Merge runs of adjacent gates into single unitaries before
+            simulation (registry-level pre-pass, applied uniformly to all
+            non-Clifford-only backends).
+        max_fused_qubits: Support cap for the fusion pre-pass.
+        max_bond: MPS bond-dimension cap (``None`` = exact).
+        cutoff: MPS singular-value truncation threshold.
+        plan: Tensor-network contraction plan (``repro.tn.contraction``).
+        track_peak: Record the DD backend's peak node count.
+    """
+
+    seed: int = 0
+    method: str = "einsum"
+    fusion: bool = False
+    max_fused_qubits: int = 2
+    max_bond: Optional[int] = None
+    cutoff: float = 1e-12
+    plan: Optional[Any] = None
+    track_peak: bool = False
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "SimOptions":
+        """Build options from facade keyword arguments, rejecting unknowns."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown simulation option(s) {unknown}; "
+                f"known options: {sorted(known)}"
+            )
+        return cls(**kwargs)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,64 @@
+"""The backend registry: named backends with declared capabilities.
+
+The registry is the seam the facades dispatch through.  Adding a backend
+is one class + one ``register`` call; nothing in the facade layer needs
+to change, and capability-driven features (``backend="auto"``, capability
+tables in docs, sweeps that skip unsupported backends) pick the new
+backend up automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .backends.base import Backend
+
+
+class BackendRegistry:
+    """Mutable name -> backend-instance mapping with capability queries."""
+
+    def __init__(self) -> None:
+        self._backends: Dict[str, "Backend"] = {}
+
+    def register(self, backend: "Backend") -> "Backend":
+        """Register a backend instance under ``backend.name``.
+
+        Re-registering a name replaces the previous entry, which lets
+        tests and experiments swap implementations in place.
+        """
+        self._backends[backend.name] = backend
+        return backend
+
+    def unregister(self, name: str) -> None:
+        self._backends.pop(name, None)
+
+    def get(self, name: str) -> "Backend":
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend '{name}'; choose from {self.names()}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._backends
+
+    def names(self) -> tuple:
+        return tuple(self._backends)
+
+    def supporting(self, *capabilities: str) -> List[str]:
+        """Names of backends declaring every requested capability."""
+        return [
+            name
+            for name, backend in self._backends.items()
+            if all(cap in backend.capabilities for cap in capabilities)
+        ]
+
+    def capability_table(self) -> Dict[str, frozenset]:
+        """Name -> declared capability set, for docs and introspection."""
+        return {name: b.capabilities for name, b in self._backends.items()}
+
+
+REGISTRY = BackendRegistry()
+"""The process-wide default registry used by the :mod:`repro.core` facades."""

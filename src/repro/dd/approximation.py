@@ -9,7 +9,7 @@ child branch is cut when its share of the node's squared norm falls below
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from .node import TERMINAL, DDNode, Edge
 from .package import ZERO_EDGE, DDPackage

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from .node import TERMINAL, DDNode, Edge
+from .node import DDNode, Edge
 
 
 def _format_weight(weight: complex) -> str:

@@ -14,7 +14,6 @@ import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
 from ..circuits.gates import Gate
-from .node import Edge
 from .package import DDPackage
 from .vector import VectorDD
 

@@ -181,6 +181,180 @@ class StabilizerTableau:
         dup.r = self.r.copy()
         return dup
 
+    # -- dense conversions -------------------------------------------------------------
+
+    def expectation_pauli(self, pauli: str) -> float:
+        """Exact ``<psi| P |psi>`` for a Pauli string observable.
+
+        A stabilizer state's Pauli expectations are always in {-1, 0, +1}:
+        ``+-1`` when ``+-P`` lies in the stabilizer group (decided by a
+        GF(2) solve over the generators), ``0`` otherwise.  Polynomial in
+        ``n``; never touches a dense state.
+
+        The string is read with the highest qubit leftmost, matching the
+        observable convention used across the library.
+        """
+        n = self.num_qubits
+        if len(pauli) != n:
+            raise ValueError(
+                f"Pauli string length {len(pauli)} != {n} qubits"
+            )
+        tx = np.zeros(n, dtype=np.int64)
+        tz = np.zeros(n, dtype=np.int64)
+        for q in range(n):
+            ch = pauli[n - 1 - q].upper()
+            if ch == "X":
+                tx[q] = 1
+            elif ch == "Z":
+                tz[q] = 1
+            elif ch == "Y":
+                tx[q] = 1
+                tz[q] = 1
+            elif ch != "I":
+                raise ValueError(f"invalid Pauli character '{ch}'")
+        # Membership test: find generators multiplying to P's (x, z) image.
+        stab_x = self.x[n:].astype(np.int64)
+        stab_z = self.z[n:].astype(np.int64)
+        system = np.concatenate([stab_x.T, stab_z.T], axis=0)
+        selection = _solve_gf2(system, np.concatenate([tx, tz]))
+        if selection is None:
+            return 0.0
+        sx = np.zeros(n, dtype=np.int64)
+        sz = np.zeros(n, dtype=np.int64)
+        sr = 0
+        for k in range(n):
+            if selection[k]:
+                sx, sz, sr = _pauli_row_product(
+                    stab_x[k], stab_z[k], int(self.r[n + k]), sx, sz, sr
+                )
+        # The product equals (-1)^sr * P, and it stabilizes the state.
+        return float(1 - 2 * sr)
+
+    def to_statevector(self) -> np.ndarray:
+        """The dense ``2**n`` state stabilized by this tableau.
+
+        Exponential in ``n`` by necessity (the output is dense); the
+        construction itself is a GF(2) solve for one support basis state
+        followed by ``n`` projector sweeps ``(I + S_k)/2`` over the dense
+        vector, i.e. O(n^2 2^n) time.  The result is normalized and
+        defined up to a global phase.
+        """
+        n = self.num_qubits
+        index0 = self._support_basis_state()
+        dim = 1 << n
+        state = np.zeros(dim, dtype=np.complex128)
+        state[index0] = 1.0
+        indices = np.arange(dim)
+        for k in range(n):
+            gx = self.x[n + k]
+            gz = self.z[n + k]
+            xmask = 0
+            phase = np.full(dim, -1.0 if self.r[n + k] else 1.0, dtype=np.complex128)
+            for q in range(n):
+                if gx[q]:
+                    xmask |= 1 << q
+                if gz[q]:
+                    bit = (indices >> q) & 1
+                    factor = 1 - 2 * bit
+                    phase *= (1j * factor) if gx[q] else factor
+            flipped = np.zeros_like(state)
+            flipped[indices ^ xmask] = phase * state
+            state = (state + flipped) * 0.5
+        norm = np.linalg.norm(state)
+        if norm == 0.0:  # pragma: no cover - valid tableaus always have support
+            raise RuntimeError("inconsistent tableau: empty support")
+        return state / norm
+
+    def _support_basis_state(self) -> int:
+        """Index of one computational basis state with nonzero amplitude.
+
+        Row-reduces the stabilizer generators over their X-parts; the
+        X-free (pure-Z) rows ``+-Z^a`` constrain support states by
+        ``a . x = r (mod 2)``, which is solved over GF(2).
+        """
+        n = self.num_qubits
+        xs = self.x[n:].astype(np.int64)
+        zs = self.z[n:].astype(np.int64)
+        rs = self.r[n:].astype(np.int64)
+        rows = [(xs[k].copy(), zs[k].copy(), int(rs[k])) for k in range(n)]
+        used = [False] * n
+        for col in range(n):
+            pivot = next(
+                (k for k in range(n) if not used[k] and rows[k][0][col]), None
+            )
+            if pivot is None:
+                continue
+            used[pivot] = True
+            px, pz, pr = rows[pivot]
+            for k in range(n):
+                if k != pivot and rows[k][0][col]:
+                    kx, kz, kr = rows[k]
+                    rows[k] = _pauli_row_product(px, pz, pr, kx, kz, kr)
+        constraints = [rows[k] for k in range(n) if not rows[k][0].any()]
+        if not constraints:
+            return 0
+        system = np.stack([z for _, z, _ in constraints])
+        rhs = np.array([r for _, _, r in constraints], dtype=np.int64)
+        solution = _solve_gf2(system, rhs)
+        if solution is None:  # pragma: no cover - valid tableaus are consistent
+            raise RuntimeError("inconsistent tableau: no support basis state")
+        return int(sum(int(solution[q]) << q for q in range(n)))
+
+
+def _pauli_row_product(x1, z1, r1, x2, z2, r2):
+    """Product of two commuting signed Pauli rows: ``(x2,z2,r2) * (x1,z1,r1)``.
+
+    Same phase bookkeeping as Aaronson-Gottesman rowsum; valid whenever the
+    rows commute (always true inside a stabilizer group), where the product
+    phase is guaranteed to be ``+-1``.
+    """
+    x1 = np.asarray(x1, dtype=np.int64)
+    z1 = np.asarray(z1, dtype=np.int64)
+    x2 = np.asarray(x2, dtype=np.int64)
+    z2 = np.asarray(z2, dtype=np.int64)
+    g = (
+        x1 * z1 * (z2 - x2)
+        + x1 * (1 - z1) * z2 * (2 * x2 - 1)
+        + (1 - x1) * z1 * x2 * (1 - 2 * z2)
+    )
+    total = 2 * int(r1) + 2 * int(r2) + int(g.sum())
+    return x1 ^ x2, z1 ^ z2, (total % 4) // 2
+
+
+def _solve_gf2(matrix: np.ndarray, rhs: np.ndarray) -> Optional[np.ndarray]:
+    """One solution of ``matrix @ x = rhs`` over GF(2), or None if insoluble.
+
+    Free variables are set to zero.  ``matrix`` is (m, n); the inputs are
+    not modified.
+    """
+    a = (np.asarray(matrix, dtype=np.int64) % 2).copy()
+    b = (np.asarray(rhs, dtype=np.int64) % 2).copy()
+    m, n = a.shape
+    pivot_cols = []
+    row = 0
+    for col in range(n):
+        if row >= m:
+            break
+        sel = next((k for k in range(row, m) if a[k, col]), None)
+        if sel is None:
+            continue
+        if sel != row:
+            a[[row, sel]] = a[[sel, row]]
+            b[row], b[sel] = b[sel], b[row]
+        for k in range(m):
+            if k != row and a[k, col]:
+                a[k] ^= a[row]
+                b[k] ^= b[row]
+        pivot_cols.append(col)
+        row += 1
+    for k in range(row, m):
+        if b[k]:
+            return None
+    solution = np.zeros(n, dtype=np.int64)
+    for i, col in enumerate(pivot_cols):
+        solution[col] = b[i]
+    return solution
+
 
 class NotCliffordError(ValueError):
     """The circuit contains a gate outside the Clifford group."""
@@ -212,13 +386,19 @@ class StabilizerSimulator:
         self, circuit: QuantumCircuit, shots: int, seed: int = 0
     ) -> Dict[str, int]:
         """Measure all qubits ``shots`` times (fresh run per shot)."""
-        rng = np.random.default_rng(seed)
         base, _ = self.run(circuit.without_measurements())
+        return self.sample_counts_from(base, shots, seed=seed)
+
+    def sample_counts_from(
+        self, tableau: StabilizerTableau, shots: int, seed: int = 0
+    ) -> Dict[str, int]:
+        """Measure all qubits of an evolved tableau ``shots`` times."""
+        rng = np.random.default_rng(seed)
         counts: Dict[str, int] = {}
-        n = circuit.num_qubits
+        n = tableau.num_qubits
         for _ in range(shots):
-            tableau = base.copy()
-            bits = [str(tableau.measure(q, rng)) for q in range(n)]
+            copy = tableau.copy()
+            bits = [str(copy.measure(q, rng)) for q in range(n)]
             key = "".join(reversed(bits))
             counts[key] = counts.get(key, 0) + 1
         return counts

@@ -9,9 +9,8 @@ and thereby the cost, which is what the plan-search benchmarks measure.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-import numpy as np
 
 from .tensor import Tensor, contract, contraction_result_indices
 

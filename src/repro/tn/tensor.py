@@ -8,7 +8,7 @@ rank-2 tensors over the shared index ``k``).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 

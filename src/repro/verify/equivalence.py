@@ -1,10 +1,20 @@
-"""Unified equivalence-checking facade over all four data structures."""
+"""Unified equivalence-checking facade over all four data structures.
+
+Mirrors the simulation facade's registry treatment: checkers are looked
+up from a method table, keyword arguments are filtered to each checker's
+signature, and ``method="auto"`` routes by circuit structure (stabilizer
+tableau for Clifford pairs; ZX rewriting first with a decision-diagram
+fallback otherwise, following the miter-based flow of the paper's
+verification section).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import inspect
+from typing import Callable, Dict, Optional, Union
 
 from ..circuits.circuit import QuantumCircuit
+from ..core.analyzer import analyze
 from .dd_check import check_equivalence_dd
 from .stab_check import try_check_equivalence_stabilizer
 from .tn_check import check_equivalence_random_stimuli, check_equivalence_tn
@@ -12,6 +22,32 @@ from .unitary_check import check_equivalence_unitary
 from .zx_check import check_equivalence_zx
 
 METHODS = ("arrays", "dd", "zx", "tn", "tn_stimuli", "stab")
+
+AUTO = "auto"
+
+_CHECKERS: Dict[str, Callable] = {
+    "arrays": check_equivalence_unitary,
+    "dd": check_equivalence_dd,
+    "zx": check_equivalence_zx,
+    "tn": check_equivalence_tn,
+    "tn_stimuli": check_equivalence_random_stimuli,
+    "stab": try_check_equivalence_stabilizer,
+}
+
+
+def _call_checker(
+    checker: Callable,
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+    kwargs: Dict,
+) -> Optional[bool]:
+    """Invoke a checker, passing only the kwargs its signature accepts."""
+    params = inspect.signature(checker).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        accepted = kwargs
+    else:
+        accepted = {k: v for k, v in kwargs.items() if k in params}
+    return checker(circuit_a, circuit_b, **accepted)
 
 
 def check_equivalence(
@@ -31,25 +67,65 @@ def check_equivalence(
     - ``"tn"``      — tensor-network trace overlap (exact),
     - ``"tn_stimuli"`` — random-stimuli amplitude comparison (probabilistic),
     - ``"stab"``    — stabilizer tableau (exact and polynomial, Clifford
-      circuits only; ``None`` on non-Clifford inputs).
+      circuits only; ``None`` on non-Clifford inputs),
+    - ``"auto"``    — structure-driven routing: ``stab`` when both
+      circuits are Clifford; otherwise ``zx`` first (cheap when it
+      concludes) with the exact ``dd`` scheme as fallback on an
+      inconclusive ``None``.
+
+    Keyword arguments are forwarded to the selected checker, filtered to
+    the parameters it accepts (e.g. ``strategy=`` only reaches ``dd``).
     """
-    if method == "arrays":
-        return check_equivalence_unitary(circuit_a, circuit_b, **kwargs)
-    if method == "dd":
-        return check_equivalence_dd(circuit_a, circuit_b, **kwargs)
-    if method == "zx":
-        return check_equivalence_zx(circuit_a, circuit_b, **kwargs)
-    if method == "tn":
-        return check_equivalence_tn(circuit_a, circuit_b, **kwargs)
-    if method == "tn_stimuli":
-        return check_equivalence_random_stimuli(circuit_a, circuit_b, **kwargs)
-    if method == "stab":
-        return try_check_equivalence_stabilizer(circuit_a, circuit_b, **kwargs)
-    raise ValueError(f"unknown method '{method}'; choose from {METHODS}")
+    if method == AUTO:
+        return _check_equivalence_auto(circuit_a, circuit_b, kwargs)
+    try:
+        checker = _CHECKERS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method '{method}'; choose from {METHODS + (AUTO,)}"
+        ) from None
+    return _call_checker(checker, circuit_a, circuit_b, kwargs)
+
+
+def _check_equivalence_auto(
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+    kwargs: Dict,
+) -> Optional[bool]:
+    clean_a = circuit_a.without_measurements()
+    clean_b = circuit_b.without_measurements()
+    if analyze(clean_a).is_clifford and analyze(clean_b).is_clifford:
+        return _call_checker(
+            try_check_equivalence_stabilizer, circuit_a, circuit_b, kwargs
+        )
+    zx_verdict = _call_checker(
+        check_equivalence_zx, circuit_a, circuit_b, kwargs
+    )
+    if zx_verdict is not None:
+        return zx_verdict
+    return _call_checker(check_equivalence_dd, circuit_a, circuit_b, kwargs)
 
 
 def check_all_methods(
-    circuit_a: QuantumCircuit, circuit_b: QuantumCircuit
-) -> Dict[str, Optional[bool]]:
-    """Run every checker; useful for cross-validation and benchmarking."""
-    return {method: check_equivalence(circuit_a, circuit_b, method) for method in METHODS}
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+    **kwargs,
+) -> Dict[str, Union[bool, None, str]]:
+    """Run every checker; useful for cross-validation and benchmarking.
+
+    Keyword arguments are forwarded to each checker (filtered to the
+    parameters it accepts).  A checker that raises on an unsupported
+    circuit — e.g. a memory error from the dense comparison, or a
+    decomposition failure — no longer aborts the sweep: its entry records
+    the failure as ``"error: <ExceptionType>: <message>"`` while the
+    remaining methods still report ``True``/``False``/``None``.
+    """
+    results: Dict[str, Union[bool, None, str]] = {}
+    for method in METHODS:
+        try:
+            results[method] = check_equivalence(
+                circuit_a, circuit_b, method=method, **kwargs
+            )
+        except Exception as exc:  # noqa: BLE001 - sweep must survive any checker
+            results[method] = f"error: {type(exc).__name__}: {exc}"
+    return results

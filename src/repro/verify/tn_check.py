@@ -16,7 +16,7 @@ from typing import Optional
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from ..tn.circuit_tn import amplitude, circuit_to_network
+from ..tn.circuit_tn import amplitude
 from ..tn.network import TensorNetwork
 
 
@@ -64,7 +64,6 @@ def circuit_to_network_unitary(circuit: QuantumCircuit):
 
     Returns ``(network, (output_indices, input_indices))``.
     """
-    from ..circuits.circuit import Operation
     from ..tn.circuit_tn import operation_tensor
 
     n = circuit.num_qubits

@@ -11,13 +11,10 @@ visualization tool the paper links (ref. [30]).
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 import numpy as np
 
-from ..circuits.circuit import QuantumCircuit
 from ..dd import export as dd_export
-from ..dd.package import DDPackage
 from ..dd.node import Edge
 from ..tn.network import TensorNetwork
 from ..zx.diagram import ZXDiagram

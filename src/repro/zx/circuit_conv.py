@@ -9,9 +9,8 @@ first, so the conversion is total over the library's IR.
 
 from __future__ import annotations
 
-import math
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import Dict
 
 from ..circuits import gates as g
 from ..circuits.circuit import Operation, QuantumCircuit

@@ -11,11 +11,10 @@ advance.  Works for the gadget-free diagrams produced by
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from ..circuits import gates as g
-from ..circuits.circuit import Operation, QuantumCircuit
-from .diagram import EdgeType, Phase, VertexType, ZXDiagram
+from ..circuits.circuit import QuantumCircuit
+from .diagram import EdgeType, VertexType, ZXDiagram
 from .rules import check_pivot, pivot
 from .simplify import to_graph_like
 

@@ -11,9 +11,8 @@ diagrams — only Z-spiders, only Hadamard edges between spiders — which
 
 from __future__ import annotations
 
-from fractions import Fraction
 from itertools import combinations
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from .diagram import EdgeType, Phase, VertexType, ZXDiagram
 

@@ -10,10 +10,9 @@ for non-Clifford phases (refs. [39], [40]).
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import Dict, List, Tuple
 
-from .diagram import EdgeType, Phase, VertexType, ZXDiagram
+from .diagram import EdgeType, VertexType, ZXDiagram
 from .rules import (
     check_fusable,
     check_identity,

@@ -1,0 +1,174 @@
+"""Tests for the circuit analyzer and ``backend="auto"`` dispatch."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.unitary import allclose_up_to_global_phase
+from repro.circuits import library, random_circuits
+from repro.core import (
+    REGISTRY,
+    analyze,
+    choose_backend,
+    expectation,
+    sample,
+    simulate,
+)
+from repro.core import capabilities as cap
+
+
+class TestAnalyzer:
+    def test_clifford_detection(self):
+        features = analyze(random_circuits.random_clifford_circuit(5, 40, seed=0))
+        assert features.is_clifford
+        assert features.non_clifford_ops == 0
+        assert features.clifford_fraction == 1.0
+
+    def test_t_count_and_fraction(self):
+        circuit = random_circuits.random_clifford_circuit(4, 20, seed=1)
+        circuit.t(0).t(1).tdg(2)
+        features = analyze(circuit)
+        assert not features.is_clifford
+        assert features.t_count == 3
+        assert features.non_clifford_ops == 3
+        assert features.clifford_fraction == pytest.approx(20 / 23)
+
+    def test_two_qubit_depth_and_lightcone(self):
+        circuit = library.ghz_state(6)
+        features = analyze(circuit)
+        assert features.two_qubit_depth == 5
+        assert features.lightcone_width == 6
+        disconnected = random_circuits.brickwork_circuit(4, 1, seed=0)
+        assert analyze(disconnected).two_qubit_depth == 1
+
+    def test_empty_circuit(self):
+        from repro.circuits.circuit import QuantumCircuit
+
+        features = analyze(QuantumCircuit(3))
+        assert features.is_clifford
+        assert features.clifford_fraction == 1.0
+        assert features.lightcone_width == 1
+
+
+class TestRouting:
+    def test_pure_clifford_routes_to_stab(self):
+        circuit = random_circuits.random_clifford_circuit(6, 50, seed=3)
+        decision = choose_backend(circuit)
+        assert decision.backend == "stab"
+        assert "Clifford" in decision.rule
+        result = simulate(circuit, backend="auto")
+        assert result.backend == "stab"
+        assert result.metadata["auto"]["selected"] == "stab"
+        assert result.metadata["auto"]["features"]["is_clifford"] is True
+
+    def test_clifford_dominated_routes_to_dd(self):
+        circuit = random_circuits.random_clifford_t_circuit(
+            8, 60, seed=5, t_prob=0.04
+        )
+        features = analyze(circuit)
+        assert 0 < features.non_clifford_ops <= 16
+        assert choose_backend(circuit).backend == "dd"
+
+    def test_shallow_non_clifford_routes_to_structured(self):
+        circuit = random_circuits.brickwork_circuit(10, 2, seed=5)
+        decision = choose_backend(circuit)
+        assert decision.backend in ("dd", "mps", "tn")
+        amp_decision = choose_backend(circuit, task=cap.SINGLE_AMPLITUDE)
+        assert amp_decision.backend == "tn"
+
+    def test_deep_dense_circuit_routes_to_arrays(self):
+        circuit = random_circuits.random_circuit(6, 14, seed=6)
+        assert choose_backend(circuit).backend == "arrays"
+
+    def test_sampling_task_skips_tn(self):
+        circuit = random_circuits.brickwork_circuit(10, 2, seed=7)
+        decision = choose_backend(circuit, task=cap.SAMPLE)
+        assert decision.backend == "mps"
+
+    def test_clifford_only_skipped_on_non_clifford(self):
+        circuit = library.qft(4)
+        decision = choose_backend(circuit)
+        assert decision.backend != "stab"
+
+    def test_decision_metadata_is_auditable(self):
+        decision = choose_backend(library.ghz_state(4))
+        meta = decision.as_metadata()
+        assert meta["selected"] == "stab"
+        assert meta["features"]["num_qubits"] == 4
+        assert meta["considered"][0][0] == "stab"
+
+    def test_no_capable_backend_raises(self):
+        from repro.core import BackendRegistry
+
+        with pytest.raises(ValueError, match="no registered backend"):
+            choose_backend(
+                library.bell_pair(), registry=BackendRegistry()
+            )
+
+
+def _auto_agrees_with_explicit(circuit):
+    """auto's state must match every capable explicit backend's state."""
+    auto_result = simulate(circuit, backend="auto")
+    features = analyze(circuit.without_measurements())
+    for name in REGISTRY.supporting(cap.FULL_STATE):
+        backend = REGISTRY.get(name)
+        if backend.supports(cap.CLIFFORD_ONLY) and not features.is_clifford:
+            continue
+        explicit = simulate(circuit, backend=name)
+        assert allclose_up_to_global_phase(
+            auto_result.state, explicit.state, 1e-8
+        ), (auto_result.backend, name)
+
+
+class TestAutoAgreementProperties:
+    """Property: auto is a pure router — it never changes the answer."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_clifford(self, seed):
+        _auto_agrees_with_explicit(
+            random_circuits.random_clifford_circuit(4, 30, seed=seed)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_clifford_t(self, seed):
+        _auto_agrees_with_explicit(
+            random_circuits.random_clifford_t_circuit(4, 25, seed=seed)
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_low_depth_brickwork(self, seed):
+        _auto_agrees_with_explicit(
+            random_circuits.brickwork_circuit(6, 2, seed=seed)
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_clifford_routes_to_stab_property(self, seed):
+        circuit = random_circuits.random_clifford_circuit(5, 40, seed=seed)
+        assert choose_backend(circuit).backend == "stab"
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_auto_expectation_agrees(self, seed):
+        circuit = random_circuits.random_clifford_t_circuit(4, 20, seed=seed)
+        reference = expectation(circuit, "ZXYZ", backend="arrays")
+        assert expectation(circuit, "ZXYZ", backend="auto") == pytest.approx(
+            reference, abs=1e-8
+        )
+
+
+class TestAutoSampling:
+    def test_auto_sample_ghz(self):
+        counts = sample(library.ghz_state(5), 80, backend="auto", seed=2)
+        assert sum(counts.values()) == 80
+        assert set(counts) <= {"0" * 5, "1" * 5}
+
+    def test_auto_sample_distribution(self):
+        circuit = random_circuits.random_circuit(3, 6, seed=11)
+        probs = simulate(circuit, backend="arrays").probabilities()
+        counts = sample(circuit, 3000, backend="auto", seed=12)
+        for bits, count in counts.items():
+            assert abs(count / 3000 - probs[int(bits, 2)]) < 0.05

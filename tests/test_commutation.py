@@ -5,7 +5,7 @@ import pytest
 
 from repro.arrays import circuit_unitary
 from repro.circuits import gates as g
-from repro.circuits import library, random_circuits
+from repro.circuits import random_circuits
 from repro.circuits.circuit import Operation, QuantumCircuit
 from repro.compile import commutative_cancellation, operations_commute, optimize
 

@@ -1,6 +1,5 @@
 """Tests for the sample() and expectation() facades."""
 
-import numpy as np
 import pytest
 
 from repro.arrays.measurement import expectation_value
@@ -61,3 +60,67 @@ def test_expectation_physical_bounds():
     for pauli in ("ZZZ", "XXX"):
         value = expectation(circuit, pauli, backend="dd")
         assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestOptionPlumbingRegressions:
+    """The pre-registry facade silently dropped these options (ISSUE 2)."""
+
+    def test_sample_applies_fusion(self, monkeypatch):
+        # sample() used to ignore fusion=True entirely.
+        import repro.compile.fusion as fusion_mod
+
+        calls = []
+        real_fuse = fusion_mod.fuse_gates
+
+        def spy(circuit, max_fused_qubits=2):
+            calls.append(max_fused_qubits)
+            return real_fuse(circuit, max_fused_qubits=max_fused_qubits)
+
+        monkeypatch.setattr(fusion_mod, "fuse_gates", spy)
+        circuit = random_circuits.random_circuit(4, 6, seed=3)
+        counts = sample(circuit, 50, backend="arrays", seed=1, fusion=True)
+        assert calls == [2]
+        assert sum(counts.values()) == 50
+        # And the fused path returns the same distribution.
+        assert counts == sample(circuit, 50, backend="arrays", seed=1)
+
+    def test_expectation_mps_honors_seed(self, monkeypatch):
+        # expectation(backend="mps") used to construct MPSSimulator
+        # without the seed option.
+        import repro.core.backends.mps_backend as mps_backend_mod
+
+        seen = []
+        real_sim = mps_backend_mod.MPSSimulator
+
+        class Spy(real_sim):
+            def __init__(self, max_bond=None, cutoff=1e-12, seed=0):
+                seen.append(seed)
+                super().__init__(max_bond=max_bond, cutoff=cutoff, seed=seed)
+
+        monkeypatch.setattr(mps_backend_mod, "MPSSimulator", Spy)
+        circuit = random_circuits.brickwork_circuit(4, 2, seed=4)
+        expectation(circuit, "ZZZZ", backend="mps", seed=17)
+        assert seen == [17]
+
+    def test_single_amplitude_arrays_honors_method_and_seed(self, monkeypatch):
+        # single_amplitude(backend="arrays") used to construct
+        # StatevectorSimulator() with no options at all.
+        import repro.core.backends.arrays_backend as arrays_backend_mod
+        from repro.core import single_amplitude
+
+        seen = []
+        real_sim = arrays_backend_mod.StatevectorSimulator
+
+        class Spy(real_sim):
+            def __init__(self, seed=0, method="einsum", **kwargs):
+                seen.append((seed, method))
+                super().__init__(seed=seed, method=method, **kwargs)
+
+        monkeypatch.setattr(arrays_backend_mod, "StatevectorSimulator", Spy)
+        circuit = random_circuits.random_circuit(3, 5, seed=5)
+        value = single_amplitude(
+            circuit, 2, backend="arrays", method="gather", seed=23
+        )
+        assert seen == [(23, "gather")]
+        einsum_value = single_amplitude(circuit, 2, backend="arrays")
+        assert value == pytest.approx(einsum_value, abs=1e-10)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuits import library, random_circuits
-from repro.dd import DDPackage, DDSimulator, VectorDD
+from repro.dd import DDPackage, DDSimulator
 from repro.dd.approximation import approximate
 from tests.conftest import random_state
 

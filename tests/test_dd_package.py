@@ -7,7 +7,7 @@ from repro.arrays import operation_unitary
 from repro.circuits import gates as g
 from repro.circuits import library
 from repro.circuits.circuit import Operation
-from repro.dd import DDPackage, TERMINAL
+from repro.dd import DDPackage
 from repro.dd.complex_table import ComplexTable
 from tests.conftest import random_state, random_unitary
 
@@ -275,7 +275,6 @@ def test_reset_clears_tables(pkg):
 
 def test_cache_stats_counts_hits_and_misses():
     pkg = DDPackage()
-    from repro.circuits.circuit import QuantumCircuit
     from repro.dd import DDSimulator
 
     circuit = library.ghz_state(6)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.arrays import StatevectorSimulator, circuit_unitary
+from repro.arrays import circuit_unitary
 from repro.circuits import library
 from repro.circuits.circuit import QuantumCircuit
 from repro.dd import DDPackage, DDSimulator, MatrixDD, VectorDD

@@ -1,13 +1,11 @@
 """Tests for gate decompositions and basis translation."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.arrays import circuit_unitary
 from repro.circuits import gates as g
-from repro.circuits import library, random_circuits
 from repro.circuits.circuit import Operation, QuantumCircuit
 from repro.compile.decompositions import (
     BASIS_CX_RZ_RY,

@@ -1,6 +1,5 @@
 """Tests for the density-matrix simulator and noise channels."""
 
-import math
 
 import numpy as np
 import pytest

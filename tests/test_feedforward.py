@@ -1,6 +1,5 @@
 """Tests for classically-controlled (feed-forward) operations."""
 
-import math
 
 import numpy as np
 import pytest

@@ -115,7 +115,6 @@ def test_controlled_arbitrary_two_qubit_gate():
 
 
 def test_quantum_volume_through_zx():
-    from repro.arrays import allclose_up_to_global_phase
     from repro.zx import circuit_to_zx, diagram_to_matrix, proportional
 
     circuit = library.quantum_volume_circuit(2, 2, seed=8)

@@ -1,10 +1,9 @@
 """Tests for the interaction-graph initial layout heuristic."""
 
-import numpy as np
 import pytest
 
 from repro.arrays import StatevectorSimulator, allclose_up_to_global_phase
-from repro.circuits import library, random_circuits
+from repro.circuits import library
 from repro.circuits.circuit import QuantumCircuit
 from repro.compile import compile_circuit, coupling, interaction_layout
 from repro.compile.routing import route_sabre, undo_layout_statevector

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.arrays import circuit_unitary
 from repro.arrays.measurement import (
     expectation_value,
     fidelity,

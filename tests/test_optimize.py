@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.arrays import circuit_unitary
-from repro.circuits import library, random_circuits
+from repro.circuits import library
 from repro.circuits.circuit import QuantumCircuit
 from repro.compile.optimize import (
     cancel_inverses,

@@ -4,16 +4,13 @@ These cross-check the structured backends against dense linear algebra on
 randomly generated states, operators, and circuits.
 """
 
-import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.arrays import StatevectorSimulator, circuit_unitary
-from repro.circuits import gates as g
-from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.circuits.circuit import QuantumCircuit
 from repro.dd import DDPackage
 from repro.tn import MPSSimulator, Tensor, contract
 from repro.tn.circuit_tn import statevector_from_circuit

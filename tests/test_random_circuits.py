@@ -1,7 +1,6 @@
 """Tests for the random workload generators."""
 
 import numpy as np
-import pytest
 
 from repro.arrays import circuit_unitary
 from repro.circuits import random_circuits

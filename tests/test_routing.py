@@ -1,6 +1,5 @@
 """Tests for the SWAP routers."""
 
-import numpy as np
 import pytest
 
 from repro.arrays import StatevectorSimulator, allclose_up_to_global_phase

@@ -1,0 +1,103 @@
+"""Tests for tableau -> dense state and group-theoretic expectations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.measurement import expectation_value
+from repro.arrays.statevector import StatevectorSimulator
+from repro.arrays.unitary import allclose_up_to_global_phase
+from repro.circuits import library, random_circuits
+from repro.stab import StabilizerSimulator, StabilizerTableau
+
+
+def _run(circuit):
+    tableau, _ = StabilizerSimulator().run(circuit)
+    return tableau
+
+
+class TestToStatevector:
+    def test_zero_state(self):
+        state = StabilizerTableau(3).to_statevector()
+        assert state[0] == pytest.approx(1.0)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_ghz(self):
+        state = _run(library.ghz_state(4)).to_statevector()
+        expected = np.zeros(16, dtype=complex)
+        expected[0] = expected[-1] = 1 / np.sqrt(2)
+        assert allclose_up_to_global_phase(state, expected, 1e-10)
+
+    def test_basis_flip_state(self):
+        from repro.circuits.circuit import QuantumCircuit
+
+        circuit = QuantumCircuit(3)
+        circuit.x(0).x(2)
+        state = _run(circuit).to_statevector()
+        assert abs(state[0b101]) == pytest.approx(1.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_matches_dense_simulation(self, num_qubits, seed):
+        circuit = random_circuits.random_clifford_circuit(
+            num_qubits, 35, seed=seed
+        )
+        tableau_state = _run(circuit).to_statevector()
+        dense_state = StatevectorSimulator().statevector(circuit)
+        assert allclose_up_to_global_phase(tableau_state, dense_state, 1e-8)
+
+    def test_normalized(self):
+        circuit = random_circuits.random_clifford_circuit(5, 50, seed=9)
+        state = _run(circuit).to_statevector()
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+
+class TestExpectationPauli:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+        st.data(),
+    )
+    def test_matches_dense_expectation(self, num_qubits, seed, data):
+        circuit = random_circuits.random_clifford_circuit(
+            num_qubits, 30, seed=seed
+        )
+        pauli = "".join(
+            data.draw(
+                st.lists(
+                    st.sampled_from("IXYZ"),
+                    min_size=num_qubits,
+                    max_size=num_qubits,
+                )
+            )
+        )
+        tableau = _run(circuit)
+        dense = StatevectorSimulator().statevector(circuit)
+        assert tableau.expectation_pauli(pauli) == pytest.approx(
+            expectation_value(dense, pauli), abs=1e-8
+        )
+
+    def test_values_are_ternary(self):
+        tableau = _run(random_circuits.random_clifford_circuit(4, 40, seed=3))
+        for pauli in ("ZZZZ", "XXXX", "IXYZ", "IIII"):
+            assert tableau.expectation_pauli(pauli) in (-1.0, 0.0, 1.0)
+
+    def test_identity_is_one(self):
+        assert StabilizerTableau(3).expectation_pauli("III") == 1.0
+
+    def test_fresh_tableau_z_expectations(self):
+        tableau = StabilizerTableau(2)
+        assert tableau.expectation_pauli("IZ") == 1.0
+        assert tableau.expectation_pauli("IX") == 0.0
+
+    def test_bad_inputs(self):
+        tableau = StabilizerTableau(2)
+        with pytest.raises(ValueError):
+            tableau.expectation_pauli("Z")
+        with pytest.raises(ValueError):
+            tableau.expectation_pauli("QQ")

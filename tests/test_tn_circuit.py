@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.arrays import StatevectorSimulator
 from repro.arrays.measurement import expectation_value as array_expectation
 from repro.circuits import library, random_circuits
 from repro.circuits.circuit import QuantumCircuit

@@ -1,6 +1,5 @@
 """Tests for the randomized-restart contraction planner (ref. [34] style)."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import library, random_circuits

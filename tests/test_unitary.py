@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.arrays import (
-    StatevectorSimulator,
     allclose_up_to_global_phase,
     circuit_unitary,
     operation_unitary,

@@ -1,18 +1,15 @@
 """Tests for the equivalence checkers (all four data structures)."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import library, random_circuits
 from repro.circuits.circuit import QuantumCircuit
-from repro.compile import compile_circuit, coupling, zx_optimize
+from repro.compile import compile_circuit, zx_optimize
 from repro.verify import (
     check_all_methods,
     check_equivalence,
     check_equivalence_dd,
     check_equivalence_random_stimuli,
-    check_equivalence_tn,
-    check_equivalence_unitary,
     check_equivalence_zx,
     hilbert_schmidt_overlap,
     peak_nodes_alternating,

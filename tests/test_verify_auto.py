@@ -1,0 +1,88 @@
+"""Tests for method="auto" equivalence checking and the hardened sweep."""
+
+import pytest
+
+from repro.circuits import library, random_circuits
+from repro.verify import METHODS, check_all_methods, check_equivalence
+
+
+def _clifford_pair(equivalent=True):
+    a = random_circuits.random_clifford_circuit(3, 25, seed=2)
+    b = a.copy()
+    if equivalent:
+        b.compose(library.ghz_state(3))
+        b.compose(library.ghz_state(3).inverse())
+    else:
+        b.x(0)
+    return a, b
+
+
+def _non_clifford_pair():
+    qft = library.qft(3)
+    padded = library.qft(3)
+    padded.compose(library.qft(3).inverse())
+    padded.compose(library.qft(3))
+    return qft, padded
+
+
+class TestAutoMethod:
+    def test_clifford_pair_uses_stabilizer(self):
+        a, b = _clifford_pair(equivalent=True)
+        assert check_equivalence(a, b, method="auto") is True
+
+    def test_clifford_inequivalent_pair(self):
+        a, b = _clifford_pair(equivalent=False)
+        assert check_equivalence(a, b, method="auto") is False
+
+    def test_non_clifford_pair_zx_first(self):
+        a, b = _non_clifford_pair()
+        assert check_equivalence(a, b, method="auto") is True
+
+    def test_zx_inconclusive_falls_back_to_dd(self):
+        # Structurally different circuits: ZX cannot reduce the miter, so
+        # auto must still conclude via the exact DD scheme.
+        a = random_circuits.random_circuit(3, 6, seed=8)
+        b = a.copy()
+        b.rz(0.37, 1)
+        assert check_equivalence(a, b, method="auto") is False
+        assert check_equivalence(a, a.copy(), method="auto") is True
+
+    def test_unknown_method_still_rejected(self):
+        a, b = _clifford_pair()
+        with pytest.raises(ValueError, match="unknown method"):
+            check_equivalence(a, b, method="ouija")
+
+
+class TestCheckAllMethods:
+    def test_forwards_kwargs_to_accepting_checkers(self):
+        a, b = _clifford_pair(equivalent=True)
+        # strategy= is a dd-only kwarg; num_stimuli= is tn_stimuli-only.
+        # Under the old facade any kwarg would have crashed the sweep.
+        results = check_all_methods(a, b, strategy="sequential", num_stimuli=2)
+        assert results["dd"] is True
+        assert results["tn_stimuli"] is True
+        assert set(results) == set(METHODS)
+
+    def test_records_errors_instead_of_crashing(self):
+        a, b = _clifford_pair(equivalent=True)
+        results = check_all_methods(a, b, strategy="bogus-strategy")
+        # dd rejects the unknown strategy but the sweep must survive and
+        # record the failure while the other checkers still conclude.
+        assert isinstance(results["dd"], str)
+        assert results["dd"].startswith("error: ")
+        assert results["arrays"] is True
+        assert results["tn"] is True
+        assert results["stab"] is True
+
+    def test_stab_inconclusive_on_non_clifford(self):
+        a, b = _non_clifford_pair()
+        results = check_all_methods(a, b)
+        assert results["stab"] is None
+        assert results["arrays"] is True
+
+    def test_plain_sweep_all_conclusive_on_clifford(self):
+        a, b = _clifford_pair(equivalent=False)
+        results = check_all_methods(a, b)
+        for method in ("arrays", "dd", "tn", "tn_stimuli", "stab"):
+            assert results[method] is False, method
+        assert results["zx"] is not True

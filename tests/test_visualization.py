@@ -1,10 +1,9 @@
 """Tests for the figure renderers (dot/ASCII output sanity)."""
 
 import numpy as np
-import pytest
 
 from repro.circuits import library
-from repro.dd import DDSimulator, to_ascii, to_dot
+from repro.dd import DDSimulator, to_ascii
 from repro.tn.circuit_tn import circuit_to_network
 from repro.visualization import (
     bell_figure_ascii,

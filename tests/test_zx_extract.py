@@ -1,6 +1,5 @@
 """Tests for circuit extraction from reduced ZX-diagrams."""
 
-import numpy as np
 import pytest
 
 from repro.arrays import allclose_up_to_global_phase, circuit_unitary
@@ -116,7 +115,7 @@ def test_stuck_gadget_raises_cleanly():
 
 
 def test_extract_arity_mismatch():
-    from repro.zx import ZXDiagram, VertexType, EdgeType
+    from repro.zx import ZXDiagram, VertexType
 
     d = ZXDiagram()
     i = d.add_vertex(VertexType.BOUNDARY)

@@ -6,7 +6,6 @@ is compared up to a scalar — the ground-truth notion of rewrite soundness.
 
 from fractions import Fraction
 
-import numpy as np
 import pytest
 
 from repro.circuits import random_circuits
