@@ -20,8 +20,13 @@ from pathlib import Path
 import pytest
 
 from repro.circuits import library, random_circuits
-from repro.core import REGISTRY, analyze, choose_backend, simulate
+from repro.core import REGISTRY, ResourceExhausted, analyze, choose_backend, simulate
 from repro.core import capabilities as cap
+
+# A deliberately tight profile for the graceful-degradation stats: small
+# enough that the structured backends trip on the denser families, large
+# enough that some backend always finishes.
+CONSTRAINED_BUDGET = "memory=64MiB,nodes=4096,bond=8"
 
 
 def _families(quick: bool = False):
@@ -96,6 +101,71 @@ def test_auto_never_slower_than_worst_fixed_backend():
     assert choose_backend(circuit).backend == "stab"
 
 
+# -- graceful degradation under a constrained budget -------------------------
+
+def fallback_stats(quick: bool = False, budget: str = CONSTRAINED_BUDGET):
+    """Per-family record of how each fixed backend degrades under ``budget``.
+
+    For every (family, capable backend) cell: request that backend with
+    the constrained budget and record whether it served the request
+    itself, fell back (to whom, after tripping what), or the whole
+    preference chain was exhausted.
+    """
+    stats = {"budget": budget, "families": {}}
+    for family, circuit in _families(quick=quick).items():
+        cells = {}
+        for backend in _capable_backends(circuit):
+            try:
+                result = simulate(circuit, backend=backend, budget=budget)
+            except ResourceExhausted as exc:
+                cells[backend] = {
+                    "served_by": None,
+                    "attempts": len(exc.fallback_chain),
+                    "tripped": [
+                        f"{entry['backend']}:{entry['resource']}"
+                        for entry in exc.fallback_chain
+                    ],
+                }
+                continue
+            chain = result.metadata.get("fallback_chain", [])
+            cells[backend] = {
+                "served_by": result.backend,
+                "attempts": max(len(chain), 1),
+                "tripped": [
+                    f"{entry['backend']}:{entry['resource']}"
+                    for entry in chain
+                    if entry["status"] == "resource_exhausted"
+                ],
+            }
+        stats["families"][family] = cells
+    return stats
+
+
+def test_constrained_budget_degrades_gracefully():
+    """No (family, backend) request may crash: it is served or audited."""
+    stats = fallback_stats(quick=True)
+    served = 0
+    for family, cells in stats["families"].items():
+        for backend, cell in cells.items():
+            assert cell["attempts"] >= 1, (family, backend)
+            if cell["served_by"] is not None:
+                served += 1
+            else:
+                # Exhaustion must come with the full audit trail.
+                assert len(cell["tripped"]) == cell["attempts"]
+    assert served > 0
+
+
+def test_fallback_is_observable_in_metadata():
+    circuit = _families(quick=True)["qft"]
+    result = simulate(circuit, backend="dd", budget="nodes=2")
+    chain = result.metadata["fallback_chain"]
+    assert chain[0]["backend"] == "dd"
+    assert chain[0]["resource"] == "nodes"
+    assert result.metadata["fallback"]["requested"] == "dd"
+    assert result.metadata["fallback"]["served_by"] == result.backend
+
+
 # -- script mode: machine-readable record ------------------------------------
 
 def _time_backend(circuit, backend, repeats):
@@ -140,6 +210,7 @@ def run_grid(quick: bool = False, repeats: int = 3):
             else None,
             "times_s": times,
         }
+    record["constrained_budget"] = fallback_stats(quick=quick)
     return record
 
 

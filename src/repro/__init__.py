@@ -18,11 +18,14 @@ Quickstart::
 
 from . import arrays, circuits, core, dd, stab, tn, verify, zx
 from .core import simulate, single_amplitude
+from .resources import ResourceBudget, ResourceExhausted
 from .verify import check_equivalence
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "ResourceBudget",
+    "ResourceExhausted",
     "arrays",
     "check_equivalence",
     "circuits",

@@ -54,8 +54,48 @@ class KrausChannel:
             work, self.operators[index], targets, num_qubits=num_qubits
         )
 
+    def branch_weights(
+        self,
+        state: np.ndarray,
+        targets: Sequence[int],
+        num_qubits: Optional[int] = None,
+    ) -> List[float]:
+        """Born weights ``||K_i |state>||^2`` of every branch.
+
+        Computed from the reduced density matrix of the target qubits —
+        ``tr(K_i rho_T K_i^dagger)`` — so no ``K_i |state>`` is ever
+        materialized: one ``O(2**n)`` reduction, then ``O(4**k)`` work per
+        operator, instead of a full-state copy per operator.
+        """
+        rho = reduced_density_matrix(state, targets, num_qubits)
+        return [
+            float(np.real(np.einsum("ab,bc,ac->", k, rho, k.conj())))
+            for k in self.operators
+        ]
+
     def __repr__(self) -> str:
         return f"KrausChannel({self.name}, {len(self.operators)} ops)"
+
+
+def reduced_density_matrix(
+    state: np.ndarray,
+    targets: Sequence[int],
+    num_qubits: Optional[int] = None,
+) -> np.ndarray:
+    """Reduced density matrix of ``targets``, tracing out the other qubits.
+
+    Index convention matches the gate kernels: bit ``i`` of the returned
+    matrix's row index corresponds to ``targets[i]``.
+    """
+    if num_qubits is None:
+        num_qubits = int(state.shape[0]).bit_length() - 1
+    k = len(targets)
+    tensor = state.reshape((2,) * num_qubits)
+    # Qubit q lives on axis n-1-q; the row index is big-endian in targets.
+    front = [num_qubits - 1 - t for t in reversed(targets)]
+    rest = [axis for axis in range(num_qubits) if axis not in front]
+    matrix = tensor.transpose(front + rest).reshape(1 << k, -1)
+    return matrix @ matrix.conj().T
 
 
 def bit_flip(p: float) -> KrausChannel:

@@ -22,9 +22,13 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
+from ..resources import ResourceBudget
 from . import kernels
 
 METHODS = ("einsum", "gather")
+
+_DEADLINE_CHECK_INTERVAL = 16
+"""Operations between wall-clock budget checks in the gate loop."""
 
 
 def zero_state(num_qubits: int) -> np.ndarray:
@@ -166,6 +170,12 @@ class StatevectorSimulator:
     adjacent gates acting on at most ``max_fused_qubits`` qubits are
     merged into single unitaries before simulation (see
     :mod:`repro.compile.fusion`).
+
+    ``budget`` (a :class:`~repro.resources.ResourceBudget`) is enforced
+    before and during simulation: the dense ``2**n`` allocation is
+    estimated up front against ``max_memory_bytes``, and the gate loop
+    checks ``max_seconds`` periodically.  A tripped budget raises
+    :class:`~repro.resources.ResourceExhausted`.
     """
 
     def __init__(
@@ -174,6 +184,7 @@ class StatevectorSimulator:
         method: str = "einsum",
         fusion: bool = False,
         max_fused_qubits: int = 2,
+        budget: Optional[ResourceBudget] = None,
     ) -> None:
         if method not in METHODS:
             raise ValueError(f"unknown method '{method}'; choose from {METHODS}")
@@ -181,6 +192,7 @@ class StatevectorSimulator:
         self.method = method
         self.fusion = fusion
         self.max_fused_qubits = max_fused_qubits
+        self.budget = budget
 
     def run(
         self,
@@ -189,6 +201,14 @@ class StatevectorSimulator:
     ) -> StatevectorResult:
         """Execute ``circuit``; mid-circuit measurements collapse the state."""
         n = circuit.num_qubits
+        deadline = None
+        if self.budget is not None:
+            # The state is one 2**n complex128 array; kernels work on
+            # views, so that array is the dominant allocation.
+            self.budget.check_memory(
+                16 << n, backend="arrays", what=f"dense {n}-qubit state"
+            )
+            deadline = self.budget.deadline()
         if self.fusion:
             from ..compile.fusion import fuse_gates
 
@@ -200,7 +220,9 @@ class StatevectorSimulator:
             if state.shape != (2**n,):
                 raise ValueError("initial state dimension mismatch")
         classical: Dict[int, int] = {}
-        for op in circuit.operations:
+        for position, op in enumerate(circuit.operations):
+            if deadline is not None and position % _DEADLINE_CHECK_INTERVAL == 0:
+                deadline.check(backend="arrays", context="gate loop")
             if op.is_barrier:
                 continue
             if op.is_measurement:

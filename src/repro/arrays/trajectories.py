@@ -92,21 +92,32 @@ class TrajectorySimulator:
     def _sample_kraus(
         self, state: np.ndarray, channel: KrausChannel, targets, n: int
     ) -> None:
-        """Pick one Kraus branch with probability ||K|psi>||^2."""
-        weights = []
-        candidates = []
-        for index in range(len(channel.operators)):
-            candidate = channel.apply_operator(state, index, targets, num_qubits=n)
-            weight = float(np.real(np.vdot(candidate, candidate)))
-            weights.append(weight)
-            candidates.append(candidate)
-        total = sum(weights)
+        """Pick one Kraus branch with probability ||K|psi>||^2.
+
+        Branch weights come from the reduced density matrix of the target
+        qubits (``||K_i|psi>||^2 = tr(K_i rho_T K_i^dagger)``), computed
+        incrementally until the sampled branch is identified; only that
+        operator is then applied.  The old implementation materialized
+        ``K_i|psi>`` — a full ``2**n`` copy — for *every* operator of the
+        channel on every noisy location, which made e.g. two-qubit
+        depolarizing noise (16 Kraus terms) allocate 16 states to use one.
+        """
+        from .noise import reduced_density_matrix
+
+        rho = reduced_density_matrix(state, targets, num_qubits=n)
+        # Trace preservation: sum_i tr(K_i rho K_i^dagger) = tr(rho), so
+        # the total is known before any per-branch weight.
+        total = float(np.real(np.trace(rho)))
         pick = self._rng.random() * total
+        chosen = len(channel.operators) - 1
         cumulative = 0.0
-        for weight, candidate in zip(weights, candidates):
-            cumulative += weight
+        for index, operator in enumerate(channel.operators):
+            cumulative += float(
+                np.real(np.einsum("ab,bc,ac->", operator, rho, operator.conj()))
+            )
             if pick <= cumulative:
-                norm = np.sqrt(max(weight, 1e-300))
-                state[...] = candidate / norm
-                return
-        state[...] = candidates[-1] / np.sqrt(max(weights[-1], 1e-300))
+                chosen = index
+                break
+        candidate = channel.apply_operator(state, chosen, targets, num_qubits=n)
+        weight = float(np.real(np.vdot(candidate, candidate)))
+        state[...] = candidate / np.sqrt(max(weight, 1e-300))

@@ -403,6 +403,9 @@ class QuantumCircuit:
                     level[q] = top
                 continue
             qubits = op.qubits
+            if not qubits:
+                # Zero-qubit operations (global phase) occupy no wire.
+                continue
             layer = max(level[q] for q in qubits) + 1
             for q in qubits:
                 level[q] = layer

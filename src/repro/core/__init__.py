@@ -35,6 +35,14 @@ from .backends.base import Backend
 from .capabilities import CapabilityError
 from .options import SimOptions
 from .registry import REGISTRY, BackendRegistry
+from ..resources import (
+    BondBudgetExceeded,
+    MemoryBudgetExceeded,
+    NodeBudgetExceeded,
+    ResourceBudget,
+    ResourceExhausted,
+    TimeBudgetExceeded,
+)
 
 __all__ = [
     "AUTO",
@@ -42,11 +50,17 @@ __all__ = [
     "BACKENDS",
     "Backend",
     "BackendRegistry",
+    "BondBudgetExceeded",
     "CapabilityError",
     "CircuitFeatures",
+    "MemoryBudgetExceeded",
+    "NodeBudgetExceeded",
     "REGISTRY",
+    "ResourceBudget",
+    "ResourceExhausted",
     "SimOptions",
     "SimulationResult",
+    "TimeBudgetExceeded",
     "analyze",
     "available_backends",
     "choose_backend",

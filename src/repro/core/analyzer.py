@@ -190,7 +190,46 @@ def _preferences(
         )
     prefs.append(("dd", "fallback: structured representation scales best"))
     prefs.append(("mps", "fallback: truncated MPS as last resort"))
-    return prefs
+    prefs.append(("arrays", "fallback: exact dense simulation"))
+    # The fallback entries can repeat a backend already preferred on its
+    # merits; keep only the first occurrence so ``AutoDecision.considered``
+    # (and the dispatcher's fallback walk) audit each backend exactly once.
+    seen = set()
+    deduped: List[Tuple[str, str]] = []
+    for name, reason in prefs:
+        if name in seen:
+            continue
+        seen.add(name)
+        deduped.append((name, reason))
+    return deduped
+
+
+def capable_preferences(
+    features: CircuitFeatures,
+    task: str,
+    registry: Optional[BackendRegistry] = None,
+) -> List[Tuple[str, str]]:
+    """The full ranked ``(backend, reason)`` list, capability-filtered.
+
+    This is the preference order :func:`choose_backend` walks, restricted
+    to backends that are registered, declare ``task``, and can execute
+    the analyzed circuit (Clifford-only backends are dropped on
+    non-Clifford circuits).  The registry dispatcher re-walks this list
+    when a backend raises
+    :class:`~repro.resources.ResourceExhausted` mid-run.
+    """
+    registry = registry or REGISTRY
+    capable: List[Tuple[str, str]] = []
+    for name, reason in _preferences(features, task):
+        if name not in registry:
+            continue
+        backend = registry.get(name)
+        if not backend.supports(task):
+            continue
+        if backend.supports(cap.CLIFFORD_ONLY) and not features.is_clifford:
+            continue
+        capable.append((name, reason))
+    return capable
 
 
 def choose_backend(

@@ -29,15 +29,16 @@ unknown backend names raise ``ValueError``; unknown option names raise
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..arrays.measurement import sample_counts as _sample_from_state
 from ..circuits.circuit import QuantumCircuit
+from ..resources import ResourceExhausted
 from . import backends as _backends  # noqa: F401  (populates REGISTRY)
 from . import capabilities as cap
-from .analyzer import choose_backend
+from .analyzer import analyze, capable_preferences, choose_backend
 from .backends.base import Backend
 from .options import SimOptions
 from .registry import REGISTRY
@@ -99,17 +100,102 @@ class SimulationResult:
         return f"SimulationResult({self.backend}, {self.num_qubits} qubits)"
 
 
-def _resolve(
-    backend: str, circuit: QuantumCircuit, task: str
-) -> Tuple[Backend, Dict]:
-    """Map a backend name (or ``"auto"``) to an implementation + trace."""
+def _candidates(
+    backend: str, circuit: QuantumCircuit, task: str, options: SimOptions
+) -> Tuple[List[Tuple[str, str]], Dict]:
+    """Ordered ``(name, reason)`` attempt list plus base trace metadata.
+
+    The first entry is the requested (or auto-selected) backend.  When a
+    resource budget is active, the analyzer's remaining capable
+    preferences follow, in ranked order, as graceful-degradation
+    fallbacks for :class:`~repro.resources.ResourceExhausted`.
+    """
     if backend == AUTO:
         decision = choose_backend(circuit, task=task)
-        return REGISTRY.get(decision.backend), {"auto": decision.as_metadata()}
-    impl = REGISTRY.get(backend)
-    if not impl.supports(task):
-        raise impl._unsupported(f"capability '{task}'")
-    return impl, {}
+        trace = {"auto": decision.as_metadata()}
+        ranked = [(decision.backend, decision.rule)]
+        features = decision.features
+    else:
+        impl = REGISTRY.get(backend)
+        if not impl.supports(task):
+            raise impl._unsupported(f"capability '{task}'")
+        trace = {}
+        ranked = [(backend, "explicitly requested")]
+        features = None
+    if options.budget is not None and not options.budget.is_unbounded():
+        if features is None:
+            features = analyze(circuit)
+        attempted = {ranked[0][0]}
+        for name, reason in capable_preferences(features, task):
+            if name in attempted:
+                continue
+            attempted.add(name)
+            ranked.append((name, reason))
+    return ranked, trace
+
+
+def _execute(
+    circuit: QuantumCircuit,
+    backend: str,
+    task: str,
+    options: SimOptions,
+    invoke: Callable[[Backend, QuantumCircuit], Tuple[Any, Dict]],
+) -> Tuple[Any, Dict, str]:
+    """Run ``invoke`` on the best backend, degrading gracefully on budget trips.
+
+    Walks the candidate list from :func:`_candidates`; a backend raising
+    :class:`~repro.resources.ResourceExhausted` is recorded (backend,
+    failure reason, elapsed time) and the next capable candidate is
+    tried.  Returns ``(value, metadata, backend_name)``; when any
+    attempt failed, ``metadata["fallback_chain"]`` holds the full audit
+    trail.  If every candidate trips, the chain is attached to the
+    raised :class:`~repro.resources.ResourceExhausted`.
+    """
+    clean = circuit.without_measurements()
+    ranked, trace = _candidates(backend, clean, task, options)
+    chain: List[Dict] = []
+    last_error: Optional[ResourceExhausted] = None
+    for name, reason in ranked:
+        impl = REGISTRY.get(name)
+        prepared, fusion_meta = _prepare(circuit, options, impl)
+        start = time.perf_counter()
+        try:
+            value, meta = invoke(impl, prepared)
+        except ResourceExhausted as exc:
+            chain.append(
+                {
+                    "backend": name,
+                    "status": "resource_exhausted",
+                    "resource": exc.resource,
+                    "error": type(exc).__name__,
+                    "reason": str(exc),
+                    "elapsed_s": round(time.perf_counter() - start, 6),
+                }
+            )
+            last_error = exc
+            continue
+        elapsed = time.perf_counter() - start
+        chain.append(
+            {"backend": name, "status": "ok", "elapsed_s": round(elapsed, 6)}
+        )
+        meta.update(_base_metadata(prepared, elapsed))
+        meta.update(fusion_meta)
+        meta.update(trace)
+        if len(chain) > 1:
+            meta["fallback_chain"] = chain
+            meta["fallback"] = {
+                "requested": backend,
+                "served_by": name,
+                "rule": reason,
+            }
+        return value, meta, impl.name
+    summary = ResourceExhausted(
+        f"every capable backend exhausted its resource budget for task "
+        f"'{task}': "
+        + "; ".join(f"{entry['backend']}: {entry['reason']}" for entry in chain)
+    )
+    summary.fallback_chain = chain
+    raise summary from last_error
 
 
 def _prepare(
@@ -155,18 +241,20 @@ def simulate(
     Options are validated into :class:`~repro.core.options.SimOptions`;
     see its docstring for the full list (``seed``, ``method``,
     ``fusion``/``max_fused_qubits``, ``max_bond``/``cutoff``, ``plan``,
-    ``track_peak``).
+    ``track_peak``, ``budget``).  With a ``budget``, a backend that
+    trips a resource cap is abandoned and the analyzer's remaining
+    capable preferences are tried in order; the attempts are audited in
+    ``result.metadata["fallback_chain"]``.
     """
     opts = SimOptions.from_kwargs(**options)
-    clean = circuit.without_measurements()
-    impl, trace = _resolve(backend, clean, cap.FULL_STATE)
-    prepared, fusion_meta = _prepare(circuit, opts, impl)
-    start = time.perf_counter()
-    state, meta = impl.statevector(prepared, opts)
-    meta.update(_base_metadata(prepared, time.perf_counter() - start))
-    meta.update(fusion_meta)
-    meta.update(trace)
-    return SimulationResult(impl.name, state, meta)
+    state, meta, name = _execute(
+        circuit,
+        backend,
+        cap.FULL_STATE,
+        opts,
+        lambda impl, prepared: impl.statevector(prepared, opts),
+    )
+    return SimulationResult(name, state, meta)
 
 
 def sample(
@@ -174,21 +262,30 @@ def sample(
     shots: int,
     backend: str = "arrays",
     seed: int = 0,
+    with_metadata: bool = False,
     **options,
-) -> Dict[str, int]:
+):
     """Sample measurement outcomes on the chosen backend.
 
     ``"dd"``, ``"mps"``, and ``"stab"`` sample natively from their
     structures (no dense ``2**n`` array); ``"arrays"`` samples from the
     full state; ``"tn"`` declares no sampling capability.  ``"stab"``
     requires a Clifford circuit; ``"auto"`` routes by circuit structure.
-    All options — including ``fusion`` — are honored uniformly.
+    All options — including ``fusion`` and ``budget`` — are honored
+    uniformly.  With ``with_metadata=True`` returns ``(counts,
+    metadata)`` so budget fallbacks (``metadata["fallback_chain"]``) are
+    observable.
     """
     opts = SimOptions.from_kwargs(seed=seed, **options)
-    clean = circuit.without_measurements()
-    impl, _ = _resolve(backend, clean, cap.SAMPLE)
-    prepared, _ = _prepare(circuit, opts, impl)
-    counts, _ = impl.sample(prepared, shots, opts)
+    counts, meta, _ = _execute(
+        circuit,
+        backend,
+        cap.SAMPLE,
+        opts,
+        lambda impl, prepared: impl.sample(prepared, shots, opts),
+    )
+    if with_metadata:
+        return counts, meta
     return counts
 
 
@@ -196,8 +293,9 @@ def expectation(
     circuit: QuantumCircuit,
     pauli: str,
     backend: str = "arrays",
+    with_metadata: bool = False,
     **options,
-) -> float:
+):
     """Expectation value ``<psi| P |psi>`` of a Pauli string observable.
 
     ``"arrays"`` applies the string to the dense state; ``"dd"`` works
@@ -205,12 +303,18 @@ def expectation(
     matrices; ``"tn"`` contracts the closed sandwich network (never
     building the state at all); ``"stab"`` answers group-theoretically
     for Clifford circuits; ``"auto"`` routes by circuit structure.
+    With ``with_metadata=True`` returns ``(value, metadata)``.
     """
     opts = SimOptions.from_kwargs(**options)
-    clean = circuit.without_measurements()
-    impl, _ = _resolve(backend, clean, cap.EXPECTATION)
-    prepared, _ = _prepare(circuit, opts, impl)
-    value, _ = impl.expectation(prepared, pauli, opts)
+    value, meta, _ = _execute(
+        circuit,
+        backend,
+        cap.EXPECTATION,
+        opts,
+        lambda impl, prepared: impl.expectation(prepared, pauli, opts),
+    )
+    if with_metadata:
+        return value, meta
     return value
 
 
@@ -218,18 +322,25 @@ def single_amplitude(
     circuit: QuantumCircuit,
     basis_index: int,
     backend: str = "tn",
+    with_metadata: bool = False,
     **options,
-) -> complex:
+):
     """Compute one output amplitude without materializing the full state.
 
     This is where the structured backends shine (paper Secs. III/IV):
     the tensor-network backend contracts a capped network; the DD
     backend walks one path of the simulated diagram.  ``"auto"`` prefers
     ``"tn"`` on shallow circuits and ``"stab"`` on Clifford ones.
+    With ``with_metadata=True`` returns ``(amplitude, metadata)``.
     """
     opts = SimOptions.from_kwargs(**options)
-    clean = circuit.without_measurements()
-    impl, _ = _resolve(backend, clean, cap.SINGLE_AMPLITUDE)
-    prepared, _ = _prepare(circuit, opts, impl)
-    value, _ = impl.amplitude(prepared, basis_index, opts)
+    value, meta, _ = _execute(
+        circuit,
+        backend,
+        cap.SINGLE_AMPLITUDE,
+        opts,
+        lambda impl, prepared: impl.amplitude(prepared, basis_index, opts),
+    )
+    if with_metadata:
+        return complex(value), meta
     return complex(value)

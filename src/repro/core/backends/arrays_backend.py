@@ -23,7 +23,9 @@ class ArraysBackend(Backend):
     )
 
     def _run(self, circuit: QuantumCircuit, options: SimOptions) -> np.ndarray:
-        sim = StatevectorSimulator(seed=options.seed, method=options.method)
+        sim = StatevectorSimulator(
+            seed=options.seed, method=options.method, budget=options.budget
+        )
         return sim.statevector(circuit)
 
     def _meta(self, state: np.ndarray, options: SimOptions) -> Metadata:

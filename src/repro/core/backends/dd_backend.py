@@ -7,18 +7,26 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ...circuits.circuit import QuantumCircuit
+from ...dd.package import BYTES_PER_NODE, DDPackage
 from ...dd.simulator import DDSimulationResult, DDSimulator
 from .. import capabilities as cap
 from ..options import SimOptions
 from .base import Backend, Metadata
 
-# Rough per-node footprint (4 edge pointers + 4 complex weights + header)
-# used for the uniform memory estimate in result metadata.
-_BYTES_PER_NODE = 128
+# Backwards-compatible alias; the canonical constant lives with the
+# package so budget plumbing and metadata agree on one number.
+_BYTES_PER_NODE = BYTES_PER_NODE
 
 
 class DDBackend(Backend):
-    """Vector decision diagrams with bounded operation caches."""
+    """Vector decision diagrams with bounded operation caches.
+
+    With a resource budget, the unique table is capped at the tighter of
+    ``max_dd_nodes`` and ``max_memory_bytes // BYTES_PER_NODE``; blow-up
+    raises :class:`~repro.resources.NodeBudgetExceeded` from the node
+    that crosses the line, and dense extraction (``statevector``) checks
+    the ``2**n`` output allocation separately.
+    """
 
     name = "dd"
     capabilities = frozenset(
@@ -28,7 +36,14 @@ class DDBackend(Backend):
     def _run(
         self, circuit: QuantumCircuit, options: SimOptions
     ) -> Tuple[DDSimulator, DDSimulationResult]:
-        sim = DDSimulator(seed=options.seed)
+        max_nodes = None
+        if options.budget is not None:
+            max_nodes = options.budget.node_limit(BYTES_PER_NODE)
+        sim = DDSimulator(
+            package=DDPackage(max_nodes=max_nodes),
+            seed=options.seed,
+            budget=options.budget,
+        )
         result = sim.run(circuit, track_peak=options.track_peak)
         return sim, result
 
@@ -37,12 +52,17 @@ class DDBackend(Backend):
         return {
             "nodes": nodes,
             "peak_nodes": sim.peak_nodes,
-            "memory_bytes": int(max(nodes, sim.peak_nodes) * _BYTES_PER_NODE),
+            "memory_bytes": int(max(nodes, sim.peak_nodes) * BYTES_PER_NODE),
         }
 
     def statevector(
         self, circuit: QuantumCircuit, options: SimOptions
     ) -> Tuple[np.ndarray, Metadata]:
+        if options.budget is not None:
+            n = circuit.num_qubits
+            options.budget.check_memory(
+                16 << n, backend="dd", what=f"dense {n}-qubit state extraction"
+            )
         sim, result = self._run(circuit, options)
         return result.to_statevector(), self._meta(sim, result)
 

@@ -26,6 +26,7 @@ class MPSBackend(Backend):
             max_bond=options.max_bond,
             cutoff=options.cutoff,
             seed=options.seed,
+            budget=options.budget,
         )
         return sim.run(circuit)
 
@@ -42,6 +43,11 @@ class MPSBackend(Backend):
     def statevector(
         self, circuit: QuantumCircuit, options: SimOptions
     ) -> Tuple[np.ndarray, Metadata]:
+        if options.budget is not None:
+            n = circuit.num_qubits
+            options.budget.check_memory(
+                16 << n, backend="mps", what=f"dense {n}-qubit state extraction"
+            )
         result = self._run(circuit, options)
         return result.to_statevector(), self._meta(result)
 

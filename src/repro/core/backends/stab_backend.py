@@ -52,6 +52,11 @@ class StabBackend(Backend):
     def statevector(
         self, circuit: QuantumCircuit, options: SimOptions
     ) -> Tuple[np.ndarray, Metadata]:
+        if options.budget is not None:
+            n = circuit.num_qubits
+            options.budget.check_memory(
+                16 << n, backend="stab", what=f"dense {n}-qubit state extraction"
+            )
         tableau = self._run(circuit, options)
         return tableau.to_statevector(), self._meta(tableau)
 
@@ -72,5 +77,12 @@ class StabBackend(Backend):
     def amplitude(
         self, circuit: QuantumCircuit, basis_index: int, options: SimOptions
     ) -> Tuple[complex, Metadata]:
+        if options.budget is not None:
+            n = circuit.num_qubits
+            options.budget.check_memory(
+                16 << n,
+                backend="stab",
+                what=f"dense {n}-qubit state for amplitude extraction",
+            )
         tableau = self._run(circuit, options)
         return complex(tableau.to_statevector()[basis_index]), self._meta(tableau)

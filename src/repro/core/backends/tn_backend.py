@@ -38,7 +38,9 @@ class TNBackend(Backend):
     def statevector(
         self, circuit: QuantumCircuit, options: SimOptions
     ) -> Tuple[np.ndarray, Metadata]:
-        state = statevector_from_circuit(circuit, plan=options.plan)
+        state = statevector_from_circuit(
+            circuit, plan=options.plan, budget=options.budget
+        )
         meta = self._meta(circuit, options)
         meta["memory_bytes"] = int(state.nbytes)
         return state, meta
@@ -46,11 +48,15 @@ class TNBackend(Backend):
     def expectation(
         self, circuit: QuantumCircuit, pauli: str, options: SimOptions
     ) -> Tuple[float, Metadata]:
-        value = tn_expectation(circuit, pauli, plan=options.plan)
+        value = tn_expectation(
+            circuit, pauli, plan=options.plan, budget=options.budget
+        )
         return value, self._meta(circuit, options)
 
     def amplitude(
         self, circuit: QuantumCircuit, basis_index: int, options: SimOptions
     ) -> Tuple[complex, Metadata]:
-        value = tn_amplitude(circuit, basis_index, plan=options.plan)
+        value = tn_amplitude(
+            circuit, basis_index, plan=options.plan, budget=options.budget
+        )
         return complex(value), self._meta(circuit, options)

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Optional
 
+from ..resources import ResourceBudget, default_budget
+
 
 @dataclass(frozen=True)
 class SimOptions:
@@ -35,6 +37,14 @@ class SimOptions:
         cutoff: MPS singular-value truncation threshold.
         plan: Tensor-network contraction plan (``repro.tn.contraction``).
         track_peak: Record the DD backend's peak node count.
+        budget: :class:`~repro.resources.ResourceBudget` caps enforced
+            inside every backend's hot loop; a tripped budget raises
+            :class:`~repro.resources.ResourceExhausted` and triggers the
+            dispatcher's graceful fallback.  Accepts a budget instance,
+            a dict of its fields, or a spec string such as
+            ``"memory=1GiB,seconds=30"``.  When omitted, the
+            ``REPRO_BUDGET`` environment variable supplies a
+            process-wide default (``None`` = unlimited).
     """
 
     seed: int = 0
@@ -45,10 +55,15 @@ class SimOptions:
     cutoff: float = 1e-12
     plan: Optional[Any] = None
     track_peak: bool = False
+    budget: Optional[ResourceBudget] = None
 
     @classmethod
     def from_kwargs(cls, **kwargs: Any) -> "SimOptions":
-        """Build options from facade keyword arguments, rejecting unknowns."""
+        """Build options from facade keyword arguments, rejecting unknowns.
+
+        ``budget`` is coerced from dict/str forms and defaulted from the
+        ``REPRO_BUDGET`` environment variable when absent.
+        """
         known = {f.name for f in fields(cls)}
         unknown = sorted(set(kwargs) - known)
         if unknown:
@@ -56,6 +71,10 @@ class SimOptions:
                 f"unknown simulation option(s) {unknown}; "
                 f"known options: {sorted(known)}"
             )
+        if "budget" in kwargs:
+            kwargs["budget"] = ResourceBudget.coerce(kwargs["budget"])
+        else:
+            kwargs["budget"] = default_budget()
         return cls(**kwargs)
 
     def as_dict(self) -> Dict[str, Any]:

@@ -22,11 +22,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..circuits.circuit import Operation
+from ..resources import NodeBudgetExceeded
 from .complex_table import ONE, ZERO, ComplexTable
 from .node import TERMINAL, DDNode, Edge
 
 ZERO_EDGE = Edge(TERMINAL, ZERO)
 ONE_EDGE = Edge(TERMINAL, ONE)
+
+BYTES_PER_NODE = 128
+"""Rough per-node footprint (4 edge pointers + 4 complex weights + header).
+
+Used both for the uniform ``memory_bytes`` metadata estimate and to turn
+a :class:`~repro.resources.ResourceBudget` memory cap into a node cap.
+"""
 
 
 class DDPackage:
@@ -37,15 +45,27 @@ class DDPackage:
     wholesale (the cheap policy used by real DD packages — entries are
     re-derivable).  Hit/miss/clear counters are exposed via
     :meth:`cache_stats` so benchmarks can report cache effectiveness.
+
+    ``max_nodes`` caps the unique table: interning a node that would grow
+    the table past the cap raises
+    :class:`~repro.resources.NodeBudgetExceeded`.  This is the DD
+    backend's resource-budget checkpoint — diagram blow-up is detected at
+    the node that crosses the line, not after memory is gone.
     """
 
     def __init__(
-        self, tolerance: float = 1e-10, max_cache_entries: int = 1 << 18
+        self,
+        tolerance: float = 1e-10,
+        max_cache_entries: int = 1 << 18,
+        max_nodes: Optional[int] = None,
     ) -> None:
         if max_cache_entries < 1:
             raise ValueError("max_cache_entries must be positive")
+        if max_nodes is not None and max_nodes < 1:
+            raise ValueError("max_nodes must be positive")
         self.ctable = ComplexTable(tolerance)
         self.max_cache_entries = max_cache_entries
+        self.max_nodes = max_nodes
         self._unique: Dict[Tuple, DDNode] = {}
         self._add_cache: Dict[Tuple, Edge] = {}
         self._mv_cache: Dict[Tuple, Edge] = {}
@@ -143,6 +163,17 @@ class DDPackage:
         key = (var, tuple((id(e.node), e.weight) for e in normalized))
         node = self._unique.get(key)
         if node is None:
+            if (
+                self.max_nodes is not None
+                and len(self._unique) >= self.max_nodes
+            ):
+                raise NodeBudgetExceeded(
+                    f"decision diagram grew past the node budget of "
+                    f"{self.max_nodes} unique nodes",
+                    backend="dd",
+                    limit=self.max_nodes,
+                    observed=len(self._unique) + 1,
+                )
             node = DDNode(var, tuple(normalized))
             self._unique[key] = node
         return self.make_edge(node, pivot_weight)

@@ -14,8 +14,12 @@ import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
 from ..circuits.gates import Gate
+from ..resources import ResourceBudget
 from .package import DDPackage
 from .vector import VectorDD
+
+_DEADLINE_CHECK_INTERVAL = 8
+"""Operations between wall-clock budget checks in the gate loop."""
 
 _PROJECT_ZERO = Gate("project0", 1, None)  # placeholders, matrices built inline
 _PROJECTORS = {
@@ -37,12 +41,23 @@ class DDSimulationResult:
 
 
 class DDSimulator:
-    """Simulate circuits on vector decision diagrams."""
+    """Simulate circuits on vector decision diagrams.
 
-    def __init__(self, package: Optional[DDPackage] = None, seed: int = 0) -> None:
+    ``budget`` adds a wall-clock deadline to the gate loop; the node and
+    memory caps are enforced structurally by handing the package a
+    ``max_nodes`` limit (see :meth:`DDPackage.make_node`).
+    """
+
+    def __init__(
+        self,
+        package: Optional[DDPackage] = None,
+        seed: int = 0,
+        budget: Optional[ResourceBudget] = None,
+    ) -> None:
         self.package = package or DDPackage()
         self._rng = np.random.default_rng(seed)
         self.peak_nodes = 0
+        self.budget = budget
 
     def run(
         self,
@@ -52,6 +67,7 @@ class DDSimulator:
     ) -> DDSimulationResult:
         n = circuit.num_qubits
         pkg = self.package
+        deadline = self.budget.deadline() if self.budget is not None else None
         if initial_state is None:
             state = VectorDD.zero_state(n, pkg)
         else:
@@ -60,7 +76,9 @@ class DDSimulator:
             state = initial_state
         self.peak_nodes = state.num_nodes() if track_peak else 0
         classical: Dict[int, int] = {}
-        for op in circuit.operations:
+        for position, op in enumerate(circuit.operations):
+            if deadline is not None and position % _DEADLINE_CHECK_INTERVAL == 0:
+                deadline.check(backend="dd", context="gate loop")
             if op.is_barrier:
                 continue
             if op.is_measurement:

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
 from ..circuits.gates import controlled_matrix
+from ..resources import ResourceBudget
 from .network import Plan, TensorNetwork
 from .tensor import Tensor
 
@@ -104,10 +105,16 @@ def statevector_from_circuit(
     circuit: QuantumCircuit,
     plan: Optional[Plan] = None,
     initial_bits: Optional[int] = None,
+    budget: Optional["ResourceBudget"] = None,
 ) -> np.ndarray:
-    """Contract the circuit network to the full ``2**n`` output state."""
+    """Contract the circuit network to the full ``2**n`` output state.
+
+    With a ``budget``, the plan's cost model is checked before any
+    einsum runs (see :meth:`TensorNetwork.contract_all`); the ``2**n``
+    output tensor itself is part of that peak-intermediate estimate.
+    """
     network, outputs = circuit_to_network(circuit, initial_bits)
-    result = network.contract_all(plan)
+    result = network.contract_all(plan, budget=budget)
     # Order axes most-significant qubit first, then flatten.
     order = [outputs[q] for q in range(circuit.num_qubits - 1, -1, -1)]
     if result.rank == 0:
@@ -120,10 +127,11 @@ def amplitude(
     basis_index: int,
     plan: Optional[Plan] = None,
     initial_bits: Optional[int] = None,
+    budget: Optional["ResourceBudget"] = None,
 ) -> complex:
     """Single output amplitude via capped-network contraction."""
     network = amplitude_network(circuit, basis_index, initial_bits)
-    return network.contract_all(plan).scalar()
+    return network.contract_all(plan, budget=budget).scalar()
 
 
 _PAULI_MATS = {
@@ -163,7 +171,10 @@ def expectation_network(circuit: QuantumCircuit, pauli: str) -> TensorNetwork:
 
 
 def expectation_value(
-    circuit: QuantumCircuit, pauli: str, plan: Optional[Plan] = None
+    circuit: QuantumCircuit,
+    pauli: str,
+    plan: Optional[Plan] = None,
+    budget: Optional["ResourceBudget"] = None,
 ) -> float:
     network = expectation_network(circuit, pauli)
-    return float(network.contract_all(plan).scalar().real)
+    return float(network.contract_all(plan, budget=budget).scalar().real)

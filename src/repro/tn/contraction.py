@@ -12,7 +12,8 @@ module provides the standard practical ladder:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import heapq
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -27,65 +28,125 @@ def _result_size(indices: Sequence[str], dims: Dict[str, int]) -> int:
     return size
 
 
+class _LiveNetwork:
+    """Shared incremental candidate-pair bookkeeping for the greedy planners.
+
+    Maintains ``live`` (slot -> indices), ``owners`` (index -> live slots,
+    with empty entries pruned) and, through :meth:`partners`, the set of
+    live slots sharing at least one index with a given slot.  A pair's
+    selection rank reproduces the old full-rescan implementation's
+    enumeration order exactly: pairs were discovered by walking
+    ``owners`` in index-insertion order and each sorted holder list in
+    lexicographic order, so the effective sort key of a candidate pair
+    ``(a, b)`` was ``(first-appearance rank of the earliest shared index,
+    a, b)``.  ``rank`` records those first-appearance positions.
+    """
+
+    def __init__(self, network: TensorNetwork) -> None:
+        self.dims = network.index_dimensions()
+        self.live: Dict[int, Tuple[str, ...]] = {
+            pos: t.indices for pos, t in enumerate(network.tensors)
+        }
+        self.owners: Dict[str, Set[int]] = {}
+        self.rank: Dict[str, int] = {}
+        for pos, indices in self.live.items():
+            for index in indices:
+                if index not in self.rank:
+                    self.rank[index] = len(self.rank)
+                self.owners.setdefault(index, set()).add(pos)
+        self.next_slot = len(network.tensors)
+        self.plan: Plan = []
+
+    def partners(self, pos: int) -> Set[int]:
+        """Live slots sharing at least one index with ``pos``."""
+        found: Set[int] = set()
+        for index in self.live[pos]:
+            found.update(self.owners.get(index, ()))
+        found.discard(pos)
+        return found
+
+    def pair_key(self, a: int, b: int) -> Tuple[int, int, int, int]:
+        """The old implementation's effective selection key for ``(a, b)``."""
+        shared = set(self.live[a]) & set(self.live[b])
+        minrank = min(self.rank[i] for i in shared)
+        size = _result_size(
+            contraction_result_indices(self.live[a], self.live[b]), self.dims
+        )
+        return (size, minrank, a, b)
+
+    def smallest_disconnected_pair(self) -> Tuple[int, int]:
+        """Fallback when no two live tensors share an index."""
+        by_size = sorted(
+            self.live, key=lambda p: _result_size(self.live[p], self.dims)
+        )
+        return (by_size[0], by_size[1])
+
+    def contract(self, a: int, b: int) -> int:
+        """Record the contraction; returns the new slot number."""
+        result = tuple(contraction_result_indices(self.live[a], self.live[b]))
+        self.plan.append((min(a, b), max(a, b)))
+        for pos in (a, b):
+            for index in self.live[pos]:
+                holders = self.owners.get(index)
+                if holders is None:
+                    continue
+                holders.discard(pos)
+                if not holders:
+                    # Prune: fully consumed indices must not linger as
+                    # empty sets to be re-scanned forever.
+                    del self.owners[index]
+            del self.live[pos]
+        slot = self.next_slot
+        self.live[slot] = result
+        for index in result:
+            self.owners.setdefault(index, set()).add(slot)
+        self.next_slot += 1
+        return slot
+
+
 def greedy_plan(network: TensorNetwork) -> Plan:
     """Repeatedly contract the pair whose result tensor is smallest.
 
     Pairs sharing at least one bond are preferred; disconnected pairs are
     only merged once no connected pair remains.
+
+    Candidates are kept in a min-heap with lazy deletion and only the
+    pairs touching a freshly produced tensor are (re)scored after each
+    contraction — the previous implementation re-enumerated and re-sized
+    every candidate pair on every round, which is quadratic in the pair
+    count.  Pair sizes cannot change while both endpoints are alive, so
+    stale heap entries are exactly the ones with a dead endpoint, and the
+    produced plans are identical to the old full-rescan implementation
+    (same key, same tie-breaking).
     """
-    dims = network.index_dimensions()
-    # live: slot position -> indices
-    live: Dict[int, Tuple[str, ...]] = {
-        pos: t.indices for pos, t in enumerate(network.tensors)
-    }
-    # owners: index -> live positions carrying it (candidate pairs share one).
-    owners: Dict[str, set] = {}
-    for pos, indices in live.items():
-        for index in indices:
-            owners.setdefault(index, set()).add(pos)
-    next_slot = len(network.tensors)
-    plan: Plan = []
+    state = _LiveNetwork(network)
+    heap: List[Tuple[int, int, int, int]] = []
 
-    def contract_pair(a: int, b: int) -> None:
-        nonlocal next_slot
-        result = tuple(contraction_result_indices(live[a], live[b]))
-        plan.append((min(a, b), max(a, b)))
-        for pos in (a, b):
-            for index in live[pos]:
-                owners[index].discard(pos)
-            del live[pos]
-        live[next_slot] = result
-        for index in result:
-            owners.setdefault(index, set()).add(next_slot)
-        next_slot += 1
+    def push_pairs(pos: int) -> None:
+        # Partners always have smaller slot numbers (initial slots are
+        # scanned in order; a fresh slot is the largest), so each
+        # unordered pair is pushed exactly once.
+        for other in state.partners(pos):
+            heapq.heappush(heap, state.pair_key(other, pos))
 
-    while len(live) > 1:
-        best_key: Optional[int] = None
+    for pos in range(len(network.tensors)):
+        for other in state.partners(pos):
+            if other < pos:
+                heapq.heappush(heap, state.pair_key(other, pos))
+
+    while len(state.live) > 1:
         best_pair: Optional[Tuple[int, int]] = None
-        seen = set()
-        for index, holders in owners.items():
-            if len(holders) < 2:
-                continue
-            holder_list = sorted(holders)
-            for ai in range(len(holder_list)):
-                for bi in range(ai + 1, len(holder_list)):
-                    pair = (holder_list[ai], holder_list[bi])
-                    if pair in seen:
-                        continue
-                    seen.add(pair)
-                    result = contraction_result_indices(
-                        live[pair[0]], live[pair[1]]
-                    )
-                    size = _result_size(result, dims)
-                    if best_key is None or size < best_key:
-                        best_key = size
-                        best_pair = pair
+        while heap:
+            _size, _rank, a, b = heapq.heappop(heap)
+            if a in state.live and b in state.live:
+                best_pair = (a, b)
+                break
         if best_pair is None:
             # Disconnected network: merge the two smallest pieces.
-            by_size = sorted(live, key=lambda p: _result_size(live[p], dims))
-            best_pair = (by_size[0], by_size[1])
-        contract_pair(*best_pair)
-    return plan
+            best_pair = state.smallest_disconnected_pair()
+        slot = state.contract(*best_pair)
+        push_pairs(slot)
+    return state.plan
 
 
 def random_plan(network: TensorNetwork, seed: int = 0) -> Plan:
@@ -139,54 +200,57 @@ def _stochastic_greedy_pass(
     rng: np.random.Generator,
     temperature: float,
 ) -> Plan:
-    live: Dict[int, Tuple[str, ...]] = {
-        pos: t.indices for pos, t in enumerate(network.tensors)
-    }
-    owners: Dict[str, set] = {}
-    for pos, indices in live.items():
-        for index in indices:
-            owners.setdefault(index, set()).add(pos)
-    next_slot = len(network.tensors)
-    plan: Plan = []
-    while len(live) > 1:
-        candidates: List[Tuple[int, int]] = []
-        sizes: List[float] = []
-        seen = set()
-        for index, holders in owners.items():
-            if len(holders) < 2:
+    """One Boltzmann-sampled greedy pass.
+
+    The candidate-pair set is maintained incrementally: contracting a pair
+    only removes the pairs touching the two consumed tensors and scores
+    the pairs touching the fresh one, instead of re-enumerating and
+    re-sizing every pair each round as the old implementation did.  The
+    per-round candidate list is ordered by ``(minrank, a, b)`` — exactly
+    the old owners-walk discovery order — so ``rng.choice`` sees the same
+    positions with the same weights and every seeded pass reproduces the
+    old plans bit for bit.
+    """
+    state = _LiveNetwork(network)
+    # pair -> (minrank, size); pairs_by_pos: slot -> pairs touching it.
+    cand: Dict[Tuple[int, int], Tuple[int, float]] = {}
+    pairs_by_pos: Dict[int, Set[Tuple[int, int]]] = {}
+
+    def add_pairs(pos: int) -> None:
+        for other in state.partners(pos):
+            if other > pos:
                 continue
-            holder_list = sorted(holders)
-            for ai in range(len(holder_list)):
-                for bi in range(ai + 1, len(holder_list)):
-                    pair = (holder_list[ai], holder_list[bi])
-                    if pair in seen:
-                        continue
-                    seen.add(pair)
-                    result = contraction_result_indices(
-                        live[pair[0]], live[pair[1]]
-                    )
-                    candidates.append(pair)
-                    sizes.append(float(_result_size(result, dims)))
-        if not candidates:
-            by_size = sorted(live, key=lambda p: _result_size(live[p], dims))
-            pair = (by_size[0], by_size[1])
+            pair = (other, pos)
+            size, minrank, _a, _b = state.pair_key(other, pos)
+            cand[pair] = (minrank, float(size))
+            pairs_by_pos.setdefault(other, set()).add(pair)
+            pairs_by_pos.setdefault(pos, set()).add(pair)
+
+    for pos in range(len(network.tensors)):
+        add_pairs(pos)
+
+    while len(state.live) > 1:
+        if not cand:
+            pair = state.smallest_disconnected_pair()
         else:
+            ordered = sorted(cand.items(), key=lambda kv: (kv[1][0], kv[0]))
+            candidates = [p for p, _meta in ordered]
+            sizes = [meta[1] for _p, meta in ordered]
             log_sizes = np.log2(np.asarray(sizes) + 1.0)
             weights = np.exp(-(log_sizes - log_sizes.min()) / max(temperature, 1e-6))
             weights /= weights.sum()
             pair = candidates[int(rng.choice(len(candidates), p=weights))]
         a, b = pair
-        result = tuple(contraction_result_indices(live[a], live[b]))
-        plan.append((min(a, b), max(a, b)))
         for pos in (a, b):
-            for index in live[pos]:
-                owners[index].discard(pos)
-            del live[pos]
-        live[next_slot] = result
-        for index in result:
-            owners.setdefault(index, set()).add(next_slot)
-        next_slot += 1
-    return plan
+            for stale in pairs_by_pos.pop(pos, set()):
+                cand.pop(stale, None)
+                other = stale[0] if stale[1] == pos else stale[1]
+                touching = pairs_by_pos.get(other)
+                if touching is not None:
+                    touching.discard(stale)
+        slot = state.contract(a, b)
+        add_pairs(slot)
+    return state.plan
 
 
 def optimal_plan(network: TensorNetwork, max_tensors: int = 14) -> Plan:

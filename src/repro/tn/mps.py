@@ -18,8 +18,12 @@ import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
 from ..circuits.gates import SWAP, controlled_matrix
+from ..resources import ResourceBudget
 
 _SWAP_MATRIX = SWAP.matrix
+
+_BUDGET_CHECK_INTERVAL = 8
+"""Operations between resource-budget checks in the gate loop."""
 
 
 class MPS:
@@ -258,17 +262,36 @@ class MPSResult:
 
 
 class MPSSimulator:
-    """Circuit simulator on matrix product states with bond truncation."""
+    """Circuit simulator on matrix product states with bond truncation.
+
+    ``max_bond`` *truncates* (keeping the largest singular values);
+    ``budget.max_bond_dim`` *raises*
+    :class:`~repro.resources.BondBudgetExceeded` when entanglement growth
+    crosses the cap, so a dispatcher can fall back to an exact backend
+    instead of silently losing fidelity.  The budget's memory and time
+    caps are checked in the same gate-loop checkpoint.
+    """
 
     def __init__(
         self,
         max_bond: Optional[int] = None,
         cutoff: float = 1e-12,
         seed: int = 0,
+        budget: Optional[ResourceBudget] = None,
     ) -> None:
         self.max_bond = max_bond
         self.cutoff = cutoff
         self._rng = np.random.default_rng(seed)
+        self.budget = budget
+
+    def _check_budget(self, mps: MPS, deadline) -> None:
+        budget = self.budget
+        budget.check_bond(mps.max_bond_reached, backend="mps")
+        budget.check_memory(
+            mps.total_entries() * 16, backend="mps", what="MPS tensors"
+        )
+        if deadline is not None:
+            deadline.check(backend="mps", context="gate loop")
 
     def run(
         self, circuit: QuantumCircuit, initial: Optional[MPS] = None
@@ -278,8 +301,14 @@ class MPSSimulator:
         circuit = decompose_to_two_qubit(circuit)
         n = circuit.num_qubits
         mps = initial or MPS.zero_state(n)
+        deadline = self.budget.deadline() if self.budget is not None else None
         classical: Dict[int, int] = {}
-        for op in circuit.operations:
+        for position, op in enumerate(circuit.operations):
+            if (
+                self.budget is not None
+                and position % _BUDGET_CHECK_INTERVAL == 0
+            ):
+                self._check_budget(mps, deadline)
             if op.is_barrier:
                 continue
             if op.is_measurement:
@@ -292,6 +321,8 @@ class MPSSimulator:
                 if classical.get(clbit, 0) != value:
                     continue
             self._apply(mps, op)
+        if self.budget is not None:
+            self._check_budget(mps, deadline)
         return MPSResult(mps, classical)
 
     def statevector(self, circuit: QuantumCircuit) -> np.ndarray:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 
+from ..resources import ResourceBudget
 from .tensor import Tensor, contract, contraction_result_indices
 
 # A plan is a sequence of (i, j) pairs in SSA form: positions refer to the
@@ -60,10 +61,19 @@ class TensorNetwork:
 
     # -- contraction ---------------------------------------------------------
 
-    def contract_pairwise(self, plan: Plan) -> Tensor:
-        """Execute an SSA-form plan down to a single tensor."""
+    def contract_pairwise(
+        self, plan: Plan, budget: Optional[ResourceBudget] = None
+    ) -> Tensor:
+        """Execute an SSA-form plan down to a single tensor.
+
+        With a ``budget``, the wall-clock deadline is checked between
+        pairwise contractions.
+        """
+        deadline = budget.deadline() if budget is not None else None
         slots: List[Optional[Tensor]] = list(self.tensors)
         for i, j in plan:
+            if deadline is not None:
+                deadline.check(backend="tn", context="pairwise contraction")
             a, b = slots[i], slots[j]
             if a is None or b is None:
                 raise ValueError(f"plan reuses a consumed tensor at ({i}, {j})")
@@ -77,8 +87,19 @@ class TensorNetwork:
             )
         return remaining[0]
 
-    def contract_all(self, plan: Optional[Plan] = None) -> Tensor:
-        """Contract to a single tensor, finding a greedy plan if none given."""
+    def contract_all(
+        self,
+        plan: Optional[Plan] = None,
+        budget: Optional[ResourceBudget] = None,
+    ) -> Tensor:
+        """Contract to a single tensor, finding a greedy plan if none given.
+
+        With a ``budget``, the plan's symbolic cost model
+        (:meth:`contraction_cost`) is evaluated *before* any numeric
+        contraction: if the peak intermediate would exceed the memory
+        cap, :class:`~repro.resources.MemoryBudgetExceeded` is raised
+        without allocating anything.
+        """
         if not self.tensors:
             raise ValueError("empty network")
         if len(self.tensors) == 1:
@@ -87,7 +108,12 @@ class TensorNetwork:
             from .contraction import greedy_plan
 
             plan = greedy_plan(self)
-        return self.contract_pairwise(plan)
+        if budget is not None:
+            _flops, peak = self.contraction_cost(plan)
+            budget.check_memory(
+                peak * 16, backend="tn", what="peak contraction intermediate"
+            )
+        return self.contract_pairwise(plan, budget=budget)
 
     def contraction_cost(self, plan: Plan) -> Tuple[int, int]:
         """Simulate a plan symbolically.

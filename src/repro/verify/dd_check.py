@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple
 
 from ..circuits.circuit import Operation, QuantumCircuit
-from ..dd.package import DDPackage
+from ..dd.package import BYTES_PER_NODE, DDPackage
+from ..resources import ResourceBudget
 
 
 def _unitary_ops(circuit: QuantumCircuit) -> List[Operation]:
@@ -30,6 +31,7 @@ def check_equivalence_dd(
     circuit_b: QuantumCircuit,
     strategy: str = "proportional",
     package: Optional[DDPackage] = None,
+    budget: Optional[ResourceBudget] = None,
 ) -> bool:
     """DD-based equivalence up to global phase.
 
@@ -38,20 +40,35 @@ def check_equivalence_dd(
     small when the circuits are similar); ``"sequential"`` multiplies all of
     ``A`` first, then un-multiplies ``B``; ``"naive"`` builds both full
     functionality DDs and compares them.
+
+    With a ``budget`` (and no explicit ``package``), the package's unique
+    table is capped at the tighter of the node and memory budgets, and
+    the gate loop checks the wall-clock deadline; a tripped cap raises
+    :class:`~repro.resources.ResourceExhausted`.
     """
     if circuit_a.num_qubits != circuit_b.num_qubits:
         return False
     n = circuit_a.num_qubits
-    pkg = package or DDPackage()
+    if package is not None:
+        pkg = package
+    elif budget is not None:
+        pkg = DDPackage(max_nodes=budget.node_limit(BYTES_PER_NODE))
+    else:
+        pkg = DDPackage()
+    deadline = budget.deadline() if budget is not None else None
     ops_a = _unitary_ops(circuit_a)
     ops_b = _unitary_ops(circuit_b)
 
     if strategy == "naive":
         e_a = pkg.identity_edge(n)
         for op in ops_a:
+            if deadline is not None:
+                deadline.check(backend="dd", context="naive equivalence check")
             e_a = pkg.mm_multiply(pkg.gate_edge(op, n), e_a)
         e_b = pkg.identity_edge(n)
         for op in ops_b:
+            if deadline is not None:
+                deadline.check(backend="dd", context="naive equivalence check")
             e_b = pkg.mm_multiply(pkg.gate_edge(op, n), e_b)
         if e_a.node is not e_b.node:
             return False
@@ -60,6 +77,8 @@ def check_equivalence_dd(
 
     edge = pkg.identity_edge(n)
     for side, op in _interleave(ops_a, ops_b, strategy):
+        if deadline is not None:
+            deadline.check(backend="dd", context="alternating equivalence check")
         if side == "left":
             # Apply a gate of A from the left: edge <- G_i . edge
             edge = pkg.mm_multiply(pkg.gate_edge(op, n), edge)

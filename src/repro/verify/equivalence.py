@@ -15,6 +15,7 @@ from typing import Callable, Dict, Optional, Union
 
 from ..circuits.circuit import QuantumCircuit
 from ..core.analyzer import analyze
+from ..resources import ResourceBudget, ResourceExhausted, default_budget
 from .dd_check import check_equivalence_dd
 from .stab_check import try_check_equivalence_stabilizer
 from .tn_check import check_equivalence_random_stimuli, check_equivalence_tn
@@ -75,7 +76,19 @@ def check_equivalence(
 
     Keyword arguments are forwarded to the selected checker, filtered to
     the parameters it accepts (e.g. ``strategy=`` only reaches ``dd``).
+    ``budget`` (a :class:`~repro.resources.ResourceBudget`, dict, or spec
+    string; defaulted from the ``REPRO_BUDGET`` environment variable)
+    caps the resources of budget-aware checkers — a tripped cap raises
+    :class:`~repro.resources.ResourceExhausted`, except under
+    ``method="auto"`` where the exhausted checker is treated as
+    inconclusive and the next one is tried.
     """
+    if "budget" in kwargs:
+        kwargs["budget"] = ResourceBudget.coerce(kwargs["budget"])
+    else:
+        env_budget = default_budget()
+        if env_budget is not None:
+            kwargs["budget"] = env_budget
     if method == AUTO:
         return _check_equivalence_auto(circuit_a, circuit_b, kwargs)
     try:
@@ -103,7 +116,12 @@ def _check_equivalence_auto(
     )
     if zx_verdict is not None:
         return zx_verdict
-    return _call_checker(check_equivalence_dd, circuit_a, circuit_b, kwargs)
+    try:
+        return _call_checker(check_equivalence_dd, circuit_a, circuit_b, kwargs)
+    except ResourceExhausted:
+        # The exact fallback ran out of budget: the sound-but-incomplete
+        # ZX verdict above was already None, so the answer is unknown.
+        return None
 
 
 def check_all_methods(
@@ -119,6 +137,11 @@ def check_all_methods(
     decomposition failure — no longer aborts the sweep: its entry records
     the failure as ``"error: <ExceptionType>: <message>"`` while the
     remaining methods still report ``True``/``False``/``None``.
+
+    With a resource ``budget`` (explicit or via ``REPRO_BUDGET``), a
+    checker that trips its cap — e.g. the dense unitary comparison when
+    ``2**(2n)`` entries exceed the memory budget — records exactly
+    ``"skipped: budget"`` instead of aborting or OOM-ing.
     """
     results: Dict[str, Union[bool, None, str]] = {}
     for method in METHODS:
@@ -126,6 +149,8 @@ def check_all_methods(
             results[method] = check_equivalence(
                 circuit_a, circuit_b, method=method, **kwargs
             )
+        except ResourceExhausted:
+            results[method] = "skipped: budget"
         except Exception as exc:  # noqa: BLE001 - sweep must survive any checker
             results[method] = f"error: {type(exc).__name__}: {exc}"
     return results

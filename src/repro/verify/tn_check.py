@@ -16,12 +16,15 @@ from typing import Optional
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
+from ..resources import ResourceBudget
 from ..tn.circuit_tn import amplitude
 from ..tn.network import TensorNetwork
 
 
 def hilbert_schmidt_overlap(
-    circuit_a: QuantumCircuit, circuit_b: QuantumCircuit
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+    budget: Optional[ResourceBudget] = None,
 ) -> complex:
     """``Tr(A^dagger B) / 2^n`` via a single closed tensor network.
 
@@ -49,7 +52,7 @@ def hilbert_schmidt_overlap(
         network.add(
             _identity_bridge(f"A_{out_a[1][q]}", f"B_{out_b[1][q]}")
         )
-    value = network.contract_all().scalar()
+    value = network.contract_all(budget=budget).scalar()
     return value / (2**n)
 
 
@@ -109,10 +112,17 @@ def check_equivalence_tn(
     circuit_a: QuantumCircuit,
     circuit_b: QuantumCircuit,
     tol: float = 1e-8,
+    budget: Optional[ResourceBudget] = None,
 ) -> bool:
-    """Exact equivalence up to global phase via the trace overlap."""
+    """Exact equivalence up to global phase via the trace overlap.
+
+    With a ``budget``, the closed network's plan cost model is checked
+    before contracting (see :meth:`TensorNetwork.contract_all`).
+    """
     overlap = hilbert_schmidt_overlap(
-        circuit_a.without_measurements(), circuit_b.without_measurements()
+        circuit_a.without_measurements(),
+        circuit_b.without_measurements(),
+        budget=budget,
     )
     return abs(abs(overlap) - 1.0) <= tol
 
@@ -124,6 +134,7 @@ def check_equivalence_random_stimuli(
     amplitudes_per_stimulus: int = 4,
     seed: int = 0,
     tol: float = 1e-8,
+    budget: Optional[ResourceBudget] = None,
 ) -> bool:
     """Probabilistic check: compare single amplitudes on random basis inputs.
 
@@ -142,8 +153,12 @@ def check_equivalence_random_stimuli(
         basis_in = int(rng.integers(0, 2**n))
         for _ in range(amplitudes_per_stimulus):
             basis_out = int(rng.integers(0, 2**n))
-            amp_a = amplitude(a_clean, basis_out, initial_bits=basis_in)
-            amp_b = amplitude(b_clean, basis_out, initial_bits=basis_in)
+            amp_a = amplitude(
+                a_clean, basis_out, initial_bits=basis_in, budget=budget
+            )
+            amp_b = amplitude(
+                b_clean, basis_out, initial_bits=basis_in, budget=budget
+            )
             if abs(amp_a) <= tol and abs(amp_b) <= tol:
                 continue
             if abs(amp_a) <= tol or abs(amp_b) <= tol:

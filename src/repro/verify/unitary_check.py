@@ -6,10 +6,13 @@ memory — the reference point the structured checkers are measured against.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..arrays.unitary import allclose_up_to_global_phase, circuit_unitary
 from ..circuits.circuit import QuantumCircuit
+from ..resources import ResourceBudget
 
 
 def check_equivalence_unitary(
@@ -17,10 +20,25 @@ def check_equivalence_unitary(
     circuit_b: QuantumCircuit,
     up_to_global_phase: bool = True,
     tol: float = 1e-8,
+    budget: Optional[ResourceBudget] = None,
 ) -> bool:
-    """Dense unitary comparison of two measurement-free circuits."""
+    """Dense unitary comparison of two measurement-free circuits.
+
+    With a ``budget``, the ``2**n x 2**n`` unitary allocation is checked
+    against the memory cap *before* anything is built;
+    :class:`~repro.resources.MemoryBudgetExceeded` is raised when the
+    dense comparison cannot fit (``check_all_methods`` records this as
+    ``"skipped: budget"``).
+    """
     if circuit_a.num_qubits != circuit_b.num_qubits:
         return False
+    if budget is not None:
+        n = circuit_a.num_qubits
+        budget.check_memory(
+            16 << (2 * n),
+            backend="arrays",
+            what=f"dense {n}-qubit unitary",
+        )
     ua = circuit_unitary(circuit_a.without_measurements())
     ub = circuit_unitary(circuit_b.without_measurements())
     if up_to_global_phase:

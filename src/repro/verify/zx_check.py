@@ -33,19 +33,25 @@ def _is_identity_diagram(diagram: ZXDiagram) -> bool:
 def check_equivalence_zx(
     circuit_a: QuantumCircuit,
     circuit_b: QuantumCircuit,
+    max_rounds: int = 1000,
 ) -> Optional[bool]:
     """Reduce ``A . B^dagger`` with the ZX engine.
 
     Returns ``True`` when the composite reduces to the identity diagram,
     ``None`` when the reduction gets stuck on a non-identity residual
-    (inconclusive — the calculus fragment implemented here is incomplete).
+    (inconclusive — the calculus fragment implemented here is incomplete)
+    **or** when ``max_rounds`` truncated the rewrite before a fixpoint:
+    a half-rewritten diagram proves nothing, so a non-converged reduction
+    is never trusted, even if it happens to look like the identity.
     """
     if circuit_a.num_qubits != circuit_b.num_qubits:
         return False
     da = circuit_to_zx(circuit_a.without_measurements())
     db = circuit_to_zx(circuit_b.without_measurements())
     composite = da.compose(db.adjoint())
-    full_reduce(composite)
+    reduction = full_reduce(composite, max_rounds=max_rounds)
+    if not reduction.converged:
+        return None
     # After reduction identity wires may still have an even number of
     # chained phase-free spiders (boundary protection); clean them up.
     _strip_boundary_identities(composite)

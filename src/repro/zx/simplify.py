@@ -211,23 +211,62 @@ def _pivot_gadget_simp(diagram: ZXDiagram) -> int:
     return count
 
 
-def full_reduce(diagram: ZXDiagram, max_rounds: int = 1000) -> int:
+class ReductionResult(int):
+    """Rewrite count from :func:`full_reduce`, plus convergence metadata.
+
+    Behaves as a plain ``int`` (the total number of rules applied) for
+    backwards compatibility, while also exposing:
+
+    - ``converged`` — whether a fixpoint was observed (a round applied
+      zero rules).  ``False`` means the rewrite was *truncated* at
+      ``max_rounds`` and the diagram is in an unspecified intermediate
+      state; callers must not draw semantic conclusions from it.
+    - ``rounds`` — number of gadget/Clifford rounds executed.
+    """
+
+    converged: bool
+    rounds: int
+
+    def __new__(
+        cls, total: int, converged: bool, rounds: int
+    ) -> "ReductionResult":
+        obj = super().__new__(cls, total)
+        obj.converged = converged
+        obj.rounds = rounds
+        return obj
+
+    def __repr__(self) -> str:
+        return (
+            f"ReductionResult({int(self)}, converged={self.converged}, "
+            f"rounds={self.rounds})"
+        )
+
+
+def full_reduce(diagram: ZXDiagram, max_rounds: int = 1000) -> ReductionResult:
     """The full simplification strategy: Clifford + phase-gadget rounds.
 
     ``max_rounds`` is a safety valve: each round either strictly shrinks the
     diagram or converts a non-Clifford spider into a phase gadget, so real
-    workloads converge in a handful of rounds.
+    workloads converge in a handful of rounds.  The returned
+    :class:`ReductionResult` is an ``int`` (total rules applied) whose
+    ``converged`` attribute records whether a fixpoint was actually
+    reached; when the round limit truncates the rewrite, ``converged`` is
+    ``False`` and the diagram is left mid-rewrite — callers (e.g. ZX
+    equivalence checking) must treat that as inconclusive rather than
+    trusting the residual diagram.
     """
     total = interior_clifford_simp(diagram)
+    rounds = 0
     for _ in range(max_rounds):
+        rounds += 1
         steps = 0
         steps += _gadget_simp(diagram)
         steps += _pivot_gadget_simp(diagram)
         steps += interior_clifford_simp(diagram)
         total += steps
         if steps == 0:
-            return total
-    return total
+            return ReductionResult(total, True, rounds)
+    return ReductionResult(total, False, rounds)
 
 
 def simplification_report(diagram: ZXDiagram) -> Dict[str, int]:

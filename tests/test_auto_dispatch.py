@@ -105,6 +105,35 @@ class TestRouting:
                 library.bell_pair(), registry=BackendRegistry()
             )
 
+    @pytest.mark.parametrize(
+        "circuit",
+        [
+            library.bell_pair(),
+            library.ghz_state(4),
+            library.qft(4),
+            library.grover(3, 5),
+            random_circuits.brickwork_circuit(5, 3, seed=1),
+            random_circuits.random_circuit(4, 40, seed=2),
+        ],
+        ids=["bell", "ghz", "qft", "grover", "brick", "random"],
+    )
+    def test_preference_list_has_no_duplicates(self, circuit):
+        """Every backend appears at most once in the ranked preferences.
+
+        Duplicates used to make the fallback walk retry an already-failed
+        backend and pad the audit trail with repeated entries.
+        """
+        from repro.core.analyzer import _preferences
+
+        for task in ("simulate", "sample", "expectation", "amplitude"):
+            ranked = _preferences(analyze(circuit), task)
+            names = [name for name, _reason in ranked]
+            assert len(names) == len(set(names))
+            # The unconditional fallback tail guarantees these are
+            # always reachable (possibly earlier, on merits).
+            assert "arrays" in names
+            assert "dd" in names
+
 
 def _auto_agrees_with_explicit(circuit):
     """auto's state must match every capable explicit backend's state."""

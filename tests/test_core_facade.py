@@ -93,9 +93,11 @@ class TestOptionPlumbingRegressions:
         real_sim = mps_backend_mod.MPSSimulator
 
         class Spy(real_sim):
-            def __init__(self, max_bond=None, cutoff=1e-12, seed=0):
+            def __init__(self, max_bond=None, cutoff=1e-12, seed=0, **kwargs):
                 seen.append(seed)
-                super().__init__(max_bond=max_bond, cutoff=cutoff, seed=seed)
+                super().__init__(
+                    max_bond=max_bond, cutoff=cutoff, seed=seed, **kwargs
+                )
 
         monkeypatch.setattr(mps_backend_mod, "MPSSimulator", Spy)
         circuit = random_circuits.brickwork_circuit(4, 2, seed=4)

@@ -1,0 +1,278 @@
+"""Resource budgets, graceful backend degradation, and fallback auditing.
+
+The budget layer must (a) stop a backend *before* it OOMs or hangs,
+(b) degrade to the analyzer's next capable preference instead of failing
+the request, (c) leave a complete audit trail of every attempt, and
+(d) be invisible — bit-for-bit — whenever nothing trips.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import library, random_circuits
+from repro.core import (
+    BondBudgetExceeded,
+    MemoryBudgetExceeded,
+    NodeBudgetExceeded,
+    ResourceBudget,
+    ResourceExhausted,
+    TimeBudgetExceeded,
+    sample,
+    simulate,
+)
+from repro.resources import BUDGET_ENV_VAR, Deadline, _parse_env_budget, default_budget
+from repro.verify import check_all_methods, check_equivalence
+
+
+class TestResourceBudget:
+    def test_parse_spec_string(self):
+        budget = ResourceBudget.parse("memory=1GiB, seconds=30, nodes=1e6, bond=64")
+        assert budget.max_memory_bytes == 1 << 30
+        assert budget.max_seconds == 30.0
+        assert budget.max_dd_nodes == 10**6
+        assert budget.max_bond_dim == 64
+
+    def test_parse_accepts_long_field_names_and_suffixes(self):
+        budget = ResourceBudget.parse("max_memory_bytes=2MB,time=1.5")
+        assert budget.max_memory_bytes == 2 * 10**6
+        assert budget.max_seconds == 1.5
+
+    def test_parse_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown budget key"):
+            ResourceBudget.parse("qubits=30")
+        with pytest.raises(ValueError, match="expected key=value"):
+            ResourceBudget.parse("30seconds")
+
+    def test_positive_limits_enforced(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            ResourceBudget(max_dd_nodes=0)
+        with pytest.raises(ValueError, match="must be positive"):
+            ResourceBudget(max_seconds=-1)
+
+    def test_coerce(self):
+        budget = ResourceBudget(max_bond_dim=8)
+        assert ResourceBudget.coerce(budget) is budget
+        assert ResourceBudget.coerce(None) is None
+        assert ResourceBudget.coerce("bond=8") == budget
+        assert ResourceBudget.coerce({"max_bond_dim": 8}) == budget
+        with pytest.raises(TypeError, match="ResourceBudget"):
+            ResourceBudget.coerce(8)
+
+    def test_node_limit_takes_tighter_of_nodes_and_memory(self):
+        assert ResourceBudget().node_limit(128) is None
+        assert ResourceBudget(max_dd_nodes=100).node_limit(128) == 100
+        assert ResourceBudget(max_memory_bytes=1280).node_limit(128) == 10
+        both = ResourceBudget(max_dd_nodes=5, max_memory_bytes=1280)
+        assert both.node_limit(128) == 5
+
+    def test_check_memory_raises_with_context(self):
+        budget = ResourceBudget(max_memory_bytes=1000)
+        budget.check_memory(1000, backend="arrays")  # at the cap: fine
+        with pytest.raises(MemoryBudgetExceeded) as info:
+            budget.check_memory(1001, backend="arrays", what="dense state")
+        assert info.value.resource == "memory"
+        assert info.value.backend == "arrays"
+        assert info.value.limit == 1000
+        assert info.value.observed == 1001
+
+    def test_deadline_trips_after_expiry(self):
+        deadline = Deadline(1e-9)
+        time.sleep(0.002)
+        with pytest.raises(TimeBudgetExceeded) as info:
+            deadline.check(backend="dd", context="gate loop")
+        assert info.value.resource == "time"
+        Deadline(1000).check()  # a generous deadline never trips
+
+    def test_exception_taxonomy(self):
+        for exc_type, resource in [
+            (MemoryBudgetExceeded, "memory"),
+            (TimeBudgetExceeded, "time"),
+            (NodeBudgetExceeded, "nodes"),
+            (BondBudgetExceeded, "bond"),
+        ]:
+            assert issubclass(exc_type, ResourceExhausted)
+            assert exc_type.resource == resource
+        assert issubclass(ResourceExhausted, RuntimeError)
+
+
+class TestPerBackendTrips:
+    """Each backend must notice its own dimension of exhaustion."""
+
+    def test_dd_node_budget_falls_back(self):
+        result = simulate(library.qft(4), backend="dd", budget={"max_dd_nodes": 2})
+        chain = result.metadata["fallback_chain"]
+        assert chain[0]["backend"] == "dd"
+        assert chain[0]["status"] == "resource_exhausted"
+        assert chain[0]["resource"] == "nodes"
+        assert chain[-1]["status"] == "ok"
+        assert result.backend == chain[-1]["backend"] != "dd"
+        reference = simulate(library.qft(4), backend="dd")
+        assert np.allclose(result.probabilities(), reference.probabilities())
+
+    def test_mps_bond_budget_falls_back(self):
+        # GHZ needs bond 2; a budget of 1 must raise (not truncate).
+        result = simulate(
+            library.ghz_state(6), backend="mps", budget={"max_bond_dim": 1}
+        )
+        chain = result.metadata["fallback_chain"]
+        assert chain[0] == {
+            "backend": "mps",
+            "status": "resource_exhausted",
+            "resource": "bond",
+            "error": "BondBudgetExceeded",
+            "reason": chain[0]["reason"],
+            "elapsed_s": chain[0]["elapsed_s"],
+        }
+        assert result.metadata["fallback"]["requested"] == "mps"
+        assert np.allclose(
+            result.probabilities(),
+            simulate(library.ghz_state(6)).probabilities(),
+        )
+
+    def test_arrays_memory_budget_checked_upfront(self):
+        from repro.arrays.statevector import StatevectorSimulator
+
+        simulator = StatevectorSimulator(
+            budget=ResourceBudget(max_memory_bytes=64)
+        )
+        with pytest.raises(MemoryBudgetExceeded):
+            simulator.statevector(library.qft(4))
+
+    def test_tn_plan_cost_checked_before_contracting(self):
+        from repro.tn.circuit_tn import statevector_from_circuit
+
+        with pytest.raises(MemoryBudgetExceeded):
+            statevector_from_circuit(
+                library.qft(5), budget=ResourceBudget(max_memory_bytes=64)
+            )
+
+    def test_all_backends_trip_memory_chain_complete(self):
+        """A budget nobody can satisfy raises with the full audit trail."""
+        with pytest.raises(ResourceExhausted) as info:
+            simulate(library.qft(4), backend="arrays", budget={"max_memory_bytes": 64})
+        chain = info.value.fallback_chain
+        assert chain[0]["backend"] == "arrays"
+        assert len(chain) >= 3  # the ranked capable preferences, not just one
+        assert all(entry["status"] == "resource_exhausted" for entry in chain)
+        assert all(entry["resource"] == "memory" for entry in chain)
+        # Each backend is attempted at most once.
+        names = [entry["backend"] for entry in chain]
+        assert len(names) == len(set(names))
+
+    def test_all_backends_trip_time_chain_complete(self):
+        with pytest.raises(ResourceExhausted) as info:
+            simulate(library.qft(4), backend="arrays", budget={"max_seconds": 1e-9})
+        chain = info.value.fallback_chain
+        assert len(chain) >= 3
+        assert all(entry["resource"] == "time" for entry in chain)
+
+
+class TestNoTripNoChange:
+    def test_unbudgeted_metadata_has_no_chain(self):
+        result = simulate(library.qft(4), backend="dd")
+        assert "fallback_chain" not in result.metadata
+        assert "fallback" not in result.metadata
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_generous_budget_is_invisible(self, seed):
+        """Budgeted and unbudgeted runs agree bit for bit when nothing trips."""
+        circuit = random_circuits.random_circuit(4, 20, seed=seed)
+        generous = ResourceBudget(
+            max_memory_bytes=1 << 30,
+            max_seconds=600,
+            max_dd_nodes=10**6,
+            max_bond_dim=256,
+        )
+        for backend in ("arrays", "dd", "mps"):
+            plain = simulate(circuit, backend=backend)
+            budgeted = simulate(circuit, backend=backend, budget=generous)
+            assert np.array_equal(plain.state, budgeted.state)
+            assert budgeted.backend == backend
+            assert "fallback_chain" not in budgeted.metadata
+
+
+class TestEnvironmentProfile:
+    def test_env_budget_applies_by_default(self, monkeypatch):
+        monkeypatch.setenv(BUDGET_ENV_VAR, "memory=64")
+        assert default_budget() == ResourceBudget(max_memory_bytes=64)
+        with pytest.raises(ResourceExhausted):
+            simulate(library.qft(4), backend="arrays")
+
+    def test_explicit_budget_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(BUDGET_ENV_VAR, "memory=64")
+        result = simulate(
+            library.qft(4), backend="arrays", budget={"max_memory_bytes": 1 << 30}
+        )
+        assert result.backend == "arrays"
+        assert "fallback_chain" not in result.metadata
+
+    def test_blank_env_is_no_budget(self, monkeypatch):
+        monkeypatch.setenv(BUDGET_ENV_VAR, "   ")
+        assert default_budget() is None
+
+    def test_env_parse_is_cached(self):
+        assert _parse_env_budget("memory=128") is _parse_env_budget("memory=128")
+
+
+class TestAcceptance28Qubits:
+    def test_28_qubit_sampling_degrades_and_completes(self):
+        """The headline scenario: a dense-impossible request still answers.
+
+        A 28-qubit dense state needs 2**28 * 16 bytes = 4 GiB; under a
+        1 GiB budget the arrays backend must refuse upfront (no 4 GiB
+        allocation, no OOM) and the dispatcher must serve the request
+        from a structured backend, with the whole story in the metadata.
+        """
+        circuit = library.ghz_state(28)
+        counts, meta = sample(
+            circuit,
+            200,
+            backend="arrays",
+            seed=1,
+            with_metadata=True,
+            budget="memory=1GiB",
+        )
+        assert sum(counts.values()) == 200
+        assert set(counts) <= {"0" * 28, "1" * 28}
+        chain = meta["fallback_chain"]
+        assert chain[0]["backend"] == "arrays"
+        assert chain[0]["resource"] == "memory"
+        assert chain[-1]["status"] == "ok"
+        assert meta["fallback"]["requested"] == "arrays"
+        assert meta["fallback"]["served_by"] == chain[-1]["backend"] != "arrays"
+
+
+class TestVerifyUnderBudget:
+    def test_check_all_methods_skips_dense_over_budget(self):
+        """n=8 dense comparison needs 2**16 * 16 bytes = 1 MiB > 256 KiB."""
+        circuit = library.qft(8)
+        results = check_all_methods(circuit, circuit, budget="memory=256KiB")
+        assert results["arrays"] == "skipped: budget"
+        assert results["dd"] is True
+        assert False not in results.values()
+        assert "stab" in results  # inconclusive (non-Clifford), not an error
+        for value in results.values():
+            assert value in (True, None, "skipped: budget")
+
+    def test_check_equivalence_explicit_method_raises_on_budget(self):
+        with pytest.raises(MemoryBudgetExceeded):
+            check_equivalence(
+                library.qft(8), library.qft(8), method="arrays", budget="memory=64"
+            )
+
+    def test_check_equivalence_auto_survives_budget(self):
+        """auto: dd fallback out of budget -> inconclusive None, not a crash."""
+        circuit = random_circuits.random_circuit(4, 30, seed=0)
+        verdict = check_equivalence(
+            circuit,
+            circuit,
+            method="auto",
+            max_rounds=1,  # starve ZX so the dd fallback is reached
+            budget={"max_dd_nodes": 2},
+        )
+        assert verdict is None

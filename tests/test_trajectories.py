@@ -67,3 +67,67 @@ def test_trajectories_with_measurement():
     probs = result.probabilities()
     # Each trajectory collapses to |0> or |1>; the average is ~50/50.
     assert probs[0] == pytest.approx(0.5, abs=0.1)
+
+
+class _ReferenceTrajectorySimulator(TrajectorySimulator):
+    """The old _sample_kraus: materializes K_i|psi> for every branch.
+
+    Kept verbatim as the regression oracle — the reduced-density-matrix
+    rewrite must pick the same branches from the same RNG stream and
+    produce the same normalized states.
+    """
+
+    def _sample_kraus(self, state, channel, targets, n):
+        weights = []
+        candidates = []
+        for index in range(len(channel.operators)):
+            candidate = channel.apply_operator(state, index, targets, num_qubits=n)
+            weight = float(np.real(np.vdot(candidate, candidate)))
+            weights.append(weight)
+            candidates.append(candidate)
+        total = sum(weights)
+        pick = self._rng.random() * total
+        cumulative = 0.0
+        for weight, candidate in zip(weights, candidates):
+            cumulative += weight
+            if pick <= cumulative:
+                norm = np.sqrt(max(weight, 1e-300))
+                state[...] = candidate / norm
+                return
+        state[...] = candidates[-1] / np.sqrt(max(weights[-1], 1e-300))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 17])
+def test_kraus_sampling_matches_reference_trajectories(seed):
+    """Seeded trajectories are identical to the old all-branches path."""
+    from repro.arrays.noise import depolarizing, two_qubit_depolarizing
+
+    noise = NoiseModel(
+        gate_errors={"h": amplitude_damping(0.15)},
+        default_1q=depolarizing(0.08),
+        default_2q=two_qubit_depolarizing(0.1),
+    )
+    circuit = library.qft(4)
+    new = TrajectorySimulator(noise, seed=seed).run(circuit, trajectories=60)
+    old = _ReferenceTrajectorySimulator(noise, seed=seed).run(
+        circuit, trajectories=60
+    )
+    assert np.array_equal(new.probabilities(), old.probabilities())
+
+
+def test_branch_weights_match_materialized_branches():
+    """tr(K rho K^dag) equals ||K|psi>||^2 for every operator."""
+    from repro.arrays.noise import two_qubit_depolarizing
+
+    rng = np.random.default_rng(3)
+    state = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+    state /= np.linalg.norm(state)
+    channel = two_qubit_depolarizing(0.2)
+    for targets in ([0, 1], [3, 1], [2, 0]):
+        weights = channel.branch_weights(state, targets, num_qubits=4)
+        for index, weight in enumerate(weights):
+            branch = channel.apply_operator(state, index, targets, num_qubits=4)
+            assert weight == pytest.approx(
+                float(np.real(np.vdot(branch, branch))), abs=1e-12
+            )
+        assert sum(weights) == pytest.approx(1.0, abs=1e-9)

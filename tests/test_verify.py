@@ -198,3 +198,17 @@ def test_verify_zx_optimized_circuit():
     optimized = zx_optimize(circuit).optimized
     assert check_equivalence(circuit, optimized, method="dd") is True
     assert check_equivalence_zx(circuit, optimized) is True
+
+
+def test_zx_checker_starved_rounds_is_inconclusive():
+    """A truncated full_reduce must surface as None, not a verdict.
+
+    ``random_circuit(4, 30, seed=0)`` against itself needs several gadget
+    rounds to rewrite the miter to the identity; with ``max_rounds=1``
+    the reduction stops mid-rewrite, and treating the residual diagram as
+    a completed fixpoint would wrongly report "not equivalent".
+    """
+    circuit = random_circuits.random_circuit(4, 30, seed=0)
+    starved = check_equivalence(circuit, circuit, method="zx", max_rounds=1)
+    assert starved is None
+    assert check_equivalence(circuit, circuit, method="zx") is True

@@ -109,3 +109,22 @@ def test_qft_t_count_reduction():
     full_reduce(d)
     assert before == 6
     assert d.t_count() < before
+
+
+def test_full_reduce_reports_convergence():
+    diagram = circuit_to_zx(library.qft(5))
+    result = full_reduce(diagram)
+    assert result.converged is True
+    assert result.rounds >= 1
+    # Backward compatible: the result still behaves as the rule count.
+    assert isinstance(result, int)
+    assert result + 0 == int(result)
+
+
+def test_full_reduce_truncated_rounds_not_converged():
+    # qft(5) needs several gadget rounds; a starved budget must be
+    # reported as non-convergence, never as a reached fixpoint.
+    diagram = circuit_to_zx(library.qft(5))
+    result = full_reduce(diagram, max_rounds=1)
+    assert result.converged is False
+    assert result.rounds == 1
