@@ -16,8 +16,8 @@ Quickstart::
         print(backend, simulate(bell, backend=backend).probabilities())
 """
 
-from . import arrays, circuits, core, dd, stab, tn, verify, zx
-from .core import simulate, single_amplitude
+from . import arrays, circuits, core, dd, parallel, stab, tn, verify, zx
+from .core import simulate, simulate_many, single_amplitude
 from .resources import ResourceBudget, ResourceExhausted
 from .verify import check_equivalence
 
@@ -31,7 +31,9 @@ __all__ = [
     "circuits",
     "core",
     "dd",
+    "parallel",
     "simulate",
+    "simulate_many",
     "single_amplitude",
     "stab",
     "tn",

@@ -9,11 +9,14 @@ density-matrix result.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
+from ..parallel import chunk_sizes, configured_jobs, parallel_map, spawn_seeds
+from ..resources import ResourceBudget
+from .batched import trajectory_chunk_probabilities
 from .noise import KrausChannel, NoiseModel
 from .statevector import apply_operation, measure_qubit, zero_state
 
@@ -40,26 +43,107 @@ class TrajectoryResult:
         return counts
 
 
+def _trajectory_chunk_worker(
+    spec: Tuple[
+        QuantumCircuit,
+        Optional[NoiseModel],
+        int,
+        np.random.SeedSequence,
+        Optional[ResourceBudget],
+    ],
+) -> np.ndarray:
+    """Module-level (picklable) chunk task: partial probability sums."""
+    circuit, noise_model, count, seed_seq, budget = spec
+    return trajectory_chunk_probabilities(
+        circuit, noise_model, count, seed_seq, budget
+    )
+
+
 class TrajectorySimulator:
-    """Monte-Carlo unraveling of a noisy circuit."""
+    """Monte-Carlo unraveling of a noisy circuit.
+
+    Two execution paths share this class:
+
+    - the **legacy serial loop** (``n_jobs=None`` with no ``REPRO_JOBS``
+      in the environment): one trajectory at a time from a single RNG
+      stream, exactly as always — subclass hooks like ``_sample_kraus``
+      keep working;
+    - the **chunked engine** (``n_jobs`` given, or ``REPRO_JOBS`` set):
+      trajectories are split into deterministic chunks
+      (:func:`repro.parallel.chunk_sizes`), each chunk gets an
+      independent child seed (``SeedSequence.spawn``) and is executed by
+      the batched vectorized kernel
+      (:mod:`repro.arrays.batched`), serially for ``n_jobs=1`` or on a
+      spawn-safe process pool otherwise.  Chunk boundaries, seeds, and
+      merge order never depend on the worker count, so a seeded run is
+      **bitwise identical at any** ``n_jobs``.
+
+    ``budget`` caps each chunk: workers inherit
+    ``budget.share(n_jobs)`` (memory divided across concurrent workers,
+    deadline propagated), and a tripped budget raises
+    :class:`~repro.resources.ResourceExhausted` after the pool has been
+    drained cleanly.
+    """
 
     def __init__(
         self,
         noise_model: Optional[NoiseModel],
         seed: int = 0,
         method: str = "einsum",
+        budget: Optional[ResourceBudget] = None,
     ) -> None:
         self.noise_model = noise_model
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self.method = method
+        self.budget = budget
 
-    def run(self, circuit: QuantumCircuit, trajectories: int = 100) -> TrajectoryResult:
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        trajectories: int = 100,
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> TrajectoryResult:
+        jobs = configured_jobs(n_jobs)
+        if jobs is None and chunk_size is None:
+            return self._run_serial(circuit, trajectories)
+        return self._run_chunked(circuit, trajectories, jobs or 1, chunk_size)
+
+    def _run_serial(
+        self, circuit: QuantumCircuit, trajectories: int
+    ) -> TrajectoryResult:
         n = circuit.num_qubits
         total = np.zeros(2**n)
         for _ in range(trajectories):
             state = self._single_trajectory(circuit, n)
             total += np.abs(state) ** 2
         return TrajectoryResult(total / trajectories, trajectories)
+
+    def _run_chunked(
+        self,
+        circuit: QuantumCircuit,
+        trajectories: int,
+        jobs: int,
+        chunk_size: Optional[int],
+    ) -> TrajectoryResult:
+        n = circuit.num_qubits
+        sizes = chunk_sizes(trajectories, chunk_size=chunk_size)
+        seeds = spawn_seeds(self.seed, len(sizes))
+        worker_budget = (
+            self.budget.share(min(jobs, max(len(sizes), 1)))
+            if self.budget is not None
+            else None
+        )
+        specs: List[Tuple] = [
+            (circuit, self.noise_model, count, seed_seq, worker_budget)
+            for count, seed_seq in zip(sizes, seeds)
+        ]
+        partials = parallel_map(_trajectory_chunk_worker, specs, n_jobs=jobs)
+        total = np.zeros(2**n)
+        for partial in partials:
+            total += partial
+        return TrajectoryResult(total / max(trajectories, 1), trajectories)
 
     def _single_trajectory(self, circuit: QuantumCircuit, n: int) -> np.ndarray:
         state = zero_state(n)

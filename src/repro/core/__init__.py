@@ -29,6 +29,7 @@ from .backend import (
     expectation,
     sample,
     simulate,
+    simulate_many,
     single_amplitude,
 )
 from .backends.base import Backend
@@ -68,5 +69,6 @@ __all__ = [
     "op_is_clifford",
     "sample",
     "simulate",
+    "simulate_many",
     "single_amplitude",
 ]

@@ -29,16 +29,23 @@ unknown backend names raise ``ValueError``; unknown option names raise
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import replace as _dc_replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..arrays.measurement import sample_counts as _sample_from_state
 from ..circuits.circuit import QuantumCircuit
+from ..parallel import chunk_sizes, configured_jobs, parallel_map
 from ..resources import ResourceExhausted
 from . import backends as _backends  # noqa: F401  (populates REGISTRY)
 from . import capabilities as cap
-from .analyzer import analyze, capable_preferences, choose_backend
+from .analyzer import (
+    CircuitFeatures,
+    analyze,
+    capable_preferences,
+    choose_backend,
+)
 from .backends.base import Backend
 from .options import SimOptions
 from .registry import REGISTRY
@@ -100,8 +107,60 @@ class SimulationResult:
         return f"SimulationResult({self.backend}, {self.num_qubits} qubits)"
 
 
+class _BatchCache:
+    """Per-sweep memo of circuit analysis and fusion results.
+
+    :func:`simulate_many` amortizes the dispatcher's per-circuit
+    pre-work across a sweep: circuits are keyed by structural identity
+    (register size plus the operation sequence — :class:`Operation` is
+    hashable), so repeated circuits — and, for fusion, repeats *after
+    measurement stripping* — analyze and fuse once.  Each worker process
+    keeps its own cache for its chunk of the sweep.
+    """
+
+    def __init__(self) -> None:
+        self._features: Dict[Tuple, CircuitFeatures] = {}
+        self._fused: Dict[Tuple, Tuple[QuantumCircuit, Dict]] = {}
+        self.analysis_hits = 0
+        self.fusion_hits = 0
+
+    @staticmethod
+    def key(circuit: QuantumCircuit) -> Tuple:
+        return (circuit.num_qubits, tuple(circuit.operations))
+
+    def features_for(self, circuit: QuantumCircuit) -> CircuitFeatures:
+        key = self.key(circuit)
+        features = self._features.get(key)
+        if features is None:
+            features = analyze(circuit)
+            self._features[key] = features
+        else:
+            self.analysis_hits += 1
+        return features
+
+    def fused_for(
+        self,
+        circuit: QuantumCircuit,
+        options: SimOptions,
+        clifford_only: bool,
+        compute: Callable[[], Tuple[QuantumCircuit, Dict]],
+    ) -> Tuple[QuantumCircuit, Dict]:
+        key = (self.key(circuit), clifford_only, options.max_fused_qubits)
+        cached = self._fused.get(key)
+        if cached is None:
+            cached = compute()
+            self._fused[key] = cached
+        else:
+            self.fusion_hits += 1
+        return cached
+
+
 def _candidates(
-    backend: str, circuit: QuantumCircuit, task: str, options: SimOptions
+    backend: str,
+    circuit: QuantumCircuit,
+    task: str,
+    options: SimOptions,
+    cache: Optional[_BatchCache] = None,
 ) -> Tuple[List[Tuple[str, str]], Dict]:
     """Ordered ``(name, reason)`` attempt list plus base trace metadata.
 
@@ -111,7 +170,11 @@ def _candidates(
     fallbacks for :class:`~repro.resources.ResourceExhausted`.
     """
     if backend == AUTO:
-        decision = choose_backend(circuit, task=task)
+        decision = choose_backend(
+            circuit,
+            task=task,
+            features=cache.features_for(circuit) if cache else None,
+        )
         trace = {"auto": decision.as_metadata()}
         ranked = [(decision.backend, decision.rule)]
         features = decision.features
@@ -124,7 +187,9 @@ def _candidates(
         features = None
     if options.budget is not None and not options.budget.is_unbounded():
         if features is None:
-            features = analyze(circuit)
+            features = (
+                cache.features_for(circuit) if cache else analyze(circuit)
+            )
         attempted = {ranked[0][0]}
         for name, reason in capable_preferences(features, task):
             if name in attempted:
@@ -140,6 +205,7 @@ def _execute(
     task: str,
     options: SimOptions,
     invoke: Callable[[Backend, QuantumCircuit], Tuple[Any, Dict]],
+    cache: Optional[_BatchCache] = None,
 ) -> Tuple[Any, Dict, str]:
     """Run ``invoke`` on the best backend, degrading gracefully on budget trips.
 
@@ -152,12 +218,12 @@ def _execute(
     raised :class:`~repro.resources.ResourceExhausted`.
     """
     clean = circuit.without_measurements()
-    ranked, trace = _candidates(backend, clean, task, options)
+    ranked, trace = _candidates(backend, clean, task, options, cache=cache)
     chain: List[Dict] = []
     last_error: Optional[ResourceExhausted] = None
     for name, reason in ranked:
         impl = REGISTRY.get(name)
-        prepared, fusion_meta = _prepare(circuit, options, impl)
+        prepared, fusion_meta = _prepare(circuit, options, impl, cache=cache)
         start = time.perf_counter()
         try:
             value, meta = invoke(impl, prepared)
@@ -199,22 +265,33 @@ def _execute(
 
 
 def _prepare(
-    circuit: QuantumCircuit, options: SimOptions, impl: Backend
+    circuit: QuantumCircuit,
+    options: SimOptions,
+    impl: Backend,
+    cache: Optional[_BatchCache] = None,
 ) -> Tuple[QuantumCircuit, Dict]:
     """Registry-level pre-pass: strip measurements, optionally fuse gates.
 
     Fusion is skipped for Clifford-only backends (fused gates are raw
-    matrices the tableau cannot execute) and the skip is recorded.
+    matrices the tableau cannot execute) and the skip is recorded.  With
+    a :class:`_BatchCache` (sweeps), the fused circuit is memoized per
+    circuit structure.
     """
     clean = circuit.without_measurements()
     if not options.fusion:
         return clean, {"fusion": False}
     if impl.supports(cap.CLIFFORD_ONLY):
         return clean, {"fusion": "skipped (clifford-only backend)"}
-    from ..compile.fusion import fuse_gates
 
-    fused = fuse_gates(clean, max_fused_qubits=options.max_fused_qubits)
-    return fused, {"fusion": True}
+    def compute() -> Tuple[QuantumCircuit, Dict]:
+        from ..compile.fusion import fuse_gates
+
+        fused = fuse_gates(clean, max_fused_qubits=options.max_fused_qubits)
+        return fused, {"fusion": True}
+
+    if cache is not None:
+        return cache.fused_for(clean, options, False, compute)
+    return compute()
 
 
 def _base_metadata(circuit: QuantumCircuit, elapsed: float) -> Dict:
@@ -255,6 +332,108 @@ def simulate(
         lambda impl, prepared: impl.statevector(prepared, opts),
     )
     return SimulationResult(name, state, meta)
+
+
+def _simulate_prepared(
+    circuit: QuantumCircuit,
+    backend: str,
+    opts: SimOptions,
+    cache: Optional[_BatchCache] = None,
+) -> SimulationResult:
+    """One full-state run with pre-validated options (sweep inner loop)."""
+    state, meta, name = _execute(
+        circuit,
+        backend,
+        cap.FULL_STATE,
+        opts,
+        lambda impl, prepared: impl.statevector(prepared, opts),
+        cache=cache,
+    )
+    return SimulationResult(name, state, meta)
+
+
+def _simulate_many_chunk_worker(
+    spec: Tuple[Sequence[QuantumCircuit], str, SimOptions],
+) -> List[SimulationResult]:
+    """Module-level (picklable) sweep chunk: simulate circuits in order.
+
+    Each worker keeps its own :class:`_BatchCache`, so repeated circuit
+    structures within its chunk analyze and fuse once.
+    """
+    circuits, backend, opts = spec
+    cache = _BatchCache()
+    return [
+        _simulate_prepared(circuit, backend, opts, cache=cache)
+        for circuit in circuits
+    ]
+
+
+def simulate_many(
+    circuits: Sequence[QuantumCircuit],
+    backend: str = "arrays",
+    n_jobs: Optional[int] = None,
+    param_bindings: Optional[Sequence[Any]] = None,
+    **options,
+) -> List[SimulationResult]:
+    """Simulate a sweep of circuits, amortizing dispatch pre-work.
+
+    ``circuits`` is a sequence of circuits — or, with ``param_bindings``,
+    a callable ``binding -> QuantumCircuit`` factory that is invoked once
+    per binding (the parameter-sweep form, e.g. a VQE ansatz factory over
+    angle vectors).  Results come back as one
+    :class:`SimulationResult` per circuit, in input order, each carrying
+    ``metadata["batch"] = {"index": i, "size": len(circuits)}``.
+
+    Options are validated **once** into
+    :class:`~repro.core.options.SimOptions` for the whole sweep, and
+    circuit analysis (for ``backend="auto"`` and budget fallback
+    ranking) and gate fusion are memoized per circuit structure, so
+    sweeps over repeated or structurally identical circuits skip the
+    redundant pre-work.
+
+    ``n_jobs`` (argument, else ``options["n_jobs"]``, else the
+    ``REPRO_JOBS`` environment variable) runs the sweep on a spawn-safe
+    process pool over contiguous chunks; results are returned in input
+    order regardless of the worker count.  Workers inherit
+    ``budget.share(n_jobs)`` and a worker's
+    :class:`~repro.resources.ResourceExhausted` surfaces in the parent
+    after the pool has drained — individual budget trips inside a worker
+    still degrade through the normal per-circuit fallback chain first.
+    """
+    opts = SimOptions.from_kwargs(**options)
+    if param_bindings is not None:
+        if not callable(circuits):
+            raise TypeError(
+                "with param_bindings, the first argument must be a "
+                "callable binding -> QuantumCircuit factory"
+            )
+        factory = circuits
+        circuits = [factory(binding) for binding in param_bindings]
+    circuits = list(circuits)
+    if n_jobs is None:
+        n_jobs = opts.n_jobs
+    jobs = configured_jobs(n_jobs) or 1
+    if jobs > 1 and len(circuits) > 1:
+        worker_opts = opts
+        if opts.budget is not None:
+            worker_opts = _dc_replace(opts, budget=opts.budget.share(jobs))
+        sizes = chunk_sizes(len(circuits), num_chunks=jobs)
+        specs = []
+        start = 0
+        for size in sizes:
+            specs.append((circuits[start : start + size], backend, worker_opts))
+            start += size
+        chunks = parallel_map(_simulate_many_chunk_worker, specs, n_jobs=jobs)
+        results = [result for chunk in chunks for result in chunk]
+    else:
+        cache = _BatchCache()
+        results = [
+            _simulate_prepared(circuit, backend, opts, cache=cache)
+            for circuit in circuits
+        ]
+    for index, result in enumerate(results):
+        result.metadata["batch"] = {"index": index, "size": len(results)}
+    return results
 
 
 def sample(

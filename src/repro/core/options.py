@@ -37,6 +37,11 @@ class SimOptions:
         cutoff: MPS singular-value truncation threshold.
         plan: Tensor-network contraction plan (``repro.tn.contraction``).
         track_peak: Record the DD backend's peak node count.
+        n_jobs: Worker-process count for batch entry points
+            (:func:`repro.core.simulate_many`); ``None`` defers to the
+            ``REPRO_JOBS`` environment variable, and unset means serial.
+            ``0`` or negative means "all available cores".  Single-circuit
+            entry points ignore it.
         budget: :class:`~repro.resources.ResourceBudget` caps enforced
             inside every backend's hot loop; a tripped budget raises
             :class:`~repro.resources.ResourceExhausted` and triggers the
@@ -55,6 +60,7 @@ class SimOptions:
     cutoff: float = 1e-12
     plan: Optional[Any] = None
     track_peak: bool = False
+    n_jobs: Optional[int] = None
     budget: Optional[ResourceBudget] = None
 
     @classmethod

@@ -9,13 +9,14 @@ under noise, which is the point of doing this on DDs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..arrays.noise import KrausChannel, NoiseModel
 from ..circuits.circuit import Operation, QuantumCircuit
 from ..circuits.gates import Gate
+from ..parallel import chunk_sizes, configured_jobs, parallel_map, spawn_seeds
 from .package import DDPackage
 from .simulator import DDSimulator
 from .vector import VectorDD
@@ -51,15 +52,120 @@ class NoisyDDResult:
         return counts
 
 
+def _dd_chunk_simulator(
+    noise_model: Optional[NoiseModel], seed_seq: np.random.SeedSequence
+) -> "NoisyDDSimulator":
+    simulator = NoisyDDSimulator(noise_model)
+    simulator._rng = np.random.default_rng(seed_seq)
+    return simulator
+
+
+def _dd_trajectory_chunk_worker(
+    spec: Tuple[
+        QuantumCircuit, Optional[NoiseModel], int, np.random.SeedSequence
+    ],
+) -> Tuple[np.ndarray, List[int], int]:
+    """Module-level (picklable) chunk task for :meth:`NoisyDDSimulator.run`.
+
+    Returns the chunk's partial probability sum, the per-trajectory node
+    counts (in trajectory order), and the chunk's peak node count.
+    """
+    circuit, noise_model, count, seed_seq = spec
+    simulator = _dd_chunk_simulator(noise_model, seed_seq)
+    total = np.zeros(2**circuit.num_qubits)
+    node_counts: List[int] = []
+    peak = 0
+    for _ in range(count):
+        state = simulator._single_trajectory(circuit)
+        total += np.abs(state.to_statevector()) ** 2
+        nodes = state.num_nodes()
+        node_counts.append(nodes)
+        peak = max(peak, nodes)
+    return total, node_counts, peak
+
+
+def _dd_sampling_chunk_worker(
+    spec: Tuple[
+        QuantumCircuit, Optional[NoiseModel], int, np.random.SeedSequence
+    ],
+) -> Dict[str, int]:
+    """Chunk task for :meth:`NoisyDDSimulator.run_sampling`: partial counts."""
+    circuit, noise_model, count, seed_seq = spec
+    simulator = _dd_chunk_simulator(noise_model, seed_seq)
+    counts: Dict[str, int] = {}
+    for _ in range(count):
+        state = simulator._single_trajectory(circuit)
+        sample = state.sample_counts(
+            1, seed=int(simulator._rng.integers(2**31))
+        )
+        for key, value in sample.items():
+            counts[key] = counts.get(key, 0) + value
+    return counts
+
+
 class NoisyDDSimulator:
-    """Monte-Carlo Kraus unraveling with decision-diagram states."""
+    """Monte-Carlo Kraus unraveling with decision-diagram states.
+
+    Like :class:`repro.arrays.trajectories.TrajectorySimulator`, the
+    trajectory loop has a legacy serial path (``n_jobs=None`` with no
+    ``REPRO_JOBS`` set: one RNG stream, one trajectory at a time) and a
+    chunked path: trajectories split by :func:`repro.parallel.chunk_sizes`
+    with one ``SeedSequence`` child per chunk, executed inline for
+    ``n_jobs=1`` or on a spawn-safe process pool otherwise.  Chunk
+    boundaries, seeds, and merge order (probabilities summed and node
+    counts concatenated in chunk order; sampling counts merged by key)
+    never depend on the worker count, so seeded chunked results are
+    bitwise identical at any ``n_jobs``.
+    """
 
     def __init__(self, noise_model: Optional[NoiseModel], seed: int = 0) -> None:
         self.noise_model = noise_model
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
 
+    def _chunk_specs(
+        self,
+        circuit: QuantumCircuit,
+        total: int,
+        chunk_size: Optional[int],
+    ) -> List[Tuple]:
+        sizes = chunk_sizes(total, chunk_size=chunk_size)
+        seeds = spawn_seeds(self.seed, len(sizes))
+        return [
+            (circuit, self.noise_model, count, seed_seq)
+            for count, seed_seq in zip(sizes, seeds)
+        ]
+
     def run(
-        self, circuit: QuantumCircuit, trajectories: int = 100
+        self,
+        circuit: QuantumCircuit,
+        trajectories: int = 100,
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> NoisyDDResult:
+        jobs = configured_jobs(n_jobs)
+        if jobs is None and chunk_size is None:
+            return self._run_serial(circuit, trajectories)
+        specs = self._chunk_specs(circuit, trajectories, chunk_size)
+        partials = parallel_map(
+            _dd_trajectory_chunk_worker, specs, n_jobs=jobs or 1
+        )
+        total = np.zeros(2**circuit.num_qubits)
+        node_counts: List[int] = []
+        peak = 0
+        for partial, chunk_nodes, chunk_peak in partials:
+            total += partial
+            node_counts.extend(chunk_nodes)
+            peak = max(peak, chunk_peak)
+        return NoisyDDResult(
+            total / max(trajectories, 1),
+            trajectories,
+            float(np.mean(node_counts)) if node_counts else 0.0,
+            peak,
+        )
+
+    def _run_serial(
+        self, circuit: QuantumCircuit, trajectories: int
     ) -> NoisyDDResult:
         n = circuit.num_qubits
         total = np.zeros(2**n)
@@ -79,15 +185,34 @@ class NoisyDDSimulator:
         )
 
     def run_sampling(
-        self, circuit: QuantumCircuit, shots: int
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ) -> Dict[str, int]:
         """One trajectory per shot, sampled directly from the diagram.
 
         Never builds a dense 2^n array, so this scales with the diagram
         size rather than the qubit count.
         """
+        jobs = configured_jobs(n_jobs)
+        if jobs is None and chunk_size is None:
+            return self._run_sampling_serial(circuit, shots)
+        specs = self._chunk_specs(circuit, shots, chunk_size)
+        partials = parallel_map(
+            _dd_sampling_chunk_worker, specs, n_jobs=jobs or 1
+        )
         counts: Dict[str, int] = {}
-        n = circuit.num_qubits
+        for partial in partials:
+            for key, value in partial.items():
+                counts[key] = counts.get(key, 0) + value
+        return counts
+
+    def _run_sampling_serial(
+        self, circuit: QuantumCircuit, shots: int
+    ) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
         for _ in range(shots):
             state = self._single_trajectory(circuit)
             sample = state.sample_counts(1, seed=int(self._rng.integers(2**31)))

@@ -1,0 +1,243 @@
+"""Process-pool execution layer for embarrassingly parallel workloads.
+
+The paper's simulation task is dominated by two embarrassingly parallel
+loops: stochastic noise trajectories (arrays Sec. II, decision diagrams
+ref. [13]) and random-stimuli equivalence checking (Sec. IV).  This
+module is the one seam they all share:
+
+- :func:`configured_jobs` / :func:`resolve_jobs` — worker-count policy
+  (explicit ``n_jobs`` argument, else the ``REPRO_JOBS`` environment
+  variable, else serial);
+- :func:`spawn_seeds` / :func:`chunk_sizes` — deterministic work
+  splitting.  Chunk boundaries and per-chunk RNG streams
+  (``numpy.random.SeedSequence.spawn``) depend only on the task size and
+  the seed, never on the worker count, so a seeded run is bitwise
+  reproducible at any ``n_jobs``;
+- :class:`ProcessPool` — a context-manager wrapper around a spawn-context
+  ``ProcessPoolExecutor`` that always drains cleanly: a crashing task, a
+  ``KeyboardInterrupt``, or an abandoned result iterator cancels the
+  remaining work and joins every worker before control leaves the
+  ``with`` block;
+- :func:`parallel_map` / :func:`task_stream` — the two call shapes the
+  library uses (eager ordered map; lazy ordered stream with early exit).
+
+Task functions must be module-level (picklable by reference) and task
+payloads must pickle; circuits, noise models, budgets, and
+``SeedSequence`` objects all do.  The pool uses the ``spawn`` start
+method everywhere — ``fork`` is unsafe once numpy's threadpools exist.
+
+Resource budgets compose: callers hand workers a *share* of their
+:class:`~repro.resources.ResourceBudget` via
+:meth:`~repro.resources.ResourceBudget.share` (memory is divided across
+workers that allocate concurrently; the wall-clock deadline propagates
+as-is because workers run side by side).  A
+:class:`~repro.resources.ResourceExhausted` raised inside a worker
+pickles back to the parent with its structured context intact and
+surfaces after the pool has been drained, so the registry dispatcher's
+fallback chain sees exactly the error a serial run would have produced.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from multiprocessing import get_context
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+JOBS_ENV_VAR = "REPRO_JOBS"
+"""Environment variable supplying a default worker count.
+
+Set e.g. ``REPRO_JOBS=2`` to run every parallel-capable loop in the
+library (trajectories, random stimuli, ``simulate_many``) on two worker
+processes without touching call sites; an explicit ``n_jobs=`` argument
+always wins.  ``0`` or a negative value means "all available cores".
+"""
+
+DEFAULT_CHUNKS = 8
+"""Default number of work chunks a parallel loop is split into.
+
+Fixed (rather than derived from the worker count) so that chunk
+boundaries — and therefore per-chunk RNG streams and merge order — are
+identical at every ``n_jobs``.
+"""
+
+
+def configured_jobs(n_jobs: Optional[int] = None) -> Optional[int]:
+    """Resolve a worker count, or ``None`` when parallelism is unconfigured.
+
+    ``None`` with no ``REPRO_JOBS`` in the environment returns ``None``,
+    which callers treat as "keep the legacy serial path".  Anything else
+    resolves like :func:`resolve_jobs`.
+    """
+    if n_jobs is None:
+        spec = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not spec:
+            return None
+        n_jobs = int(spec)
+    return resolve_jobs(n_jobs)
+
+
+def resolve_jobs(n_jobs: Optional[int]) -> int:
+    """Concrete worker count: ``None`` -> env default -> 1; ``<= 0`` -> all cores."""
+    if n_jobs is None:
+        return configured_jobs(None) or 1
+    n_jobs = int(n_jobs)
+    if n_jobs <= 0:
+        return os.cpu_count() or 1
+    return n_jobs
+
+
+def spawn_seeds(seed: int, count: int) -> List[np.random.SeedSequence]:
+    """``count`` independent child seed sequences of ``seed``.
+
+    ``SeedSequence.spawn`` guarantees the children's streams are
+    statistically independent of each other and of the parent, and the
+    construction is a pure function of ``(seed, count)`` — workers get
+    the same streams no matter how chunks are scheduled.
+    """
+    return list(np.random.SeedSequence(seed).spawn(count))
+
+
+def chunk_sizes(
+    total: int,
+    num_chunks: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[int]:
+    """Split ``total`` work items into near-equal deterministic chunks.
+
+    The split depends only on ``total`` and the explicit ``num_chunks``/
+    ``chunk_size`` overrides — never on the worker count — so seeded
+    results merge identically at any ``n_jobs``.
+    """
+    if total <= 0:
+        return []
+    if chunk_size is not None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        num_chunks = -(-total // chunk_size)
+    elif num_chunks is None:
+        num_chunks = min(total, DEFAULT_CHUNKS)
+    num_chunks = max(1, min(int(num_chunks), total))
+    base, extra = divmod(total, num_chunks)
+    return [base + (1 if i < extra else 0) for i in range(num_chunks)]
+
+
+class ProcessPool:
+    """A spawn-context process pool that always drains cleanly.
+
+    Use as a context manager::
+
+        with ProcessPool(4) as pool:
+            results = pool.map(fn, tasks)
+
+    On *any* exit — normal completion, a task exception, or a
+    ``KeyboardInterrupt`` in the parent — pending tasks are cancelled
+    and every worker process is joined before ``__exit__`` returns, so
+    no child processes leak.  On a hard abort (``BaseException`` that is
+    not an ``Exception``, e.g. ``KeyboardInterrupt``) still-running
+    workers are terminated rather than waited for.
+    """
+
+    def __init__(self, n_jobs: int) -> None:
+        self.n_jobs = max(1, int(n_jobs))
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._futures: List[Any] = []
+
+    def __enter__(self) -> "ProcessPool":
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.n_jobs, mp_context=get_context("spawn")
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        executor, self._executor = self._executor, None
+        futures, self._futures = self._futures, []
+        if executor is None:
+            return False
+        try:
+            for future in futures:
+                future.cancel()
+            if exc_type is not None and not (
+                isinstance(exc_type, type) and issubclass(exc_type, Exception)
+            ):
+                # Hard abort (KeyboardInterrupt/SystemExit): don't wait for
+                # running tasks — kill the workers outright.
+                for process in getattr(executor, "_processes", {}).values():
+                    process.terminate()
+            executor.shutdown(wait=True, cancel_futures=True)
+        finally:
+            del executor
+        return False
+
+    def _require_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            raise RuntimeError("ProcessPool used outside its context manager")
+        return self._executor
+
+    def submit_all(self, fn: Callable, tasks: Sequence[Any]) -> List[Any]:
+        """Submit one future per task; futures are tracked for cleanup."""
+        executor = self._require_executor()
+        futures = [executor.submit(fn, task) for task in tasks]
+        self._futures.extend(futures)
+        return futures
+
+    def imap(self, fn: Callable, tasks: Sequence[Any]) -> Iterator[Any]:
+        """Yield ``fn(task)`` results in task order.
+
+        All tasks are submitted up front; abandoning the iterator (early
+        exit) leaves the remaining futures to be cancelled by
+        ``__exit__``.
+        """
+        for future in self.submit_all(fn, tasks):
+            yield future.result()
+
+    def map(self, fn: Callable, tasks: Sequence[Any]) -> List[Any]:
+        """Eager ordered map over the pool."""
+        return list(self.imap(fn, tasks))
+
+
+def parallel_map(
+    fn: Callable,
+    tasks: Sequence[Any],
+    n_jobs: Optional[int] = None,
+) -> List[Any]:
+    """Ordered ``[fn(t) for t in tasks]``, on a pool when ``n_jobs > 1``.
+
+    With one job (or at most one task) everything runs inline in this
+    process — no pool, no pickling — which is also the reference
+    execution the parallel path must match bitwise.
+    """
+    jobs = resolve_jobs(n_jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    with ProcessPool(jobs) as pool:
+        return pool.map(fn, tasks)
+
+
+@contextmanager
+def task_stream(
+    fn: Callable,
+    tasks: Sequence[Any],
+    n_jobs: Optional[int] = None,
+):
+    """Ordered lazy result stream with clean early exit.
+
+    Usage::
+
+        with task_stream(fn, tasks, n_jobs=4) as results:
+            for result in results:
+                if bad(result):
+                    break   # remaining tasks are cancelled, workers joined
+
+    Serial (``n_jobs=1``) streams evaluate tasks lazily, so breaking out
+    skips the remaining work exactly like the pooled version cancels it.
+    """
+    jobs = resolve_jobs(n_jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        yield (fn(task) for task in tasks)
+        return
+    with ProcessPool(jobs) as pool:
+        yield pool.imap(fn, tasks)

@@ -54,6 +54,19 @@ class ResourceExhausted(RuntimeError):
         self.limit = limit
         self.observed = observed
 
+    def __reduce__(self):
+        # Keyword-only context would be dropped by the default exception
+        # reduction; preserve it so budget trips inside worker processes
+        # reach the parent's fallback chain intact.
+        return (
+            _rebuild_resource_exhausted,
+            (type(self), str(self), self.backend, self.limit, self.observed),
+        )
+
+
+def _rebuild_resource_exhausted(cls, message, backend, limit, observed):
+    return cls(message, backend=backend, limit=limit, observed=observed)
+
 
 class MemoryBudgetExceeded(ResourceExhausted):
     """A (projected or actual) allocation exceeds ``max_memory_bytes``."""
@@ -211,6 +224,32 @@ class ResourceBudget:
         raise TypeError(
             f"budget must be a ResourceBudget, dict, or spec string; "
             f"got {type(value).__name__}"
+        )
+
+    def share(
+        self, num_workers: int, *, elapsed: float = 0.0
+    ) -> "ResourceBudget":
+        """The per-worker slice of this budget for ``num_workers`` processes.
+
+        Memory is divided across workers because they allocate
+        concurrently, so the aggregate stays within the original cap.
+        The wall-clock budget propagates as the *remaining* time (after
+        ``elapsed`` seconds already spent) without division — workers
+        run side by side on the same clock.  DD-node and bond caps are
+        structural per-state limits and pass through unchanged.
+        """
+        num_workers = max(1, int(num_workers))
+        memory = self.max_memory_bytes
+        if memory is not None:
+            memory = max(memory // num_workers, 1)
+        seconds = self.max_seconds
+        if seconds is not None:
+            seconds = max(seconds - elapsed, 1e-3)
+        return ResourceBudget(
+            max_memory_bytes=memory,
+            max_seconds=seconds,
+            max_dd_nodes=self.max_dd_nodes,
+            max_bond_dim=self.max_bond_dim,
         )
 
     # -- queries -------------------------------------------------------------

@@ -11,11 +11,12 @@ Two complementary checks:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
+from ..parallel import configured_jobs, task_stream
 from ..resources import ResourceBudget
 from ..tn.circuit_tn import amplitude
 from ..tn.network import TensorNetwork
@@ -127,6 +128,34 @@ def check_equivalence_tn(
     return abs(abs(overlap) - 1.0) <= tol
 
 
+def _stimulus_worker(
+    spec: Tuple[
+        QuantumCircuit,
+        QuantumCircuit,
+        List[Tuple[int, int]],
+        Optional[ResourceBudget],
+    ],
+) -> List[Tuple[complex, complex]]:
+    """Module-level (picklable) stimulus task: amplitude pairs only.
+
+    Workers perform the expensive tensor-network contractions; *all*
+    verdict logic — tolerance comparisons and the global-phase estimate,
+    which depends on the order pairs are seen in — stays in the parent so
+    the verdict is identical at any ``n_jobs``.
+    """
+    circuit_a, circuit_b, pairs, budget = spec
+    results: List[Tuple[complex, complex]] = []
+    for basis_in, basis_out in pairs:
+        amp_a = amplitude(
+            circuit_a, basis_out, initial_bits=basis_in, budget=budget
+        )
+        amp_b = amplitude(
+            circuit_b, basis_out, initial_bits=basis_in, budget=budget
+        )
+        results.append((amp_a, amp_b))
+    return results
+
+
 def check_equivalence_random_stimuli(
     circuit_a: QuantumCircuit,
     circuit_b: QuantumCircuit,
@@ -135,12 +164,22 @@ def check_equivalence_random_stimuli(
     seed: int = 0,
     tol: float = 1e-8,
     budget: Optional[ResourceBudget] = None,
+    n_jobs: Optional[int] = None,
 ) -> bool:
     """Probabilistic check: compare single amplitudes on random basis inputs.
 
     Each (input basis state, output basis state) pair is evaluated as one
     capped tensor-network contraction per circuit; global-phase alignment is
     estimated from the first non-negligible amplitude pair.
+
+    With ``n_jobs`` (or ``REPRO_JOBS`` in the environment) the stimuli are
+    pre-generated — same RNG draw order as the serial loop — and their
+    contractions run on a spawn-safe process pool, one stimulus per task.
+    The parent consumes results in stimulus order and applies the serial
+    verdict logic verbatim, so the verdict is deterministic and identical
+    to a serial run; the first counterexample stops consumption and the
+    pool cancels the remaining stimuli.  Workers inherit
+    ``budget.share(n_jobs)``.
     """
     if circuit_a.num_qubits != circuit_b.num_qubits:
         return False
@@ -148,25 +187,35 @@ def check_equivalence_random_stimuli(
     rng = np.random.default_rng(seed)
     a_clean = circuit_a.without_measurements()
     b_clean = circuit_b.without_measurements()
-    phase: Optional[complex] = None
+    # Pre-generate every stimulus with the same draw order the serial
+    # loop used (basis_in, then this stimulus's basis_outs), so seeded
+    # stimuli are identical with and without parallelism.
+    stimuli: List[List[Tuple[int, int]]] = []
     for _ in range(num_stimuli):
         basis_in = int(rng.integers(0, 2**n))
-        for _ in range(amplitudes_per_stimulus):
-            basis_out = int(rng.integers(0, 2**n))
-            amp_a = amplitude(
-                a_clean, basis_out, initial_bits=basis_in, budget=budget
-            )
-            amp_b = amplitude(
-                b_clean, basis_out, initial_bits=basis_in, budget=budget
-            )
-            if abs(amp_a) <= tol and abs(amp_b) <= tol:
-                continue
-            if abs(amp_a) <= tol or abs(amp_b) <= tol:
-                return False
-            if phase is None:
-                phase = amp_a / amp_b
-                if abs(abs(phase) - 1.0) > 1e-6:
+        stimuli.append(
+            [
+                (basis_in, int(rng.integers(0, 2**n)))
+                for _ in range(amplitudes_per_stimulus)
+            ]
+        )
+    jobs = configured_jobs(n_jobs) or 1
+    worker_budget = (
+        budget.share(jobs) if budget is not None and jobs > 1 else budget
+    )
+    specs = [(a_clean, b_clean, pairs, worker_budget) for pairs in stimuli]
+    phase: Optional[complex] = None
+    with task_stream(_stimulus_worker, specs, n_jobs=jobs) as results:
+        for pair_results in results:
+            for amp_a, amp_b in pair_results:
+                if abs(amp_a) <= tol and abs(amp_b) <= tol:
+                    continue
+                if abs(amp_a) <= tol or abs(amp_b) <= tol:
                     return False
-            if abs(amp_a - phase * amp_b) > 1e-6:
-                return False
+                if phase is None:
+                    phase = amp_a / amp_b
+                    if abs(abs(phase) - 1.0) > 1e-6:
+                        return False
+                if abs(amp_a - phase * amp_b) > 1e-6:
+                    return False
     return True

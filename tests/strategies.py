@@ -1,0 +1,116 @@
+"""Shared hypothesis strategies for property-based tests.
+
+One home for the generators that several test modules used to duplicate:
+random normalized statevectors, structurally random small circuits, and
+seed-driven wrappers around the :mod:`repro.circuits.random_circuits`
+generator family (the idiom ``@given(seeds()) ... generator(seed=seed)``
+spread across dispatch and verification tests).
+"""
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.circuits import random_circuits
+from repro.circuits.circuit import QuantumCircuit
+
+MAX_SEED = 10**6
+
+
+def seeds(max_value: int = MAX_SEED):
+    """RNG seeds for the deterministic circuit generators."""
+    return st.integers(min_value=0, max_value=max_value)
+
+
+@st.composite
+def normalized_states(draw, max_qubits=4):
+    """A random normalized statevector on 1..max_qubits qubits."""
+    n = draw(st.integers(min_value=1, max_value=max_qubits))
+    dim = 2**n
+    real = draw(
+        st.lists(
+            st.floats(min_value=-1, max_value=1, allow_nan=False),
+            min_size=dim,
+            max_size=dim,
+        )
+    )
+    imag = draw(
+        st.lists(
+            st.floats(min_value=-1, max_value=1, allow_nan=False),
+            min_size=dim,
+            max_size=dim,
+        )
+    )
+    vec = np.array(real) + 1j * np.array(imag)
+    norm = np.linalg.norm(vec)
+    if norm < 1e-6:
+        vec = np.zeros(dim, dtype=complex)
+        vec[0] = 1.0
+        norm = 1.0
+    return vec / norm
+
+
+_GATE_POOL = ["h", "x", "z", "s", "t", "sdg", "tdg"]
+
+
+@st.composite
+def small_circuits(draw, max_qubits=3, max_gates=12):
+    """A structurally random circuit drawn gate by gate (shrinkable)."""
+    n = draw(st.integers(min_value=1, max_value=max_qubits))
+    circuit = QuantumCircuit(n)
+    num_gates = draw(st.integers(min_value=0, max_value=max_gates))
+    for _ in range(num_gates):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 0 and n >= 2:
+            a = draw(st.integers(min_value=0, max_value=n - 1))
+            b = draw(st.integers(min_value=0, max_value=n - 1))
+            if a != b:
+                circuit.cx(a, b)
+        elif kind == 1:
+            q = draw(st.integers(min_value=0, max_value=n - 1))
+            theta = draw(st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+            circuit.rz(theta, q)
+        elif kind == 2 and n >= 2:
+            a = draw(st.integers(min_value=0, max_value=n - 1))
+            b = draw(st.integers(min_value=0, max_value=n - 1))
+            if a != b:
+                circuit.cz(a, b)
+        else:
+            q = draw(st.integers(min_value=0, max_value=n - 1))
+            name = draw(st.sampled_from(_GATE_POOL))
+            getattr(circuit, name)(q)
+    return circuit
+
+
+# -- seed-driven wrappers over the deterministic generators -------------------
+
+
+@st.composite
+def random_circuit_specs(draw, num_qubits=4, num_gates=25):
+    """A fully random (non-Clifford) circuit from a drawn seed."""
+    return random_circuits.random_circuit(
+        num_qubits, num_gates, seed=draw(seeds())
+    )
+
+
+@st.composite
+def clifford_circuits(draw, num_qubits=4, num_gates=30):
+    """A uniformly random Clifford circuit from a drawn seed."""
+    return random_circuits.random_clifford_circuit(
+        num_qubits, num_gates, seed=draw(seeds())
+    )
+
+
+@st.composite
+def clifford_t_circuits(draw, num_qubits=4, num_gates=25, t_prob=0.1):
+    """A Clifford+T circuit (mostly Clifford) from a drawn seed."""
+    return random_circuits.random_clifford_t_circuit(
+        num_qubits, num_gates, seed=draw(seeds()), t_prob=t_prob
+    )
+
+
+@st.composite
+def brickwork_circuits(draw, num_qubits=6, depth=2):
+    """A shallow brickwork circuit from a drawn seed."""
+    return random_circuits.brickwork_circuit(
+        num_qubits, depth, seed=draw(seeds())
+    )

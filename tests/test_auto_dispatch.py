@@ -2,7 +2,6 @@
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.arrays.unitary import allclose_up_to_global_phase
 from repro.circuits import library, random_circuits
@@ -15,6 +14,13 @@ from repro.core import (
     simulate,
 )
 from repro.core import capabilities as cap
+
+from tests.strategies import (
+    brickwork_circuits,
+    clifford_circuits,
+    clifford_t_circuits,
+    seeds,
+)
 
 
 class TestAnalyzer:
@@ -153,36 +159,29 @@ class TestAutoAgreementProperties:
     """Property: auto is a pure router — it never changes the answer."""
 
     @settings(max_examples=10, deadline=None)
-    @given(st.integers(min_value=0, max_value=10**6))
-    def test_random_clifford(self, seed):
-        _auto_agrees_with_explicit(
-            random_circuits.random_clifford_circuit(4, 30, seed=seed)
-        )
+    @given(clifford_circuits(num_qubits=4, num_gates=30))
+    def test_random_clifford(self, circuit):
+        _auto_agrees_with_explicit(circuit)
 
     @settings(max_examples=10, deadline=None)
-    @given(st.integers(min_value=0, max_value=10**6))
-    def test_random_clifford_t(self, seed):
-        _auto_agrees_with_explicit(
-            random_circuits.random_clifford_t_circuit(4, 25, seed=seed)
-        )
+    @given(clifford_t_circuits(num_qubits=4, num_gates=25))
+    def test_random_clifford_t(self, circuit):
+        _auto_agrees_with_explicit(circuit)
 
     @settings(max_examples=8, deadline=None)
-    @given(st.integers(min_value=0, max_value=10**6))
-    def test_low_depth_brickwork(self, seed):
-        _auto_agrees_with_explicit(
-            random_circuits.brickwork_circuit(6, 2, seed=seed)
-        )
+    @given(brickwork_circuits(num_qubits=6, depth=2))
+    def test_low_depth_brickwork(self, circuit):
+        _auto_agrees_with_explicit(circuit)
 
     @settings(max_examples=8, deadline=None)
-    @given(st.integers(min_value=0, max_value=10**6))
+    @given(seeds())
     def test_clifford_routes_to_stab_property(self, seed):
         circuit = random_circuits.random_clifford_circuit(5, 40, seed=seed)
         assert choose_backend(circuit).backend == "stab"
 
     @settings(max_examples=6, deadline=None)
-    @given(st.integers(min_value=0, max_value=10**6))
-    def test_auto_expectation_agrees(self, seed):
-        circuit = random_circuits.random_clifford_t_circuit(4, 20, seed=seed)
+    @given(clifford_t_circuits(num_qubits=4, num_gates=20))
+    def test_auto_expectation_agrees(self, circuit):
         reference = expectation(circuit, "ZXYZ", backend="arrays")
         assert expectation(circuit, "ZXYZ", backend="auto") == pytest.approx(
             reference, abs=1e-8

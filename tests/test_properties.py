@@ -10,72 +10,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.arrays import StatevectorSimulator, circuit_unitary
-from repro.circuits.circuit import QuantumCircuit
 from repro.dd import DDPackage
 from repro.tn import MPSSimulator, Tensor, contract
 from repro.tn.circuit_tn import statevector_from_circuit
 from repro.zx import circuit_to_zx, diagram_to_matrix, full_reduce, proportional
 
-# -- strategies ---------------------------------------------------------------
-
-
-@st.composite
-def normalized_states(draw, max_qubits=4):
-    n = draw(st.integers(min_value=1, max_value=max_qubits))
-    dim = 2**n
-    real = draw(
-        st.lists(
-            st.floats(min_value=-1, max_value=1, allow_nan=False),
-            min_size=dim,
-            max_size=dim,
-        )
-    )
-    imag = draw(
-        st.lists(
-            st.floats(min_value=-1, max_value=1, allow_nan=False),
-            min_size=dim,
-            max_size=dim,
-        )
-    )
-    vec = np.array(real) + 1j * np.array(imag)
-    norm = np.linalg.norm(vec)
-    if norm < 1e-6:
-        vec = np.zeros(dim, dtype=complex)
-        vec[0] = 1.0
-        norm = 1.0
-    return vec / norm
-
-
-_GATE_POOL = ["h", "x", "z", "s", "t", "sdg", "tdg"]
-
-
-@st.composite
-def small_circuits(draw, max_qubits=3, max_gates=12):
-    n = draw(st.integers(min_value=1, max_value=max_qubits))
-    circuit = QuantumCircuit(n)
-    num_gates = draw(st.integers(min_value=0, max_value=max_gates))
-    for _ in range(num_gates):
-        kind = draw(st.integers(min_value=0, max_value=3))
-        if kind == 0 and n >= 2:
-            a = draw(st.integers(min_value=0, max_value=n - 1))
-            b = draw(st.integers(min_value=0, max_value=n - 1))
-            if a != b:
-                circuit.cx(a, b)
-        elif kind == 1:
-            q = draw(st.integers(min_value=0, max_value=n - 1))
-            theta = draw(st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
-            circuit.rz(theta, q)
-        elif kind == 2 and n >= 2:
-            a = draw(st.integers(min_value=0, max_value=n - 1))
-            b = draw(st.integers(min_value=0, max_value=n - 1))
-            if a != b:
-                circuit.cz(a, b)
-        else:
-            q = draw(st.integers(min_value=0, max_value=n - 1))
-            name = draw(st.sampled_from(_GATE_POOL))
-            getattr(circuit, name)(q)
-    return circuit
-
+from tests.strategies import normalized_states, small_circuits
 
 # -- DD properties --------------------------------------------------------------
 

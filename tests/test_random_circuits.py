@@ -1,9 +1,13 @@
 """Tests for the random workload generators."""
 
 import numpy as np
+from hypothesis import given, settings
 
 from repro.arrays import circuit_unitary
 from repro.circuits import random_circuits
+from repro.core import analyze
+
+from tests.strategies import brickwork_circuits, clifford_circuits, seeds
 
 
 def test_random_circuit_deterministic_per_seed():
@@ -45,6 +49,28 @@ def test_two_qubit_probability_extremes():
     assert only_1q.two_qubit_gate_count() == 0
     heavy = random_circuits.random_circuit(4, 5, seed=4, two_qubit_prob=1.0)
     assert heavy.two_qubit_gate_count() == 10  # 2 pairs per layer x 5
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds())
+def test_generators_deterministic_per_seed_property(seed):
+    a = random_circuits.random_circuit(4, 6, seed=seed)
+    b = random_circuits.random_circuit(4, 6, seed=seed)
+    assert [op.name_with_controls() for op in a] == [
+        op.name_with_controls() for op in b
+    ]
+
+
+@settings(max_examples=15, deadline=None)
+@given(clifford_circuits(num_qubits=4, num_gates=30))
+def test_clifford_generator_is_clifford_property(circuit):
+    assert analyze(circuit).is_clifford
+
+
+@settings(max_examples=15, deadline=None)
+@given(brickwork_circuits(num_qubits=6, depth=3))
+def test_brickwork_depth_property(circuit):
+    assert analyze(circuit).two_qubit_depth <= 3
 
 
 def test_phase_polynomial_terms_are_valid():
