@@ -1,0 +1,76 @@
+"""Shared benchmark timing harness on the repro.obs span clock.
+
+Every benchmark script used to open-code ``time.perf_counter()`` pairs;
+they now time through :func:`timed_call` / :func:`time_call` /
+:func:`best_of`, which run the measured call inside a ``bench.*`` span
+on the *same* monotonic clock the library's own ``wall_time_s`` and
+trace spans use.  Two payoffs:
+
+- one clock everywhere — benchmark numbers and trace reports can be
+  compared directly;
+- run any benchmark under ``REPRO_TRACE=1`` (or inside
+  :func:`repro.obs.trace_session`) and the measured calls appear as
+  spans in the flight recorder, with the library's internal spans nested
+  beneath them — a profiler for free, zero cost when tracing is off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.obs import trace as obs_trace
+
+__all__ = ["best_of", "time_call", "timed_call"]
+
+
+def timed_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    label: Optional[str] = None,
+    **kwargs: Any,
+) -> Tuple[Any, float]:
+    """Run ``fn(*args, **kwargs)``; return ``(value, elapsed_seconds)``.
+
+    The call runs inside a ``bench.<label>`` span (label defaults to the
+    function's name), so traced benchmark runs record each measured call.
+    """
+    name = f"bench.{label or getattr(fn, '__name__', 'call')}"
+    span = obs_trace.timed_span(name)
+    try:
+        value = fn(*args, **kwargs)
+    finally:
+        span.finish()
+    return value, span.duration_s
+
+
+def time_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    label: Optional[str] = None,
+    **kwargs: Any,
+) -> float:
+    """Elapsed seconds of one ``fn(*args, **kwargs)`` call."""
+    return timed_call(fn, *args, label=label, **kwargs)[1]
+
+
+def best_of(
+    repeats: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    setup: Optional[Callable[[], Any]] = None,
+    label: Optional[str] = None,
+    **kwargs: Any,
+) -> float:
+    """Minimum elapsed seconds over ``repeats`` timed calls.
+
+    ``setup`` (if given) runs before each repeat, outside the timed
+    region — use it for per-repeat fresh state or cache warm-up.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    best = float("inf")
+    for _ in range(repeats):
+        if setup is not None:
+            setup()
+        best = min(best, time_call(fn, *args, label=label, **kwargs))
+    return best

@@ -27,7 +27,7 @@ def test_array_simulation_scaling(benchmark, num_qubits, method):
 
 def test_kernel_scaling_report():
     """Einsum-vs-gather ratio widens with qubit count (print with -s)."""
-    import time
+    from _harness import time_call
 
     print()
     print("qubits  gather_s   einsum_s   speedup")
@@ -37,9 +37,9 @@ def test_kernel_scaling_report():
         timings = {}
         for method in ("gather", "einsum"):
             sim = StatevectorSimulator(method=method)
-            start = time.perf_counter()
-            sim.statevector(circuit)
-            timings[method] = time.perf_counter() - start
+            timings[method] = time_call(
+                sim.statevector, circuit, label=f"scaling_{method}"
+            )
         speedups.append(timings["gather"] / timings["einsum"])
         print(
             f"{n:6d}  {timings['gather']:8.5f}  {timings['einsum']:9.5f}"
@@ -71,15 +71,13 @@ def test_memory_wall_extrapolation():
 
 def test_exponential_time_growth():
     """Doubling check: time per added qubit roughly doubles."""
-    import time
+    from _harness import time_call
 
     sim = StatevectorSimulator()
     times = {}
     for n in (12, 14, 16):
         circuit = random_circuits.brickwork_circuit(n, depth=4, seed=2)
-        start = time.perf_counter()
-        sim.statevector(circuit)
-        times[n] = time.perf_counter() - start
+        times[n] = time_call(sim.statevector, circuit, label=f"qubits_{n}")
     # two extra qubits should cost clearly more than 2x (4x ideally; allow
     # generous noise margins on shared machines)
     assert times[16] > times[12] * 2

@@ -14,11 +14,11 @@ repository root:
 
 import json
 import sys
-import time
 from pathlib import Path
 
 import pytest
 
+from _harness import timed_call
 from repro.circuits import library, random_circuits
 from repro.core import REGISTRY, ResourceExhausted, analyze, choose_backend, simulate
 from repro.core import capabilities as cap
@@ -172,9 +172,10 @@ def _time_backend(circuit, backend, repeats):
     best = float("inf")
     resolved = backend
     for _ in range(repeats):
-        start = time.perf_counter()
-        result = simulate(circuit, backend=backend)
-        best = min(best, time.perf_counter() - start)
+        result, elapsed = timed_call(
+            simulate, circuit, backend=backend, label=f"simulate_{backend}"
+        )
+        best = min(best, elapsed)
         resolved = result.backend
     return best, resolved
 

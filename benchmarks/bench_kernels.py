@@ -11,12 +11,12 @@ repository root:
 
 import json
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from _harness import time_call
 from repro.arrays import StatevectorSimulator
 from repro.circuits import random_circuits
 from repro.compile.fusion import fusion_report
@@ -47,10 +47,11 @@ def test_brickwork_kernels(benchmark, method):
 def _time_method(circuit, method: str, repeats: int) -> float:
     best = float("inf")
     for _ in range(repeats):
-        sim = _simulator(method)
-        start = time.perf_counter()
-        sim.statevector(circuit)
-        best = min(best, time.perf_counter() - start)
+        sim = _simulator(method)  # fresh caches; construction untimed
+        best = min(
+            best,
+            time_call(sim.statevector, circuit, label=f"kernels_{method}"),
+        )
     return best
 
 

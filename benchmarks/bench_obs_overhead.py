@@ -1,0 +1,131 @@
+"""Observability overhead smoke: disabled tracing must cost (near) nothing.
+
+The tracing layer's cardinal promise is that an *untraced* run pays one
+predictable, tiny toll per instrumentation point — a module-flag branch,
+or a dead span's two clock reads — and nothing else: no allocation, no
+recording, no metric writes.  This bench makes the promise falsifiable
+two ways:
+
+- **microbenchmark**: measure the per-call cost of the disabled hooks
+  (``span()`` context, gated ``counter_add``) directly;
+- **projection against the kernel workload**: the
+  :mod:`bench_kernels` headline circuit executes roughly one hook per
+  gate; the projected total hook cost must stay under **5%** of the
+  measured simulation time, i.e. the instrumented library regresses the
+  tracing-disabled kernel benchmark by less than 5%.
+
+As a pytest module the check runs in reduced form; as a script
+(``PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--quick]``)
+it prints the machine-readable record and exits non-zero on failure.
+"""
+
+import json
+import sys
+
+from _harness import best_of, time_call
+from repro.arrays import StatevectorSimulator
+from repro.circuits import random_circuits
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+MAX_DISABLED_OVERHEAD_FRACTION = 0.05
+
+
+def disabled_hook_cost_s(iterations: int = 100_000) -> float:
+    """Per-call seconds of one disabled ``span()`` + one gated metric write.
+
+    This is the *whole* per-instrumentation-point cost an untraced run
+    pays (a dead ``timed_span`` additionally reads the clock twice); the
+    loop runs both so the estimate is an upper bound per gate.  Tracing
+    is forced off for the measurement (and restored), so the probe is
+    valid even under ``REPRO_TRACE=1``.
+    """
+    probe = obs_trace.span  # the exact call hot loops make
+    count = obs_metrics.counter_add
+
+    def loop() -> None:
+        for _ in range(iterations):
+            with probe("overhead.probe"):
+                pass
+            count("overhead.probe")
+
+    previous = obs_trace.set_enabled(False)
+    try:
+        return time_call(loop, label="disabled_hooks") / iterations
+    finally:
+        obs_trace.set_enabled(previous)
+
+
+def run_overhead_check(
+    num_qubits: int = 14, num_gates: int = 120, repeats: int = 3
+) -> dict:
+    """Project disabled-hook cost onto the bench_kernels workload."""
+    circuit = random_circuits.random_clifford_t_circuit(
+        num_qubits, num_gates, seed=7
+    )
+    sim = StatevectorSimulator(method="einsum")
+    previous = obs_trace.set_enabled(False)  # measure the untraced path
+    try:
+        workload_s = best_of(
+            repeats, sim.statevector, circuit, label="kernels_workload"
+        )
+        hook_s = disabled_hook_cost_s()
+    finally:
+        obs_trace.set_enabled(previous)
+    # One reporter branch per gate, plus the constant dispatcher/metric
+    # hooks (~16 dead spans and gated writes per simulate call).
+    hooks_per_run = len(circuit.operations) + 16
+    projected_s = hook_s * hooks_per_run
+    fraction = projected_s / workload_s
+    return {
+        "workload": {
+            "circuit": "random_clifford_t",
+            "num_qubits": num_qubits,
+            "num_gates": num_gates,
+            "kernel": "einsum",
+        },
+        "workload_seconds": workload_s,
+        "disabled_hook_seconds": hook_s,
+        "hooks_per_run": hooks_per_run,
+        "projected_overhead_seconds": projected_s,
+        "projected_overhead_fraction": fraction,
+        "budget_fraction": MAX_DISABLED_OVERHEAD_FRACTION,
+        "passed": fraction < MAX_DISABLED_OVERHEAD_FRACTION,
+    }
+
+
+def test_disabled_tracing_overhead_under_budget():
+    record = run_overhead_check(num_qubits=12, num_gates=80, repeats=2)
+    assert record["passed"], (
+        "disabled-tracing instrumentation overhead "
+        f"{record['projected_overhead_fraction']:.2%} exceeds "
+        f"{MAX_DISABLED_OVERHEAD_FRACTION:.0%} of the kernel workload"
+    )
+
+
+def test_disabled_hooks_write_nothing():
+    before = obs_metrics.DEFAULT_REGISTRY.snapshot()
+    recorder_len = len(obs_trace.DEFAULT_RECORDER)
+    disabled_hook_cost_s(iterations=1_000)
+    assert obs_metrics.DEFAULT_REGISTRY.snapshot() == before
+    assert len(obs_trace.DEFAULT_RECORDER) == recorder_len
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    record = (
+        run_overhead_check(num_qubits=12, num_gates=80, repeats=2)
+        if quick
+        else run_overhead_check()
+    )
+    print(json.dumps(record, indent=2))
+    if not record["passed"]:
+        raise SystemExit(
+            "FAIL: disabled tracing projected to cost "
+            f"{record['projected_overhead_fraction']:.2%} "
+            f"(budget {MAX_DISABLED_OVERHEAD_FRACTION:.0%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

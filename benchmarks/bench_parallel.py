@@ -18,12 +18,12 @@ the worker count).
 import json
 import os
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from _harness import time_call
 from repro.arrays.noise import NoiseModel
 from repro.arrays.trajectories import TrajectorySimulator
 from repro.circuits import random_circuits
@@ -71,9 +71,7 @@ def test_trajectories_pooled(benchmark, n_jobs):
 
 
 def _time_once(fn) -> float:
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
+    return time_call(fn, label="parallel_headline")
 
 
 def run_headline(

@@ -6,10 +6,9 @@ widening margin on structured circuits (GHZ), arrays win on small dense
 random circuits where structure exploitation buys nothing.
 """
 
-import time
-
 import pytest
 
+from _harness import time_call, timed_call
 from repro.arrays import StatevectorSimulator
 from repro.circuits import library, random_circuits
 from repro.dd import DDSimulator
@@ -85,9 +84,9 @@ def test_kernel_method_report():
             ("fused", {"method": "einsum", "fusion": True}),
         ):
             sim = StatevectorSimulator(**kwargs)
-            start = time.perf_counter()
-            sim.statevector(circuit)
-            timings[label] = time.perf_counter() - start
+            timings[label] = time_call(
+                sim.statevector, circuit, label=f"kernel_{label}"
+            )
         print(
             f"{name:20s}  {timings['gather']:8.5f}  {timings['einsum']:9.5f}"
             f"  {timings['fused']:8.5f}"
@@ -122,12 +121,12 @@ def test_structured_crossover_report():
     ratios = []
     for n in (10, 14, 18, 21):
         circuit = library.ghz_state(n)
-        start = time.perf_counter()
-        StatevectorSimulator().statevector(circuit)
-        array_time = time.perf_counter() - start
-        start = time.perf_counter()
-        state = DDSimulator().simulate_state(circuit)
-        dd_time = time.perf_counter() - start
+        array_time = time_call(
+            StatevectorSimulator().statevector, circuit, label="arrays"
+        )
+        state, dd_time = timed_call(
+            DDSimulator().simulate_state, circuit, label="dd"
+        )
         ratios.append(array_time / dd_time)
         print(f"{n:6d}  {array_time:8.5f}  {dd_time:8.5f}  {state.num_nodes():8d}")
     # At 21 qubits the DD must beat the array backend on GHZ.

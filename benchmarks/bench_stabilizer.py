@@ -5,10 +5,9 @@ method; this bench shows the tableau crushing every general-purpose backend
 and scaling to hundreds of qubits where the others cannot go at all.
 """
 
-import time
-
 import pytest
 
+from _harness import time_call, timed_call
 from repro.arrays import StatevectorSimulator
 from repro.circuits import random_circuits
 from repro.dd import DDSimulator
@@ -45,9 +44,9 @@ def test_tableau_scales_to_hundreds_of_qubits():
     """250 qubits, 2500 Clifford gates: seconds for the tableau, impossible
     (2^250 amplitudes) for any state-materializing backend."""
     circuit = random_circuits.random_clifford_circuit(250, 2500, seed=2)
-    start = time.perf_counter()
-    tableau, _ = StabilizerSimulator().run(circuit)
-    elapsed = time.perf_counter() - start
+    (tableau, _), elapsed = timed_call(
+        StabilizerSimulator().run, circuit, label="tableau_250q"
+    )
     assert len(tableau.stabilizer_strings()) == 250
     assert elapsed < 60
 
@@ -58,11 +57,11 @@ def test_crossover_report():
     print("qubits  arrays_s  tableau_s")
     for n in (10, 14, 16):
         circuit = random_circuits.random_clifford_circuit(n, 10 * n, seed=3)
-        start = time.perf_counter()
-        StatevectorSimulator().statevector(circuit)
-        array_time = time.perf_counter() - start
-        start = time.perf_counter()
-        StabilizerSimulator().run(circuit)
-        tableau_time = time.perf_counter() - start
+        array_time = time_call(
+            StatevectorSimulator().statevector, circuit, label="arrays"
+        )
+        tableau_time = time_call(
+            StabilizerSimulator().run, circuit, label="tableau"
+        )
         print(f"{n:6d}  {array_time:8.4f}  {tableau_time:9.4f}")
     assert tableau_time < array_time

@@ -35,16 +35,15 @@ def test_single_amplitude_via_full_state(benchmark, num_qubits):
 
 def test_capped_network_wins_at_scale():
     """At 20+ qubits the capped contraction beats full-state construction."""
-    import time
+    from _harness import timed_call
 
     circuit = library.ghz_state(20)
-    start = time.perf_counter()
-    capped = amplitude(circuit, 0)
-    capped_time = time.perf_counter() - start
+    capped, capped_time = timed_call(amplitude, circuit, 0, label="tn_capped")
     sim = StatevectorSimulator()
-    start = time.perf_counter()
-    full = sim.statevector(circuit)[0]
-    full_time = time.perf_counter() - start
+    full_state, full_time = timed_call(
+        sim.statevector, circuit, label="full_state"
+    )
+    full = full_state[0]
     assert capped == pytest.approx(complex(full), abs=1e-9)
     print(f"\ncapped {capped_time:.4f}s vs full-state {full_time:.4f}s")
     assert capped_time < full_time

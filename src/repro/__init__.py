@@ -16,14 +16,16 @@ Quickstart::
         print(backend, simulate(bell, backend=backend).probabilities())
 """
 
-from . import arrays, circuits, core, dd, parallel, stab, tn, verify, zx
+from . import arrays, circuits, core, dd, obs, parallel, stab, tn, verify, zx
 from .core import simulate, simulate_many, single_amplitude
+from .obs import ProgressEvent, trace_session
 from .resources import ResourceBudget, ResourceExhausted
 from .verify import check_equivalence
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "ProgressEvent",
     "ResourceBudget",
     "ResourceExhausted",
     "arrays",
@@ -31,8 +33,10 @@ __all__ = [
     "circuits",
     "core",
     "dd",
+    "obs",
     "parallel",
     "simulate",
+    "trace_session",
     "simulate_many",
     "single_amplitude",
     "stab",

@@ -22,6 +22,8 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
+from ..obs import metrics as obs_metrics
+from ..obs.progress import GATE_EVENT_INTERVAL, ProgressReporter
 from ..resources import ResourceBudget
 from . import kernels
 
@@ -176,6 +178,11 @@ class StatevectorSimulator:
     estimated up front against ``max_memory_bytes``, and the gate loop
     checks ``max_seconds`` periodically.  A tripped budget raises
     :class:`~repro.resources.ResourceExhausted`.
+
+    ``progress`` (a callable receiving
+    :class:`~repro.obs.progress.ProgressEvent`) streams throttled
+    ``"gates"`` events from the gate loop; raising from the callback
+    cancels the run at the same checkpoints the deadline uses.
     """
 
     def __init__(
@@ -185,6 +192,7 @@ class StatevectorSimulator:
         fusion: bool = False,
         max_fused_qubits: int = 2,
         budget: Optional[ResourceBudget] = None,
+        progress: Optional[callable] = None,
     ) -> None:
         if method not in METHODS:
             raise ValueError(f"unknown method '{method}'; choose from {METHODS}")
@@ -193,6 +201,7 @@ class StatevectorSimulator:
         self.fusion = fusion
         self.max_fused_qubits = max_fused_qubits
         self.budget = budget
+        self.progress = progress
 
     def run(
         self,
@@ -220,9 +229,18 @@ class StatevectorSimulator:
             if state.shape != (2**n,):
                 raise ValueError("initial state dimension mismatch")
         classical: Dict[int, int] = {}
+        reporter = ProgressReporter.maybe(
+            self.progress,
+            "gates",
+            total=len(circuit.operations),
+            backend="arrays",
+            every=GATE_EVENT_INTERVAL,
+        )
         for position, op in enumerate(circuit.operations):
             if deadline is not None and position % _DEADLINE_CHECK_INTERVAL == 0:
                 deadline.check(backend="arrays", context="gate loop")
+            if reporter is not None:
+                reporter.step()
             if op.is_barrier:
                 continue
             if op.is_measurement:
@@ -235,6 +253,10 @@ class StatevectorSimulator:
                 if classical.get(clbit, 0) != value:
                     continue
             apply_operation(state, op, n, method=self.method)
+        if reporter is not None:
+            reporter.close()
+        obs_metrics.counter_add("arrays.gate.count", len(circuit.operations))
+        obs_metrics.gauge_max("arrays.state.bytes", int(state.nbytes))
         return StatevectorResult(state, classical)
 
     def statevector(self, circuit: QuantumCircuit) -> np.ndarray:

@@ -14,6 +14,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
+from ..obs import metrics as obs_metrics
+from ..obs.progress import ProgressReporter
 from ..parallel import chunk_sizes, configured_jobs, parallel_map, spawn_seeds
 from ..resources import ResourceBudget
 from .batched import trajectory_chunk_probabilities
@@ -104,20 +106,34 @@ class TrajectorySimulator:
         trajectories: int = 100,
         n_jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        progress: Optional[callable] = None,
     ) -> TrajectoryResult:
         jobs = configured_jobs(n_jobs)
         if jobs is None and chunk_size is None:
-            return self._run_serial(circuit, trajectories)
-        return self._run_chunked(circuit, trajectories, jobs or 1, chunk_size)
+            return self._run_serial(circuit, trajectories, progress)
+        return self._run_chunked(
+            circuit, trajectories, jobs or 1, chunk_size, progress
+        )
 
     def _run_serial(
-        self, circuit: QuantumCircuit, trajectories: int
+        self,
+        circuit: QuantumCircuit,
+        trajectories: int,
+        progress: Optional[callable] = None,
     ) -> TrajectoryResult:
         n = circuit.num_qubits
         total = np.zeros(2**n)
+        reporter = ProgressReporter.maybe(
+            progress, "trajectories", total=trajectories, backend="arrays"
+        )
         for _ in range(trajectories):
             state = self._single_trajectory(circuit, n)
             total += np.abs(state) ** 2
+            if reporter is not None:
+                reporter.step()
+        if reporter is not None:
+            reporter.close()
+        obs_metrics.counter_add("trajectories.count", trajectories)
         return TrajectoryResult(total / trajectories, trajectories)
 
     def _run_chunked(
@@ -126,6 +142,7 @@ class TrajectorySimulator:
         trajectories: int,
         jobs: int,
         chunk_size: Optional[int],
+        progress: Optional[callable] = None,
     ) -> TrajectoryResult:
         n = circuit.num_qubits
         sizes = chunk_sizes(trajectories, chunk_size=chunk_size)
@@ -139,10 +156,25 @@ class TrajectorySimulator:
             (circuit, self.noise_model, count, seed_seq, worker_budget)
             for count, seed_seq in zip(sizes, seeds)
         ]
-        partials = parallel_map(_trajectory_chunk_worker, specs, n_jobs=jobs)
+        reporter = ProgressReporter.maybe(
+            progress, "trajectories", total=trajectories, backend="arrays"
+        )
+        done_after = np.cumsum(sizes) if sizes else []
+
+        def _chunk_done(index: int, partial: np.ndarray) -> None:
+            if reporter is not None:
+                reporter.advance_to(int(done_after[index]), chunk=index)
+
+        partials = parallel_map(
+            _trajectory_chunk_worker,
+            specs,
+            n_jobs=jobs,
+            on_result=_chunk_done,
+        )
         total = np.zeros(2**n)
         for partial in partials:
             total += partial
+        obs_metrics.counter_add("trajectories.count", trajectories)
         return TrajectoryResult(total / max(trajectories, 1), trajectories)
 
     def _single_trajectory(self, circuit: QuantumCircuit, n: int) -> np.ndarray:

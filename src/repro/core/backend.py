@@ -28,7 +28,7 @@ unknown backend names raise ``ValueError``; unknown option names raise
 
 from __future__ import annotations
 
-import time
+import itertools
 from dataclasses import replace as _dc_replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -36,6 +36,9 @@ import numpy as np
 
 from ..arrays.measurement import sample_counts as _sample_from_state
 from ..circuits.circuit import QuantumCircuit
+from ..obs import ProgressReporter, trace_session
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..parallel import chunk_sizes, configured_jobs, parallel_map
 from ..resources import ResourceExhausted
 from . import backends as _backends  # noqa: F401  (populates REGISTRY)
@@ -216,52 +219,105 @@ def _execute(
     attempt failed, ``metadata["fallback_chain"]`` holds the full audit
     trail.  If every candidate trips, the chain is attached to the
     raised :class:`~repro.resources.ResourceExhausted`.
+
+    All timing comes from the span clock (:data:`repro.obs.trace.clock`):
+    ``metadata["wall_time_s"]`` is exactly the root ``dispatch`` span's
+    duration and each ``fallback_chain`` entry's ``elapsed_s`` is its
+    ``dispatch.attempt`` span's duration.  With ``options.trace``, the
+    whole call runs inside a :func:`~repro.obs.trace_session` and the
+    resulting span tree + metric snapshot is attached as
+    ``metadata["report"]``.
     """
-    clean = circuit.without_measurements()
-    ranked, trace = _candidates(backend, clean, task, options, cache=cache)
-    chain: List[Dict] = []
-    last_error: Optional[ResourceExhausted] = None
-    for name, reason in ranked:
-        impl = REGISTRY.get(name)
-        prepared, fusion_meta = _prepare(circuit, options, impl, cache=cache)
-        start = time.perf_counter()
+    with trace_session(options.trace) as session:
+        root = obs_trace.timed_span("dispatch", task=task, requested=backend)
         try:
-            value, meta = invoke(impl, prepared)
-        except ResourceExhausted as exc:
-            chain.append(
-                {
-                    "backend": name,
-                    "status": "resource_exhausted",
-                    "resource": exc.resource,
-                    "error": type(exc).__name__,
-                    "reason": str(exc),
-                    "elapsed_s": round(time.perf_counter() - start, 6),
-                }
+            clean = circuit.without_measurements()
+            analysis = obs_trace.timed_span("analyze")
+            try:
+                ranked, trace = _candidates(
+                    backend, clean, task, options, cache=cache
+                )
+            except BaseException:
+                analysis.finish(status="error")
+                raise
+            analysis.finish(candidates=len(ranked))
+            chain: List[Dict] = []
+            last_error: Optional[ResourceExhausted] = None
+            for name, reason in ranked:
+                impl = REGISTRY.get(name)
+                attempt = obs_trace.timed_span(
+                    "dispatch.attempt", backend=name, rule=reason
+                )
+                try:
+                    prepared, fusion_meta = _prepare(
+                        circuit, options, impl, cache=cache
+                    )
+                    execute = obs_trace.timed_span("execute", backend=name)
+                    try:
+                        value, meta = invoke(impl, prepared)
+                    except ResourceExhausted:
+                        execute.finish(status="resource_exhausted")
+                        raise
+                    execute.finish()
+                except ResourceExhausted as exc:
+                    attempt.finish(
+                        status="resource_exhausted",
+                        resource=exc.resource,
+                        error=type(exc).__name__,
+                    )
+                    obs_metrics.counter_add("dispatch.fallback.count")
+                    chain.append(
+                        {
+                            "backend": name,
+                            "status": "resource_exhausted",
+                            "resource": exc.resource,
+                            "error": type(exc).__name__,
+                            "reason": str(exc),
+                            "elapsed_s": round(attempt.duration_s, 6),
+                        }
+                    )
+                    last_error = exc
+                    continue
+                attempt.finish()
+                chain.append(
+                    {
+                        "backend": name,
+                        "status": "ok",
+                        "elapsed_s": round(attempt.duration_s, 6),
+                    }
+                )
+                root.finish(served_by=name)
+                meta.update(_base_metadata(prepared, root.duration_s))
+                meta.update(fusion_meta)
+                meta.update(trace)
+                if len(chain) > 1:
+                    meta["fallback_chain"] = chain
+                    meta["fallback"] = {
+                        "requested": backend,
+                        "served_by": name,
+                        "rule": reason,
+                    }
+                if session is not None:
+                    meta["report"] = session.report()
+                return value, meta, impl.name
+            root.finish(status="resource_exhausted")
+            summary = ResourceExhausted(
+                f"every capable backend exhausted its resource budget for "
+                f"task '{task}': "
+                + "; ".join(
+                    f"{entry['backend']}: {entry['reason']}" for entry in chain
+                )
             )
-            last_error = exc
-            continue
-        elapsed = time.perf_counter() - start
-        chain.append(
-            {"backend": name, "status": "ok", "elapsed_s": round(elapsed, 6)}
-        )
-        meta.update(_base_metadata(prepared, elapsed))
-        meta.update(fusion_meta)
-        meta.update(trace)
-        if len(chain) > 1:
-            meta["fallback_chain"] = chain
-            meta["fallback"] = {
-                "requested": backend,
-                "served_by": name,
-                "rule": reason,
-            }
-        return value, meta, impl.name
-    summary = ResourceExhausted(
-        f"every capable backend exhausted its resource budget for task "
-        f"'{task}': "
-        + "; ".join(f"{entry['backend']}: {entry['reason']}" for entry in chain)
-    )
-    summary.fallback_chain = chain
-    raise summary from last_error
+            summary.fallback_chain = chain
+            if session is not None:
+                summary.report = session.report()
+            raise summary from last_error
+        finally:
+            # Idempotent: a no-op on the success/exhausted paths above,
+            # but guarantees the root span closes (status "error") when a
+            # non-budget exception — including a progress-callback
+            # cancellation — unwinds through the dispatcher.
+            root.finish(status="error")
 
 
 def _prepare(
@@ -278,20 +334,35 @@ def _prepare(
     circuit structure.
     """
     clean = circuit.without_measurements()
-    if not options.fusion:
-        return clean, {"fusion": False}
-    if impl.supports(cap.CLIFFORD_ONLY):
-        return clean, {"fusion": "skipped (clifford-only backend)"}
+    with obs_trace.span("fuse", backend=impl.name) as fuse_span:
+        if not options.fusion:
+            if fuse_span is not None:
+                fuse_span.set(applied=False)
+            return clean, {"fusion": False}
+        if impl.supports(cap.CLIFFORD_ONLY):
+            if fuse_span is not None:
+                fuse_span.set(applied=False, skipped="clifford-only")
+            return clean, {"fusion": "skipped (clifford-only backend)"}
 
-    def compute() -> Tuple[QuantumCircuit, Dict]:
-        from ..compile.fusion import fuse_gates
+        def compute() -> Tuple[QuantumCircuit, Dict]:
+            from ..compile.fusion import fuse_gates
 
-        fused = fuse_gates(clean, max_fused_qubits=options.max_fused_qubits)
-        return fused, {"fusion": True}
+            fused = fuse_gates(
+                clean, max_fused_qubits=options.max_fused_qubits
+            )
+            return fused, {"fusion": True}
 
-    if cache is not None:
-        return cache.fused_for(clean, options, False, compute)
-    return compute()
+        if cache is not None:
+            prepared, meta = cache.fused_for(clean, options, False, compute)
+        else:
+            prepared, meta = compute()
+        if fuse_span is not None:
+            fuse_span.set(
+                applied=True,
+                ops_before=len(clean.operations),
+                ops_after=len(prepared.operations),
+            )
+        return prepared, meta
 
 
 def _base_metadata(circuit: QuantumCircuit, elapsed: float) -> Dict:
@@ -413,24 +484,49 @@ def simulate_many(
     if n_jobs is None:
         n_jobs = opts.n_jobs
     jobs = configured_jobs(n_jobs) or 1
+    reporter = ProgressReporter.maybe(
+        opts.progress, "circuits", total=len(circuits)
+    )
+    # Inner runs report at sweep granularity only: the per-circuit gate
+    # streams would interleave non-monotonically, and callbacks must not
+    # cross the pickle boundary into workers.
+    inner_opts = (
+        opts if opts.progress is None else _dc_replace(opts, progress=None)
+    )
     if jobs > 1 and len(circuits) > 1:
-        worker_opts = opts
+        worker_opts = inner_opts
         if opts.budget is not None:
-            worker_opts = _dc_replace(opts, budget=opts.budget.share(jobs))
+            worker_opts = _dc_replace(
+                inner_opts, budget=opts.budget.share(jobs)
+            )
         sizes = chunk_sizes(len(circuits), num_chunks=jobs)
         specs = []
         start = 0
         for size in sizes:
             specs.append((circuits[start : start + size], backend, worker_opts))
             start += size
-        chunks = parallel_map(_simulate_many_chunk_worker, specs, n_jobs=jobs)
+        done_after = list(itertools.accumulate(sizes))
+
+        def _chunk_done(index: int, chunk: List[SimulationResult]) -> None:
+            if reporter is not None:
+                reporter.advance_to(done_after[index], chunk=index)
+
+        chunks = parallel_map(
+            _simulate_many_chunk_worker,
+            specs,
+            n_jobs=jobs,
+            on_result=_chunk_done,
+        )
         results = [result for chunk in chunks for result in chunk]
     else:
         cache = _BatchCache()
-        results = [
-            _simulate_prepared(circuit, backend, opts, cache=cache)
-            for circuit in circuits
-        ]
+        results = []
+        for circuit in circuits:
+            results.append(
+                _simulate_prepared(circuit, backend, inner_opts, cache=cache)
+            )
+            if reporter is not None:
+                reporter.step()
     for index, result in enumerate(results):
         result.metadata["batch"] = {"index": index, "size": len(results)}
     return results

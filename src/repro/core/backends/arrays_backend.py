@@ -24,7 +24,10 @@ class ArraysBackend(Backend):
 
     def _run(self, circuit: QuantumCircuit, options: SimOptions) -> np.ndarray:
         sim = StatevectorSimulator(
-            seed=options.seed, method=options.method, budget=options.budget
+            seed=options.seed,
+            method=options.method,
+            budget=options.budget,
+            progress=options.progress,
         )
         return sim.statevector(circuit)
 

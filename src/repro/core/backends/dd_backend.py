@@ -9,6 +9,8 @@ import numpy as np
 from ...circuits.circuit import QuantumCircuit
 from ...dd.package import BYTES_PER_NODE, DDPackage
 from ...dd.simulator import DDSimulationResult, DDSimulator
+from ...obs import metrics as obs_metrics
+from ...obs import trace as obs_trace
 from .. import capabilities as cap
 from ..options import SimOptions
 from .base import Backend, Metadata
@@ -43,12 +45,30 @@ class DDBackend(Backend):
             package=DDPackage(max_nodes=max_nodes),
             seed=options.seed,
             budget=options.budget,
+            progress=options.progress,
         )
         result = sim.run(circuit, track_peak=options.track_peak)
         return sim, result
 
     def _meta(self, sim: DDSimulator, result: DDSimulationResult) -> Metadata:
         nodes = result.state.num_nodes()
+        if obs_trace.enabled():
+            package = sim.package
+            obs_metrics.gauge_max(
+                "dd.unique_table.size", package.unique_table_size
+            )
+            obs_metrics.counter_add("dd.unique_table.hit", package.unique_hits)
+            obs_metrics.counter_add(
+                "dd.unique_table.miss", package.unique_misses
+            )
+            obs_metrics.gauge_max("dd.peak_nodes", max(nodes, sim.peak_nodes))
+            for cache_name, stats in package.cache_stats().items():
+                obs_metrics.counter_add(
+                    f"dd.cache.{cache_name}.hits", stats["hits"]
+                )
+                obs_metrics.counter_add(
+                    f"dd.cache.{cache_name}.misses", stats["misses"]
+                )
         return {
             "nodes": nodes,
             "peak_nodes": sim.peak_nodes,

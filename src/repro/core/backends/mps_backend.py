@@ -27,6 +27,7 @@ class MPSBackend(Backend):
             cutoff=options.cutoff,
             seed=options.seed,
             budget=options.budget,
+            progress=options.progress,
         )
         return sim.run(circuit)
 

@@ -14,6 +14,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ...circuits.circuit import QuantumCircuit
+from ...obs import metrics as obs_metrics
 from ...stab.tableau import StabilizerSimulator, StabilizerTableau
 from .. import capabilities as cap
 from ..options import SimOptions
@@ -42,6 +43,7 @@ class StabBackend(Backend):
 
     def _meta(self, tableau: StabilizerTableau) -> Metadata:
         n = tableau.num_qubits
+        obs_metrics.gauge_max("stab.tableau_rows", 2 * n)
         return {
             "tableau_rows": 2 * n,
             "memory_bytes": int(

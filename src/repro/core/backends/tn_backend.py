@@ -15,6 +15,7 @@ from ...circuits.circuit import QuantumCircuit
 from ...tn.circuit_tn import amplitude as tn_amplitude
 from ...tn.circuit_tn import expectation_value as tn_expectation
 from ...tn.circuit_tn import statevector_from_circuit
+from ...obs import metrics as obs_metrics
 from .. import capabilities as cap
 from ..options import SimOptions
 from .base import Backend, Metadata
@@ -30,8 +31,10 @@ class TNBackend(Backend):
 
     def _meta(self, circuit: QuantumCircuit, options: SimOptions) -> Metadata:
         # One tensor per unitary op plus one |0> cap per qubit.
+        tensors = circuit.num_unitary_ops() + circuit.num_qubits
+        obs_metrics.gauge_max("tn.network.tensors", tensors)
         return {
-            "network_tensors": circuit.num_unitary_ops() + circuit.num_qubits,
+            "network_tensors": tensors,
             "planned": options.plan is not None,
         }
 

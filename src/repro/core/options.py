@@ -11,8 +11,9 @@ option either applies uniformly or is rejected loudly.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
+from ..obs.trace import env_enabled as _trace_env_enabled
 from ..resources import ResourceBudget, default_budget
 
 
@@ -50,6 +51,19 @@ class SimOptions:
             ``"memory=1GiB,seconds=30"``.  When omitted, the
             ``REPRO_BUDGET`` environment variable supplies a
             process-wide default (``None`` = unlimited).
+        trace: Record the run with :mod:`repro.obs` — the dispatcher
+            opens a trace session and attaches the span tree and metric
+            snapshot as ``result.metadata["report"]``.  Defaults from
+            the ``REPRO_TRACE`` environment variable at the facade
+            boundary; off otherwise (near-zero overhead).
+        progress: Streaming callback receiving
+            :class:`~repro.obs.progress.ProgressEvent`s from gate loops,
+            trajectory chunks, and sweep iterations.  Raising from the
+            callback (canonically
+            :class:`~repro.obs.progress.CancelledError`) cancels the run
+            cleanly.  Not pickled: batch entry points report chunk
+            completions from the parent process and strip the callback
+            from worker options.
     """
 
     seed: int = 0
@@ -62,6 +76,8 @@ class SimOptions:
     track_peak: bool = False
     n_jobs: Optional[int] = None
     budget: Optional[ResourceBudget] = None
+    trace: bool = False
+    progress: Optional[Callable[[Any], None]] = None
 
     @classmethod
     def from_kwargs(cls, **kwargs: Any) -> "SimOptions":
@@ -81,6 +97,8 @@ class SimOptions:
             kwargs["budget"] = ResourceBudget.coerce(kwargs["budget"])
         else:
             kwargs["budget"] = default_budget()
+        if "trace" not in kwargs:
+            kwargs["trace"] = _trace_env_enabled()
         return cls(**kwargs)
 
     def as_dict(self) -> Dict[str, Any]:

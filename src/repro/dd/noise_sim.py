@@ -9,13 +9,16 @@ under noise, which is the point of doing this on DDs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..arrays.noise import KrausChannel, NoiseModel
 from ..circuits.circuit import Operation, QuantumCircuit
 from ..circuits.gates import Gate
+from ..obs import metrics as obs_metrics
+from ..obs.progress import ProgressReporter
 from ..parallel import chunk_sizes, configured_jobs, parallel_map, spawn_seeds
 from .package import DDPackage
 from .simulator import DDSimulator
@@ -50,6 +53,32 @@ class NoisyDDResult:
             key = format(int(outcome), f"0{num_qubits}b")
             counts[key] = counts.get(key, 0) + 1
         return counts
+
+
+def _chunk_progress(
+    specs: List[Tuple],
+    progress: Optional[callable],
+    kind: str,
+    backend: str,
+) -> Optional[Callable[[int, object], None]]:
+    """``on_result`` hook advancing a reporter by cumulative chunk sizes.
+
+    Chunk specs carry their trajectory/shot count at position 2; events
+    fire in the parent as each chunk's result is consumed, so the user's
+    callback never crosses the pickle boundary.
+    """
+    if progress is None:
+        return None
+    sizes = [spec[2] for spec in specs]
+    reporter = ProgressReporter(
+        progress, kind, total=sum(sizes), backend=backend
+    )
+    done_after = list(itertools.accumulate(sizes))
+
+    def _on_result(index: int, _partial: object) -> None:
+        reporter.advance_to(done_after[index], chunk=index)
+
+    return _on_result
 
 
 def _dd_chunk_simulator(
@@ -142,14 +171,19 @@ class NoisyDDSimulator:
         trajectories: int = 100,
         n_jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        progress: Optional[callable] = None,
     ) -> NoisyDDResult:
         jobs = configured_jobs(n_jobs)
         if jobs is None and chunk_size is None:
-            return self._run_serial(circuit, trajectories)
+            return self._run_serial(circuit, trajectories, progress)
         specs = self._chunk_specs(circuit, trajectories, chunk_size)
         partials = parallel_map(
-            _dd_trajectory_chunk_worker, specs, n_jobs=jobs or 1
+            _dd_trajectory_chunk_worker,
+            specs,
+            n_jobs=jobs or 1,
+            on_result=_chunk_progress(specs, progress, "trajectories", "dd"),
         )
+        obs_metrics.counter_add("trajectories.count", trajectories)
         total = np.zeros(2**circuit.num_qubits)
         node_counts: List[int] = []
         peak = 0
@@ -165,18 +199,29 @@ class NoisyDDSimulator:
         )
 
     def _run_serial(
-        self, circuit: QuantumCircuit, trajectories: int
+        self,
+        circuit: QuantumCircuit,
+        trajectories: int,
+        progress: Optional[callable] = None,
     ) -> NoisyDDResult:
         n = circuit.num_qubits
         total = np.zeros(2**n)
         node_counts: List[int] = []
         peak = 0
+        reporter = ProgressReporter.maybe(
+            progress, "trajectories", total=trajectories, backend="dd"
+        )
         for _ in range(trajectories):
             state = self._single_trajectory(circuit)
             total += np.abs(state.to_statevector()) ** 2
             nodes = state.num_nodes()
             node_counts.append(nodes)
             peak = max(peak, nodes)
+            if reporter is not None:
+                reporter.step()
+        if reporter is not None:
+            reporter.close()
+        obs_metrics.counter_add("trajectories.count", trajectories)
         return NoisyDDResult(
             total / trajectories,
             trajectories,
@@ -190,6 +235,7 @@ class NoisyDDSimulator:
         shots: int,
         n_jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        progress: Optional[callable] = None,
     ) -> Dict[str, int]:
         """One trajectory per shot, sampled directly from the diagram.
 
@@ -198,10 +244,13 @@ class NoisyDDSimulator:
         """
         jobs = configured_jobs(n_jobs)
         if jobs is None and chunk_size is None:
-            return self._run_sampling_serial(circuit, shots)
+            return self._run_sampling_serial(circuit, shots, progress)
         specs = self._chunk_specs(circuit, shots, chunk_size)
         partials = parallel_map(
-            _dd_sampling_chunk_worker, specs, n_jobs=jobs or 1
+            _dd_sampling_chunk_worker,
+            specs,
+            n_jobs=jobs or 1,
+            on_result=_chunk_progress(specs, progress, "shots", "dd"),
         )
         counts: Dict[str, int] = {}
         for partial in partials:
@@ -210,14 +259,24 @@ class NoisyDDSimulator:
         return counts
 
     def _run_sampling_serial(
-        self, circuit: QuantumCircuit, shots: int
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        progress: Optional[callable] = None,
     ) -> Dict[str, int]:
         counts: Dict[str, int] = {}
+        reporter = ProgressReporter.maybe(
+            progress, "shots", total=shots, backend="dd"
+        )
         for _ in range(shots):
             state = self._single_trajectory(circuit)
             sample = state.sample_counts(1, seed=int(self._rng.integers(2**31)))
             for key, value in sample.items():
                 counts[key] = counts.get(key, 0) + value
+            if reporter is not None:
+                reporter.step()
+        if reporter is not None:
+            reporter.close()
         return counts
 
     def _single_trajectory(self, circuit: QuantumCircuit) -> VectorDD:

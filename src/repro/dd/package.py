@@ -67,6 +67,8 @@ class DDPackage:
         self.max_cache_entries = max_cache_entries
         self.max_nodes = max_nodes
         self._unique: Dict[Tuple, DDNode] = {}
+        self.unique_hits = 0
+        self.unique_misses = 0
         self._add_cache: Dict[Tuple, Edge] = {}
         self._mv_cache: Dict[Tuple, Edge] = {}
         self._mm_cache: Dict[Tuple, Edge] = {}
@@ -82,6 +84,14 @@ class DDPackage:
     @property
     def unique_table_size(self) -> int:
         return len(self._unique)
+
+    def unique_table_stats(self) -> Dict[str, int]:
+        """Unique-table size plus interning hit/miss counters."""
+        return {
+            "entries": len(self._unique),
+            "hits": self.unique_hits,
+            "misses": self.unique_misses,
+        }
 
     def _cache_put(self, name: str, cache: Dict, key, value) -> None:
         """Insert under the bound; clear wholesale on overflow."""
@@ -118,6 +128,8 @@ class DDPackage:
     def reset(self) -> None:
         """Drop every table; invalidates all previously created diagrams."""
         self._unique.clear()
+        self.unique_hits = 0
+        self.unique_misses = 0
         self.clear_caches()
         for counters in self._cache_counters.values():
             counters["hits"] = counters["misses"] = counters["clears"] = 0
@@ -162,7 +174,10 @@ class DDPackage:
                 normalized.append(self.make_edge(e.node, e.weight / pivot_weight))
         key = (var, tuple((id(e.node), e.weight) for e in normalized))
         node = self._unique.get(key)
-        if node is None:
+        if node is not None:
+            self.unique_hits += 1
+        else:
+            self.unique_misses += 1
             if (
                 self.max_nodes is not None
                 and len(self._unique) >= self.max_nodes

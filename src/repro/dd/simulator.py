@@ -14,6 +14,7 @@ import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
 from ..circuits.gates import Gate
+from ..obs.progress import GATE_EVENT_INTERVAL, ProgressReporter
 from ..resources import ResourceBudget
 from .package import DDPackage
 from .vector import VectorDD
@@ -53,11 +54,13 @@ class DDSimulator:
         package: Optional[DDPackage] = None,
         seed: int = 0,
         budget: Optional[ResourceBudget] = None,
+        progress: Optional[callable] = None,
     ) -> None:
         self.package = package or DDPackage()
         self._rng = np.random.default_rng(seed)
         self.peak_nodes = 0
         self.budget = budget
+        self.progress = progress
 
     def run(
         self,
@@ -76,9 +79,18 @@ class DDSimulator:
             state = initial_state
         self.peak_nodes = state.num_nodes() if track_peak else 0
         classical: Dict[int, int] = {}
+        reporter = ProgressReporter.maybe(
+            self.progress,
+            "gates",
+            total=len(circuit.operations),
+            backend="dd",
+            every=GATE_EVENT_INTERVAL,
+        )
         for position, op in enumerate(circuit.operations):
             if deadline is not None and position % _DEADLINE_CHECK_INTERVAL == 0:
                 deadline.check(backend="dd", context="gate loop")
+            if reporter is not None:
+                reporter.step()
             if op.is_barrier:
                 continue
             if op.is_measurement:
@@ -93,6 +105,8 @@ class DDSimulator:
             state = self.apply_operation(state, op)
             if track_peak:
                 self.peak_nodes = max(self.peak_nodes, state.num_nodes())
+        if reporter is not None:
+            reporter.close()
         return DDSimulationResult(state, classical)
 
     def apply_operation(self, state: VectorDD, op: Operation) -> VectorDD:

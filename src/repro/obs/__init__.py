@@ -1,0 +1,118 @@
+"""repro.obs — tracing, metrics, and progress observability.
+
+The zero-dependency observability subsystem shared by every backend:
+
+- :mod:`repro.obs.trace` — nested spans on one monotonic clock, a
+  bounded flight recorder, and the module-level enabled flag
+  (``REPRO_TRACE`` / :func:`set_enabled`) that keeps everything inert
+  by default;
+- :mod:`repro.obs.metrics` — process-wide counters, gauges, and
+  fixed-bucket histograms (``dd.unique_table.size``, ``mps.max_bond``,
+  ``tn.plan.peak_cost``, ``dispatch.fallback.count``,
+  ``parallel.chunk.wall_s``, ...);
+- :mod:`repro.obs.export` — a run rendered as JSON, a Chrome
+  ``trace_event`` file, or Prometheus text;
+- :mod:`repro.obs.progress` — streaming ``progress=callback`` events
+  from gate loops, trajectory chunks, and stimuli checks, with
+  cancellation through the existing deadline plumbing.
+
+The typical entry point is not this module but
+``simulate(..., trace=True)``, which wraps the run in a
+:func:`trace_session` and attaches ``{"spans": ..., "metrics": ...}``
+as ``result.metadata["report"]``.  Library code instruments itself with
+:func:`repro.obs.trace.span` / :mod:`repro.obs.metrics` helpers, which
+all gate on the one enabled flag.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from . import export, metrics, progress, trace
+from .export import to_chrome_trace, to_json, to_prometheus_text, write_chrome_trace
+from .metrics import DEFAULT_REGISTRY, MetricsRegistry
+from .progress import CancelledError, ProgressEvent, ProgressReporter
+from .trace import (
+    TRACE_ENV_VAR,
+    FlightRecorder,
+    Span,
+    clock,
+    enabled,
+    set_enabled,
+    span,
+    timed_span,
+)
+
+__all__ = [
+    "CancelledError",
+    "DEFAULT_REGISTRY",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "ProgressEvent",
+    "ProgressReporter",
+    "Span",
+    "TRACE_ENV_VAR",
+    "TraceSession",
+    "clock",
+    "enabled",
+    "export",
+    "metrics",
+    "progress",
+    "set_enabled",
+    "span",
+    "timed_span",
+    "to_chrome_trace",
+    "to_json",
+    "to_prometheus_text",
+    "trace",
+    "trace_session",
+    "write_chrome_trace",
+]
+
+
+class TraceSession:
+    """One traced run: a fresh flight recorder plus a fresh metric registry.
+
+    Created by :func:`trace_session`; :meth:`report` snapshots both into
+    the plain-dict artifact the exporters and ``metadata["report"]``
+    consume.
+    """
+
+    def __init__(self, max_spans: int = 4096) -> None:
+        self.recorder = trace.FlightRecorder(max_spans)
+        self.registry = metrics.MetricsRegistry()
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "spans": self.recorder.span_dicts(),
+            "dropped": self.recorder.dropped,
+            "metrics": self.registry.snapshot(),
+        }
+
+
+@contextmanager
+def trace_session(
+    enable: bool = True, max_spans: int = 4096
+) -> Iterator[Optional[TraceSession]]:
+    """Scope a traced run: enable tracing, isolate its spans and metrics.
+
+    With ``enable=False`` this is a no-op yielding ``None``, so call
+    sites can write ``with trace_session(options.trace) as session:``
+    unconditionally.  On exit the previous enabled flag, recorder, and
+    registry are restored, so sessions nest and a per-call
+    ``trace=True`` never leaks tracing into the rest of the process.
+    """
+    if not enable:
+        yield None
+        return
+    session = TraceSession(max_spans=max_spans)
+    previous = trace.set_enabled(True)
+    saved_stack = trace.push_recorder(session.recorder)
+    metrics.push_registry(session.registry)
+    try:
+        yield session
+    finally:
+        metrics.pop_registry(session.registry)
+        trace.pop_recorder(session.recorder, saved_stack)
+        trace.set_enabled(previous)

@@ -1,0 +1,142 @@
+"""Render a traced run to JSON, Chrome ``trace_event``, or Prometheus text.
+
+A *report* is the plain-dict artifact a :func:`repro.obs.trace_session`
+produces (and :func:`repro.core.simulate` attaches as
+``result.metadata["report"]`` when ``trace=True``)::
+
+    {"spans": [span dicts...], "dropped": 0, "metrics": snapshot}
+
+Three renderings:
+
+- :func:`to_json` — the report verbatim, for archival / diffing;
+- :func:`to_chrome_trace` — a ``trace_event`` JSON object that loads in
+  ``chrome://tracing`` / Perfetto; spans become complete (``"X"``)
+  events, worker-process spans keep their own ``pid`` row;
+- :func:`to_prometheus_text` — the metric snapshot in Prometheus text
+  exposition format (dots rewritten to underscores, counters suffixed
+  ``_total``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Dict, List, Optional, Union
+
+PathLike = Union[str, os.PathLike]
+
+_REPORT_KEYS = ("spans", "metrics")
+
+
+def _require_report(report: Dict[str, Any]) -> Dict[str, Any]:
+    if not isinstance(report, dict) or not any(
+        key in report for key in _REPORT_KEYS
+    ):
+        raise TypeError(
+            "expected a trace report dict with 'spans'/'metrics' keys; "
+            f"got {type(report).__name__}"
+        )
+    return report
+
+
+def to_json(report: Dict[str, Any], path: Optional[PathLike] = None) -> str:
+    """Serialize a report to JSON text; optionally write it to ``path``."""
+    _require_report(report)
+    text = json.dumps(report, indent=2, default=str) + "\n"
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text
+
+
+def to_chrome_trace(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert a report's spans to the Chrome ``trace_event`` format.
+
+    Per-process clocks are not comparable across a spawn boundary, so
+    timestamps are rebased per pid: each process's earliest span starts
+    at ``ts=0`` on its own row.  Span attributes ride along in ``args``.
+    """
+    spans = _require_report(report).get("spans", [])
+    base_by_pid: Dict[int, float] = {}
+    for span in spans:
+        pid = span.get("pid", 0)
+        start = span["start_s"]
+        if pid not in base_by_pid or start < base_by_pid[pid]:
+            base_by_pid[pid] = start
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        pid = span.get("pid", 0)
+        args = dict(span.get("attributes", {}))
+        if span.get("status", "ok") != "ok":
+            args["status"] = span["status"]
+        events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": (span["start_s"] - base_by_pid[pid]) * 1e6,
+                "dur": max(span["duration_s"], 0.0) * 1e6,
+                "pid": pid,
+                "tid": span.get("thread_id", 0),
+                "cat": span["name"].split(".", 1)[0],
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(report: Dict[str, Any], path: PathLike) -> None:
+    """Write :func:`to_chrome_trace` output to ``path`` (open in Perfetto)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(report), handle, indent=2)
+        handle.write("\n")
+
+
+def _prom_name(name: str) -> str:
+    cleaned = []
+    for ch in name:
+        cleaned.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(cleaned)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text or "_"
+
+
+def _prom_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus_text(metrics: Dict[str, Any]) -> str:
+    """Render a metric snapshot in Prometheus text exposition format.
+
+    Accepts either a snapshot (``{"counters": ..., "gauges": ...,
+    "histograms": ...}``) or a full report containing one under
+    ``"metrics"``.
+    """
+    if "metrics" in metrics and "counters" not in metrics:
+        metrics = metrics["metrics"]
+    lines: List[str] = []
+    for name, value in sorted(metrics.get("counters", {}).items()):
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, value in sorted(metrics.get("gauges", {}).items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, data in sorted(metrics.get("histograms", {}).items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(data["buckets"], data["counts"]):
+            cumulative += count
+            lines.append(
+                f'{prom}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{prom}_sum {_prom_value(data['sum'])}")
+        lines.append(f"{prom}_count {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -35,6 +35,17 @@ as-is because workers run side by side).  A
 pickles back to the parent with its structured context intact and
 surfaces after the pool has been drained, so the registry dispatcher's
 fallback chain sees exactly the error a serial run would have produced.
+
+Observability composes here too: when tracing
+(:mod:`repro.obs.trace`) is enabled in the parent, each pooled task runs
+inside its own trace session in the worker and ships its spans and
+metric snapshot back alongside the result; the parent adopts the spans
+under its current span (worker span ids embed the worker pid, so they
+never collide), merges the metrics, and records every chunk's wall time
+in the ``parallel.chunk.wall_s`` histogram.  The ``on_result`` hook on
+:func:`parallel_map` fires in task order as results are consumed, which
+is how chunked loops stream :class:`~repro.obs.progress.ProgressEvent`s
+to a parent-side callback without pickling it.
 """
 
 from __future__ import annotations
@@ -42,10 +53,14 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
+from functools import partial
 from multiprocessing import get_context
 from typing import Any, Callable, Iterator, List, Optional, Sequence
 
 import numpy as np
+
+from .obs import metrics as obs_metrics
+from .obs import trace as obs_trace
 
 JOBS_ENV_VAR = "REPRO_JOBS"
 """Environment variable supplying a default worker count.
@@ -199,22 +214,102 @@ class ProcessPool:
         return list(self.imap(fn, tasks))
 
 
+class _TracedResult:
+    """Pickled envelope a traced worker task sends back: result + report."""
+
+    __slots__ = ("value", "report")
+
+    def __init__(self, value: Any, report: dict) -> None:
+        self.value = value
+        self.report = report
+
+
+def _traced_task(fn: Callable, task: Any) -> "_TracedResult":
+    """Run one pooled task inside its own trace session (worker side).
+
+    Wrapped around the task function with ``functools.partial`` (so it
+    stays picklable by reference) when the parent has tracing enabled.
+    The worker's spans and metrics travel back in the
+    :class:`_TracedResult` envelope and are folded into the parent's
+    recorder by :func:`_absorb_traced`.
+    """
+    from .obs import trace_session
+
+    with trace_session() as session:
+        chunk = obs_trace.timed_span(
+            "parallel.chunk", fn=getattr(fn, "__name__", str(fn))
+        )
+        try:
+            value = fn(task)
+        finally:
+            chunk.finish()
+    return _TracedResult(value, session.report())
+
+
+def _absorb_traced(raw: Any) -> Any:
+    """Merge a worker's trace report into the parent recorder (parent side)."""
+    if not isinstance(raw, _TracedResult):
+        return raw
+    if obs_trace.enabled():
+        report = raw.report
+        obs_trace.current_recorder().adopt(
+            report.get("spans", ()), obs_trace.current_span_id()
+        )
+        obs_metrics.merge_snapshot(report.get("metrics"))
+        for entry in report.get("spans", ()):
+            if entry.get("name") == "parallel.chunk":
+                obs_metrics.observe("parallel.chunk.wall_s", entry["duration_s"])
+    return raw.value
+
+
+def _run_inline(fn: Callable, task: Any) -> Any:
+    """Serial-path twin of :func:`_traced_task`: same span, no session."""
+    chunk = obs_trace.timed_span(
+        "parallel.chunk", fn=getattr(fn, "__name__", str(fn)), inline=True
+    )
+    try:
+        value = fn(task)
+    finally:
+        chunk.finish()
+    if obs_trace.enabled():
+        obs_metrics.observe("parallel.chunk.wall_s", chunk.duration_s)
+    return value
+
+
 def parallel_map(
     fn: Callable,
     tasks: Sequence[Any],
     n_jobs: Optional[int] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
 ) -> List[Any]:
     """Ordered ``[fn(t) for t in tasks]``, on a pool when ``n_jobs > 1``.
 
     With one job (or at most one task) everything runs inline in this
     process — no pool, no pickling — which is also the reference
     execution the parallel path must match bitwise.
+
+    ``on_result(index, result)`` fires in task order as each result is
+    consumed (pooled or inline); chunked loops use it to stream progress
+    events from the parent process, where the user's callback lives.
     """
     jobs = resolve_jobs(n_jobs)
+    results: List[Any] = []
     if jobs <= 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
+        for index, task in enumerate(tasks):
+            value = _run_inline(fn, task)
+            if on_result is not None:
+                on_result(index, value)
+            results.append(value)
+        return results
+    traced = obs_trace.enabled()
+    wrapped = partial(_traced_task, fn) if traced else fn
     with ProcessPool(jobs) as pool:
-        return pool.map(fn, tasks)
+        for index, raw in enumerate(pool.imap(wrapped, tasks)):
+            value = _absorb_traced(raw) if traced else raw
+            if on_result is not None:
+                on_result(index, value)
+            results.append(value)
+    return results
 
 
 @contextmanager
@@ -234,10 +329,17 @@ def task_stream(
 
     Serial (``n_jobs=1``) streams evaluate tasks lazily, so breaking out
     skips the remaining work exactly like the pooled version cancels it.
+    Like :func:`parallel_map`, pooled tasks carry their trace spans back
+    to the parent when tracing is enabled.
     """
     jobs = resolve_jobs(n_jobs)
     if jobs <= 1 or len(tasks) <= 1:
-        yield (fn(task) for task in tasks)
+        yield (_run_inline(fn, task) for task in tasks)
         return
+    traced = obs_trace.enabled()
+    wrapped = partial(_traced_task, fn) if traced else fn
     with ProcessPool(jobs) as pool:
-        yield pool.imap(fn, tasks)
+        results = pool.imap(wrapped, tasks)
+        if traced:
+            results = (_absorb_traced(raw) for raw in results)
+        yield results

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..obs import trace as obs_trace
 from .network import Plan, TensorNetwork
 from .tensor import contraction_result_indices
 
@@ -119,6 +120,11 @@ def greedy_plan(network: TensorNetwork) -> Plan:
     produced plans are identical to the old full-rescan implementation
     (same key, same tie-breaking).
     """
+    with obs_trace.span("tn.plan.greedy", tensors=network.num_tensors):
+        return _greedy_plan_search(network)
+
+
+def _greedy_plan_search(network: TensorNetwork) -> Plan:
     state = _LiveNetwork(network)
     heap: List[Tuple[int, int, int, int]] = []
 
@@ -179,19 +185,22 @@ def random_greedy_plan(
     the "hyper-optimization" recipe in miniature: greedy quality at the
     median, occasionally much better plans from the noise.
     """
-    rng = np.random.default_rng(seed)
-    dims = network.index_dimensions()
-    # The deterministic greedy plan is always in the candidate pool, so the
-    # randomized search can only improve on it.
-    best_plan: Plan = greedy_plan(network)
-    best_cost, _ = network.contraction_cost(best_plan)
-    for _ in range(max(trials, 1)):
-        plan = _stochastic_greedy_pass(network, dims, rng, temperature)
-        cost, _peak = network.contraction_cost(plan)
-        if cost < best_cost:
-            best_cost = cost
-            best_plan = plan
-    return best_plan
+    with obs_trace.span(
+        "tn.plan.random_greedy", tensors=network.num_tensors, trials=trials
+    ):
+        rng = np.random.default_rng(seed)
+        dims = network.index_dimensions()
+        # The deterministic greedy plan is always in the candidate pool, so
+        # the randomized search can only improve on it.
+        best_plan: Plan = greedy_plan(network)
+        best_cost, _ = network.contraction_cost(best_plan)
+        for _ in range(max(trials, 1)):
+            plan = _stochastic_greedy_pass(network, dims, rng, temperature)
+            cost, _peak = network.contraction_cost(plan)
+            if cost < best_cost:
+                best_cost = cost
+                best_plan = plan
+        return best_plan
 
 
 def _stochastic_greedy_pass(
@@ -265,6 +274,11 @@ def optimal_plan(network: TensorNetwork, max_tensors: int = 14) -> Plan:
         )
     if num == 0:
         raise ValueError("empty network")
+    with obs_trace.span("tn.plan.optimal", tensors=num):
+        return _optimal_plan_search(network, num)
+
+
+def _optimal_plan_search(network: TensorNetwork, num: int) -> Plan:
     dims = network.index_dimensions()
 
     # For a subset S, the surviving indices are those that occur in S and

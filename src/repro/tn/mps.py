@@ -18,6 +18,8 @@ import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
 from ..circuits.gates import SWAP, controlled_matrix
+from ..obs import metrics as obs_metrics
+from ..obs.progress import GATE_EVENT_INTERVAL, ProgressReporter
 from ..resources import ResourceBudget
 
 _SWAP_MATRIX = SWAP.matrix
@@ -278,11 +280,13 @@ class MPSSimulator:
         cutoff: float = 1e-12,
         seed: int = 0,
         budget: Optional[ResourceBudget] = None,
+        progress: Optional[callable] = None,
     ) -> None:
         self.max_bond = max_bond
         self.cutoff = cutoff
         self._rng = np.random.default_rng(seed)
         self.budget = budget
+        self.progress = progress
 
     def _check_budget(self, mps: MPS, deadline) -> None:
         budget = self.budget
@@ -303,12 +307,21 @@ class MPSSimulator:
         mps = initial or MPS.zero_state(n)
         deadline = self.budget.deadline() if self.budget is not None else None
         classical: Dict[int, int] = {}
+        reporter = ProgressReporter.maybe(
+            self.progress,
+            "gates",
+            total=len(circuit.operations),
+            backend="mps",
+            every=GATE_EVENT_INTERVAL,
+        )
         for position, op in enumerate(circuit.operations):
             if (
                 self.budget is not None
                 and position % _BUDGET_CHECK_INTERVAL == 0
             ):
                 self._check_budget(mps, deadline)
+            if reporter is not None:
+                reporter.step()
             if op.is_barrier:
                 continue
             if op.is_measurement:
@@ -323,6 +336,11 @@ class MPSSimulator:
             self._apply(mps, op)
         if self.budget is not None:
             self._check_budget(mps, deadline)
+        if reporter is not None:
+            reporter.close()
+        obs_metrics.gauge_max("mps.max_bond", mps.max_bond_reached)
+        obs_metrics.gauge_max("mps.truncation_error", mps.truncation_error)
+        obs_metrics.gauge_max("mps.entries", mps.total_entries())
         return MPSResult(mps, classical)
 
     def statevector(self, circuit: QuantumCircuit) -> np.ndarray:

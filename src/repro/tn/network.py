@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..resources import ResourceBudget
 from .tensor import Tensor, contract, contraction_result_indices
 
@@ -108,12 +110,20 @@ class TensorNetwork:
             from .contraction import greedy_plan
 
             plan = greedy_plan(self)
-        if budget is not None:
-            _flops, peak = self.contraction_cost(plan)
-            budget.check_memory(
-                peak * 16, backend="tn", what="peak contraction intermediate"
-            )
-        return self.contract_pairwise(plan, budget=budget)
+        if budget is not None or obs_trace.enabled():
+            flops, peak = self.contraction_cost(plan)
+            obs_metrics.gauge_max("tn.plan.peak_cost", peak)
+            obs_metrics.counter_add("tn.plan.flops", flops)
+            if budget is not None:
+                budget.check_memory(
+                    peak * 16,
+                    backend="tn",
+                    what="peak contraction intermediate",
+                )
+        with obs_trace.span(
+            "tn.contract", tensors=len(self.tensors), steps=len(plan)
+        ):
+            return self.contract_pairwise(plan, budget=budget)
 
     def contraction_cost(self, plan: Plan) -> Tuple[int, int]:
         """Simulate a plan symbolically.

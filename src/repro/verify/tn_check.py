@@ -16,6 +16,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
+from ..obs import trace as obs_trace
+from ..obs.progress import ProgressReporter
 from ..parallel import configured_jobs, task_stream
 from ..resources import ResourceBudget
 from ..tn.circuit_tn import amplitude
@@ -145,14 +147,15 @@ def _stimulus_worker(
     """
     circuit_a, circuit_b, pairs, budget = spec
     results: List[Tuple[complex, complex]] = []
-    for basis_in, basis_out in pairs:
-        amp_a = amplitude(
-            circuit_a, basis_out, initial_bits=basis_in, budget=budget
-        )
-        amp_b = amplitude(
-            circuit_b, basis_out, initial_bits=basis_in, budget=budget
-        )
-        results.append((amp_a, amp_b))
+    with obs_trace.span("verify.stimulus", pairs=len(pairs)):
+        for basis_in, basis_out in pairs:
+            amp_a = amplitude(
+                circuit_a, basis_out, initial_bits=basis_in, budget=budget
+            )
+            amp_b = amplitude(
+                circuit_b, basis_out, initial_bits=basis_in, budget=budget
+            )
+            results.append((amp_a, amp_b))
     return results
 
 
@@ -165,6 +168,7 @@ def check_equivalence_random_stimuli(
     tol: float = 1e-8,
     budget: Optional[ResourceBudget] = None,
     n_jobs: Optional[int] = None,
+    progress: Optional[callable] = None,
 ) -> bool:
     """Probabilistic check: compare single amplitudes on random basis inputs.
 
@@ -205,6 +209,9 @@ def check_equivalence_random_stimuli(
     )
     specs = [(a_clean, b_clean, pairs, worker_budget) for pairs in stimuli]
     phase: Optional[complex] = None
+    reporter = ProgressReporter.maybe(
+        progress, "stimuli", total=num_stimuli, backend="tn"
+    )
     with task_stream(_stimulus_worker, specs, n_jobs=jobs) as results:
         for pair_results in results:
             for amp_a, amp_b in pair_results:
@@ -218,4 +225,8 @@ def check_equivalence_random_stimuli(
                         return False
                 if abs(amp_a - phase * amp_b) > 1e-6:
                     return False
+            if reporter is not None:
+                reporter.step()
+    if reporter is not None:
+        reporter.close()
     return True

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .diagram import EdgeType, VertexType, ZXDiagram
 from .rules import (
     check_fusable,
@@ -255,18 +257,32 @@ def full_reduce(diagram: ZXDiagram, max_rounds: int = 1000) -> ReductionResult:
     equivalence checking) must treat that as inconclusive rather than
     trusting the residual diagram.
     """
-    total = interior_clifford_simp(diagram)
-    rounds = 0
-    for _ in range(max_rounds):
-        rounds += 1
-        steps = 0
-        steps += _gadget_simp(diagram)
-        steps += _pivot_gadget_simp(diagram)
-        steps += interior_clifford_simp(diagram)
-        total += steps
-        if steps == 0:
-            return ReductionResult(total, True, rounds)
-    return ReductionResult(total, False, rounds)
+    with obs_trace.span("zx.full_reduce") as reduce_span:
+        total = interior_clifford_simp(diagram)
+        rounds = 0
+        converged = False
+        for _ in range(max_rounds):
+            rounds += 1
+            with obs_trace.span(
+                "zx.simplify.round", round=rounds
+            ) as round_span:
+                steps = 0
+                steps += _gadget_simp(diagram)
+                steps += _pivot_gadget_simp(diagram)
+                steps += interior_clifford_simp(diagram)
+                if round_span is not None:
+                    round_span.set(rewrites=steps)
+            total += steps
+            if steps == 0:
+                converged = True
+                break
+        obs_metrics.counter_add("zx.rewrites", total)
+        obs_metrics.gauge_max("zx.simplify.rounds", rounds)
+        if reduce_span is not None:
+            reduce_span.set(
+                rewrites=total, rounds=rounds, converged=converged
+            )
+        return ReductionResult(total, converged, rounds)
 
 
 def simplification_report(diagram: ZXDiagram) -> Dict[str, int]:

@@ -1,0 +1,361 @@
+"""Unit tests for the observability subsystem (repro.obs).
+
+Covers the four modules in isolation: span lifecycle and the flight
+recorder (trace), the metric registry and its merge semantics (metrics),
+the three export renderings (export), and the throttled monotonic
+progress reporter (progress).  The cardinal property — everything inert
+when tracing is disabled — is asserted throughout.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    ProgressEvent,
+    ProgressReporter,
+    TraceSession,
+    to_chrome_trace,
+    to_json,
+    to_prometheus_text,
+    trace_session,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import Histogram
+from repro.obs.progress import GATE_EVENT_INTERVAL
+
+
+@pytest.fixture
+def traced():
+    """Enable tracing with a fresh recorder/registry; restore on exit."""
+    with trace_session(True) as session:
+        yield session
+
+
+@pytest.fixture
+def untraced(monkeypatch):
+    """Force tracing off (the suite may run under REPRO_TRACE=1)."""
+    monkeypatch.delenv(obs_trace.TRACE_ENV_VAR, raising=False)
+    previous = obs_trace.set_enabled(False)
+    yield
+    obs_trace.set_enabled(previous)
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_noop(self, untraced):
+        assert not obs_trace.enabled()
+        ctx_a = obs_trace.span("anything", key="value")
+        ctx_b = obs_trace.span("other")
+        assert ctx_a is ctx_b  # one shared object, zero allocation
+        with ctx_a as sp:
+            assert sp is None
+
+    def test_disabled_timed_span_still_times(self, untraced):
+        assert not obs_trace.enabled()
+        recorded_before = len(obs_trace.DEFAULT_RECORDER)
+        sp = obs_trace.timed_span("timer")
+        sp.finish()
+        assert sp.end_s is not None
+        assert sp.duration_s >= 0.0
+        # ...but records nothing.
+        assert len(obs_trace.DEFAULT_RECORDER) == recorded_before
+
+    def test_nesting_links_parent_child(self, traced):
+        with obs_trace.span("outer") as outer:
+            with obs_trace.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        spans = {s["name"]: s for s in traced.recorder.span_dicts()}
+        assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+        assert spans["outer"]["parent_id"] is None
+
+    def test_span_ids_embed_pid_and_are_unique(self, traced):
+        with obs_trace.span("a"):
+            pass
+        with obs_trace.span("b"):
+            pass
+        ids = [s["span_id"] for s in traced.recorder.span_dicts()]
+        assert len(set(ids)) == 2
+        import os
+
+        assert all(i.startswith(f"{os.getpid()}-") for i in ids)
+
+    def test_exception_marks_error_status(self, traced):
+        with pytest.raises(ValueError):
+            with obs_trace.span("doomed"):
+                raise ValueError("boom")
+        (entry,) = traced.recorder.span_dicts()
+        assert entry["status"] == "error"
+        assert entry["attributes"]["error"] == "ValueError"
+
+    def test_finish_is_idempotent(self, traced):
+        sp = obs_trace.timed_span("once")
+        sp.finish(status="ok")
+        end = sp.end_s
+        sp.finish(status="error")
+        assert sp.end_s == end
+        assert sp.status == "ok"
+        assert len(traced.recorder) == 1
+
+    def test_attributes_after_finish_are_ignored(self, traced):
+        sp = obs_trace.timed_span("locked")
+        sp.finish()
+        sp.set(late=True)
+        (entry,) = traced.recorder.span_dicts()
+        assert "late" not in entry["attributes"]
+
+    def test_abandoned_child_self_heals(self, traced):
+        outer = obs_trace.timed_span("outer")
+        obs_trace.timed_span("abandoned")  # never finished
+        outer.finish()
+        names = [s["name"] for s in traced.recorder.span_dicts()]
+        assert names == ["outer"]
+        # The stack is clean: a new root has no parent.
+        with obs_trace.span("next") as sp:
+            assert sp.parent_id is None
+
+    def test_session_restores_enabled_flag_and_recorder(self):
+        before = obs_trace.enabled()
+        with trace_session(True):
+            assert obs_trace.enabled()
+        assert obs_trace.enabled() == before
+
+    def test_disabled_session_yields_none(self):
+        with trace_session(False) as session:
+            assert session is None
+
+
+class TestFlightRecorder:
+    def test_bounded_drops_newest(self):
+        recorder = FlightRecorder(max_spans=2)
+        with trace_session(True) as session:
+            pass  # only for flag handling
+        previous = obs_trace.set_enabled(True)
+        saved = obs_trace.push_recorder(recorder)
+        try:
+            for i in range(5):
+                obs_trace.timed_span(f"s{i}").finish()
+        finally:
+            obs_trace.pop_recorder(recorder, saved)
+            obs_trace.set_enabled(previous)
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+        assert [s["name"] for s in recorder.span_dicts()] == ["s0", "s1"]
+        del session
+
+    def test_adopt_reparents_orphans(self):
+        recorder = FlightRecorder()
+        worker_spans = [
+            {
+                "name": "parallel.chunk",
+                "span_id": "999-1",
+                "parent_id": None,
+                "start_s": 0.0,
+                "duration_s": 0.5,
+                "status": "ok",
+                "attributes": {},
+                "pid": 999,
+                "thread_id": 1,
+            },
+            {
+                "name": "child",
+                "span_id": "999-2",
+                "parent_id": "999-1",
+                "start_s": 0.1,
+                "duration_s": 0.2,
+                "status": "ok",
+                "attributes": {},
+                "pid": 999,
+                "thread_id": 1,
+            },
+        ]
+        recorder.adopt(worker_spans, parent_id="1-7")
+        by_name = {s["name"]: s for s in recorder.span_dicts()}
+        assert by_name["parallel.chunk"]["parent_id"] == "1-7"  # re-parented
+        assert by_name["child"]["parent_id"] == "999-1"  # kept
+
+    def test_tree_nests_children(self, traced):
+        with obs_trace.span("root"):
+            with obs_trace.span("kid"):
+                pass
+        (root,) = traced.recorder.tree()
+        assert root["name"] == "root"
+        assert [c["name"] for c in root["children"]] == ["kid"]
+
+
+class TestMetrics:
+    def test_disabled_helpers_do_not_write(self, untraced):
+        assert not obs_trace.enabled()
+        before = obs_metrics.DEFAULT_REGISTRY.snapshot()
+        obs_metrics.counter_add("test.noop")
+        obs_metrics.gauge_max("test.noop.gauge", 42)
+        obs_metrics.observe("test.noop.hist", 0.1)
+        assert obs_metrics.DEFAULT_REGISTRY.snapshot() == before
+
+    def test_session_isolates_writes(self, traced):
+        obs_metrics.counter_add("test.hits", 3)
+        obs_metrics.gauge_max("test.peak", 7)
+        obs_metrics.gauge_max("test.peak", 5)  # high-water: ignored
+        snap = traced.registry.snapshot()
+        assert snap["counters"]["test.hits"] == 3
+        assert snap["gauges"]["test.peak"] == 7
+        # Nothing leaked to the process-wide registry.
+        assert "test.hits" not in obs_metrics.DEFAULT_REGISTRY.snapshot()["counters"]
+
+    def test_merge_semantics(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter_add("c", 2)
+        b.counter_add("c", 3)
+        a.gauge_max("g", 10)
+        b.gauge_max("g", 4)
+        a.observe("h", 0.002)
+        b.observe("h", 0.002)
+        b.observe("h", 100.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["c"] == 5  # counters add
+        assert snap["gauges"]["g"] == 10  # gauges keep the max
+        hist = snap["histograms"]["h"]
+        assert hist["count"] == 3  # histograms merge bucket-wise
+        assert hist["sum"] == pytest.approx(100.004)
+
+    def test_histogram_buckets(self):
+        hist = Histogram(buckets=(0.01, 1.0))
+        hist.observe(0.005)
+        hist.observe(0.5)
+        hist.observe(50.0)  # lands in the implicit +inf bucket
+        assert hist.buckets[-1] == math.inf
+        assert hist.counts == [1, 1, 1]
+        assert hist.count == 3
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 0.5))
+
+
+class TestExport:
+    def _sample_session(self):
+        with trace_session(True) as session:
+            with obs_trace.span("dispatch", task="statevector"):
+                with obs_trace.span("execute", backend="dd"):
+                    pass
+            obs_metrics.counter_add("dd.unique_table.hit", 12)
+            obs_metrics.gauge_max("mps.max_bond", 8)
+            obs_metrics.observe("parallel.chunk.wall_s", 0.02)
+            report = session.report()
+        return report
+
+    def test_json_round_trips(self, tmp_path):
+        report = self._sample_session()
+        path = tmp_path / "report.json"
+        text = to_json(report, path=path)
+        loaded = json.loads(text)
+        assert loaded == json.loads(path.read_text())
+        assert [s["name"] for s in loaded["spans"]] == ["dispatch", "execute"]
+        assert loaded["metrics"]["counters"]["dd.unique_table.hit"] == 12
+
+    def test_chrome_trace_events(self):
+        report = self._sample_session()
+        chrome = to_chrome_trace(report)
+        events = chrome["traceEvents"]
+        assert {e["name"] for e in events} == {"dispatch", "execute"}
+        assert all(e["ph"] == "X" for e in events)
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in events)
+        # Timestamps are rebased per pid: the earliest span starts at 0.
+        assert min(e["ts"] for e in events) == 0
+
+    def test_prometheus_text(self):
+        report = self._sample_session()
+        text = to_prometheus_text(report)
+        assert "dd_unique_table_hit_total 12" in text
+        assert "mps_max_bond 8" in text
+        assert '_bucket{le="+Inf"}' in text
+        assert "parallel_chunk_wall_s_count 1" in text
+
+    def test_export_rejects_non_reports(self):
+        with pytest.raises(TypeError):
+            to_json({"something": "else"})
+        with pytest.raises(TypeError):
+            to_chrome_trace([1, 2, 3])
+
+
+class TestProgressReporter:
+    def test_events_monotonic_and_final(self):
+        events = []
+        reporter = ProgressReporter(
+            events.append, "gates", total=40, backend="arrays", every=16
+        )
+        for _ in range(40):
+            reporter.step()
+        reporter.close()
+        dones = [e.done for e in events]
+        assert dones == sorted(set(dones))  # strictly increasing, no dupes
+        assert dones[-1] == 40  # final count always reported
+        assert all(e.kind == "gates" and e.backend == "arrays" for e in events)
+        assert all(e.total == 40 for e in events)
+
+    def test_throttle_limits_event_count(self):
+        events = []
+        reporter = ProgressReporter(events.append, "gates", total=200, every=16)
+        for _ in range(200):
+            reporter.step()
+        reporter.close()
+        assert len(events) <= 200 // 16 + 2
+        assert events[-1].done == 200
+
+    def test_advance_to_never_goes_backwards(self):
+        events = []
+        reporter = ProgressReporter(events.append, "trajectories", total=100)
+        reporter.advance_to(60, chunk=1)
+        reporter.advance_to(30, chunk=0)  # late chunk, already covered
+        reporter.advance_to(100, chunk=2)
+        assert [e.done for e in events] == [60, 100]
+        assert events[0].payload == {"chunk": 1}
+
+    def test_fraction(self):
+        event = ProgressEvent(kind="gates", done=5, total=10)
+        assert event.fraction == 0.5
+        assert ProgressEvent(kind="gates", done=5).fraction is None
+
+    def test_maybe_none_callback(self):
+        assert ProgressReporter.maybe(None, "gates") is None
+        assert ProgressReporter.maybe(print, "gates") is not None
+
+    def test_callback_exceptions_propagate(self):
+        def boom(event):
+            raise RuntimeError("stop")
+
+        reporter = ProgressReporter(boom, "gates", total=1)
+        with pytest.raises(RuntimeError):
+            reporter.step()
+
+    def test_gate_interval_constant(self):
+        assert GATE_EVENT_INTERVAL >= 1
+
+
+class TestTraceSessionReport:
+    def test_report_shape(self):
+        with trace_session(True) as session:
+            with obs_trace.span("work"):
+                pass
+            obs_metrics.counter_add("c", 1)
+            report = session.report()
+        assert set(report) == {"spans", "dropped", "metrics"}
+        assert report["dropped"] == 0
+        assert isinstance(session, TraceSession)
+
+    def test_nested_sessions_isolate(self):
+        with trace_session(True) as outer:
+            with obs_trace.span("outer.work"):
+                pass
+            with trace_session(True) as inner:
+                with obs_trace.span("inner.work"):
+                    pass
+            names_inner = [s["name"] for s in inner.recorder.span_dicts()]
+            names_outer = [s["name"] for s in outer.recorder.span_dicts()]
+        assert names_inner == ["inner.work"]
+        assert names_outer == ["outer.work"]
