@@ -1,0 +1,449 @@
+"""Measurement-driven runtime tuning of kernels, chunking, and executors.
+
+The Guidelines companion paper's observation — that the right execution
+strategy depends on runtime workload characteristics, not static
+heuristics — applies inside a single backend too.  Three decisions in
+this library were fixed constants before this module existed:
+
+- how many trajectories/stimuli go in one pool chunk
+  (``parallel.DEFAULT_CHUNKS`` = 8 equal chunks),
+- the einsum-vs-gather statevector kernel (caller-chosen, default
+  einsum),
+- worker processes vs threads for pooled loops (always processes).
+
+The :class:`Autotuner` replaces each constant with a measurement: chunk
+sizes derive from observed per-item wall times (collected by
+:class:`repro.parallel.RunStats` on every pooled run), the kernel
+crossover from a one-time timing probe of both kernels on
+synthetically-generated operands, and the executor from observed
+startup-vs-compute ratios per workload kind.
+
+Determinism contract
+--------------------
+
+Tuning must never break the library's bitwise-reproducibility
+guarantee (same seed => same bits at any ``n_jobs``/executor/shm
+setting).  Three rules enforce it:
+
+1. **Decisions are pure functions of the cache loaded at process
+   start.**  Measurements recorded *during* this process are saved for
+   future processes but never feed back into this process's decisions —
+   otherwise run #2 of an A/B comparison would see different chunk
+   boundaries (hence different RNG streams) than run #1.
+2. **Decisions are pinned.**  The first time a decision is derived for
+   a workload signature it is written to the cache and reused verbatim
+   by every later process, even as measurements continue to drift.
+   Results are stable from the moment a decision exists.
+3. **Signatures exclude ``n_jobs``, the executor, and shm settings** —
+   a chunk-size decision can depend on the circuit width and workload
+   kind, never on how many workers will run it.
+
+The kernel (einsum/gather) decision affects floating-point summation
+order, so unlike chunking it can change low-order bits *between
+machines*; within one machine the pin keeps it stable.  It therefore
+only engages for ``method="auto"`` — explicit method choices are never
+overridden.
+
+The persistent cache lives at ``~/.cache/repro/autotune.json``
+(``XDG_CACHE_HOME`` respected, ``REPRO_AUTOTUNE_CACHE`` overrides the
+path) and carries a machine fingerprint; a cache written by a different
+machine/numpy, a corrupt file, or a future format version is ignored
+wholesale rather than half-trusted.  ``REPRO_AUTOTUNE=0`` disables the
+tuner: every decision method returns ``None`` ("use the fixed
+heuristic"), nothing is probed, and nothing is written — restoring the
+pre-autotune behavior bitwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.metrics import AUTOTUNE_DECISIONS
+
+AUTOTUNE_ENV_VAR = "REPRO_AUTOTUNE"
+"""Environment variable gating the tuner (``0`` disables)."""
+
+CACHE_ENV_VAR = "REPRO_AUTOTUNE_CACHE"
+"""Environment variable overriding the cache file path."""
+
+CACHE_VERSION = 1
+
+_FALSE_SET = frozenset({"0", "false", "off", "no"})
+
+TARGET_CHUNK_SECONDS = 0.25
+"""Chunk-size target: big enough to amortize per-chunk envelope and
+scheduling overhead, small enough that 8+ chunks still load-balance."""
+
+MAX_CHUNKS = 64
+"""Ceiling on how finely a tuned chunk size may split one run."""
+
+THREAD_FRIENDLY_KINDS = frozenset({"trajectories", "tn_slices"})
+"""Workload kinds whose chunk work releases the GIL (BLAS-dominated),
+making the thread executor a candidate without thread measurements."""
+
+PROBE_MAX_QUBITS = 20
+"""Kernel probes above this width would cost more than they save."""
+
+
+def env_enabled() -> bool:
+    """Whether ``REPRO_AUTOTUNE`` currently allows tuning (default yes)."""
+    return (
+        os.environ.get(AUTOTUNE_ENV_VAR, "").strip().lower() not in _FALSE_SET
+    )
+
+
+def default_cache_path() -> str:
+    """``$REPRO_AUTOTUNE_CACHE`` else ``$XDG_CACHE_HOME/repro/autotune.json``."""
+    explicit = os.environ.get(CACHE_ENV_VAR, "").strip()
+    if explicit:
+        return explicit
+    base = os.environ.get("XDG_CACHE_HOME", "").strip() or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro", "autotune.json")
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """What must match for cached measurements to be trusted here."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def _ewma(previous: Optional[float], value: float, alpha: float = 0.3) -> float:
+    if previous is None:
+        return float(value)
+    return (1.0 - alpha) * float(previous) + alpha * float(value)
+
+
+class Autotuner:
+    """Pinned-decision runtime tuner over a persistent measurement cache.
+
+    One instance is normally shared process-wide (:func:`get_tuner`);
+    tests construct their own with an explicit ``cache_path``.  All
+    decision methods return ``None`` for "no opinion — use the fixed
+    heuristic", which is also the unconditional answer when disabled.
+    """
+
+    def __init__(
+        self,
+        cache_path: Optional[str] = None,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        self.cache_path = cache_path or default_cache_path()
+        self.enabled = env_enabled() if enabled is None else bool(enabled)
+        # The decision snapshot: loaded once, never updated mid-process
+        # (determinism rule 1 in the module docstring).
+        self._loaded_measurements: Dict[str, Any] = {}
+        self._loaded_decisions: Dict[str, Any] = {}
+        # Live state: observations and fresh pins, saved for the future.
+        self._session_measurements: Dict[str, Any] = {}
+        self._session_decisions: Dict[str, Any] = {}
+        self._audit: Dict[str, Dict[str, Any]] = {}
+        if self.enabled:
+            self._load()
+
+    # -- cache I/O -----------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            with open(self.cache_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return  # missing or corrupt: start empty, overwrite on save
+        if not isinstance(data, dict):
+            return
+        if data.get("version") != CACHE_VERSION:
+            return  # stale format: ignore wholesale
+        if data.get("machine") != machine_fingerprint():
+            return  # measurements from a different machine don't transfer
+        measurements = data.get("measurements")
+        decisions = data.get("decisions")
+        if isinstance(measurements, dict):
+            self._loaded_measurements = measurements
+        if isinstance(decisions, dict):
+            self._loaded_decisions = decisions
+
+    def save(self) -> None:
+        """Persist merged measurements and decisions (best effort, atomic)."""
+        if not self.enabled:
+            return
+        measurements = dict(self._loaded_measurements)
+        for key, sample in self._session_measurements.items():
+            measurements[key] = sample
+        decisions = dict(self._loaded_decisions)
+        decisions.update(self._session_decisions)
+        payload = {
+            "version": CACHE_VERSION,
+            "machine": machine_fingerprint(),
+            "measurements": measurements,
+            "decisions": decisions,
+        }
+        try:
+            directory = os.path.dirname(self.cache_path) or "."
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=".autotune-", suffix=".json", dir=directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, indent=1, sort_keys=True)
+                os.replace(tmp_path, self.cache_path)
+            except BaseException:
+                os.unlink(tmp_path)
+                raise
+        except OSError:
+            pass  # read-only home, full disk: tuning is advisory
+
+    # -- internals -----------------------------------------------------------
+
+    def _decision(self, key: str) -> Optional[Dict[str, Any]]:
+        if key in self._session_decisions:
+            return self._session_decisions[key]
+        return self._loaded_decisions.get(key)
+
+    def _pin(self, key: str, value: Any, source: str) -> Any:
+        entry = {"value": value, "source": source}
+        self._session_decisions[key] = entry
+        self._note(key, value, source)
+        self.save()
+        return value
+
+    def _note(self, key: str, value: Any, source: str) -> None:
+        self._audit[key] = {"value": value, "source": source}
+        obs_metrics.counter_add(AUTOTUNE_DECISIONS)
+
+    # -- decisions -----------------------------------------------------------
+
+    def chunk_size_for(self, kind: str, num_qubits: int) -> Optional[int]:
+        """Tuned items-per-chunk for a pooled loop, or ``None`` for default.
+
+        Derived once per ``(kind, circuit width)`` from the *loaded*
+        per-item wall time: enough items to fill
+        :data:`TARGET_CHUNK_SECONDS` of work, then pinned.  The total
+        item count deliberately stays out of the signature and the
+        formula — :func:`repro.parallel.chunk_sizes` applies the size to
+        any total deterministically.
+        """
+        if not self.enabled:
+            return None
+        key = f"chunk:{kind}:q{int(num_qubits)}"
+        pinned = self._decision(key)
+        if pinned is not None:
+            value = pinned["value"]
+            self._note(key, value, "cache")
+            return int(value) if value is not None else None
+        sample = self._loaded_measurements.get(f"run:{kind}:q{int(num_qubits)}")
+        if not sample:
+            return None
+        per_item = None
+        for executor in ("process", "thread", "inline"):
+            stats = sample.get(executor)
+            if stats and stats.get("per_item_s"):
+                per_item = stats["per_item_s"]
+                break
+        if not per_item or per_item <= 0:
+            return None
+        size = max(1, int(round(TARGET_CHUNK_SECONDS / per_item)))
+        return int(self._pin(key, size, "measured"))
+
+    def executor_for(self, kind: str) -> Optional[str]:
+        """Tuned executor for a pooled loop kind, or ``None`` for default.
+
+        With measurements for both executors the cheaper one (startup
+        plus per-item compute for the observed workload size) wins.
+        With process measurements only, a GIL-releasing kind whose pool
+        startup exceeds its total compute switches to threads — the
+        situation where spawning workers costs more than the work.
+        """
+        if not self.enabled:
+            return None
+        key = f"executor:{kind}"
+        pinned = self._decision(key)
+        if pinned is not None:
+            value = pinned["value"]
+            self._note(key, value, "cache")
+            return value
+        samples = [
+            stats
+            for name, stats in self._loaded_measurements.items()
+            if name.startswith(f"run:{kind}:")
+        ]
+        if not samples:
+            return None
+        costs: Dict[str, List[float]] = {}
+        for sample in samples:
+            for executor in ("process", "thread"):
+                stats = sample.get(executor)
+                if not stats or not stats.get("per_item_s"):
+                    continue
+                items = stats.get("mean_items") or 1.0
+                wall = stats.get("startup_s", 0.0) + stats["per_item_s"] * items
+                costs.setdefault(executor, []).append(wall)
+        if "process" in costs and "thread" in costs:
+            process_cost = sum(costs["process"]) / len(costs["process"])
+            thread_cost = sum(costs["thread"]) / len(costs["thread"])
+            winner = "thread" if thread_cost < process_cost else "process"
+            return self._pin(key, winner, "measured")
+        if "process" in costs and kind in THREAD_FRIENDLY_KINDS:
+            process_stats = [
+                sample["process"] for sample in samples if sample.get("process")
+            ]
+            startup = sum(
+                s.get("startup_s", 0.0) for s in process_stats
+            ) / len(process_stats)
+            compute = sum(
+                s.get("per_item_s", 0.0) * (s.get("mean_items") or 1.0)
+                for s in process_stats
+            ) / len(process_stats)
+            if startup > compute > 0:
+                return self._pin(key, "thread", "startup-bound")
+        return None
+
+    def method_for(self, num_qubits: int, op_qubits: int) -> Optional[str]:
+        """Measured einsum-vs-gather winner for one (width, arity) point.
+
+        Probes both kernels once on synthetic operands (its own RNG —
+        user-visible streams are untouched), pins the faster, and
+        serves the pin forever after.  Only consulted for
+        ``method="auto"``; explicit kernel choices bypass the tuner.
+        """
+        if not self.enabled:
+            return None
+        num_qubits = int(num_qubits)
+        op_qubits = int(op_qubits)
+        key = f"method:q{num_qubits}:k{op_qubits}"
+        pinned = self._decision(key)
+        if pinned is not None:
+            value = pinned["value"]
+            self._note(key, value, "cache")
+            return value
+        if num_qubits > PROBE_MAX_QUBITS:
+            return None
+        winner = self._probe_methods(num_qubits, op_qubits)
+        if winner is None:
+            return None
+        return self._pin(key, winner, "probed")
+
+    def _probe_methods(
+        self, num_qubits: int, op_qubits: int, repeats: int = 3
+    ) -> Optional[str]:
+        from .statevector import METHODS, apply_operation
+        from ..circuits.circuit import Operation
+        from ..circuits.gates import Gate
+
+        if op_qubits > num_qubits:
+            return None
+        rng = np.random.default_rng(0xA0707)
+        state = rng.standard_normal(
+            1 << num_qubits
+        ) + 1j * rng.standard_normal(1 << num_qubits)
+        state = (state / np.linalg.norm(state)).astype(np.complex128)
+        dim = 1 << op_qubits
+        matrix, _ = np.linalg.qr(
+            rng.standard_normal((dim, dim))
+            + 1j * rng.standard_normal((dim, dim))
+        )
+        gate = Gate("autotune_probe", op_qubits, matrix.astype(np.complex128))
+        op = Operation(gate, tuple(range(op_qubits)))
+        timings: Dict[str, float] = {}
+        try:
+            for method in METHODS:
+                best = None
+                for _ in range(repeats):
+                    start = obs_trace.clock()
+                    apply_operation(state, op, num_qubits, method=method)
+                    elapsed = obs_trace.clock() - start
+                    if best is None or elapsed < best:
+                        best = elapsed
+                timings[method] = best or 0.0
+        except Exception:
+            return None  # a failed probe must never break a simulation
+        return min(timings, key=timings.get)
+
+    # -- observations --------------------------------------------------------
+
+    def observe_run(
+        self, kind: str, num_qubits: int, stats: Any, items: Sequence[int]
+    ) -> None:
+        """Fold one pooled run's :class:`~repro.parallel.RunStats` in.
+
+        Updates the EWMA per-item wall time, pool startup, and mean
+        workload size for ``(kind, width, executor)`` and persists —
+        for *future* processes; this process's decisions are already
+        fixed (determinism rule 1).
+        """
+        if not self.enabled:
+            return
+        executor = getattr(stats, "executor", None)
+        chunk_seconds = list(getattr(stats, "chunk_seconds", ()) or ())
+        total_items = sum(int(i) for i in items)
+        if not executor or not chunk_seconds or total_items <= 0:
+            return
+        per_item = sum(chunk_seconds) / total_items
+        key = f"run:{kind}:q{int(num_qubits)}"
+        sample = self._session_measurements.setdefault(
+            key, dict(self._loaded_measurements.get(key, {}))
+        )
+        previous = sample.get(executor) or {}
+        count = int(previous.get("n", 0)) + 1
+        sample[executor] = {
+            "per_item_s": _ewma(previous.get("per_item_s"), per_item),
+            "startup_s": _ewma(
+                previous.get("startup_s"),
+                float(getattr(stats, "pool_startup_s", 0.0)),
+            ),
+            "mean_items": _ewma(previous.get("mean_items"), total_items),
+            "n": count,
+        }
+        self.save()
+
+    # -- reporting -----------------------------------------------------------
+
+    def audit(self) -> Dict[str, Any]:
+        """Decisions consumed by this process so far, for result metadata.
+
+        Shaped for ``metadata["autotune"]``: the enabled flag plus every
+        decision served, each with its value and provenance (``cache``:
+        a previously pinned decision; ``measured``/``probed``/
+        ``startup-bound``: pinned fresh this process).
+        """
+        return {
+            "enabled": self.enabled,
+            "decisions": {
+                key: dict(entry) for key, entry in self._audit.items()
+            },
+        }
+
+
+_TUNER: Optional[Autotuner] = None
+
+
+def get_tuner() -> Autotuner:
+    """The process-wide tuner (created lazily from the environment)."""
+    global _TUNER
+    if _TUNER is None:
+        _TUNER = Autotuner()
+    return _TUNER
+
+
+def reset_tuner() -> None:
+    """Drop the process-wide tuner so the next call re-reads env/cache.
+
+    Test hook — decisions are intentionally sticky per process
+    otherwise.
+    """
+    global _TUNER
+    _TUNER = None

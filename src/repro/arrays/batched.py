@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..circuits.circuit import Operation, QuantumCircuit
+from ..obs import metrics as obs_metrics
 from ..resources import ResourceBudget
 from . import kernels
 from .noise import KrausChannel, NoiseModel
@@ -182,6 +183,7 @@ def run_trajectory_batch(
         )
         deadline = budget.deadline()
     states = zero_states(n, batch)
+    obs_metrics.gauge_max(obs_metrics.TRAJ_BATCH_BYTES, states.nbytes)
     for position, op in enumerate(circuit.operations):
         if deadline is not None and position % _DEADLINE_CHECK_INTERVAL == 0:
             deadline.check(backend="arrays", context="trajectory batch")

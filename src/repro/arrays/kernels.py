@@ -27,7 +27,7 @@ carries qubit ``q``'s bit at position ``q``, so qubit ``q`` lives on axis
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,10 @@ from ..circuits.circuit import Operation
 DENSE = "dense"
 DIAGONAL = "diagonal"
 PERMUTATION = "permutation"
+
+_CLASSIFY_CACHE: Dict[Tuple[int, bytes], str] = {}
+_CLASSIFY_CACHE_MAX = 256
+"""Classification cache bound — a whole gate library fits; cleared on overflow."""
 
 
 def classify_matrix(matrix: np.ndarray) -> str:
@@ -55,6 +59,26 @@ def classify_matrix(matrix: np.ndarray) -> str:
     ):
         return PERMUTATION
     return DENSE
+
+
+def classification_for(matrix: np.ndarray) -> str:
+    """:func:`classify_matrix` with a byte-keyed memo.
+
+    Circuits reuse a handful of gate matrices thousands of times — every
+    trajectory chunk walks the same operation list — so the per-application
+    classification (three full-matrix scans) is paid once per distinct
+    matrix instead.  Small-gate ``tobytes`` is a few dozen bytes; the cache
+    is cleared wholesale if it ever outgrows a gate library's worth of
+    entries.
+    """
+    key = (int(matrix.shape[0]), matrix.tobytes())
+    kind = _CLASSIFY_CACHE.get(key)
+    if kind is None:
+        kind = classify_matrix(matrix)
+        if len(_CLASSIFY_CACHE) >= _CLASSIFY_CACHE_MAX:
+            _CLASSIFY_CACHE.clear()
+        _CLASSIFY_CACHE[key] = kind
+    return kind
 
 
 def _infer_qubits(dim: int) -> int:
@@ -207,7 +231,7 @@ def apply_matrix_fast(
         return state
     view = _control_view(tensor, controls, num_qubits) if controls else tensor
     axes = [num_qubits - 1 - t for t in targets]
-    kind = classify_matrix(matrix)
+    kind = classification_for(matrix)
     if kind == DIAGONAL:
         _apply_diagonal(view, matrix, axes, k)
     elif kind == PERMUTATION:

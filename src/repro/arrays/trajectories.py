@@ -9,26 +9,48 @@ density-matrix result.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import parallel_shm
 from ..circuits.circuit import Operation, QuantumCircuit
 from ..obs import metrics as obs_metrics
 from ..obs.progress import ProgressReporter
-from ..parallel import chunk_sizes, configured_jobs, parallel_map, spawn_seeds
+from ..parallel import (
+    EXECUTOR_ENV_VAR,
+    RunStats,
+    chunk_sizes,
+    configured_jobs,
+    parallel_map,
+    spawn_seeds,
+)
 from ..resources import ResourceBudget
+from .autotune import get_tuner
 from .batched import trajectory_chunk_probabilities
 from .noise import KrausChannel, NoiseModel
 from .statevector import apply_operation, measure_qubit, zero_state
 
 
 class TrajectoryResult:
-    """Averaged outcome distribution over many stochastic trajectories."""
+    """Averaged outcome distribution over many stochastic trajectories.
 
-    def __init__(self, probabilities: np.ndarray, num_trajectories: int) -> None:
+    ``metadata`` (chunked-engine runs only) audits how the run executed:
+    the executor and chunk layout, shared-memory transfer volume
+    (``shm_bytes``), and the autotuner decisions consumed
+    (``autotune``).
+    """
+
+    def __init__(
+        self,
+        probabilities: np.ndarray,
+        num_trajectories: int,
+        metadata: Optional[Dict] = None,
+    ) -> None:
         self.probs = probabilities
         self.num_trajectories = num_trajectories
+        self.metadata = metadata if metadata is not None else {}
 
     def probabilities(self) -> np.ndarray:
         return self.probs
@@ -107,12 +129,15 @@ class TrajectorySimulator:
         n_jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
         progress: Optional[callable] = None,
+        executor: Optional[str] = None,
+        shm: Optional[bool] = None,
     ) -> TrajectoryResult:
         jobs = configured_jobs(n_jobs)
         if jobs is None and chunk_size is None:
             return self._run_serial(circuit, trajectories, progress)
         return self._run_chunked(
-            circuit, trajectories, jobs or 1, chunk_size, progress
+            circuit, trajectories, jobs or 1, chunk_size, progress,
+            executor=executor, shm=shm,
         )
 
     def _run_serial(
@@ -143,12 +168,32 @@ class TrajectorySimulator:
         jobs: int,
         chunk_size: Optional[int],
         progress: Optional[callable] = None,
+        executor: Optional[str] = None,
+        shm: Optional[bool] = None,
     ) -> TrajectoryResult:
         n = circuit.num_qubits
+        tuner = get_tuner()
+        # Autotuned decisions fill only the gaps the caller left open;
+        # both are worker-count independent, so bitwise determinism
+        # across n_jobs/executor survives tuning.
+        if chunk_size is None:
+            chunk_size = tuner.chunk_size_for("trajectories", n)
+        if executor is None and os.environ.get(EXECUTOR_ENV_VAR, "") == "":
+            executor = tuner.executor_for("trajectories")
         sizes = chunk_sizes(trajectories, chunk_size=chunk_size)
         seeds = spawn_seeds(self.seed, len(sizes))
+        # Each chunk ships a (2**n,) float64 partial back; over the shm
+        # plane those segments are parent-side allocations charged once
+        # against the run, not per worker.
+        reserved = 0
+        if parallel_shm.enabled() and shm is not False:
+            partial_bytes = (2**n) * 8
+            if partial_bytes >= parallel_shm.min_bytes():
+                reserved = partial_bytes * len(sizes)
         worker_budget = (
-            self.budget.share(min(jobs, max(len(sizes), 1)))
+            self.budget.share(
+                min(jobs, max(len(sizes), 1)), reserved=reserved
+            )
             if self.budget is not None
             else None
         )
@@ -165,17 +210,32 @@ class TrajectorySimulator:
             if reporter is not None:
                 reporter.advance_to(int(done_after[index]), chunk=index)
 
+        stats = RunStats()
         partials = parallel_map(
             _trajectory_chunk_worker,
             specs,
             n_jobs=jobs,
             on_result=_chunk_done,
+            executor=executor,
+            shm=shm,
+            stats=stats,
         )
+        tuner.observe_run("trajectories", n, stats, sizes)
         total = np.zeros(2**n)
         for partial in partials:
             total += partial
         obs_metrics.counter_add("trajectories.count", trajectories)
-        return TrajectoryResult(total / max(trajectories, 1), trajectories)
+        metadata = {
+            "executor": stats.executor,
+            "n_jobs": stats.jobs,
+            "chunks": len(sizes),
+            "chunk_size": max(sizes) if sizes else 0,
+            "shm_bytes": stats.shm_bytes,
+            "autotune": tuner.audit(),
+        }
+        return TrajectoryResult(
+            total / max(trajectories, 1), trajectories, metadata
+        )
 
     def _single_trajectory(self, circuit: QuantumCircuit, n: int) -> np.ndarray:
         state = zero_state(n)

@@ -39,7 +39,7 @@ from ..circuits.circuit import QuantumCircuit
 from ..obs import ProgressReporter, trace_session
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
-from ..parallel import chunk_sizes, configured_jobs, parallel_map
+from ..parallel import RunStats, chunk_sizes, configured_jobs, parallel_map
 from ..resources import ResourceExhausted
 from . import backends as _backends  # noqa: F401  (populates REGISTRY)
 from . import capabilities as cap
@@ -81,7 +81,14 @@ class SimulationResult:
     ``planned`` for TN; ``tableau_rows`` for stab).  When dispatched
     with ``backend="auto"``, ``metadata["auto"]`` records the selected
     backend, the rule that fired, and the analyzed circuit features.
+
+    ``_shm_fields_`` marks the dense state for the zero-copy transfer
+    plane (:mod:`repro.parallel_shm`): when a result crosses a process
+    pool, a large ``state`` travels as one shared-memory segment instead
+    of through the pickle pipe, and arrives as a zero-copy view.
     """
+
+    _shm_fields_ = ("state",)
 
     def __init__(
         self,
@@ -470,6 +477,14 @@ def simulate_many(
     :class:`~repro.resources.ResourceExhausted` surfaces in the parent
     after the pool has drained — individual budget trips inside a worker
     still degrade through the normal per-circuit fallback chain first.
+
+    ``options["executor"]`` selects threads instead of processes, and
+    ``options["shm"]`` overrides the shared-memory transfer policy; on
+    the (default) process pool, each result's dense state above the
+    :func:`repro.parallel_shm.min_bytes` threshold returns through one
+    shared-memory segment instead of the pickle pipe, and the per-sweep
+    shm volume is recorded as ``metadata["batch"]["shm_bytes"]`` on
+    every result.
     """
     opts = SimOptions.from_kwargs(**options)
     if param_bindings is not None:
@@ -511,14 +526,19 @@ def simulate_many(
             if reporter is not None:
                 reporter.advance_to(done_after[index], chunk=index)
 
+        stats = RunStats()
         chunks = parallel_map(
             _simulate_many_chunk_worker,
             specs,
             n_jobs=jobs,
             on_result=_chunk_done,
+            executor=opts.executor,
+            shm=opts.shm,
+            stats=stats,
         )
         results = [result for chunk in chunks for result in chunk]
     else:
+        stats = None
         cache = _BatchCache()
         results = []
         for circuit in circuits:
@@ -529,6 +549,9 @@ def simulate_many(
                 reporter.step()
     for index, result in enumerate(results):
         result.metadata["batch"] = {"index": index, "size": len(results)}
+        if stats is not None:
+            result.metadata["batch"]["executor"] = stats.executor
+            result.metadata["batch"]["shm_bytes"] = stats.shm_bytes
     return results
 
 

@@ -29,7 +29,12 @@ class SimOptions:
         seed: RNG seed for every stochastic step (measurement collapse,
             sampling).  Honored by all backends.
         method: Arrays gate-application kernel, ``"einsum"`` (fast
-            reshape/slice kernels) or ``"gather"`` (legacy path).
+            reshape/slice kernels), ``"gather"`` (legacy path), or
+            ``"auto"`` — resolve per circuit width from the runtime
+            autotuner's measured einsum-vs-gather crossover
+            (:mod:`repro.arrays.autotune`; falls back to ``"einsum"``
+            when tuning is disabled or unmeasured).  The resolved kernel
+            is reported in ``metadata["method"]``.
         fusion: Merge runs of adjacent gates into single unitaries before
             simulation (registry-level pre-pass, applied uniformly to all
             non-Clifford-only backends).
@@ -43,6 +48,17 @@ class SimOptions:
             ``REPRO_JOBS`` environment variable, and unset means serial.
             ``0`` or negative means "all available cores".  Single-circuit
             entry points ignore it.
+        executor: Pooled-loop executor, ``"process"`` (spawn-safe worker
+            processes, the default) or ``"thread"`` (in-process threads —
+            zero serialization, concurrent wherever numpy releases the
+            GIL).  ``None`` defers to ``REPRO_EXECUTOR``, then to the
+            runtime autotuner's measured preference per workload, then
+            to processes.  Results are bitwise identical either way.
+        shm: Shared-memory result transfer for process pools: ``None``
+            (default) follows the ``REPRO_SHM`` environment policy —
+            on wherever POSIX shared memory works — ``False`` forces the
+            pickle path, ``True`` requires shm where available.  Changes
+            how bytes travel between processes, never which bytes.
         budget: :class:`~repro.resources.ResourceBudget` caps enforced
             inside every backend's hot loop; a tripped budget raises
             :class:`~repro.resources.ResourceExhausted` and triggers the
@@ -75,6 +91,8 @@ class SimOptions:
     plan: Optional[Any] = None
     track_peak: bool = False
     n_jobs: Optional[int] = None
+    executor: Optional[str] = None
+    shm: Optional[bool] = None
     budget: Optional[ResourceBudget] = None
     trace: bool = False
     progress: Optional[Callable[[Any], None]] = None
@@ -99,6 +117,12 @@ class SimOptions:
             kwargs["budget"] = default_budget()
         if "trace" not in kwargs:
             kwargs["trace"] = _trace_env_enabled()
+        executor = kwargs.get("executor")
+        if executor is not None and executor not in ("process", "thread"):
+            raise ValueError(
+                f"unknown executor '{executor}'; "
+                "choose 'process' or 'thread'"
+            )
         return cls(**kwargs)
 
     def as_dict(self) -> Dict[str, Any]:

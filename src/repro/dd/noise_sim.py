@@ -17,16 +17,28 @@ import numpy as np
 from ..arrays.noise import KrausChannel, NoiseModel
 from ..circuits.circuit import Operation, QuantumCircuit
 from ..circuits.gates import Gate
+from ..arrays.autotune import get_tuner
 from ..obs import metrics as obs_metrics
 from ..obs.progress import ProgressReporter
-from ..parallel import chunk_sizes, configured_jobs, parallel_map, spawn_seeds
+from ..parallel import (
+    RunStats,
+    chunk_sizes,
+    configured_jobs,
+    parallel_map,
+    spawn_seeds,
+)
 from .package import DDPackage
 from .simulator import DDSimulator
 from .vector import VectorDD
 
 
 class NoisyDDResult:
-    """Averaged outcome distribution over DD trajectories."""
+    """Averaged outcome distribution over DD trajectories.
+
+    ``metadata`` (chunked-engine runs only) audits the execution:
+    executor, chunk layout, shared-memory transfer volume, and consumed
+    autotuner decisions.
+    """
 
     def __init__(
         self,
@@ -34,11 +46,13 @@ class NoisyDDResult:
         num_trajectories: int,
         mean_nodes: float,
         peak_nodes: int,
+        metadata: Optional[Dict] = None,
     ) -> None:
         self.probs = probabilities
         self.num_trajectories = num_trajectories
         self.mean_nodes = mean_nodes
         self.peak_nodes = peak_nodes
+        self.metadata = metadata if metadata is not None else {}
 
     def probabilities(self) -> np.ndarray:
         return self.probs
@@ -172,16 +186,36 @@ class NoisyDDSimulator:
         n_jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
         progress: Optional[callable] = None,
+        executor: Optional[str] = None,
+        shm: Optional[bool] = None,
     ) -> NoisyDDResult:
         jobs = configured_jobs(n_jobs)
         if jobs is None and chunk_size is None:
             return self._run_serial(circuit, trajectories, progress)
+        tuner = get_tuner()
+        if chunk_size is None:
+            chunk_size = tuner.chunk_size_for(
+                "dd_trajectories", circuit.num_qubits
+            )
+        # No executor tuning here: DD trajectory work is pure-Python
+        # node manipulation that never releases the GIL, so threads
+        # cannot beat processes; only an explicit caller choice applies.
         specs = self._chunk_specs(circuit, trajectories, chunk_size)
+        stats = RunStats()
         partials = parallel_map(
             _dd_trajectory_chunk_worker,
             specs,
             n_jobs=jobs or 1,
             on_result=_chunk_progress(specs, progress, "trajectories", "dd"),
+            executor=executor,
+            shm=shm,
+            stats=stats,
+        )
+        tuner.observe_run(
+            "dd_trajectories",
+            circuit.num_qubits,
+            stats,
+            [spec[2] for spec in specs],
         )
         obs_metrics.counter_add("trajectories.count", trajectories)
         total = np.zeros(2**circuit.num_qubits)
@@ -196,6 +230,13 @@ class NoisyDDSimulator:
             trajectories,
             float(np.mean(node_counts)) if node_counts else 0.0,
             peak,
+            metadata={
+                "executor": stats.executor,
+                "n_jobs": stats.jobs,
+                "chunks": len(specs),
+                "shm_bytes": stats.shm_bytes,
+                "autotune": tuner.audit(),
+            },
         )
 
     def _run_serial(
@@ -236,6 +277,8 @@ class NoisyDDSimulator:
         n_jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
         progress: Optional[callable] = None,
+        executor: Optional[str] = None,
+        shm: Optional[bool] = None,
     ) -> Dict[str, int]:
         """One trajectory per shot, sampled directly from the diagram.
 
@@ -251,6 +294,8 @@ class NoisyDDSimulator:
             specs,
             n_jobs=jobs or 1,
             on_result=_chunk_progress(specs, progress, "shots", "dd"),
+            executor=executor,
+            shm=shm,
         )
         counts: Dict[str, int] = {}
         for partial in partials:

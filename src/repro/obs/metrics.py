@@ -17,7 +17,10 @@ session-scoped registry (and become the per-run metric snapshot in
 
 Metric names are dotted lowercase (``dd.unique_table.size``,
 ``tn.plan.peak_cost``); the Prometheus exporter in
-:mod:`repro.obs.export` rewrites dots to underscores.
+:mod:`repro.obs.export` rewrites dots to underscores.  Names shared by
+several layers are declared here as constants so producers
+(:mod:`repro.parallel`, :mod:`repro.parallel_shm`) and consumers (the
+autotuner, exporters, tests) cannot drift apart.
 """
 
 from __future__ import annotations
@@ -27,6 +30,24 @@ import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from . import trace
+
+PARALLEL_CHUNK_WALL_S = "parallel.chunk.wall_s"
+"""Histogram: wall seconds of each pooled chunk (worker clock)."""
+
+PARALLEL_SHM_BYTES = "parallel.shm.bytes"
+"""Counter: bytes moved through shared-memory segments instead of pickle."""
+
+PARALLEL_SHM_SEGMENTS = "parallel.shm.segments"
+"""Counter: shared-memory segments created for result transfer."""
+
+PARALLEL_SHM_SWEPT = "parallel.shm.swept"
+"""Counter: leftover segments reclaimed by the teardown sweep."""
+
+AUTOTUNE_DECISIONS = "autotune.decisions"
+"""Counter: autotuner decisions served (cached or freshly derived)."""
+
+TRAJ_BATCH_BYTES = "trajectories.batch.bytes"
+"""Gauge (max): bytes of the largest batched trajectory state stack."""
 
 DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
     0.001,

@@ -1,4 +1,4 @@
-"""Process-pool execution layer for embarrassingly parallel workloads.
+"""Pooled execution layer for embarrassingly parallel workloads.
 
 The paper's simulation task is dominated by two embarrassingly parallel
 loops: stochastic noise trajectories (arrays Sec. II, decision diagrams
@@ -8,23 +8,42 @@ module is the one seam they all share:
 - :func:`configured_jobs` / :func:`resolve_jobs` — worker-count policy
   (explicit ``n_jobs`` argument, else the ``REPRO_JOBS`` environment
   variable, else serial);
+- :func:`resolve_executor` — executor policy (explicit ``executor``
+  argument, else the ``REPRO_EXECUTOR`` environment variable, else
+  worker processes).  ``"process"`` is a spawn-context
+  ``ProcessPoolExecutor``; ``"thread"`` runs chunks on an in-process
+  thread pool — zero pickling, zero shared-memory traffic, and real
+  concurrency wherever numpy releases the GIL (the BLAS-heavy batched
+  kernels), at the cost of sharing the GIL on pure-Python work;
 - :func:`spawn_seeds` / :func:`chunk_sizes` — deterministic work
   splitting.  Chunk boundaries and per-chunk RNG streams
   (``numpy.random.SeedSequence.spawn``) depend only on the task size and
-  the seed, never on the worker count, so a seeded run is bitwise
-  reproducible at any ``n_jobs``;
-- :class:`ProcessPool` — a context-manager wrapper around a spawn-context
-  ``ProcessPoolExecutor`` that always drains cleanly: a crashing task, a
-  ``KeyboardInterrupt``, or an abandoned result iterator cancels the
-  remaining work and joins every worker before control leaves the
-  ``with`` block;
+  the seed, never on the worker count *or the executor*, so a seeded run
+  is bitwise reproducible at any ``n_jobs`` on either executor;
+- :class:`ProcessPool` / :class:`ThreadPool` — context-manager pools
+  that always drain cleanly: a crashing task, a ``KeyboardInterrupt``,
+  or an abandoned result iterator cancels the remaining work and joins
+  every worker before control leaves the ``with`` block;
 - :func:`parallel_map` / :func:`task_stream` — the two call shapes the
   library uses (eager ordered map; lazy ordered stream with early exit).
 
-Task functions must be module-level (picklable by reference) and task
-payloads must pickle; circuits, noise models, budgets, and
-``SeedSequence`` objects all do.  The pool uses the ``spawn`` start
-method everywhere — ``fork`` is unsafe once numpy's threadpools exist.
+Process-pool task functions must be module-level (picklable by
+reference) and task payloads must pickle; circuits, noise models,
+budgets, and ``SeedSequence`` objects all do.  The pool uses the
+``spawn`` start method everywhere — ``fork`` is unsafe once numpy's
+threadpools exist.  Thread-pool tasks have no such constraint.
+
+Large result arrays skip the pickle pipe entirely: when the
+shared-memory plane (:mod:`repro.parallel_shm`) is enabled — the
+default wherever ``multiprocessing.shared_memory`` works — a pooled
+task's result is scanned for arrays at or above the size threshold,
+each is copied once into a named segment, and only the small
+:class:`~repro.parallel_shm.ShmArray` handles are pickled back.  The
+parent attaches zero-copy views and unlinks the names immediately; the
+pool teardown path sweeps the run's leftover segments on *every* exit,
+so a worker killed mid-chunk or a ``KeyboardInterrupt`` in the parent
+cannot leak ``/dev/shm`` entries.  ``REPRO_SHM=0`` opts out; results
+are bitwise identical either way.
 
 Resource budgets compose: callers hand workers a *share* of their
 :class:`~repro.resources.ResourceBudget` via
@@ -42,16 +61,18 @@ inside its own trace session in the worker and ships its spans and
 metric snapshot back alongside the result; the parent adopts the spans
 under its current span (worker span ids embed the worker pid, so they
 never collide), merges the metrics, and records every chunk's wall time
-in the ``parallel.chunk.wall_s`` histogram.  The ``on_result`` hook on
-:func:`parallel_map` fires in task order as results are consumed, which
-is how chunked loops stream :class:`~repro.obs.progress.ProgressEvent`s
-to a parent-side callback without pickling it.
+in the ``parallel.chunk.wall_s`` histogram and the run's shm traffic in
+``parallel.shm.bytes``/``parallel.shm.segments``.  Independent of
+tracing, every pooled call can fill a :class:`RunStats` — per-chunk
+wall times, pool startup latency, shm byte counts — which is the raw
+measurement feed of the runtime autotuner
+(:mod:`repro.arrays.autotune`).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from functools import partial
 from multiprocessing import get_context
@@ -59,8 +80,14 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from . import parallel_shm
 from .obs import metrics as obs_metrics
 from .obs import trace as obs_trace
+from .obs.metrics import (
+    PARALLEL_CHUNK_WALL_S,
+    PARALLEL_SHM_BYTES,
+    PARALLEL_SHM_SEGMENTS,
+)
 
 JOBS_ENV_VAR = "REPRO_JOBS"
 """Environment variable supplying a default worker count.
@@ -71,12 +98,24 @@ processes without touching call sites; an explicit ``n_jobs=`` argument
 always wins.  ``0`` or a negative value means "all available cores".
 """
 
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+"""Environment variable supplying a default executor kind.
+
+``process`` (the default) runs chunks on a spawn-safe process pool;
+``thread`` runs them on an in-process thread pool with zero
+serialization.  An explicit ``executor=`` argument always wins.
+"""
+
+EXECUTORS = ("process", "thread")
+
 DEFAULT_CHUNKS = 8
 """Default number of work chunks a parallel loop is split into.
 
 Fixed (rather than derived from the worker count) so that chunk
 boundaries — and therefore per-chunk RNG streams and merge order — are
-identical at every ``n_jobs``.
+identical at every ``n_jobs``.  The runtime autotuner may substitute a
+measured chunk *size* (see :mod:`repro.arrays.autotune`); that decision
+is likewise independent of the worker count and the executor.
 """
 
 
@@ -105,6 +144,20 @@ def resolve_jobs(n_jobs: Optional[int]) -> int:
     return n_jobs
 
 
+def resolve_executor(executor: Optional[str] = None) -> str:
+    """Concrete executor kind: explicit -> ``REPRO_EXECUTOR`` -> ``process``."""
+    if executor is None:
+        executor = (
+            os.environ.get(EXECUTOR_ENV_VAR, "").strip().lower() or "process"
+        )
+    executor = str(executor).lower()
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor '{executor}'; choose from {EXECUTORS}"
+        )
+    return executor
+
+
 def spawn_seeds(seed: int, count: int) -> List[np.random.SeedSequence]:
     """``count`` independent child seed sequences of ``seed``.
 
@@ -125,7 +178,11 @@ def chunk_sizes(
 
     The split depends only on ``total`` and the explicit ``num_chunks``/
     ``chunk_size`` overrides — never on the worker count — so seeded
-    results merge identically at any ``n_jobs``.
+    results merge identically at any ``n_jobs``.  Callers that accept an
+    autotuned chunk size pass it through ``chunk_size`` here; the
+    tuner's decision is itself worker-count independent (see
+    :meth:`repro.arrays.autotune.Autotuner.chunk_size_for`), so the
+    guarantee survives autotuning.
     """
     if total <= 0:
         return []
@@ -138,6 +195,36 @@ def chunk_sizes(
     num_chunks = max(1, min(int(num_chunks), total))
     base, extra = divmod(total, num_chunks)
     return [base + (1 if i < extra else 0) for i in range(num_chunks)]
+
+
+class RunStats:
+    """Measurements one pooled call leaves behind for the autotuner.
+
+    Filled by :func:`parallel_map` / :func:`task_stream` when passed in:
+    per-chunk wall seconds (in task order), the pool's startup latency
+    estimate (submit-to-first-result minus that task's own duration),
+    the executor that actually ran, and the shared-memory traffic.
+    All of it is measurement-only — nothing here feeds back into chunk
+    boundaries or RNG streams, so collecting stats never perturbs
+    results.
+    """
+
+    __slots__ = (
+        "chunk_seconds",
+        "executor",
+        "jobs",
+        "pool_startup_s",
+        "shm_bytes",
+        "shm_segments",
+    )
+
+    def __init__(self) -> None:
+        self.chunk_seconds: List[float] = []
+        self.executor: Optional[str] = None
+        self.jobs: int = 1
+        self.pool_startup_s: float = 0.0
+        self.shm_bytes: int = 0
+        self.shm_segments: int = 0
 
 
 class ProcessPool:
@@ -214,56 +301,203 @@ class ProcessPool:
         return list(self.imap(fn, tasks))
 
 
-class _TracedResult:
-    """Pickled envelope a traced worker task sends back: result + report."""
+class ThreadPool:
+    """Thread-pool twin of :class:`ProcessPool` — same interface, no pickling.
 
-    __slots__ = ("value", "report")
+    Tasks run in this process, so payloads and results cross no
+    serialization boundary at all (the zero-copy limit).  Worth it
+    whenever the chunk work releases the GIL — the batched trajectory
+    kernel and TN slice contractions spend their time inside numpy's
+    BLAS calls, which do — and always cheaper to start than a spawned
+    process pool.
+    """
 
-    def __init__(self, value: Any, report: dict) -> None:
+    def __init__(self, n_jobs: int) -> None:
+        self.n_jobs = max(1, int(n_jobs))
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._futures: List[Any] = []
+
+    def __enter__(self) -> "ThreadPool":
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.n_jobs, thread_name_prefix="repro-pool"
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        executor, self._executor = self._executor, None
+        futures, self._futures = self._futures, []
+        if executor is None:
+            return False
+        for future in futures:
+            future.cancel()
+        executor.shutdown(wait=True, cancel_futures=True)
+        return False
+
+    def _require_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            raise RuntimeError("ThreadPool used outside its context manager")
+        return self._executor
+
+    def submit_all(self, fn: Callable, tasks: Sequence[Any]) -> List[Any]:
+        executor = self._require_executor()
+        futures = [executor.submit(fn, task) for task in tasks]
+        self._futures.extend(futures)
+        return futures
+
+    def imap(self, fn: Callable, tasks: Sequence[Any]) -> Iterator[Any]:
+        for future in self.submit_all(fn, tasks):
+            yield future.result()
+
+    def map(self, fn: Callable, tasks: Sequence[Any]) -> List[Any]:
+        return list(self.imap(fn, tasks))
+
+
+def _make_pool(executor: str, jobs: int):
+    if executor == "thread":
+        return ThreadPool(jobs)
+    return ProcessPool(jobs)
+
+
+class _TaskResult:
+    """Envelope a pooled task sends back: payload + measurements.
+
+    ``value`` is the task's result, possibly shm-encoded
+    (:func:`repro.parallel_shm.encode_result`); ``report`` the worker's
+    trace session report when the parent had tracing on; ``duration_s``
+    the task's wall time on the worker's clock (measured always — it
+    costs two clock reads and feeds the autotuner through
+    :class:`RunStats` without requiring tracing).
+    """
+
+    __slots__ = ("value", "report", "duration_s")
+
+    def __init__(
+        self, value: Any, report: Optional[dict], duration_s: float
+    ) -> None:
         self.value = value
         self.report = report
+        self.duration_s = duration_s
 
 
-def _traced_task(fn: Callable, task: Any) -> "_TracedResult":
-    """Run one pooled task inside its own trace session (worker side).
+def _pooled_task(
+    fn: Callable,
+    token: Optional[str],
+    threshold: int,
+    traced: bool,
+    task: Any,
+) -> "_TaskResult":
+    """Run one pooled task (worker side of the process pool).
 
-    Wrapped around the task function with ``functools.partial`` (so it
-    stays picklable by reference) when the parent has tracing enabled.
-    The worker's spans and metrics travel back in the
-    :class:`_TracedResult` envelope and are folded into the parent's
-    recorder by :func:`_absorb_traced`.
+    Wrapped around the task function with ``functools.partial`` so it
+    stays picklable by reference.  Three concerns compose here:
+
+    - the task runs inside its own trace session when the parent has
+      tracing enabled, and ships spans + metrics back in the envelope;
+    - its wall time is measured unconditionally;
+    - with a run ``token``, large result arrays are moved into shared
+      memory (:func:`repro.parallel_shm.encode_result`) and the token is
+      installed as the worker's active token while the task runs, so
+      any segments the task itself publishes are swept by the parent's
+      teardown if this worker dies before delivering them.
     """
-    from .obs import trace_session
+    previous = parallel_shm.set_current_token(token)
+    try:
+        if traced:
+            from .obs import trace_session
 
-    with trace_session() as session:
-        chunk = obs_trace.timed_span(
-            "parallel.chunk", fn=getattr(fn, "__name__", str(fn))
-        )
-        try:
-            value = fn(task)
-        finally:
-            chunk.finish()
-    return _TracedResult(value, session.report())
+            with trace_session() as session:
+                chunk = obs_trace.timed_span(
+                    "parallel.chunk", fn=getattr(fn, "__name__", str(fn))
+                )
+                try:
+                    value = fn(task)
+                finally:
+                    chunk.finish()
+            report = session.report()
+            duration = chunk.duration_s
+        else:
+            chunk = obs_trace.timed_span("parallel.chunk")
+            try:
+                value = fn(task)
+            finally:
+                chunk.finish()
+            report = None
+            duration = chunk.duration_s
+        if token is not None:
+            value = parallel_shm.encode_result(value, token, threshold)
+        return _TaskResult(value, report, duration)
+    finally:
+        parallel_shm.set_current_token(previous)
 
 
-def _absorb_traced(raw: Any) -> Any:
-    """Merge a worker's trace report into the parent recorder (parent side)."""
-    if not isinstance(raw, _TracedResult):
+def _threaded_task(fn: Callable, traced: bool, task: Any) -> "_TaskResult":
+    """Thread-pool twin of :func:`_pooled_task`: no token, no encoding.
+
+    Trace sessions are thread-local, so the worker thread records into
+    its own session and the envelope carries the report back to the
+    parent thread exactly like the process path — span ids share the
+    parent's pid but draw from one process-wide atomic counter, so they
+    never collide.
+    """
+    if traced:
+        from .obs import trace_session
+
+        with trace_session() as session:
+            chunk = obs_trace.timed_span(
+                "parallel.chunk", fn=getattr(fn, "__name__", str(fn))
+            )
+            try:
+                value = fn(task)
+            finally:
+                chunk.finish()
+        return _TaskResult(value, session.report(), chunk.duration_s)
+    chunk = obs_trace.timed_span("parallel.chunk")
+    try:
+        value = fn(task)
+    finally:
+        chunk.finish()
+    return _TaskResult(value, None, chunk.duration_s)
+
+
+def _consume(
+    raw: Any, traced: bool, stats: Optional[RunStats]
+) -> Any:
+    """Unwrap a task envelope on the parent side.
+
+    Adopts the worker's trace spans and metrics (when traced), folds the
+    chunk duration and shm traffic into ``stats``, and decodes any
+    shared-memory handles into zero-copy arrays.
+    """
+    if not isinstance(raw, _TaskResult):
         return raw
-    if obs_trace.enabled():
-        report = raw.report
+    if traced and raw.report is not None and obs_trace.enabled():
         obs_trace.current_recorder().adopt(
-            report.get("spans", ()), obs_trace.current_span_id()
+            raw.report.get("spans", ()), obs_trace.current_span_id()
         )
-        obs_metrics.merge_snapshot(report.get("metrics"))
-        for entry in report.get("spans", ()):
-            if entry.get("name") == "parallel.chunk":
-                obs_metrics.observe("parallel.chunk.wall_s", entry["duration_s"])
-    return raw.value
+        obs_metrics.merge_snapshot(raw.report.get("metrics"))
+    if obs_trace.enabled():
+        obs_metrics.observe(PARALLEL_CHUNK_WALL_S, raw.duration_s)
+    if stats is not None:
+        stats.chunk_seconds.append(raw.duration_s)
+    value = raw.value
+    if isinstance(value, parallel_shm._Encoded):
+        transfer = parallel_shm.TransferStats()
+        value = parallel_shm.decode_result(value, transfer)
+        if obs_trace.enabled():
+            obs_metrics.counter_add(PARALLEL_SHM_BYTES, transfer.shm_bytes)
+            obs_metrics.counter_add(
+                PARALLEL_SHM_SEGMENTS, transfer.segments
+            )
+        if stats is not None:
+            stats.shm_bytes += transfer.shm_bytes
+            stats.shm_segments += transfer.segments
+    return value
 
 
-def _run_inline(fn: Callable, task: Any) -> Any:
-    """Serial-path twin of :func:`_traced_task`: same span, no session."""
+def _run_inline(
+    fn: Callable, task: Any, stats: Optional[RunStats] = None
+) -> Any:
+    """Serial-path twin of the pooled wrappers: same span, no pool."""
     chunk = obs_trace.timed_span(
         "parallel.chunk", fn=getattr(fn, "__name__", str(fn)), inline=True
     )
@@ -272,8 +506,25 @@ def _run_inline(fn: Callable, task: Any) -> Any:
     finally:
         chunk.finish()
     if obs_trace.enabled():
-        obs_metrics.observe("parallel.chunk.wall_s", chunk.duration_s)
+        obs_metrics.observe(PARALLEL_CHUNK_WALL_S, chunk.duration_s)
+    if stats is not None:
+        stats.chunk_seconds.append(chunk.duration_s)
     return value
+
+
+def _use_shm(executor: str, shm: Optional[bool]) -> bool:
+    """Shm transfer policy for one pooled call.
+
+    Threads share an address space — results are handed over as live
+    objects — so the plane only ever engages on the process executor.
+    ``shm=None`` defers to the environment policy
+    (:func:`repro.parallel_shm.enabled`).
+    """
+    if executor != "process":
+        return False
+    if shm is None:
+        return parallel_shm.enabled()
+    return bool(shm) and parallel_shm.available()
 
 
 def parallel_map(
@@ -281,34 +532,75 @@ def parallel_map(
     tasks: Sequence[Any],
     n_jobs: Optional[int] = None,
     on_result: Optional[Callable[[int, Any], None]] = None,
+    executor: Optional[str] = None,
+    shm: Optional[bool] = None,
+    stats: Optional[RunStats] = None,
 ) -> List[Any]:
     """Ordered ``[fn(t) for t in tasks]``, on a pool when ``n_jobs > 1``.
 
     With one job (or at most one task) everything runs inline in this
     process — no pool, no pickling — which is also the reference
-    execution the parallel path must match bitwise.
+    execution the parallel paths must match bitwise.  ``executor``
+    selects worker processes (default) or threads; ``shm`` overrides
+    the shared-memory transfer policy for this call (process executor
+    only); ``stats`` collects per-chunk timings for the autotuner.
 
     ``on_result(index, result)`` fires in task order as each result is
     consumed (pooled or inline); chunked loops use it to stream progress
     events from the parent process, where the user's callback lives.
     """
     jobs = resolve_jobs(n_jobs)
+    kind = resolve_executor(executor)
     results: List[Any] = []
     if jobs <= 1 or len(tasks) <= 1:
+        if stats is not None:
+            stats.executor, stats.jobs = "inline", 1
         for index, task in enumerate(tasks):
-            value = _run_inline(fn, task)
+            value = _run_inline(fn, task, stats)
             if on_result is not None:
                 on_result(index, value)
             results.append(value)
         return results
     traced = obs_trace.enabled()
-    wrapped = partial(_traced_task, fn) if traced else fn
-    with ProcessPool(jobs) as pool:
-        for index, raw in enumerate(pool.imap(wrapped, tasks)):
-            value = _absorb_traced(raw) if traced else raw
-            if on_result is not None:
-                on_result(index, value)
-            results.append(value)
+    if stats is not None:
+        stats.executor, stats.jobs = kind, jobs
+    if kind == "thread":
+        wrapped = partial(_threaded_task, fn, traced)
+        with ThreadPool(jobs) as pool:
+            started = obs_trace.clock()
+            for index, raw in enumerate(pool.imap(wrapped, tasks)):
+                value = _consume(raw, traced, stats)
+                if index == 0 and stats is not None:
+                    stats.pool_startup_s = max(
+                        obs_trace.clock() - started - raw.duration_s, 0.0
+                    )
+                if on_result is not None:
+                    on_result(index, value)
+                results.append(value)
+        return results
+    token = parallel_shm.new_token() if _use_shm(kind, shm) else None
+    wrapped = partial(_pooled_task, fn, token, parallel_shm.min_bytes(), traced)
+    if token is not None:
+        parallel_shm.track_token(token)
+    try:
+        with ProcessPool(jobs) as pool:
+            started = obs_trace.clock()
+            for index, raw in enumerate(pool.imap(wrapped, tasks)):
+                value = _consume(raw, traced, stats)
+                if index == 0 and stats is not None:
+                    stats.pool_startup_s = max(
+                        obs_trace.clock() - started - raw.duration_s, 0.0
+                    )
+                if on_result is not None:
+                    on_result(index, value)
+                results.append(value)
+    finally:
+        if token is not None:
+            # Sweep leftovers on every exit: a worker killed mid-chunk
+            # created segments whose handles never arrived; a
+            # KeyboardInterrupt abandoned undelivered results.  Either
+            # way the names carry this run's token and die here.
+            parallel_shm.release_token(token)
     return results
 
 
@@ -317,6 +609,9 @@ def task_stream(
     fn: Callable,
     tasks: Sequence[Any],
     n_jobs: Optional[int] = None,
+    executor: Optional[str] = None,
+    shm: Optional[bool] = None,
+    stats: Optional[RunStats] = None,
 ):
     """Ordered lazy result stream with clean early exit.
 
@@ -329,17 +624,37 @@ def task_stream(
 
     Serial (``n_jobs=1``) streams evaluate tasks lazily, so breaking out
     skips the remaining work exactly like the pooled version cancels it.
-    Like :func:`parallel_map`, pooled tasks carry their trace spans back
-    to the parent when tracing is enabled.
+    Like :func:`parallel_map`, pooled tasks carry their trace spans,
+    chunk timings, and shared-memory payloads back to the parent.
     """
     jobs = resolve_jobs(n_jobs)
+    kind = resolve_executor(executor)
     if jobs <= 1 or len(tasks) <= 1:
-        yield (_run_inline(fn, task) for task in tasks)
+        if stats is not None:
+            stats.executor, stats.jobs = "inline", 1
+        yield (_run_inline(fn, task, stats) for task in tasks)
         return
     traced = obs_trace.enabled()
-    wrapped = partial(_traced_task, fn) if traced else fn
-    with ProcessPool(jobs) as pool:
-        results = pool.imap(wrapped, tasks)
-        if traced:
-            results = (_absorb_traced(raw) for raw in results)
-        yield results
+    if stats is not None:
+        stats.executor, stats.jobs = kind, jobs
+    if kind == "thread":
+        wrapped = partial(_threaded_task, fn, traced)
+        with ThreadPool(jobs) as pool:
+            yield (
+                _consume(raw, traced, stats)
+                for raw in pool.imap(wrapped, tasks)
+            )
+        return
+    token = parallel_shm.new_token() if _use_shm(kind, shm) else None
+    wrapped = partial(_pooled_task, fn, token, parallel_shm.min_bytes(), traced)
+    if token is not None:
+        parallel_shm.track_token(token)
+    try:
+        with ProcessPool(jobs) as pool:
+            yield (
+                _consume(raw, traced, stats)
+                for raw in pool.imap(wrapped, tasks)
+            )
+    finally:
+        if token is not None:
+            parallel_shm.release_token(token)

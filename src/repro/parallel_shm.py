@@ -1,0 +1,431 @@
+"""Zero-copy shared-memory data plane for the process-pool layer.
+
+The pool in :mod:`repro.parallel` moves every task result through a
+pickle pipe.  For the library's small payloads (counts dictionaries,
+amplitude pairs, chunk statistics) that is fine; for the big ones —
+statevectors, density matrices, ``(2**n, batch)`` trajectory stacks,
+per-chunk probability partials — pickling costs a serialize copy, a
+pipe write, a pipe read, and a deserialize copy *per array*.  This
+module replaces that with POSIX shared memory
+(:mod:`multiprocessing.shared_memory`):
+
+- a worker (or the parent, for fan-out) copies a large array **once**
+  into a named segment and ships only a tiny :class:`ShmArray` handle
+  (name, shape, dtype) through the pipe;
+- the receiver attaches and gets a numpy view of the same physical
+  pages — no serialization, no second copy (``attach(copy=False)``
+  keeps the mapping alive via a finalizer and unlinks the name
+  immediately, so a crash after attach cannot leak the segment).
+
+Arrays below :func:`min_bytes` (default 1 MiB,
+``REPRO_SHM_MIN_BYTES``) travel through the normal pickle path — the
+segment-creation syscalls are not worth it for small payloads.  The
+whole plane is disabled by ``REPRO_SHM=0`` or automatically on
+platforms where :mod:`multiprocessing.shared_memory` is unavailable,
+in which case every helper degrades to a pickling no-op.
+
+Cleanup protocol
+----------------
+
+Shared memory outlives processes, so segments must be unlinked exactly
+once even when a worker crashes mid-chunk or the parent takes a
+``KeyboardInterrupt``:
+
+1. every segment created under a pooled run carries the run's *token*
+   in its name (``repro_shm_<token>_...``); the creating process
+   unregisters it from its own ``resource_tracker`` (ownership moves to
+   the consumer, so the tracker must not double-unlink or warn);
+2. the consumer unlinks the name the moment it attaches;
+3. when the pool drains — normally or on any error — the parent sweeps
+   ``/dev/shm`` for leftover names carrying the run token and unlinks
+   them (this catches segments whose handle never made it back from a
+   crashed worker);
+4. an ``atexit`` hook sweeps any tokens that were still live when the
+   process exits (hard aborts between 2 and 3).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import weakref
+from dataclasses import dataclass
+from typing import Any, Optional, Set, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - import succeeds everywhere we run CI
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - platforms without POSIX shm
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+
+SHM_ENV_VAR = "REPRO_SHM"
+"""Environment variable gating the shared-memory plane (``0`` disables).
+
+The plane is *on* by default wherever
+:mod:`multiprocessing.shared_memory` works; set ``REPRO_SHM=0`` to force
+every pooled payload back through the pickle path (the results are
+bitwise identical either way — shm changes how bytes travel, never
+which bytes).
+"""
+
+SHM_MIN_BYTES_ENV_VAR = "REPRO_SHM_MIN_BYTES"
+"""Environment variable overriding the minimum payload size (bytes)."""
+
+DEFAULT_MIN_BYTES = 1 << 20
+"""Arrays smaller than this pickle; segment syscalls don't pay below it."""
+
+_NAME_PREFIX = "repro_shm"
+
+_SHM_DIR = "/dev/shm"
+
+_TRUE_SET = frozenset({"", "1", "true", "yes", "on"})
+
+_FIELDS_ATTR = "_shm_fields_"
+"""Objects advertising array attributes for the transfer encoder.
+
+A class sets ``_shm_fields_ = ("state", ...)`` to have those attributes
+moved through shared memory when an instance crosses the pool boundary
+(e.g. :class:`repro.core.backend.SimulationResult`).
+"""
+
+
+def _unregister(name: str) -> None:
+    """Drop a segment from this process's resource tracker.
+
+    Ownership of a segment transfers to whoever consumes the handle;
+    the creating process must forget it or its tracker will unlink the
+    (already unlinked) name at shutdown and emit leak warnings.
+    """
+    if resource_tracker is None:  # pragma: no cover
+        return
+    try:
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def available() -> bool:
+    """Whether POSIX shared memory works on this platform (probed once)."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        if shared_memory is None:
+            _AVAILABLE = False
+        else:
+            try:
+                probe = shared_memory.SharedMemory(create=True, size=16)
+                probe.close()
+                probe.unlink()  # unlink() also unregisters from the tracker
+                _AVAILABLE = True
+            except (OSError, ValueError):  # pragma: no cover
+                _AVAILABLE = False
+    return _AVAILABLE
+
+
+_AVAILABLE: Optional[bool] = None
+
+
+def enabled() -> bool:
+    """Shared-memory transfer policy: available and not opted out."""
+    if os.environ.get(SHM_ENV_VAR, "").strip().lower() not in _TRUE_SET:
+        return False
+    return available()
+
+
+def min_bytes() -> int:
+    """Size threshold below which payloads stay on the pickle path."""
+    spec = os.environ.get(SHM_MIN_BYTES_ENV_VAR, "").strip()
+    if spec:
+        try:
+            return max(int(spec), 0)
+        except ValueError:
+            pass
+    return DEFAULT_MIN_BYTES
+
+
+def new_token() -> str:
+    """A fresh run token tying a pooled run's segments together."""
+    return f"{os.getpid():x}{secrets.token_hex(4)}"
+
+
+# -- the handle ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShmArray:
+    """A picklable handle to a numpy array living in a shared segment.
+
+    The handle is what crosses the pool's pickle pipe: ~100 bytes no
+    matter how large the array.  ``attach()`` reconstructs the array on
+    the other side; with ``copy=False`` (the default) the returned array
+    is a zero-copy view whose lifetime keeps the mapping open, and the
+    segment *name* is unlinked immediately so nothing can leak it.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+    @classmethod
+    def create_from(
+        cls, array: np.ndarray, token: Optional[str] = None
+    ) -> "ShmArray":
+        """Copy ``array`` into a fresh named segment and return its handle.
+
+        This is the single copy of the shm handoff (the pickle path pays
+        at least two plus the pipe traffic).  The segment is named under
+        ``token`` (default: the active pooled-run token) so the parent's
+        teardown sweep can find it even if this process dies before the
+        handle is delivered.
+        """
+        if shared_memory is None:  # pragma: no cover
+            raise RuntimeError("shared memory is unavailable on this platform")
+        token = token or current_token() or new_token()
+        name = f"{_NAME_PREFIX}_{token}_{secrets.token_hex(6)}"
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(int(array.nbytes), 1)
+        )
+        try:
+            view = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=segment.buf
+            )
+            view[...] = array
+        finally:
+            segment.close()
+        # Ownership moves to the consumer of the handle.
+        _unregister(name)
+        return cls(name, tuple(array.shape), np.dtype(array.dtype).str)
+
+    def attach(self, copy: bool = False, unlink: bool = True) -> np.ndarray:
+        """Materialize the array on this side of the pipe.
+
+        ``copy=False`` returns a zero-copy view backed by the mapping;
+        a finalizer on the array closes the mapping when the last view
+        is garbage collected.  ``unlink=True`` (default) removes the
+        segment *name* right away — on POSIX the pages live until the
+        last mapping closes, so views stay valid while nothing can leak
+        the name afterwards.  Use ``unlink=False`` for fan-out reads
+        where several workers attach the same segment; the publisher
+        stays responsible for :meth:`unlink`.
+        """
+        if shared_memory is None:  # pragma: no cover
+            raise RuntimeError("shared memory is unavailable on this platform")
+        # On CPython 3.11 attaching registers the name with this process's
+        # resource tracker and unlink() unregisters it, so the bookkeeping
+        # below stays balanced: unlink here (the normal consume path), or
+        # explicitly unregister when the publisher keeps ownership.
+        segment = shared_memory.SharedMemory(name=self.name)
+        try:
+            view = np.ndarray(self.shape, dtype=self.dtype, buffer=segment.buf)
+            if copy:
+                result = np.array(view)
+            else:
+                result = view
+                weakref.finalize(result, segment.close)
+        finally:
+            if copy:
+                segment.close()
+            if unlink:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    _unregister(self.name)
+            else:
+                _unregister(self.name)
+        return result
+
+    def unlink(self) -> None:
+        """Remove the segment name; safe to call when it is already gone."""
+        if shared_memory is None:  # pragma: no cover
+            return
+        try:
+            segment = shared_memory.SharedMemory(name=self.name)
+        except FileNotFoundError:
+            return
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - lost a race
+            _unregister(self.name)
+
+
+# -- run-token bookkeeping ----------------------------------------------------
+
+_ACTIVE_TOKEN: Optional[str] = None
+_LIVE_TOKENS: Set[str] = set()
+
+
+def current_token() -> Optional[str]:
+    """The pooled-run token active in this process (worker side)."""
+    return _ACTIVE_TOKEN
+
+
+def set_current_token(token: Optional[str]) -> Optional[str]:
+    """Install the active run token; returns the previous one."""
+    global _ACTIVE_TOKEN
+    previous, _ACTIVE_TOKEN = _ACTIVE_TOKEN, token
+    return previous
+
+
+def track_token(token: str) -> None:
+    """Register a run token for teardown/atexit sweeping (parent side)."""
+    _LIVE_TOKENS.add(token)
+
+
+def release_token(token: str) -> None:
+    """Sweep a run's leftover segments and stop tracking the token.
+
+    Called from the pool teardown path on *every* exit — normal drain,
+    task exception, ``KeyboardInterrupt`` — so segments created by a
+    worker that died mid-chunk (whose handles never reached the parent)
+    are unlinked here.
+    """
+    _LIVE_TOKENS.discard(token)
+    sweep_segments(token)
+
+
+def sweep_segments(token: str) -> int:
+    """Unlink every leftover ``/dev/shm`` entry carrying ``token``.
+
+    Returns the number of segments removed.  On platforms without a
+    scannable shm directory this is a no-op — there, cleanup relies on
+    the attach-time unlink, which covers every delivered handle.
+    """
+    prefix = f"{_NAME_PREFIX}_{token}_"
+    removed = 0
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return 0
+    for entry in entries:
+        if not entry.startswith(prefix):
+            continue
+        ShmArray(entry, (1,), "<f8").unlink()
+        removed += 1
+    return removed
+
+
+def leaked_segments(token: Optional[str] = None) -> list:
+    """Names of live ``repro_shm`` segments (optionally one run's). Test hook."""
+    prefix = _NAME_PREFIX if token is None else f"{_NAME_PREFIX}_{token}_"
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    return sorted(entry for entry in entries if entry.startswith(prefix))
+
+
+@atexit.register
+def _sweep_all_live_tokens() -> None:  # pragma: no cover - process teardown
+    for token in list(_LIVE_TOKENS):
+        sweep_segments(token)
+    _LIVE_TOKENS.clear()
+
+
+# -- transfer encoding --------------------------------------------------------
+
+
+class TransferStats:
+    """Per-run accounting of what actually moved through shared memory."""
+
+    __slots__ = ("shm_bytes", "segments")
+
+    def __init__(self) -> None:
+        self.shm_bytes = 0
+        self.segments = 0
+
+    def note(self, nbytes: int) -> None:
+        self.shm_bytes += int(nbytes)
+        self.segments += 1
+
+
+class _Encoded:
+    """Marker wrapping a container whose large arrays went through shm."""
+
+    __slots__ = ("payload", "shm_bytes", "segments")
+
+    def __init__(self, payload: Any, shm_bytes: int, segments: int) -> None:
+        self.payload = payload
+        self.shm_bytes = shm_bytes
+        self.segments = segments
+
+
+def encode_result(value: Any, token: str, threshold: int) -> Any:
+    """Replace large arrays inside ``value`` with :class:`ShmArray` handles.
+
+    Recurses through lists, tuples, and dict values, and through the
+    attributes any object advertises via ``_shm_fields_``.  Arrays below
+    ``threshold`` bytes (and everything else) pass through untouched, so
+    the pickle that follows carries only small objects plus handles.
+    Returns the value wrapped in an envelope when at least one array
+    moved; the unmodified value otherwise.
+    """
+    stats = TransferStats()
+    encoded = _encode(value, token, threshold, stats)
+    if stats.segments == 0:
+        return value
+    return _Encoded(encoded, stats.shm_bytes, stats.segments)
+
+
+def _encode(value: Any, token: str, threshold: int, stats: TransferStats) -> Any:
+    if isinstance(value, np.ndarray):
+        if value.nbytes >= threshold:
+            handle = ShmArray.create_from(value, token)
+            stats.note(handle.nbytes)
+            return handle
+        return value
+    if isinstance(value, tuple):
+        return tuple(_encode(item, token, threshold, stats) for item in value)
+    if isinstance(value, list):
+        return [_encode(item, token, threshold, stats) for item in value]
+    if isinstance(value, dict):
+        return {
+            key: _encode(item, token, threshold, stats)
+            for key, item in value.items()
+        }
+    fields = getattr(type(value), _FIELDS_ATTR, None)
+    if fields:
+        for field in fields:
+            current = getattr(value, field, None)
+            if current is not None:
+                setattr(value, field, _encode(current, token, threshold, stats))
+        return value
+    return value
+
+
+def decode_result(value: Any, stats: Optional[TransferStats] = None) -> Any:
+    """Invert :func:`encode_result`: attach every handle, unlink its name."""
+    if not isinstance(value, _Encoded):
+        return value
+    if stats is not None:
+        stats.shm_bytes += value.shm_bytes
+        stats.segments += value.segments
+    return _decode(value.payload)
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, ShmArray):
+        return value.attach()
+    if isinstance(value, tuple):
+        return tuple(_decode(item) for item in value)
+    if isinstance(value, list):
+        return [_decode(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _decode(item) for key, item in value.items()}
+    fields = getattr(type(value), _FIELDS_ATTR, None)
+    if fields:
+        for field in fields:
+            current = getattr(value, field, None)
+            if current is not None:
+                setattr(value, field, _decode(current))
+        return value
+    return value

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..parallel import configured_jobs, parallel_map
 from ..resources import ResourceBudget
 from .tensor import Tensor, contract, contraction_result_indices
 
@@ -125,6 +126,86 @@ class TensorNetwork:
         ):
             return self.contract_pairwise(plan, budget=budget)
 
+    def sliceable_indices(self) -> List[str]:
+        """Bond indices held by exactly two tensors — safe to slice.
+
+        Fixing such a bond to one value on both holders removes it from
+        the network; summing the contractions of the sliced networks
+        over every bond value equals the full contraction.  Indices on
+        three or more tensors (hyperedges) are excluded: this library's
+        pairwise :func:`~repro.tn.tensor.contract` sums a shared index
+        at its *first* pairwise meeting, and slicing would need all
+        holders fixed coherently.
+        """
+        return [i for i, c in self.index_counts().items() if c == 2]
+
+    def contract_sliced(
+        self,
+        index: Optional[str] = None,
+        plan: Optional[Plan] = None,
+        budget: Optional[ResourceBudget] = None,
+        n_jobs: Optional[int] = None,
+        executor: Optional[str] = None,
+    ) -> Tensor:
+        """Contract by summing over the values of one sliced bond.
+
+        Each slice fixes ``index`` on both of its holding tensors and
+        contracts the reduced network independently — peak intermediate
+        memory drops by the bond dimension, and the slices are
+        embarrassingly parallel.  ``index=None`` picks the
+        largest-dimension sliceable bond (ties broken by name, so the
+        choice is deterministic).  The caller's ``plan`` (or one greedy
+        plan computed here) is reused for every slice: SSA plans address
+        tensor *positions*, which slicing preserves.
+
+        Slices default to the **thread** executor — each slice is one
+        chain of BLAS contractions that releases the GIL, and tensors
+        never cross a serialization boundary (the zero-copy limit).
+        ``n_jobs=None`` defers to ``REPRO_JOBS`` (serial when unset);
+        slice order, and therefore floating-point summation order, is
+        fixed, so results are bitwise identical at any ``n_jobs``.
+        """
+        candidates = self.sliceable_indices()
+        if index is None:
+            if not candidates:
+                return self.contract_all(plan=plan, budget=budget)
+            dims = self.index_dimensions()
+            index = max(candidates, key=lambda i: (dims[i], i))
+        elif index not in candidates:
+            raise ValueError(
+                f"index '{index}' is not a sliceable bond "
+                f"(needs exactly two holding tensors)"
+            )
+        if plan is None:
+            from .contraction import greedy_plan
+
+            plan = greedy_plan(self)
+        dim = self.index_dimensions()[index]
+        specs = []
+        for value in range(dim):
+            sliced = [
+                t.slice_index(index, value) if index in t.indices else t
+                for t in self.tensors
+            ]
+            specs.append((sliced, plan, budget))
+        jobs = (configured_jobs(n_jobs) or 1) if n_jobs is None else n_jobs
+        with obs_trace.span(
+            "tn.contract_sliced", index=index, slices=dim
+        ):
+            partials = parallel_map(
+                _contract_slice_worker,
+                specs,
+                n_jobs=jobs,
+                executor=executor or "thread",
+            )
+        first = partials[0]
+        total = first.data.copy()
+        for partial in partials[1:]:
+            if partial.indices != first.indices:
+                partial = partial.transpose_to(first.indices)
+            total += partial.data
+        return Tensor(total, first.indices)
+
     def contraction_cost(self, plan: Plan) -> Tuple[int, int]:
         """Simulate a plan symbolically.
 
@@ -165,3 +246,11 @@ class TensorNetwork:
             f"{len(self.bond_indices())} bonds, "
             f"{len(self.open_indices())} open)"
         )
+
+
+def _contract_slice_worker(
+    spec: Tuple[List[Tensor], Plan, Optional[ResourceBudget]],
+) -> Tensor:
+    """Module-level (picklable) slice task: contract one sliced network."""
+    tensors, plan, budget = spec
+    return TensorNetwork(tensors).contract_pairwise(plan, budget=budget)

@@ -49,6 +49,19 @@ class Tensor:
     def conj(self) -> "Tensor":
         return Tensor(self.data.conj(), self.indices)
 
+    def slice_index(self, index: str, value: int) -> "Tensor":
+        """Fix ``index`` to ``value``: one rank lower, that axis dropped.
+
+        The building block of bond slicing: fixing a bond on both of its
+        holders and summing the sliced contractions over the bond's
+        values reproduces the full contraction, with every intermediate
+        smaller by the bond dimension.
+        """
+        axis = self.indices.index(index)
+        data = np.take(self.data, int(value), axis=axis)
+        remaining = self.indices[:axis] + self.indices[axis + 1 :]
+        return Tensor(data, remaining)
+
     def transpose_to(self, order: Sequence[str]) -> "Tensor":
         """Reorder axes to match ``order`` (a permutation of the indices)."""
         if set(order) != set(self.indices) or len(order) != len(self.indices):

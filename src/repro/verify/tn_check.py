@@ -169,6 +169,8 @@ def check_equivalence_random_stimuli(
     budget: Optional[ResourceBudget] = None,
     n_jobs: Optional[int] = None,
     progress: Optional[callable] = None,
+    executor: Optional[str] = None,
+    shm: Optional[bool] = None,
 ) -> bool:
     """Probabilistic check: compare single amplitudes on random basis inputs.
 
@@ -178,12 +180,14 @@ def check_equivalence_random_stimuli(
 
     With ``n_jobs`` (or ``REPRO_JOBS`` in the environment) the stimuli are
     pre-generated — same RNG draw order as the serial loop — and their
-    contractions run on a spawn-safe process pool, one stimulus per task.
-    The parent consumes results in stimulus order and applies the serial
-    verdict logic verbatim, so the verdict is deterministic and identical
-    to a serial run; the first counterexample stops consumption and the
-    pool cancels the remaining stimuli.  Workers inherit
-    ``budget.share(n_jobs)``.
+    contractions run on a pool, one stimulus per task (``executor``
+    selects worker processes or in-process threads; ``shm`` overrides
+    the shared-memory transfer policy for large amplitude batches on
+    the process pool).  The parent consumes results in stimulus order
+    and applies the serial verdict logic verbatim, so the verdict is
+    deterministic and identical to a serial run; the first
+    counterexample stops consumption and the pool cancels the remaining
+    stimuli.  Workers inherit ``budget.share(n_jobs)``.
     """
     if circuit_a.num_qubits != circuit_b.num_qubits:
         return False
@@ -212,7 +216,9 @@ def check_equivalence_random_stimuli(
     reporter = ProgressReporter.maybe(
         progress, "stimuli", total=num_stimuli, backend="tn"
     )
-    with task_stream(_stimulus_worker, specs, n_jobs=jobs) as results:
+    with task_stream(
+        _stimulus_worker, specs, n_jobs=jobs, executor=executor, shm=shm
+    ) as results:
         for pair_results in results:
             for amp_a, amp_b in pair_results:
                 if abs(amp_a) <= tol and abs(amp_b) <= tol:

@@ -1,0 +1,326 @@
+"""Tests for the measurement-driven runtime autotuner.
+
+The load-bearing properties:
+
+- the cache round-trips: measurements recorded by one process are
+  decisions for the next, pinned on first derivation;
+- a corrupt, stale-format, or foreign-machine cache is ignored
+  wholesale — never half-trusted, never an error;
+- ``REPRO_AUTOTUNE=0`` restores the untuned behavior bitwise even when
+  a cache full of contrary decisions exists;
+- tuning never breaks bitwise reproducibility across ``n_jobs`` or the
+  executor, because decisions are worker-count independent and frozen
+  per process.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.arrays import autotune
+from repro.arrays.autotune import (
+    Autotuner,
+    CACHE_VERSION,
+    machine_fingerprint,
+    reset_tuner,
+)
+from repro.arrays.noise import NoiseModel
+from repro.arrays.statevector import StatevectorSimulator, resolve_method
+from repro.arrays.trajectories import TrajectorySimulator
+from repro.circuits import library, random_circuits
+from repro.parallel import RunStats
+
+
+@pytest.fixture(autouse=True)
+def isolated_tuner(tmp_path, monkeypatch):
+    """Every test gets its own cache file and a fresh process-wide tuner."""
+    monkeypatch.setenv(autotune.CACHE_ENV_VAR, str(tmp_path / "autotune.json"))
+    monkeypatch.delenv(autotune.AUTOTUNE_ENV_VAR, raising=False)
+    reset_tuner()
+    yield
+    reset_tuner()
+
+
+def _stats(executor="process", chunk_seconds=(0.5, 0.5), startup=0.0):
+    stats = RunStats()
+    stats.executor = executor
+    stats.chunk_seconds = list(chunk_seconds)
+    stats.pool_startup_s = startup
+    stats.jobs = 2
+    return stats
+
+
+def _noise():
+    return NoiseModel.uniform_depolarizing(0.02, 0.05)
+
+
+# -- cache round-trip ---------------------------------------------------------
+
+
+class TestCacheRoundTrip:
+    def test_measurements_become_next_process_decisions(self, tmp_path):
+        path = str(tmp_path / "autotune.json")
+        writer = Autotuner(cache_path=path, enabled=True)
+        # 100 items over 1.0s => 10ms/item => 0.25s target => 25/chunk.
+        writer.observe_run("trajectories", 4, _stats(), items=[50, 50])
+        assert writer.chunk_size_for("trajectories", 4) is None  # rule 1
+        reader = Autotuner(cache_path=path, enabled=True)
+        assert reader.chunk_size_for("trajectories", 4) == 25
+
+    def test_decisions_are_pinned_across_processes(self, tmp_path):
+        path = str(tmp_path / "autotune.json")
+        writer = Autotuner(cache_path=path, enabled=True)
+        writer.observe_run("trajectories", 4, _stats(), items=[50, 50])
+        first = Autotuner(cache_path=path, enabled=True)
+        assert first.chunk_size_for("trajectories", 4) == 25
+        # Later measurements drift, but the pinned decision holds.
+        drift = Autotuner(cache_path=path, enabled=True)
+        drift.observe_run(
+            "trajectories", 4, _stats(chunk_seconds=(5.0, 5.0)), items=[50, 50]
+        )
+        later = Autotuner(cache_path=path, enabled=True)
+        assert later.chunk_size_for("trajectories", 4) == 25
+        entry = later.audit()["decisions"]["chunk:trajectories:q4"]
+        assert entry == {"value": 25, "source": "cache"}
+
+    def test_executor_decision_prefers_measured_winner(self, tmp_path):
+        path = str(tmp_path / "autotune.json")
+        writer = Autotuner(cache_path=path, enabled=True)
+        writer.observe_run(
+            "trajectories", 4,
+            _stats("process", chunk_seconds=(0.5, 0.5), startup=2.0),
+            items=[50, 50],
+        )
+        writer.observe_run(
+            "trajectories", 4,
+            _stats("thread", chunk_seconds=(0.6, 0.6), startup=0.0),
+            items=[50, 50],
+        )
+        reader = Autotuner(cache_path=path, enabled=True)
+        assert reader.executor_for("trajectories") == "thread"
+
+    def test_startup_bound_process_switches_to_threads(self, tmp_path):
+        path = str(tmp_path / "autotune.json")
+        writer = Autotuner(cache_path=path, enabled=True)
+        # 2s pool spawn for 1s of GIL-releasing compute: thread territory.
+        writer.observe_run(
+            "trajectories", 4,
+            _stats("process", chunk_seconds=(0.5, 0.5), startup=2.0),
+            items=[50, 50],
+        )
+        reader = Autotuner(cache_path=path, enabled=True)
+        assert reader.executor_for("trajectories") == "thread"
+        entry = reader.audit()["decisions"]["executor:trajectories"]
+        assert entry["source"] == "startup-bound"
+        # A GIL-bound kind never flips on startup evidence alone.
+        writer2 = Autotuner(cache_path=str(tmp_path / "dd.json"), enabled=True)
+        writer2.observe_run(
+            "dd_trajectories", 4,
+            _stats("process", chunk_seconds=(0.5, 0.5), startup=2.0),
+            items=[50, 50],
+        )
+        reader2 = Autotuner(cache_path=str(tmp_path / "dd.json"), enabled=True)
+        assert reader2.executor_for("dd_trajectories") is None
+
+    def test_method_probe_pins_and_serves_from_cache(self, tmp_path):
+        path = str(tmp_path / "autotune.json")
+        prober = Autotuner(cache_path=path, enabled=True)
+        winner = prober.method_for(4, 2)
+        assert winner in ("einsum", "gather")
+        reader = Autotuner(cache_path=path, enabled=True)
+        assert reader.method_for(4, 2) == winner
+        entry = reader.audit()["decisions"]["method:q4:k2"]
+        assert entry == {"value": winner, "source": "cache"}
+
+
+# -- cache trust --------------------------------------------------------------
+
+
+class TestCacheTrust:
+    def test_corrupt_cache_ignored(self, tmp_path):
+        path = tmp_path / "autotune.json"
+        path.write_text("{ not json", encoding="utf-8")
+        tuner = Autotuner(cache_path=str(path), enabled=True)
+        assert tuner.chunk_size_for("trajectories", 4) is None
+        # Saving overwrites the corrupt file with a valid one.
+        tuner.observe_run("trajectories", 4, _stats(), items=[50, 50])
+        assert json.loads(path.read_text())["version"] == CACHE_VERSION
+
+    def test_stale_format_version_ignored(self, tmp_path):
+        path = tmp_path / "autotune.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": CACHE_VERSION + 1,
+                    "machine": machine_fingerprint(),
+                    "measurements": {
+                        "run:trajectories:q4": {
+                            "process": {"per_item_s": 0.01, "n": 1}
+                        }
+                    },
+                    "decisions": {
+                        "chunk:trajectories:q4": {"value": 5, "source": "x"}
+                    },
+                }
+            ),
+            encoding="utf-8",
+        )
+        tuner = Autotuner(cache_path=str(path), enabled=True)
+        assert tuner.chunk_size_for("trajectories", 4) is None
+
+    def test_foreign_machine_cache_ignored(self, tmp_path):
+        fingerprint = machine_fingerprint()
+        fingerprint["cpu_count"] = (fingerprint["cpu_count"] or 1) + 64
+        path = tmp_path / "autotune.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": CACHE_VERSION,
+                    "machine": fingerprint,
+                    "measurements": {},
+                    "decisions": {
+                        "chunk:trajectories:q4": {"value": 5, "source": "x"}
+                    },
+                }
+            ),
+            encoding="utf-8",
+        )
+        tuner = Autotuner(cache_path=str(path), enabled=True)
+        assert tuner.chunk_size_for("trajectories", 4) is None
+
+    def test_missing_cache_is_fine(self, tmp_path):
+        tuner = Autotuner(
+            cache_path=str(tmp_path / "does" / "not" / "exist.json"),
+            enabled=True,
+        )
+        assert tuner.chunk_size_for("trajectories", 4) is None
+
+
+# -- opt-out ------------------------------------------------------------------
+
+
+class TestOptOut:
+    def test_disabled_tuner_has_no_opinions(self, tmp_path):
+        path = str(tmp_path / "autotune.json")
+        writer = Autotuner(cache_path=path, enabled=True)
+        writer.observe_run("trajectories", 4, _stats(), items=[50, 50])
+        Autotuner(cache_path=path, enabled=True).chunk_size_for(
+            "trajectories", 4
+        )  # pin a decision into the cache
+        disabled = Autotuner(cache_path=path, enabled=False)
+        assert disabled.chunk_size_for("trajectories", 4) is None
+        assert disabled.executor_for("trajectories") is None
+        assert disabled.method_for(4, 2) is None
+        assert disabled.audit() == {"enabled": False, "decisions": {}}
+
+    def test_env_zero_restores_untuned_results_bitwise(self, monkeypatch):
+        """Satellite: a cache pinning a contrary chunk size must not leak
+        into results once ``REPRO_AUTOTUNE=0`` — the run must be bitwise
+        identical to a never-tuned run."""
+        circuit = random_circuits.random_circuit(3, 6, seed=5)
+        # Pin a chunk size (4) that differs from the default 8-way split
+        # of 16 trajectories, so tuning visibly changes chunk layout.
+        cache_path = os.environ[autotune.CACHE_ENV_VAR]
+        writer = Autotuner(cache_path=cache_path, enabled=True)
+        # 100 items over 6.25s => 62.5ms/item => 0.25s target => 4/chunk.
+        writer.observe_run(
+            "trajectories", 3,
+            _stats(chunk_seconds=(3.125, 3.125)), items=[50, 50],
+        )
+        reset_tuner()
+        tuned = TrajectorySimulator(_noise(), seed=11).run(
+            circuit, trajectories=16, n_jobs=1
+        )
+        assert (
+            tuned.metadata["autotune"]["decisions"]["chunk:trajectories:q3"][
+                "value"
+            ]
+            == 4
+        )
+        assert tuned.metadata["chunks"] == 4
+
+        monkeypatch.setenv(autotune.AUTOTUNE_ENV_VAR, "0")
+        reset_tuner()
+        untuned = TrajectorySimulator(_noise(), seed=11).run(
+            circuit, trajectories=16, n_jobs=1
+        )
+        assert untuned.metadata["autotune"]["enabled"] is False
+        assert untuned.metadata["chunks"] == 8
+
+        # Reference: a tuner that never saw any cache.
+        monkeypatch.delenv(autotune.AUTOTUNE_ENV_VAR)
+        monkeypatch.setenv(autotune.CACHE_ENV_VAR, cache_path + ".fresh")
+        reset_tuner()
+        fresh = TrajectorySimulator(_noise(), seed=11).run(
+            circuit, trajectories=16, n_jobs=1
+        )
+        assert (
+            untuned.probabilities() == fresh.probabilities()
+        ).all()
+
+    def test_auto_method_falls_back_when_disabled(self, monkeypatch):
+        monkeypatch.setenv(autotune.AUTOTUNE_ENV_VAR, "0")
+        reset_tuner()
+        assert resolve_method("auto", 4) == "einsum"
+        assert resolve_method("gather", 4) == "gather"
+
+
+# -- determinism under tuning -------------------------------------------------
+
+
+class TestTunedDeterminism:
+    def _seed_chunk_decision(self, num_qubits=3, per_chunk_s=2.5):
+        """Write measurements deriving a chunk size of 5 for q3 runs:
+        100 items over 5s is 50 ms/item, and the 0.25s chunk target
+        divided by that is 5."""
+        cache_path = os.environ[autotune.CACHE_ENV_VAR]
+        writer = Autotuner(cache_path=cache_path, enabled=True)
+        writer.observe_run(
+            "trajectories", num_qubits,
+            _stats(chunk_seconds=(per_chunk_s, per_chunk_s)), items=[50, 50],
+        )
+        reset_tuner()
+
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_tuned_chunks_bitwise_identical_across_jobs(self, n_jobs):
+        """Satellite property: the autotuned chunk size preserves the
+        worker-count-independence of chunk boundaries."""
+        self._seed_chunk_decision()
+        circuit = random_circuits.random_circuit(3, 6, seed=5)
+        reference = TrajectorySimulator(_noise(), seed=11).run(
+            circuit, trajectories=17, n_jobs=1
+        )
+        assert reference.metadata["chunk_size"] == 5
+        result = TrajectorySimulator(_noise(), seed=11).run(
+            circuit, trajectories=17, n_jobs=n_jobs, executor="thread"
+        )
+        assert result.metadata["chunk_size"] == 5
+        assert (
+            reference.probabilities() == result.probabilities()
+        ).all()
+
+    def test_thread_and_process_executors_agree_bitwise(self):
+        self._seed_chunk_decision()
+        circuit = random_circuits.random_circuit(3, 6, seed=5)
+        threaded = TrajectorySimulator(_noise(), seed=11).run(
+            circuit, trajectories=12, n_jobs=2, executor="thread"
+        )
+        pooled = TrajectorySimulator(_noise(), seed=11).run(
+            circuit, trajectories=12, n_jobs=2, executor="process"
+        )
+        assert threaded.metadata["executor"] == "thread"
+        assert pooled.metadata["executor"] == "process"
+        assert (
+            threaded.probabilities() == pooled.probabilities()
+        ).all()
+
+    def test_auto_method_matches_explicit_kernel_bitwise(self):
+        circuit = library.qft(4)
+        auto_sim = StatevectorSimulator(seed=0, method="auto")
+        auto_state = auto_sim.statevector(circuit)
+        assert auto_sim.resolved_method in ("einsum", "gather")
+        explicit = StatevectorSimulator(
+            seed=0, method=auto_sim.resolved_method
+        ).statevector(circuit)
+        assert (auto_state == explicit).all()
