@@ -1,7 +1,12 @@
 """Compilation: decomposition, basis translation, routing, optimization."""
 
 from . import coupling
-from .compiler import CompilationResult, compile_circuit
+from .compiler import (
+    CompilationResult,
+    build_optimization_pipeline,
+    build_preset,
+    compile_circuit,
+)
 from .coupling import CouplingMap
 from .decompositions import (
     BASIS_CX_RZ_RY,
@@ -18,6 +23,35 @@ from .fusion import fuse_gates, fused_matrix, fusion_report
 from .kak import decompose_two_qubit_unitary, kak_decompose
 from .commutation import commutative_cancellation, operations_commute
 from .optimize import cancel_inverses, merge_rotations, optimize, remove_identities
+from .passes import (
+    CancelInverses,
+    ChooseLayout,
+    CommutativeCancellation,
+    DecomposeToBasis,
+    FixedPoint,
+    FuseGates,
+    MergeRotations,
+    RecordSize,
+    RemoveIdentities,
+    Route,
+    Size,
+    ZXOptimize,
+)
+from .passmanager import (
+    AnalysisPass,
+    BasePass,
+    PassManager,
+    PassManagerResult,
+    PropertySet,
+    Stage,
+    TransformationPass,
+)
+from .resynth import (
+    Collapse1qRuns,
+    Resynth2qBlocks,
+    synthesize_canonical,
+    synthesize_two_qubit,
+)
 from .routing import (
     RoutingResult,
     interaction_layout,
@@ -28,14 +62,37 @@ from .routing import (
 from .zx_opt import ZXOptimizationReport, zx_optimize, zx_t_count
 
 __all__ = [
+    "AnalysisPass",
     "BASIS_CX_RZ_RY",
     "BASIS_CX_U",
     "BASIS_CZ_RZ_RY",
     "BASIS_IBM",
+    "BasePass",
+    "CancelInverses",
+    "ChooseLayout",
+    "Collapse1qRuns",
+    "CommutativeCancellation",
     "CompilationResult",
     "CouplingMap",
+    "DecomposeToBasis",
+    "FixedPoint",
+    "FuseGates",
+    "MergeRotations",
+    "PassManager",
+    "PassManagerResult",
+    "PropertySet",
+    "RecordSize",
+    "RemoveIdentities",
+    "Resynth2qBlocks",
+    "Route",
     "RoutingResult",
+    "Size",
+    "Stage",
+    "TransformationPass",
     "ZXOptimizationReport",
+    "ZXOptimize",
+    "build_optimization_pipeline",
+    "build_preset",
     "cancel_inverses",
     "commutative_cancellation",
     "compile_circuit",
@@ -57,6 +114,8 @@ __all__ = [
     "remove_identities",
     "route_greedy",
     "route_sabre",
+    "synthesize_canonical",
+    "synthesize_two_qubit",
     "undo_layout_statevector",
     "zx_optimize",
     "zx_t_count",

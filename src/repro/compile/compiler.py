@@ -1,44 +1,200 @@
 """The end-to-end compilation pipeline (paper Sec. I, "Compilation").
 
-``compile_circuit`` lowers a circuit to a device: optional optimization,
-translation into a native gate basis, SWAP routing onto the coupling map,
-and a final cleanup — mirroring the structure of production compilers while
-staying fully self-contained.
+``compile_circuit`` builds a preset :class:`~repro.compile.passmanager.PassManager`
+pipeline for the requested ``optimization_level`` and runs it: optional
+optimization, translation into a native gate basis, SWAP routing onto
+the coupling map, cleanup, and (level 3) numeric resynthesis — mirroring
+the structure of production compilers while staying fully
+self-contained.
+
+Preset levels:
+
+=====  ==================================================================
+0      lower to basis (+ route)
+1      + peephole fixed-point loops before and after lowering/routing
+2      + ZX-calculus optimization up front
+3      + numeric resynthesis (:class:`~repro.compile.resynth.Collapse1qRuns`
+       and :class:`~repro.compile.resynth.Resynth2qBlocks`) after each
+       lowering round
+=====  ==================================================================
+
+Levels 0–2 reproduce the legacy fixed pipeline gate-for-gate.  Unlike
+that pipeline, measurements are no longer dropped: trailing measurements
+are re-appended after compilation, remapped through the final layout.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional
 
-from ..circuits.circuit import QuantumCircuit
+from ..circuits.circuit import Operation, QuantumCircuit
+from ..obs import trace_session
+from ..obs import trace as obs_trace
 from .coupling import CouplingMap
-from .decompositions import BASIS_CX_RZ_RY, decompose_to_basis
-from .optimize import optimize
-from .routing import (
-    interaction_layout,
-    route_greedy,
-    route_sabre,
+from .decompositions import BASIS_CX_RZ_RY
+from .passes import (
+    ChooseLayout,
+    DecomposeToBasis,
+    RecordSize,
+    Route,
+    ZXOptimize,
+    peephole_loop,
 )
-from .zx_opt import zx_optimize
+from .passmanager import PassManager, PassManagerResult
+from .resynth import Collapse1qRuns, Resynth2qBlocks
+
+PRESET_LEVELS = (0, 1, 2, 3)
 
 
 class CompilationResult:
-    """Compiled circuit plus layouts and bookkeeping statistics."""
+    """Compiled circuit plus layouts, statistics, and pass records.
+
+    ``stats`` keeps the legacy scalar keys (``input_ops``,
+    ``input_two_qubit``, ``post_basis_ops``, ``swaps``, ``output_ops``,
+    ``output_two_qubit``) and adds ``stats["passes"]``: one record per
+    scheduled pass with before/after gate, depth, and two-qubit counts
+    plus elapsed time (skipped passes are marked).  With ``trace=True``
+    the full :mod:`repro.obs` span tree lands in
+    ``metadata["report"]``.
+    """
 
     def __init__(
         self,
         circuit: QuantumCircuit,
         initial_layout: Dict[int, int],
         final_layout: Dict[int, int],
-        stats: Dict[str, int],
+        stats: Dict[str, Any],
+        metadata: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.circuit = circuit
         self.initial_layout = initial_layout
         self.final_layout = final_layout
         self.stats = stats
+        self.metadata = metadata or {}
 
     def __repr__(self) -> str:
-        return f"CompilationResult({len(self.circuit)} ops, stats={self.stats})"
+        scalars = {
+            k: v for k, v in self.stats.items() if not isinstance(v, list)
+        }
+        return f"CompilationResult({len(self.circuit)} ops, stats={scalars})"
+
+
+def _add_peephole(pm: PassManager) -> None:
+    passes, predicate = peephole_loop()
+    pm.append(passes, do_while=predicate, max_iterations=20, name="peephole")
+
+
+def _add_resynth(pm: PassManager, basis: frozenset) -> None:
+    pm.append(
+        [Collapse1qRuns(basis), Resynth2qBlocks(basis)], name="resynth"
+    )
+    _add_peephole(pm)
+
+
+def build_preset(
+    optimization_level: int = 1,
+    basis: frozenset = BASIS_CX_RZ_RY,
+    coupling: Optional[CouplingMap] = None,
+    router: str = "sabre",
+    layout: str = "interaction",
+    seed: int = 0,
+) -> PassManager:
+    """The preset pipeline behind :func:`compile_circuit`.
+
+    Returned as a plain :class:`~repro.compile.passmanager.PassManager`
+    so callers can inspect, extend, or re-run it on other circuits.
+    """
+    if optimization_level not in PRESET_LEVELS:
+        raise ValueError(
+            f"unknown optimization level {optimization_level!r}; "
+            f"presets are {PRESET_LEVELS}"
+        )
+    pm = PassManager()
+    if optimization_level >= 2:
+        pm.append(ZXOptimize(), name="zx")
+    if optimization_level >= 1:
+        _add_peephole(pm)
+    pm.append(DecomposeToBasis(basis), name="lower")
+    if optimization_level >= 1:
+        _add_peephole(pm)
+    if optimization_level >= 3:
+        _add_resynth(pm, basis)
+    pm.append(RecordSize("post_basis_ops"), name="record")
+    if coupling is not None:
+        layout_pass = ChooseLayout(coupling, strategy=layout)
+        pm.append(layout_pass, name="layout")
+        pm.append(
+            Route(coupling, router=router, seed=seed, requires=(layout_pass,)),
+            name="route",
+        )
+        # Routing introduces SWAP gates outside the basis: lower again.
+        pm.append(DecomposeToBasis(basis), name="lower-routed")
+        if optimization_level >= 1:
+            _add_peephole(pm)
+        if optimization_level >= 3:
+            # Resynthesis is coupling-safe: blocks live on routed pairs.
+            _add_resynth(pm, basis)
+    return pm
+
+
+def build_optimization_pipeline(
+    optimization_level: int, basis: Optional[frozenset] = None
+) -> PassManager:
+    """Optimization-only preset (no lowering, no routing).
+
+    This is the pipeline the simulation dispatcher runs for
+    ``SimOptions.optimization_level``: it never forces a gate basis, so
+    backends keep executing the circuit's native (possibly raw-matrix)
+    gates; level 3's resynthesis emits ``unitary1q`` locals directly.
+    """
+    if optimization_level not in PRESET_LEVELS:
+        raise ValueError(
+            f"unknown optimization level {optimization_level!r}; "
+            f"presets are {PRESET_LEVELS}"
+        )
+    pm = PassManager()
+    if optimization_level >= 2:
+        pm.append(ZXOptimize(), name="zx")
+    if optimization_level >= 1:
+        _add_peephole(pm)
+    if optimization_level >= 3:
+        pm.append(
+            [Collapse1qRuns(basis), Resynth2qBlocks(basis)], name="resynth"
+        )
+        _add_peephole(pm)
+    return pm
+
+
+def _trailing_measurements(circuit: QuantumCircuit) -> List[Operation]:
+    """The circuit's final measurements, validated as compile-safe.
+
+    The legacy pipeline silently dropped measurements.  Now trailing
+    measurements survive compilation (re-appended remapped through the
+    final layout); circuits the compiler cannot preserve — feed-forward
+    conditions, or mid-circuit measurements followed by more gates on
+    the measured qubit — raise instead of miscompiling.
+    """
+    measurements: List[Operation] = []
+    measured: set = set()
+    for op in circuit.operations:
+        if op.condition is not None:
+            raise ValueError(
+                "cannot compile dynamic circuits: classically-conditioned "
+                "operations are not supported by compile_circuit"
+            )
+        if op.is_measurement:
+            measurements.append(op)
+            measured.update(op.targets)
+            continue
+        if op.is_barrier:
+            continue
+        overlap = measured.intersection(op.qubits)
+        if overlap:
+            raise ValueError(
+                "cannot compile mid-circuit measurements: qubits "
+                f"{sorted(overlap)} are measured and then operated on"
+            )
+    return measurements
 
 
 def compile_circuit(
@@ -49,57 +205,60 @@ def compile_circuit(
     router: str = "sabre",
     layout: str = "interaction",
     seed: int = 0,
+    trace: bool = False,
 ) -> CompilationResult:
     """Compile ``circuit`` for a device.
 
     optimization_level 0: lower to basis + route only;
     1: adds peephole optimization before and after routing;
-    2: additionally runs the ZX-calculus optimizer first.
+    2: additionally runs the ZX-calculus optimizer first;
+    3: additionally resynthesizes 1q runs (Euler angles) and 2q blocks
+    (Cartan/KAK, at most 3 CX per block).
     ``layout`` picks the initial placement: ``"trivial"`` (identity) or
-    ``"interaction"`` (interaction-graph heuristic).
+    ``"interaction"`` (interaction-graph heuristic).  ``trace=True``
+    records every pass in a :mod:`repro.obs` session and attaches the
+    report as ``result.metadata["report"]``.
     """
-    stats: Dict[str, int] = {
+    pm = build_preset(
+        optimization_level=optimization_level,
+        basis=basis,
+        coupling=coupling,
+        router=router,
+        layout=layout,
+        seed=seed,
+    )
+    measurements = _trailing_measurements(circuit)
+    stats: Dict[str, Any] = {
         "input_ops": len(circuit),
         "input_two_qubit": circuit.two_qubit_gate_count(),
     }
     work = circuit.without_measurements()
-    if optimization_level >= 2:
-        work = zx_optimize(work).optimized
-    if optimization_level >= 1:
-        work = optimize(work)
-    work = decompose_to_basis(work, basis)
-    if optimization_level >= 1:
-        work = optimize(work)
-    stats["post_basis_ops"] = len(work)
-
+    metadata: Dict[str, Any] = {}
+    with trace_session(trace) as session:
+        with obs_trace.span(
+            "compile", level=optimization_level, ops=len(work)
+        ):
+            result: PassManagerResult = pm.run(work)
+        if session is not None:
+            metadata["report"] = session.report()
+    compiled = result.circuit
+    properties = result.properties
+    stats["post_basis_ops"] = properties.get("post_basis_ops", len(compiled))
+    stats["passes"] = result.records
     if coupling is None:
-        identity = {q: q for q in range(work.num_qubits)}
+        identity = {q: q for q in range(compiled.num_qubits)}
+        initial, final = identity, dict(identity)
         stats["swaps"] = 0
-        stats["output_ops"] = len(work)
-        stats["output_two_qubit"] = work.two_qubit_gate_count()
-        return CompilationResult(work, identity, identity, stats)
-
-    if layout == "interaction":
-        initial = interaction_layout(work, coupling)
-    elif layout == "trivial":
-        initial = {q: q for q in range(work.num_qubits)}
     else:
-        raise ValueError(f"unknown layout strategy '{layout}'")
-    if router == "sabre":
-        routing = route_sabre(work, coupling, initial_layout=initial, seed=seed)
-    elif router == "greedy":
-        routing = route_greedy(work, coupling, initial_layout=initial)
-    else:
-        raise ValueError(f"unknown router '{router}'")
-    routed = routing.circuit
-    # Routing introduces SWAP gates outside the basis: lower them again.
-    routed = decompose_to_basis(routed, basis)
-    if optimization_level >= 1:
-        routed = optimize(routed)
-    stats["swaps"] = routing.swap_count
-    stats["output_ops"] = len(routed)
-    stats["output_two_qubit"] = routed.two_qubit_gate_count()
-    routed.name = circuit.name + "_compiled"
-    return CompilationResult(
-        routed, routing.initial_layout, routing.final_layout, stats
-    )
+        initial = properties["layout"]
+        final = properties["final_layout"]
+        stats["swaps"] = properties["swaps"]
+        compiled.name = circuit.name + "_compiled"
+    if measurements:
+        compiled = compiled.copy()
+        compiled.num_clbits = max(compiled.num_clbits, circuit.num_clbits)
+        for op in measurements:
+            compiled.append(op.remapped(final))
+    stats["output_ops"] = len(compiled)
+    stats["output_two_qubit"] = compiled.two_qubit_gate_count()
+    return CompilationResult(compiled, initial, final, stats, metadata)

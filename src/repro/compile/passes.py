@@ -1,0 +1,307 @@
+"""Concrete compiler passes wrapping the existing transformations.
+
+Each pass is a thin declaration layer over the battle-tested functions in
+:mod:`repro.compile.optimize`, :mod:`repro.compile.commutation`,
+:mod:`repro.compile.zx_opt`, :mod:`repro.compile.decompositions`,
+:mod:`repro.compile.routing`, and :mod:`repro.compile.fusion` — the
+scheduler (:mod:`repro.compile.passmanager`) supplies requirement
+resolution, validity-based skipping, and fixed-point control flow, while
+the numerics stay where they were.  The preset pipelines built from
+these passes reproduce the legacy fixed pipeline gate-for-gate at
+optimization levels 0–2.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from .commutation import commutative_cancellation
+from .coupling import CouplingMap
+from .decompositions import decompose_to_basis
+from .optimize import cancel_inverses, merge_rotations, remove_identities
+from .passmanager import AnalysisPass, PropertySet, TransformationPass
+from .routing import interaction_layout, route_greedy, route_sabre
+from .zx_opt import zx_optimize
+
+# Properties about *bookkeeping* (layouts, recorded statistics) survive
+# circuit rewrites that stay inside the current basis; only properties
+# derived from the exact operation list ("size") are dropped.
+STRUCTURAL = frozenset(
+    {"basis", "layout", "final_layout", "swaps", "post_basis_ops"}
+)
+
+
+# -- analysis -----------------------------------------------------------------
+
+
+class Size(AnalysisPass):
+    """Record the current operation count as ``properties["size"]``."""
+
+    provides = ("size",)
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        properties["size"] = len(circuit)
+
+
+class FixedPoint(AnalysisPass):
+    """Compare a recorded property against its current circuit value.
+
+    Placed at the end of a ``do_while`` stage whose opener recorded
+    ``properties[key]``: sets ``properties[f"{key}_fixed"]`` true when
+    the value did not change across the stage body, terminating the
+    loop.  Always re-runs (a stale verdict would wedge the loop).
+    """
+
+    def __init__(self, key: str = "size") -> None:
+        self.key = key
+        self.provides = (f"{key}_fixed",)
+
+    @property
+    def name(self) -> str:
+        return f"FixedPoint[{self.key}]"
+
+    def already_satisfied(self, circuit, properties, valid) -> bool:
+        return False
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        properties[f"{self.key}_fixed"] = (
+            properties.get(self.key) == len(circuit)
+        )
+
+
+class RecordSize(AnalysisPass):
+    """Snapshot the operation count under a named property (once).
+
+    Used for ``post_basis_ops``: the property is preserved by every
+    later pass, so the snapshot keeps the value at the point in the
+    pipeline where it was scheduled.
+    """
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.provides = (key,)
+
+    @property
+    def name(self) -> str:
+        return f"RecordSize[{self.key}]"
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        properties[self.key] = len(circuit)
+
+
+class ChooseLayout(AnalysisPass):
+    """Pick the initial logical-to-physical placement.
+
+    ``strategy="interaction"`` uses the interaction-graph heuristic;
+    ``"trivial"`` is the identity placement.
+    """
+
+    provides = ("layout",)
+
+    def __init__(
+        self, coupling: CouplingMap, strategy: str = "interaction"
+    ) -> None:
+        if strategy not in ("interaction", "trivial"):
+            raise ValueError(f"unknown layout strategy '{strategy}'")
+        self.coupling = coupling
+        self.strategy = strategy
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        if self.strategy == "interaction":
+            properties["layout"] = interaction_layout(circuit, self.coupling)
+        else:
+            properties["layout"] = {
+                q: q for q in range(circuit.num_qubits)
+            }
+
+
+# -- peephole transformations -------------------------------------------------
+
+
+class RemoveIdentities(TransformationPass):
+    preserves = STRUCTURAL
+
+    def run(self, circuit, properties):
+        return remove_identities(circuit)
+
+
+class CancelInverses(TransformationPass):
+    preserves = STRUCTURAL
+
+    def run(self, circuit, properties):
+        return cancel_inverses(circuit)
+
+
+class MergeRotations(TransformationPass):
+    preserves = STRUCTURAL
+
+    def run(self, circuit, properties):
+        return merge_rotations(circuit)
+
+
+class CommutativeCancellation(TransformationPass):
+    preserves = STRUCTURAL
+
+    def __init__(self, max_lookback: int = 32) -> None:
+        self.max_lookback = max_lookback
+
+    def run(self, circuit, properties):
+        return commutative_cancellation(
+            circuit, max_lookback=self.max_lookback
+        )
+
+
+# -- structure-changing transformations ---------------------------------------
+
+
+class ZXOptimize(TransformationPass):
+    """ZX-calculus optimization; records the rewrite summary."""
+
+    preserves = frozenset(
+        {"layout", "final_layout", "swaps", "post_basis_ops"}
+    )
+
+    def run(self, circuit, properties):
+        report = zx_optimize(circuit)
+        properties["zx_summary"] = report.summary()
+        return report.optimized
+
+
+class DecomposeToBasis(TransformationPass):
+    """Lower everything to the target gate basis.
+
+    Provides ``"basis"`` (the frozenset itself goes into the property
+    set) and is skipped when the circuit is already lowered to the same
+    basis — e.g. after a routing round that inserted no out-of-basis
+    gates.
+    """
+
+    provides = ("basis",)
+    preserves = frozenset(
+        {"layout", "final_layout", "swaps", "post_basis_ops"}
+    )
+
+    def __init__(self, basis: frozenset) -> None:
+        self.basis = basis
+
+    def already_satisfied(
+        self,
+        circuit: QuantumCircuit,
+        properties: PropertySet,
+        valid: Set[str],
+    ) -> bool:
+        return "basis" in valid and properties.get("basis") == self.basis
+
+    def run(self, circuit, properties):
+        properties["basis"] = self.basis
+        return decompose_to_basis(circuit, self.basis)
+
+
+class Route(TransformationPass):
+    """SWAP-route onto the coupling map from the chosen initial layout.
+
+    Requires a :class:`ChooseLayout` (resolved automatically when its
+    ``"layout"`` property is not valid).  Invalidates ``"basis"``: the
+    inserted SWAP gates need another lowering round.
+    """
+
+    provides = ("final_layout", "swaps")
+    preserves = frozenset({"layout", "post_basis_ops"})
+    invalidates = ("basis",)
+
+    def __init__(
+        self,
+        coupling: CouplingMap,
+        router: str = "sabre",
+        seed: int = 0,
+        requires: Tuple = (),
+    ) -> None:
+        if router not in ("sabre", "greedy"):
+            raise ValueError(f"unknown router '{router}'")
+        self.coupling = coupling
+        self.router = router
+        self.seed = seed
+        self.requires = tuple(requires)
+
+    def run(self, circuit, properties):
+        initial = properties["layout"]
+        if self.router == "sabre":
+            routing = route_sabre(
+                circuit,
+                self.coupling,
+                initial_layout=initial,
+                seed=self.seed,
+            )
+        else:
+            routing = route_greedy(
+                circuit, self.coupling, initial_layout=initial
+            )
+        properties["final_layout"] = routing.final_layout
+        properties["swaps"] = routing.swap_count
+        # The router may refine the placement; keep the property current.
+        properties["layout"] = routing.initial_layout
+        return routing.circuit
+
+
+class FuseGates(TransformationPass):
+    """Gate fusion as a schedulable pass (simulation pipelines).
+
+    Not part of the device presets — fused matrices are not basis gates —
+    but lets simulation-oriented pipelines express the registry
+    pre-pass as a scheduled stage.
+    """
+
+    preserves = frozenset(
+        {"layout", "final_layout", "swaps", "post_basis_ops"}
+    )
+
+    def __init__(self, max_fused_qubits: int = 2) -> None:
+        self.max_fused_qubits = max_fused_qubits
+
+    def run(self, circuit, properties):
+        from .fusion import fuse_gates
+
+        return fuse_gates(
+            circuit, max_fused_qubits=self.max_fused_qubits
+        )
+
+
+def peephole_loop(
+    commutation: bool = True, max_iterations: int = 20
+) -> Tuple:
+    """The standard peephole fixed-point stage body + predicate.
+
+    Returns ``(passes, do_while)`` reproducing
+    :func:`repro.compile.optimize.optimize` exactly: each iteration
+    records the entry size, runs the four peepholes in the legacy
+    order, and stops when an iteration leaves the size unchanged.
+    """
+    passes = [
+        Size(),
+        RemoveIdentities(),
+        CancelInverses(),
+        MergeRotations(),
+    ]
+    if commutation:
+        passes.append(CommutativeCancellation())
+    passes.append(FixedPoint("size"))
+    return passes, (lambda ps: not ps.get("size_fixed", False))
+
+
+__all__ = [
+    "STRUCTURAL",
+    "CancelInverses",
+    "ChooseLayout",
+    "CommutativeCancellation",
+    "DecomposeToBasis",
+    "FixedPoint",
+    "FuseGates",
+    "MergeRotations",
+    "RecordSize",
+    "RemoveIdentities",
+    "Route",
+    "Size",
+    "ZXOptimize",
+    "peephole_loop",
+]

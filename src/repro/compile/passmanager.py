@@ -1,0 +1,304 @@
+"""Scheduled pass-manager for the compiler (qiskit-transpiler style).
+
+The fixed if-ladder pipeline in :mod:`repro.compile.compiler` is replaced
+by a scheduler over declared *passes*:
+
+- an :class:`AnalysisPass` inspects the circuit and records facts in the
+  shared :class:`PropertySet` without touching the circuit;
+- a :class:`TransformationPass` returns a rewritten circuit and declares
+  which previously-computed properties survive the rewrite
+  (``preserves``) and which are destroyed (``invalidates``);
+- every pass may declare ``requires`` — passes whose properties must be
+  valid before it runs — and the :class:`PassManager` resolves those
+  recursively, skipping any pass whose provided properties are already
+  valid.
+
+Stages group passes and add control flow: ``do_while`` re-runs a stage
+until its predicate over the property set goes false (bounded by
+``max_iterations``) and ``condition`` gates a stage entirely — enough to
+express the peephole fixed-point loop, conditional ZX optimization, and
+the resynthesis rounds as data instead of code.
+
+Every executed pass runs inside a ``compile.pass`` span
+(:mod:`repro.obs`) carrying gate/depth/two-qubit counts, and the manager
+returns per-pass delta records that :class:`~repro.compile.compiler.CompilationResult`
+surfaces as ``stats["passes"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+
+
+class PropertySet(dict):
+    """Analysis results threaded between passes.
+
+    A plain ``dict`` with attribute sugar; the *validity* of entries is
+    tracked separately by the scheduler (a transformation that does not
+    preserve a property removes it from the valid set, and the next pass
+    requiring it triggers recomputation).
+    """
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+class BasePass:
+    """A unit of compilation work with declared scheduling metadata.
+
+    Attributes:
+        requires: passes whose ``provides`` must all be valid before this
+            pass runs; the scheduler runs them (recursively) if not.
+        provides: property names this pass computes/establishes.
+        preserves: property names that stay valid through this pass
+            (ignored for analysis passes — they preserve everything).
+        invalidates: property names destroyed even if preserved/provided
+            elsewhere.
+    """
+
+    is_analysis: bool = False
+    requires: Tuple["BasePass", ...] = ()
+    provides: Tuple[str, ...] = ()
+    preserves: frozenset = frozenset()
+    invalidates: Tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def run(
+        self, circuit: QuantumCircuit, properties: PropertySet
+    ) -> Optional[QuantumCircuit]:
+        """Analysis passes return ``None``; transformations a new circuit."""
+        raise NotImplementedError
+
+    def already_satisfied(
+        self,
+        circuit: QuantumCircuit,
+        properties: PropertySet,
+        valid: Set[str],
+    ) -> bool:
+        """Whether running this pass would be redundant right now."""
+        return bool(self.provides) and set(self.provides) <= valid
+
+    def __repr__(self) -> str:
+        return f"<{self.name}>"
+
+
+class AnalysisPass(BasePass):
+    """Computes properties; never modifies the circuit."""
+
+    is_analysis = True
+
+
+class TransformationPass(BasePass):
+    """Rewrites the circuit; transformations re-run whenever scheduled."""
+
+    is_analysis = False
+
+    def already_satisfied(
+        self,
+        circuit: QuantumCircuit,
+        properties: PropertySet,
+        valid: Set[str],
+    ) -> bool:
+        return False
+
+
+class Stage:
+    """An ordered group of passes with optional control flow.
+
+    ``do_while(properties)`` true re-runs the stage (up to
+    ``max_iterations`` total iterations); ``condition(properties)``
+    false skips the stage entirely.
+    """
+
+    def __init__(
+        self,
+        passes: Sequence[BasePass],
+        do_while: Optional[Callable[[PropertySet], bool]] = None,
+        condition: Optional[Callable[[PropertySet], bool]] = None,
+        max_iterations: int = 20,
+        name: str = "",
+    ) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        self.passes = list(passes)
+        self.do_while = do_while
+        self.condition = condition
+        self.max_iterations = max_iterations
+        self.name = name or "stage"
+
+
+class PassManagerResult:
+    """Final circuit plus the property set and per-pass execution records."""
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        properties: PropertySet,
+        records: List[Dict[str, Any]],
+    ) -> None:
+        self.circuit = circuit
+        self.properties = properties
+        self.records = records
+
+    def __repr__(self) -> str:
+        executed = sum(1 for r in self.records if not r["skipped"])
+        return (
+            f"PassManagerResult({len(self.circuit)} ops, "
+            f"{executed} passes run, {len(self.records) - executed} skipped)"
+        )
+
+
+class PassManager:
+    """Schedules stages of passes over a circuit.
+
+    The scheduler maintains the set of *valid* property names: analysis
+    results stay valid until a transformation fails to preserve them.  A
+    pass whose provided properties are all valid is skipped (recorded
+    with ``skipped=True``); requirements are resolved recursively before
+    each pass.  Transformations that return an identical operation list
+    are treated as no-ops and preserve every property.
+    """
+
+    def __init__(self, stages: Sequence[Stage] = ()) -> None:
+        self.stages: List[Stage] = list(stages)
+
+    def append(
+        self,
+        passes,
+        do_while: Optional[Callable[[PropertySet], bool]] = None,
+        condition: Optional[Callable[[PropertySet], bool]] = None,
+        max_iterations: int = 20,
+        name: str = "",
+    ) -> "PassManager":
+        """Add a stage (a single pass or a sequence of passes)."""
+        if isinstance(passes, BasePass):
+            passes = [passes]
+        self.stages.append(
+            Stage(
+                passes,
+                do_while=do_while,
+                condition=condition,
+                max_iterations=max_iterations,
+                name=name,
+            )
+        )
+        return self
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        properties: Optional[PropertySet] = None,
+    ) -> PassManagerResult:
+        properties = (
+            properties if properties is not None else PropertySet()
+        )
+        valid: Set[str] = set(properties)
+        records: List[Dict[str, Any]] = []
+        resolving: List[str] = []
+
+        def execute(p: BasePass, current: QuantumCircuit) -> QuantumCircuit:
+            if p.name in resolving:
+                raise RuntimeError(
+                    "circular pass requirement: "
+                    + " -> ".join(resolving + [p.name])
+                )
+            resolving.append(p.name)
+            try:
+                for req in p.requires:
+                    if not (
+                        req.provides and set(req.provides) <= valid
+                    ):
+                        current = execute(req, current)
+            finally:
+                resolving.pop()
+            if p.already_satisfied(current, properties, valid):
+                records.append(
+                    {
+                        "pass": p.name,
+                        "skipped": True,
+                        "ops": len(current),
+                    }
+                )
+                return current
+            span = obs_trace.timed_span("compile.pass", pass_name=p.name)
+            ops_before = len(current)
+            depth_before = current.depth()
+            two_qubit_before = current.two_qubit_gate_count()
+            try:
+                result = p.run(current, properties)
+            except BaseException:
+                span.finish(status="error")
+                raise
+            changed = False
+            if result is not None and not p.is_analysis:
+                changed = (
+                    len(result) != ops_before
+                    or result.operations != current.operations
+                )
+                if changed:
+                    current = result
+                    kept = valid & p.preserves
+                    valid.clear()
+                    valid.update(kept)
+            valid.update(p.provides)
+            valid.difference_update(p.invalidates)
+            ops_after = len(current)
+            depth_after = current.depth()
+            two_qubit_after = current.two_qubit_gate_count()
+            span.finish(
+                ops_before=ops_before,
+                ops_after=ops_after,
+                depth_before=depth_before,
+                depth_after=depth_after,
+                two_qubit_before=two_qubit_before,
+                two_qubit_after=two_qubit_after,
+                changed=changed,
+            )
+            obs_metrics.counter_add("compile.pass.runs")
+            obs_metrics.observe(
+                "compile.pass.ops_removed", ops_before - ops_after
+            )
+            obs_metrics.gauge_set("compile.ops", ops_after)
+            obs_metrics.gauge_set("compile.depth", depth_after)
+            obs_metrics.gauge_set("compile.two_qubit", two_qubit_after)
+            records.append(
+                {
+                    "pass": p.name,
+                    "skipped": False,
+                    "changed": changed,
+                    "ops_before": ops_before,
+                    "ops_after": ops_after,
+                    "depth_before": depth_before,
+                    "depth_after": depth_after,
+                    "two_qubit_before": two_qubit_before,
+                    "two_qubit_after": two_qubit_after,
+                    "elapsed_s": round(span.duration_s, 6),
+                }
+            )
+            return current
+
+        current = circuit
+        for stage in self.stages:
+            if stage.condition is not None and not stage.condition(
+                properties
+            ):
+                continue
+            with obs_trace.span("compile.stage", stage=stage.name):
+                for _ in range(stage.max_iterations):
+                    for p in stage.passes:
+                        current = execute(p, current)
+                    if stage.do_while is None or not stage.do_while(
+                        properties
+                    ):
+                        break
+        return PassManagerResult(current, properties, records)

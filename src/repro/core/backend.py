@@ -131,8 +131,10 @@ class _BatchCache:
     def __init__(self) -> None:
         self._features: Dict[Tuple, CircuitFeatures] = {}
         self._fused: Dict[Tuple, Tuple[QuantumCircuit, Dict]] = {}
+        self._optimized: Dict[Tuple, QuantumCircuit] = {}
         self.analysis_hits = 0
         self.fusion_hits = 0
+        self.optimization_hits = 0
 
     @staticmethod
     def key(circuit: QuantumCircuit) -> Tuple:
@@ -162,6 +164,21 @@ class _BatchCache:
             self._fused[key] = cached
         else:
             self.fusion_hits += 1
+        return cached
+
+    def optimized_for(
+        self,
+        circuit: QuantumCircuit,
+        level: int,
+        compute: Callable[[], QuantumCircuit],
+    ) -> QuantumCircuit:
+        key = (self.key(circuit), level)
+        cached = self._optimized.get(key)
+        if cached is None:
+            cached = compute()
+            self._optimized[key] = cached
+        else:
+            self.optimization_hits += 1
         return cached
 
 
@@ -333,23 +350,62 @@ def _prepare(
     impl: Backend,
     cache: Optional[_BatchCache] = None,
 ) -> Tuple[QuantumCircuit, Dict]:
-    """Registry-level pre-pass: strip measurements, optionally fuse gates.
+    """Registry-level pre-pass: strip measurements, optimize, fuse gates.
 
-    Fusion is skipped for Clifford-only backends (fused gates are raw
-    matrices the tableau cannot execute) and the skip is recorded.  With
-    a :class:`_BatchCache` (sweeps), the fused circuit is memoized per
-    circuit structure.
+    With ``options.optimization_level`` set, the compiler's
+    optimization-only preset
+    (:func:`repro.compile.build_optimization_pipeline`) rewrites the
+    circuit before fusion — no basis lowering or routing, so backends
+    keep executing native gates.  Both the optimization and fusion
+    pre-passes are skipped for Clifford-only backends (the rewritten
+    rotation/raw-matrix gates cannot run on a tableau) and each skip is
+    recorded.  With a :class:`_BatchCache` (sweeps), the optimized and
+    fused circuits are memoized per circuit structure.
     """
     clean = circuit.without_measurements()
+    meta_extra: Dict = {}
+    level = options.optimization_level
+    if level:
+        if impl.supports(cap.CLIFFORD_ONLY):
+            meta_extra["optimization"] = "skipped (clifford-only backend)"
+        else:
+            with obs_trace.span(
+                "optimize", backend=impl.name, level=level
+            ) as opt_span:
+
+                def optimize() -> QuantumCircuit:
+                    from ..compile.compiler import (
+                        build_optimization_pipeline,
+                    )
+
+                    return build_optimization_pipeline(level).run(
+                        clean
+                    ).circuit
+
+                ops_before = len(clean.operations)
+                if cache is not None:
+                    clean = cache.optimized_for(clean, level, optimize)
+                else:
+                    clean = optimize()
+                if opt_span is not None:
+                    opt_span.set(
+                        level=level,
+                        ops_before=ops_before,
+                        ops_after=len(clean.operations),
+                    )
+            meta_extra["optimization_level"] = level
     with obs_trace.span("fuse", backend=impl.name) as fuse_span:
         if not options.fusion:
             if fuse_span is not None:
                 fuse_span.set(applied=False)
-            return clean, {"fusion": False}
+            return clean, {"fusion": False, **meta_extra}
         if impl.supports(cap.CLIFFORD_ONLY):
             if fuse_span is not None:
                 fuse_span.set(applied=False, skipped="clifford-only")
-            return clean, {"fusion": "skipped (clifford-only backend)"}
+            return clean, {
+                "fusion": "skipped (clifford-only backend)",
+                **meta_extra,
+            }
 
         def compute() -> Tuple[QuantumCircuit, Dict]:
             from ..compile.fusion import fuse_gates
@@ -363,6 +419,7 @@ def _prepare(
             prepared, meta = cache.fused_for(clean, options, False, compute)
         else:
             prepared, meta = compute()
+        meta = {**meta, **meta_extra}
         if fuse_span is not None:
             fuse_span.set(
                 applied=True,

@@ -39,6 +39,15 @@ class SimOptions:
             simulation (registry-level pre-pass, applied uniformly to all
             non-Clifford-only backends).
         max_fused_qubits: Support cap for the fusion pre-pass.
+        optimization_level: Run the compiler's optimization-only preset
+            (:func:`repro.compile.build_optimization_pipeline`) as a
+            dispatch pre-pass before fusion: ``None``/0 = off, 1 =
+            peephole fixed-point, 2 = + ZX-calculus, 3 = + numeric
+            resynthesis (1q-run collapse and 3-CX 2q blocks).  No basis
+            lowering or routing happens — backends keep executing native
+            gates.  Skipped (and recorded) for Clifford-only backends,
+            whose tableaus cannot execute the rewritten rotation gates.
+            Levels >= 2 preserve the state up to global phase only.
         max_bond: MPS bond-dimension cap (``None`` = exact).
         cutoff: MPS singular-value truncation threshold.
         plan: Tensor-network contraction plan (``repro.tn.contraction``).
@@ -86,6 +95,7 @@ class SimOptions:
     method: str = "einsum"
     fusion: bool = False
     max_fused_qubits: int = 2
+    optimization_level: Optional[int] = None
     max_bond: Optional[int] = None
     cutoff: float = 1e-12
     plan: Optional[Any] = None
@@ -122,6 +132,12 @@ class SimOptions:
             raise ValueError(
                 f"unknown executor '{executor}'; "
                 "choose 'process' or 'thread'"
+            )
+        level = kwargs.get("optimization_level")
+        if level is not None and level not in (0, 1, 2, 3):
+            raise ValueError(
+                f"unknown optimization_level {level!r}; "
+                "choose None or 0-3"
             )
         return cls(**kwargs)
 

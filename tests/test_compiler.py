@@ -12,12 +12,18 @@ from repro.circuits import library, random_circuits
 from repro.compile import (
     BASIS_CX_RZ_RY,
     BASIS_IBM,
+    build_preset,
     compile_circuit,
     coupling,
+    decompose_to_basis,
+    optimize,
     zx_optimize,
     zx_t_count,
 )
-from repro.compile.routing import undo_layout_statevector
+from repro.compile.routing import (
+    route_sabre,
+    undo_layout_statevector,
+)
 
 
 @pytest.fixture(scope="module")
@@ -54,7 +60,7 @@ def test_zx_t_count_metric():
     assert zx_t_count(circuit) <= 1
 
 
-@pytest.mark.parametrize("level", [0, 1, 2])
+@pytest.mark.parametrize("level", [0, 1, 2, 3])
 def test_compile_no_coupling(level, sv):
     circuit = library.qft(3)
     result = compile_circuit(circuit, optimization_level=level)
@@ -67,7 +73,7 @@ def test_compile_no_coupling(level, sv):
     )
 
 
-@pytest.mark.parametrize("level", [0, 1, 2])
+@pytest.mark.parametrize("level", [0, 1, 2, 3])
 @pytest.mark.parametrize("router", ["greedy", "sabre"])
 def test_compile_with_coupling(level, router, sv):
     circuit = library.qft(4)
@@ -121,3 +127,180 @@ def test_optimization_level_reduces_gates():
     level0 = compile_circuit(circuit, optimization_level=0)
     level1 = compile_circuit(circuit, optimization_level=1)
     assert len(level1.circuit) < len(level0.circuit)
+
+
+# -- preset pipelines vs the legacy fixed pipeline ----------------------------
+
+
+def _legacy_compile(circuit, cmap=None, basis=BASIS_CX_RZ_RY, level=1, seed=0):
+    """The pre-pass-manager pipeline, composed by hand (levels 0-2)."""
+    from repro.compile.routing import interaction_layout
+
+    work = circuit.without_measurements()
+    if level >= 2:
+        work = zx_optimize(work).optimized
+    if level >= 1:
+        work = optimize(work)
+    work = decompose_to_basis(work, basis)
+    if level >= 1:
+        work = optimize(work)
+    if cmap is not None:
+        initial = interaction_layout(work, cmap)
+        routing = route_sabre(work, cmap, initial_layout=initial, seed=seed)
+        work = decompose_to_basis(routing.circuit, basis)
+        if level >= 1:
+            work = optimize(work)
+    return work
+
+
+@pytest.mark.parametrize("level", [0, 1, 2])
+@pytest.mark.parametrize("use_coupling", [False, True])
+def test_preset_reproduces_legacy_pipeline(level, use_coupling):
+    """The scheduled presets are gate-for-gate the legacy composition."""
+    for circuit in (library.qft(4), library.grover(3, 2)):
+        cmap = coupling.line(circuit.num_qubits) if use_coupling else None
+        legacy = _legacy_compile(circuit, cmap, level=level)
+        result = compile_circuit(
+            circuit, coupling=cmap, optimization_level=level
+        )
+        assert result.circuit.operations == legacy.operations
+
+
+def test_build_preset_reusable_across_circuits():
+    pm = build_preset(optimization_level=1)
+    for circuit in (library.qft(3), library.ghz_state(4)):
+        out = pm.run(circuit.without_measurements()).circuit
+        assert allclose_up_to_global_phase(
+            circuit_unitary(circuit), circuit_unitary(out), tol=1e-7
+        )
+
+
+def test_build_preset_rejects_unknown_level():
+    with pytest.raises(ValueError, match="unknown optimization level"):
+        build_preset(optimization_level=5)
+    with pytest.raises(ValueError, match="unknown optimization level"):
+        compile_circuit(library.bell_pair(), optimization_level=-1)
+
+
+# -- measurements through compilation -----------------------------------------
+
+
+def test_measurements_survive_compilation():
+    """Regression: the legacy pipeline silently dropped measurements."""
+    circuit = library.bell_pair().measure_all()
+    result = compile_circuit(circuit, optimization_level=1)
+    measured = [op for op in result.circuit if op.is_measurement]
+    assert len(measured) == 2
+    assert result.circuit.num_clbits == 2
+    assert result.stats["output_ops"] == len(result.circuit)
+
+
+def test_measurements_remapped_through_final_layout():
+    circuit = library.qft(4).measure_all()
+    result = compile_circuit(
+        circuit, coupling=coupling.line(4), optimization_level=1
+    )
+    measured = {
+        op.clbits[0]: op.targets[0]
+        for op in result.circuit
+        if op.is_measurement
+    }
+    assert measured == {
+        c: result.final_layout[c] for c in range(4)
+    }
+    # Measurements come last and the gate body is untouched by them.
+    body = [op for op in result.circuit if not op.is_measurement]
+    bare = compile_circuit(
+        library.qft(4), coupling=coupling.line(4), optimization_level=1
+    )
+    assert body == bare.circuit.operations
+
+
+def test_compile_rejects_dynamic_circuits():
+    circuit = library.teleportation()
+    with pytest.raises(ValueError, match="dynamic circuits"):
+        compile_circuit(circuit)
+
+
+def test_compile_rejects_mid_circuit_measurements():
+    from repro.circuits.circuit import QuantumCircuit
+
+    circuit = QuantumCircuit(2, 1)
+    circuit.h(0)
+    circuit.measure(0, 0)
+    circuit.h(0)
+    with pytest.raises(ValueError, match="mid-circuit measurements"):
+        compile_circuit(circuit)
+
+
+# -- level 3: numeric resynthesis ---------------------------------------------
+
+
+def test_level3_resynthesis_acceptance():
+    """Level 3 must beat level 2 by >= 20% total gates and reduce CX."""
+    circuit = library.quantum_volume_circuit(4, 4, seed=3)
+    level2 = compile_circuit(circuit, optimization_level=2)
+    level3 = compile_circuit(circuit, optimization_level=3)
+    ops2, ops3 = level2.stats["output_ops"], level3.stats["output_ops"]
+    cx2, cx3 = (
+        level2.stats["output_two_qubit"],
+        level3.stats["output_two_qubit"],
+    )
+    assert ops3 <= 0.8 * ops2
+    assert cx3 < cx2
+    assert allclose_up_to_global_phase(
+        circuit_unitary(circuit), circuit_unitary(level3.circuit), tol=1e-6
+    )
+
+
+def test_monotone_gate_counts_on_benchmarks():
+    """Gate counts are non-increasing across levels on these workloads."""
+    benchmarks = [
+        random_circuits.random_clifford_circuit(4, 60, seed=0),
+        random_circuits.random_clifford_circuit(4, 60, seed=1),
+        random_circuits.random_clifford_circuit(5, 80, seed=7),
+        library.hidden_shift(4, 0b1010),
+    ]
+    for circuit in benchmarks:
+        counts = [
+            compile_circuit(circuit, optimization_level=lv).stats[
+                "output_ops"
+            ]
+            for lv in (0, 1, 2, 3)
+        ]
+        assert all(a >= b for a, b in zip(counts, counts[1:])), counts
+
+
+# -- per-pass records and tracing ---------------------------------------------
+
+
+def test_per_pass_records_in_stats():
+    result = compile_circuit(
+        library.qft(4), coupling=coupling.ring(4), optimization_level=2
+    )
+    records = result.stats["passes"]
+    assert isinstance(records, list) and records
+    executed = [r for r in records if not r["skipped"]]
+    names = [r["pass"] for r in records]
+    assert "ZXOptimize" in names
+    assert "Route" in names
+    for record in executed:
+        assert record["ops_after"] >= 0
+        assert record["elapsed_s"] >= 0.0
+        assert "two_qubit_before" in record and "depth_after" in record
+    # The post-routing lowering is skipped when routing left the
+    # circuit in basis, and recorded as such.
+    assert any(r["skipped"] for r in records) or all(
+        not r["skipped"] for r in records
+    )
+
+
+def test_trace_attaches_report():
+    result = compile_circuit(
+        library.qft(3), optimization_level=1, trace=True
+    )
+    report = result.metadata["report"]
+    names = [span["name"] for span in report["spans"]]
+    assert "compile" in names
+    assert "compile.stage" in names
+    assert "compile.pass" in names

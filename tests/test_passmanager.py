@@ -1,0 +1,227 @@
+"""Unit tests for the pass-manager scheduler.
+
+Exercised with tiny synthetic passes so each scheduler behavior —
+requirement resolution, validity-based skipping, invalidation on
+change, no-op detection, fixed-point stages, conditional stages, and
+cycle detection — is observable in isolation from the real compiler
+passes.
+"""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compile import (
+    AnalysisPass,
+    CancelInverses,
+    PassManager,
+    PropertySet,
+    Stage,
+    TransformationPass,
+)
+from repro.compile.passes import peephole_loop
+
+
+class CountOps(AnalysisPass):
+    provides = ("count",)
+
+    def __init__(self):
+        self.runs = 0
+
+    def run(self, circuit, properties):
+        self.runs += 1
+        properties["count"] = len(circuit)
+
+
+def _drop_last(circuit):
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    out.operations = list(circuit.operations[:-1])
+    return out
+
+
+class DropLast(TransformationPass):
+    """Remove the final operation (declares nothing preserved)."""
+
+    def run(self, circuit, properties):
+        return _drop_last(circuit)
+
+
+class KeepCount(DropLast):
+    preserves = frozenset({"count"})
+
+
+class Identity(TransformationPass):
+    def run(self, circuit, properties):
+        return circuit.copy()
+
+
+def _hh_circuit(n=4):
+    circuit = QuantumCircuit(2)
+    for _ in range(n):
+        circuit.h(0)
+    return circuit
+
+
+class TestScheduling:
+    def test_analysis_skipped_when_property_valid(self):
+        counter = CountOps()
+        pm = PassManager()
+        pm.append([counter, counter])  # second occurrence is redundant
+        result = pm.run(_hh_circuit())
+        assert counter.runs == 1
+        skipped = [r for r in result.records if r["skipped"]]
+        assert len(skipped) == 1 and skipped[0]["pass"] == "CountOps"
+
+    def test_requires_resolved_recursively(self):
+        counter = CountOps()
+
+        class NeedsCount(AnalysisPass):
+            requires = (counter,)
+            provides = ("doubled",)
+
+            def run(self, circuit, properties):
+                properties["doubled"] = 2 * properties["count"]
+
+        pm = PassManager()
+        pm.append(NeedsCount())
+        result = pm.run(_hh_circuit())
+        assert counter.runs == 1
+        assert result.properties["doubled"] == 8
+        assert [r["pass"] for r in result.records] == [
+            "CountOps",
+            "NeedsCount",
+        ]
+
+    def test_requirement_not_rerun_when_still_valid(self):
+        counter = CountOps()
+
+        class NeedsCount(AnalysisPass):
+            requires = (counter,)
+            provides = ("seen",)
+
+            def run(self, circuit, properties):
+                properties["seen"] = properties["count"]
+
+        pm = PassManager()
+        pm.append([NeedsCount(), Identity(), NeedsCount()])
+        # Identity's rewrite is detected as a no-op, so "count" survives
+        # and the second NeedsCount is skipped without re-counting.
+        pm.run(_hh_circuit())
+        assert counter.runs == 1
+
+    def test_transformation_invalidates_unpreserved_properties(self):
+        counter = CountOps()
+        pm = PassManager()
+        pm.append([counter, DropLast(), counter])
+        result = pm.run(_hh_circuit())
+        # DropLast changed the circuit and preserves nothing, so the
+        # second CountOps must re-run on the shrunk circuit.
+        assert counter.runs == 2
+        assert result.properties["count"] == 3
+
+    def test_preserved_property_survives_change(self):
+        counter = CountOps()
+        pm = PassManager()
+        pm.append([counter, KeepCount(), counter])
+        result = pm.run(_hh_circuit())
+        assert counter.runs == 1  # stale by design: KeepCount vouched for it
+        assert result.properties["count"] == 4
+        assert len(result.circuit) == 3
+
+    def test_noop_transformation_preserves_everything(self):
+        counter = CountOps()
+        pm = PassManager()
+        pm.append([counter, Identity(), counter])
+        pm.run(_hh_circuit())
+        assert counter.runs == 1
+        identity_record = next(
+            r for r in pm.run(_hh_circuit()).records if r["pass"] == "Identity"
+        )
+        assert identity_record["changed"] is False
+
+    def test_circular_requires_detected(self):
+        class A(AnalysisPass):
+            provides = ("a",)
+
+            def run(self, circuit, properties):
+                properties["a"] = True
+
+        class B(AnalysisPass):
+            provides = ("b",)
+
+            def run(self, circuit, properties):
+                properties["b"] = True
+
+        a, b = A(), B()
+        a.requires = (b,)
+        b.requires = (a,)
+        with pytest.raises(RuntimeError, match="circular pass requirement"):
+            PassManager().append(a).run(_hh_circuit())
+
+
+class TestStages:
+    def test_do_while_reaches_fixed_point(self):
+        passes, predicate = peephole_loop()
+        pm = PassManager([Stage(passes, do_while=predicate)])
+        result = pm.run(_hh_circuit(4))  # h h h h -> empty
+        assert len(result.circuit) == 0
+        assert result.properties["size_fixed"] is True
+
+    def test_do_while_bounded_by_max_iterations(self):
+        class AlwaysDrop(TransformationPass):
+            def run(self, circuit, properties):
+                return _drop_last(circuit)
+
+        pm = PassManager(
+            [Stage([AlwaysDrop()], do_while=lambda ps: True, max_iterations=3)]
+        )
+        result = pm.run(_hh_circuit(10))
+        assert len(result.circuit) == 7  # exactly three iterations ran
+
+    def test_condition_gates_stage(self):
+        counter = CountOps()
+        pm = PassManager(
+            [Stage([counter], condition=lambda ps: ps.get("go", False))]
+        )
+        pm.run(_hh_circuit())
+        assert counter.runs == 0
+        properties = PropertySet(go=True)
+        pm.run(_hh_circuit(), properties)
+        assert counter.runs == 1
+
+    def test_seeded_properties_start_valid(self):
+        counter = CountOps()
+        pm = PassManager()
+        pm.append(counter)
+        pm.run(_hh_circuit(), PropertySet(count=99))
+        assert counter.runs == 0  # pre-seeded property counts as valid
+
+    def test_invalid_max_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            Stage([], max_iterations=0)
+
+
+class TestRecords:
+    def test_records_carry_metric_deltas(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        circuit.h(0)
+        pm = PassManager()
+        pm.append(CancelInverses())
+        result = pm.run(circuit)
+        (record,) = result.records
+        assert record["pass"] == "CancelInverses"
+        assert record["changed"] is True
+        assert record["ops_before"] == 3 and record["ops_after"] == 1
+        assert record["two_qubit_before"] == 2
+        assert record["two_qubit_after"] == 0
+        assert record["depth_before"] >= record["depth_after"]
+        assert record["elapsed_s"] >= 0.0
+
+    def test_result_repr_counts_runs_and_skips(self):
+        counter = CountOps()
+        pm = PassManager()
+        pm.append([counter, counter])
+        result = pm.run(_hh_circuit())
+        assert "1 passes run" in repr(result)
+        assert "1 skipped" in repr(result)

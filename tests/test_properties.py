@@ -155,3 +155,17 @@ def test_routing_preserves_semantics_property(circuit):
     assert allclose_up_to_global_phase(
         sv.statevector(circuit), logical, tol=1e-7
     )
+
+
+@settings(max_examples=12, deadline=None)
+@given(small_circuits(max_qubits=3, max_gates=10))
+def test_compile_equivalent_at_every_level_property(circuit):
+    """Every preset level produces an equivalent circuit (up to phase)."""
+    from repro.compile import compile_circuit
+    from repro.verify import check_equivalence
+
+    for level in (0, 1, 2, 3):
+        result = compile_circuit(circuit, optimization_level=level)
+        assert check_equivalence(
+            circuit, result.circuit, method="arrays", tol=1e-6
+        ), f"level {level} broke equivalence"

@@ -266,3 +266,53 @@ class TestAccounting:
             circuit, trajectories=8, n_jobs=2, executor="process", shm=True
         )
         assert (serial.probabilities() == pooled.probabilities()).all()
+
+
+# -- stimulus input fan-out ---------------------------------------------------
+
+
+class TestStimulusFanOut:
+    """One shared stimulus table, N workers attaching read-only."""
+
+    def test_shm_and_pickle_verdicts_identical(self):
+        from repro.circuits import library
+        from repro.verify import check_equivalence_random_stimuli
+
+        a = library.qft(4)
+        b = library.qft(4)
+        serial = check_equivalence_random_stimuli(a, b, seed=11)
+        pickled = check_equivalence_random_stimuli(
+            a, b, seed=11, n_jobs=2, shm=False
+        )
+        fanned = check_equivalence_random_stimuli(
+            a, b, seed=11, n_jobs=2, shm=True
+        )
+        assert serial is pickled is fanned is True
+        assert leaked_segments() == []
+
+    def test_fan_out_detects_inequivalence(self):
+        from repro.circuits import library
+        from repro.verify import check_equivalence_random_stimuli
+
+        a = library.qft(4)
+        c = library.ghz_state(4)
+        assert not check_equivalence_random_stimuli(
+            a, c, seed=11, n_jobs=2, shm=True
+        )
+        # Early-return path must still sweep the published table.
+        assert leaked_segments() == []
+
+    def test_slice_resolves_row(self):
+        from repro.verify.tn_check import _StimulusSlice
+
+        table = np.array(
+            [[(0, 1), (2, 3)], [(4, 5), (6, 7)]], dtype=np.int64
+        )
+        token = new_token()
+        handle = ShmArray.create_from(table, token=token)
+        try:
+            assert _StimulusSlice(handle, 0).resolve() == [(0, 1), (2, 3)]
+            assert _StimulusSlice(handle, 1).resolve() == [(4, 5), (6, 7)]
+        finally:
+            release_token(token)
+        assert leaked_segments(token) == []

@@ -151,3 +151,61 @@ class TestUniformMetadata:
             library.ghz_state(4), backend="stab", fusion=True
         ).metadata
         assert meta["fusion"] == "skipped (clifford-only backend)"
+
+
+class TestOptimizationLevel:
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown optimization_level"):
+            SimOptions.from_kwargs(optimization_level=7)
+        with pytest.raises(ValueError):
+            simulate(library.bell_pair(), optimization_level="high")
+
+    def test_levels_preserve_state_up_to_phase(self):
+        import numpy as np
+
+        circuit = library.qft(4)
+        reference = simulate(circuit, backend="arrays").state
+        for level in (0, 1, 2, 3):
+            state = simulate(
+                circuit, backend="arrays", optimization_level=level
+            ).state
+            pivot = int(np.argmax(np.abs(reference)))
+            phase = state[pivot] / reference[pivot]
+            assert np.allclose(reference * phase, state, atol=1e-7)
+
+    def test_optimization_metadata_recorded(self):
+        circuit = library.qft(4)
+        meta = simulate(
+            circuit, backend="arrays", optimization_level=2
+        ).metadata
+        assert meta["optimization_level"] == 2
+        # Level 1 peephole alone shrinks the QFT's rotation chains or
+        # leaves the count unchanged -- never grows it.
+        plain = simulate(circuit, backend="arrays").metadata
+        assert meta["num_qubits"] == plain["num_qubits"]
+
+    def test_optimization_shrinks_redundant_circuit(self):
+        circuit = library.qft(4)
+        circuit.compose(library.qft(4).inverse())
+        circuit.compose(library.ghz_state(4))
+        plain = simulate(circuit, backend="arrays").metadata
+        optimized = simulate(
+            circuit, backend="arrays", optimization_level=1
+        ).metadata
+        assert optimized["num_ops"] < plain["num_ops"]
+
+    def test_skipped_for_clifford_only_backend(self):
+        meta = simulate(
+            library.ghz_state(4), backend="stab", optimization_level=2
+        ).metadata
+        assert meta["optimization"] == "skipped (clifford-only backend)"
+        assert "optimization_level" not in meta
+
+    def test_zero_and_none_are_off(self):
+        for level in (None, 0):
+            meta = simulate(
+                library.bell_pair(),
+                backend="arrays",
+                optimization_level=level,
+            ).metadata
+            assert "optimization_level" not in meta
