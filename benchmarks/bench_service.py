@@ -1,0 +1,255 @@
+"""Simulation-as-a-service: warm-cache latency and dedupe hit rate.
+
+Two measurements back the PR-8 serving-tier claims, both written to
+``BENCH_service.json`` when the module runs as a script:
+
+1. **Latency**: one representative dense request (a 10-qubit, 300-gate
+   random circuit on the arrays backend), cold vs warm.  A cold call
+   executes the backend and stores; a warm call answers from the
+   content-addressed cache — from the in-process memory tier, or from
+   disk after a process restart (simulated by resetting the default
+   cache instance).  Warm answers must be bitwise identical to cold.
+2. **Dedupe**: repeated submissions through the async
+   :class:`repro.service.SimulationService` — a first wave of distinct
+   jobs (all misses, all stored), then several waves resubmitting the
+   same jobs (all hits).  The resubmission hit rate must be 100%: under
+   a serving tier, identical requests from different users cost one
+   backend execution total.
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick]
+"""
+
+import asyncio
+import contextlib
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from _harness import best_of, time_call
+from repro.circuits import random_circuits
+from repro.core import simulate
+from repro.service import SimulationService, default_cache, reset_default_cache
+
+
+@contextlib.contextmanager
+def isolated_cache():
+    """A fresh, enabled result cache in a throwaway directory."""
+    saved = {
+        name: os.environ.get(name)
+        for name in ("REPRO_CACHE", "REPRO_CACHE_DIR", "REPRO_CACHE_MAX_BYTES")
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        os.environ["REPRO_CACHE"] = "1"
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        os.environ.pop("REPRO_CACHE_MAX_BYTES", None)
+        reset_default_cache()
+        try:
+            yield
+        finally:
+            for name, value in saved.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+            reset_default_cache()
+
+
+def _request(num_qubits, num_gates, seed=13):
+    circuit = random_circuits.random_circuit(num_qubits, num_gates, seed=seed)
+    return lambda: simulate(circuit, backend="arrays", seed=7)
+
+
+# -- pytest benchmarks --------------------------------------------------------
+
+
+def test_warm_memory_hit_latency(benchmark):
+    with isolated_cache():
+        call = _request(8, 120)
+        cold = call()  # prime the cache
+        warm = benchmark(call)
+        assert warm.metadata["cache"]["hit"] is True
+        assert warm.state.tobytes() == cold.state.tobytes()
+
+
+def test_warm_disk_hit_latency(benchmark):
+    with isolated_cache():
+        call = _request(8, 120)
+        cold = call()
+
+        def from_disk():
+            reset_default_cache()  # drop the memory tier: force the disk read
+            return call()
+
+        warm = benchmark(from_disk)
+        assert warm.metadata["cache"]["hit"] is True
+        assert warm.state.tobytes() == cold.state.tobytes()
+
+
+def test_service_resubmission_round(benchmark):
+    circuits = [
+        random_circuits.random_circuit(6, 40, seed=index) for index in range(3)
+    ]
+
+    async def wave():
+        async with SimulationService(max_workers=2) as service:
+            handles = [
+                await service.submit(circuit, backend="arrays", seed=7)
+                for circuit in circuits
+            ]
+            return [await service.result(handle) for handle in handles]
+
+    with isolated_cache():
+        asyncio.run(wave())  # prime
+        outcomes = benchmark(lambda: asyncio.run(wave()))
+        assert all(outcome.cache_hit for outcome in outcomes)
+
+
+# -- the headline record ------------------------------------------------------
+
+
+def run_latency(num_qubits=10, num_gates=300, repeats=5):
+    """Cold execution vs warm memory-tier and disk-tier answers."""
+    call = _request(num_qubits, num_gates)
+    with isolated_cache():
+        cold_result = None
+
+        def cold_once():
+            nonlocal cold_result
+            cold_result = call()
+
+        cold_s = time_call(cold_once, label="service_cold")
+        warm_result = None
+
+        def warm_once():
+            nonlocal warm_result
+            warm_result = call()
+
+        memory_s = best_of(repeats, warm_once, label="service_warm_memory")
+        disk_s = best_of(
+            repeats,
+            warm_once,
+            setup=reset_default_cache,  # drop the memory tier each repeat
+            label="service_warm_disk",
+        )
+        stats = default_cache().stats()
+        identical = bool(
+            warm_result.state.tobytes() == cold_result.state.tobytes()
+            and warm_result.metadata["cache"]["hit"]
+        )
+    return {
+        "workload": {
+            "circuit": "random",
+            "num_qubits": num_qubits,
+            "num_gates": num_gates,
+            "backend": "arrays",
+        },
+        "seconds": {
+            "cold_execute": cold_s,
+            "warm_memory_hit": memory_s,
+            "warm_disk_hit": disk_s,
+        },
+        "speedup_memory_hit": cold_s / memory_s,
+        "speedup_disk_hit": cold_s / disk_s,
+        "cache_stats": stats,
+        "bitwise_identical": identical,
+    }
+
+
+def run_dedupe(distinct=6, waves=4, num_qubits=8, num_gates=150, workers=4):
+    """Resubmission storms through the async service: one execution each."""
+    circuits = [
+        random_circuits.random_circuit(num_qubits, num_gates, seed=index)
+        for index in range(distinct)
+    ]
+
+    async def submit_wave(service):
+        handles = [
+            await service.submit(circuit, backend="arrays", seed=7)
+            for circuit in circuits
+        ]
+        return [await service.result(handle) for handle in handles]
+
+    async def storm():
+        async with SimulationService(max_workers=workers) as service:
+            first = await submit_wave(service)
+            resubmitted = []
+            for _ in range(waves):
+                resubmitted.extend(await submit_wave(service))
+            return first, resubmitted
+
+    with isolated_cache():
+        (first, resubmitted), elapsed = _timed(storm)
+        hits = sum(1 for outcome in resubmitted if outcome.cache_hit)
+        identical = all(
+            warm.value.state.tobytes() == cold.value.state.tobytes()
+            for cold, warm in zip(first * waves, resubmitted)
+        )
+        stats = default_cache().stats()
+    total = len(resubmitted)
+    return {
+        "workload": {
+            "distinct_jobs": distinct,
+            "resubmission_waves": waves,
+            "num_qubits": num_qubits,
+            "num_gates": num_gates,
+            "workers": workers,
+        },
+        "seconds_total": elapsed,
+        "resubmissions": total,
+        "resubmission_hits": hits,
+        "resubmission_hit_rate": hits / total if total else 0.0,
+        "cache_stats": stats,
+        "bitwise_identical": bool(identical),
+    }
+
+
+def _timed(coro_factory):
+    value = None
+
+    def go():
+        nonlocal value
+        value = asyncio.run(coro_factory())
+
+    elapsed = time_call(go, label="service_storm")
+    return value, elapsed
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    if quick:
+        # Smoke mode (CI): small sizes; certify the dedupe and bitwise
+        # contracts, leave the checked-in headline untouched.
+        record = {
+            "latency": run_latency(num_qubits=6, num_gates=60, repeats=2),
+            "dedupe": run_dedupe(
+                distinct=3, waves=2, num_qubits=5, num_gates=40, workers=2
+            ),
+        }
+        print(json.dumps(record, indent=2))
+    else:
+        record = {
+            "cpu_count": os.cpu_count(),
+            "latency": run_latency(),
+            "dedupe": run_dedupe(),
+        }
+        out = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+        out.write_text(json.dumps(record, indent=2) + "\n")
+        print(json.dumps(record, indent=2))
+        memory = record["latency"]["speedup_memory_hit"]
+        disk = record["latency"]["speedup_disk_hit"]
+        print(f"\nwarm memory-tier hit speedup over cold: {memory:.1f}x")
+        print(f"warm disk-tier hit speedup over cold: {disk:.1f}x")
+    if not record["latency"]["bitwise_identical"]:
+        raise SystemExit("FAIL: warm answer differs from cold execution")
+    if record["dedupe"]["resubmission_hit_rate"] != 1.0:
+        raise SystemExit("FAIL: resubmission storm missed the cache")
+    if not record["dedupe"]["bitwise_identical"]:
+        raise SystemExit("FAIL: cached service answers differ from fresh")
+    if not quick and record["latency"]["speedup_memory_hit"] < 2.0:
+        raise SystemExit("FAIL: expected >= 2x warm-hit speedup")
+
+
+if __name__ == "__main__":
+    main()

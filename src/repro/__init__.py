@@ -16,7 +16,19 @@ Quickstart::
         print(backend, simulate(bell, backend=backend).probabilities())
 """
 
-from . import arrays, circuits, core, dd, obs, parallel, stab, tn, verify, zx
+from . import (
+    arrays,
+    circuits,
+    core,
+    dd,
+    obs,
+    parallel,
+    service,
+    stab,
+    tn,
+    verify,
+    zx,
+)
 from .core import simulate, simulate_many, single_amplitude
 from .obs import ProgressEvent, trace_session
 from .resources import ResourceBudget, ResourceExhausted
@@ -35,6 +47,7 @@ __all__ = [
     "dd",
     "obs",
     "parallel",
+    "service",
     "simulate",
     "trace_session",
     "simulate_many",

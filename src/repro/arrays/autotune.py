@@ -60,7 +60,14 @@ import json
 import os
 import platform
 import tempfile
-from typing import Any, Dict, List, Optional, Sequence
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+try:  # POSIX advisory locks guard concurrent cache merges.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback below
+    fcntl = None
 
 import numpy as np
 
@@ -128,6 +135,52 @@ def _ewma(previous: Optional[float], value: float, alpha: float = 0.3) -> float:
     return (1.0 - alpha) * float(previous) + alpha * float(value)
 
 
+LOCK_TIMEOUT_S = 5.0
+"""How long a saver waits for the cache lock before giving up (advisory
+tuning data — losing one save beats blocking a simulation)."""
+
+
+@contextmanager
+def _cache_lock(path: str, timeout: float = LOCK_TIMEOUT_S) -> Iterator[bool]:
+    """Exclusive advisory lock serializing read-merge-replace cycles.
+
+    Uses ``fcntl.flock`` on a sibling ``<path>.lock`` file where
+    available, else an ``O_EXCL`` lockfile with retry.  Yields ``True``
+    when the lock was acquired, ``False`` on timeout — callers should
+    then skip the merge rather than clobber a concurrent writer.
+    """
+    lock_path = path + ".lock"
+    if fcntl is not None:
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield True
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+        return
+    deadline = time.monotonic() + timeout
+    while True:  # pragma: no cover - exercised only without fcntl
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            break
+        except FileExistsError:
+            if time.monotonic() >= deadline:
+                yield False
+                return
+            time.sleep(0.01)
+    try:
+        yield True
+    finally:
+        os.close(fd)
+        try:
+            os.unlink(lock_path)
+        except OSError:
+            pass
+
+
 class Autotuner:
     """Pinned-decision runtime tuner over a persistent measurement cache.
 
@@ -157,53 +210,85 @@ class Autotuner:
 
     # -- cache I/O -----------------------------------------------------------
 
-    def _load(self) -> None:
+    def _read_file(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Fresh validated ``(measurements, decisions)`` from disk.
+
+        A missing/corrupt file, a stale format version, or a different
+        machine fingerprint yields ``({}, {})`` — ignored wholesale
+        rather than half-trusted.
+        """
         try:
             with open(self.cache_path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
         except (OSError, ValueError):
-            return  # missing or corrupt: start empty, overwrite on save
+            return {}, {}
         if not isinstance(data, dict):
-            return
+            return {}, {}
         if data.get("version") != CACHE_VERSION:
-            return  # stale format: ignore wholesale
+            return {}, {}  # stale format: ignore wholesale
         if data.get("machine") != machine_fingerprint():
-            return  # measurements from a different machine don't transfer
+            return {}, {}  # measurements from a different machine don't transfer
         measurements = data.get("measurements")
         decisions = data.get("decisions")
-        if isinstance(measurements, dict):
+        return (
+            measurements if isinstance(measurements, dict) else {},
+            decisions if isinstance(decisions, dict) else {},
+        )
+
+    def _load(self) -> None:
+        measurements, decisions = self._read_file()
+        if measurements:
             self._loaded_measurements = measurements
-        if isinstance(decisions, dict):
+        if decisions:
             self._loaded_decisions = decisions
 
     def save(self) -> None:
-        """Persist merged measurements and decisions (best effort, atomic)."""
+        """Persist merged measurements and decisions (best effort, atomic).
+
+        The whole read-merge-replace cycle runs under an exclusive lock
+        and merges against a *fresh* read of the file, not the snapshot
+        taken at load time: two processes tuning concurrently each keep
+        the other's keys (per-key last-writer-wins) instead of the last
+        saver silently clobbering the whole file with its stale load.
+        """
         if not self.enabled:
             return
-        measurements = dict(self._loaded_measurements)
-        for key, sample in self._session_measurements.items():
-            measurements[key] = sample
-        decisions = dict(self._loaded_decisions)
-        decisions.update(self._session_decisions)
-        payload = {
-            "version": CACHE_VERSION,
-            "machine": machine_fingerprint(),
-            "measurements": measurements,
-            "decisions": decisions,
-        }
         try:
             directory = os.path.dirname(self.cache_path) or "."
             os.makedirs(directory, exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(
-                prefix=".autotune-", suffix=".json", dir=directory
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(payload, handle, indent=1, sort_keys=True)
-                os.replace(tmp_path, self.cache_path)
-            except BaseException:
-                os.unlink(tmp_path)
-                raise
+            with _cache_lock(self.cache_path) as locked:
+                if not locked:
+                    return  # a concurrent saver holds the file; skip
+                disk_measurements, disk_decisions = self._read_file()
+                # Precedence: session (this process's fresh data) over
+                # disk (concurrent processes) over the load-time
+                # snapshot (only relevant if the file regressed since).
+                measurements = {
+                    **self._loaded_measurements,
+                    **disk_measurements,
+                    **self._session_measurements,
+                }
+                decisions = {
+                    **self._loaded_decisions,
+                    **disk_decisions,
+                    **self._session_decisions,
+                }
+                payload = {
+                    "version": CACHE_VERSION,
+                    "machine": machine_fingerprint(),
+                    "measurements": measurements,
+                    "decisions": decisions,
+                }
+                fd, tmp_path = tempfile.mkstemp(
+                    prefix=".autotune-", suffix=".json", dir=directory
+                )
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        json.dump(payload, handle, indent=1, sort_keys=True)
+                    os.replace(tmp_path, self.cache_path)
+                except BaseException:
+                    os.unlink(tmp_path)
+                    raise
         except OSError:
             pass  # read-only home, full disk: tuning is advisory
 

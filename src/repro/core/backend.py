@@ -29,6 +29,7 @@ unknown backend names raise ``ValueError``; unknown option names raise
 from __future__ import annotations
 
 import itertools
+import os as _os
 from dataclasses import replace as _dc_replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -226,6 +227,38 @@ def _candidates(
     return ranked, trace
 
 
+def _result_cache_target(
+    circuit: QuantumCircuit,
+    backend: str,
+    task: str,
+    options: SimOptions,
+    extra: Optional[Dict],
+) -> Tuple[Optional[Any], Optional[str]]:
+    """``(cache, key)`` when the persistent result cache applies, else Nones.
+
+    The fast path (cache off, the default) is two attribute reads and an
+    environment check — :mod:`repro.service.cache` is only imported once
+    a request actually participates.  A cache that is on but cannot key
+    this request soundly (explicit contraction plan, ``method="auto"``)
+    also opts out here.
+    """
+    if options.cache is False:
+        return None, None
+    if options.cache is None:
+        value = _os.environ.get("REPRO_CACHE", "").strip().lower()
+        if value not in ("1", "true", "yes", "on"):
+            return None, None
+    from ..service import cache as service_cache
+
+    result_cache = service_cache.active_cache(options)
+    if result_cache is None:
+        return None, None
+    key = service_cache.request_key(circuit, backend, task, options, extra)
+    if key is None:
+        return None, None
+    return result_cache, key
+
+
 def _execute(
     circuit: QuantumCircuit,
     backend: str,
@@ -233,6 +266,7 @@ def _execute(
     options: SimOptions,
     invoke: Callable[[Backend, QuantumCircuit], Tuple[Any, Dict]],
     cache: Optional[_BatchCache] = None,
+    cache_extra: Optional[Dict] = None,
 ) -> Tuple[Any, Dict, str]:
     """Run ``invoke`` on the best backend, degrading gracefully on budget trips.
 
@@ -251,7 +285,29 @@ def _execute(
     whole call runs inside a :func:`~repro.obs.trace_session` and the
     resulting span tree + metric snapshot is attached as
     ``metadata["report"]``.
+
+    With the persistent result cache active
+    (:mod:`repro.service.cache`), the request's content-addressed key is
+    looked up *before* any span opens — a warm hit returns the stored
+    value (annotated ``metadata["cache"]["hit"]``) without executing a
+    backend or recording a ``dispatch.attempt``.  Calls carrying a
+    ``progress`` callback or ``trace=True`` skip the lookup (they
+    promised live events / a fresh report) but still store on completion,
+    so they warm the cache for everyone else.
     """
+    result_cache, cache_key = _result_cache_target(
+        circuit, backend, task, options, cache_extra
+    )
+    if (
+        result_cache is not None
+        and options.progress is None
+        and not options.trace
+    ):
+        hit = result_cache.get(cache_key)
+        if hit is not None:
+            value, meta, name = hit
+            meta["cache"] = {"hit": True, "key": cache_key}
+            return value, meta, name
     with trace_session(options.trace) as session:
         root = obs_trace.timed_span("dispatch", task=task, requested=backend)
         try:
@@ -321,6 +377,8 @@ def _execute(
                         "served_by": name,
                         "rule": reason,
                     }
+                if result_cache is not None:
+                    result_cache.put(cache_key, value, meta, impl.name)
                 if session is not None:
                     meta["report"] = session.report()
                 return value, meta, impl.name
@@ -638,6 +696,7 @@ def sample(
         cap.SAMPLE,
         opts,
         lambda impl, prepared: impl.sample(prepared, shots, opts),
+        cache_extra={"shots": int(shots)},
     )
     if with_metadata:
         return counts, meta
@@ -667,6 +726,7 @@ def expectation(
         cap.EXPECTATION,
         opts,
         lambda impl, prepared: impl.expectation(prepared, pauli, opts),
+        cache_extra={"pauli": str(pauli)},
     )
     if with_metadata:
         return value, meta
@@ -695,6 +755,7 @@ def single_amplitude(
         cap.SINGLE_AMPLITUDE,
         opts,
         lambda impl, prepared: impl.amplitude(prepared, basis_index, opts),
+        cache_extra={"basis_index": int(basis_index)},
     )
     if with_metadata:
         return complex(value), meta

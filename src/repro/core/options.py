@@ -16,6 +16,28 @@ from typing import Any, Callable, Dict, Optional
 from ..obs.trace import env_enabled as _trace_env_enabled
 from ..resources import ResourceBudget, default_budget
 
+RESULT_INVARIANT_FIELDS = (
+    "n_jobs",
+    "executor",
+    "shm",
+    "trace",
+    "progress",
+    "cache",
+)
+"""Options that can never change *which bits* a simulation produces.
+
+``n_jobs``/``executor``/``shm`` only change how work is scheduled and
+how bytes travel (the parallel engine's chunk boundaries and RNG streams
+are worker-count and executor independent — PRs 4/6's bitwise guarantee);
+``trace`` observes without steering; ``progress`` streams events (and
+can only *abort* a run, never alter a completed one); ``cache`` decides
+whether a result is stored/served, not what it is.  The persistent
+result cache (:mod:`repro.service.cache`) excludes exactly these fields
+from its content-addressed key, so e.g. a run at ``n_jobs=8`` dedupes
+against the same request at ``n_jobs=1``.  Every other field — ``seed``
+included — is part of the key.
+"""
+
 
 @dataclass(frozen=True)
 class SimOptions:
@@ -89,6 +111,16 @@ class SimOptions:
             cleanly.  Not pickled: batch entry points report chunk
             completions from the parent process and strip the callback
             from worker options.
+        cache: Persistent content-addressed result cache
+            (:mod:`repro.service.cache`): ``None`` (default) follows the
+            ``REPRO_CACHE`` environment policy (off unless set truthy),
+            ``True`` forces caching on for this call, ``False`` forces
+            it off.  A cache hit returns the stored result without
+            executing any backend (``metadata["cache"]["hit"]``); the
+            key excludes exactly the :data:`RESULT_INVARIANT_FIELDS`,
+            so caching never changes which bits a request produces.
+            Calls with ``trace=True`` or a ``progress`` callback always
+            execute (fresh report / live events) but still store.
     """
 
     seed: int = 0
@@ -106,6 +138,7 @@ class SimOptions:
     budget: Optional[ResourceBudget] = None
     trace: bool = False
     progress: Optional[Callable[[Any], None]] = None
+    cache: Optional[bool] = None
 
     @classmethod
     def from_kwargs(cls, **kwargs: Any) -> "SimOptions":
@@ -139,7 +172,63 @@ class SimOptions:
                 f"unknown optimization_level {level!r}; "
                 "choose None or 0-3"
             )
+        cache = kwargs.get("cache")
+        if cache is not None and not isinstance(cache, bool):
+            raise ValueError(
+                f"cache must be None, True, or False; got {cache!r}"
+            )
         return cls(**kwargs)
 
     def as_dict(self) -> Dict[str, Any]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-able form of the *result-relevant* options.
+
+        This is the options half of the persistent result cache's
+        content-addressed key and of the durable job format: every field
+        that can change the produced bits (``seed``, ``method``,
+        ``fusion``/``max_fused_qubits``, ``optimization_level``,
+        ``max_bond``/``cutoff``, ``track_peak``, ``budget`` — a budget
+        steers the fallback chain and therefore which backend serves),
+        in field order, with the budget flattened to its dict form.  The
+        :data:`RESULT_INVARIANT_FIELDS` are excluded by construction.
+
+        Raises ``TypeError`` when an explicit contraction ``plan`` is
+        set — plan objects have no canonical serialization (and a plan
+        changes TN summation order, hence result bits), so such requests
+        are uncacheable and not JSON-durable.
+        """
+        if self.plan is not None:
+            raise TypeError(
+                "SimOptions with an explicit contraction plan have no "
+                "canonical serialization; drop plan= to cache or "
+                "serialize this request"
+            )
+        data: Dict[str, Any] = {}
+        for f in fields(self):
+            if f.name in RESULT_INVARIANT_FIELDS:
+                continue
+            value = getattr(self, f.name)
+            if f.name == "budget" and value is not None:
+                value = value.as_dict()
+            data[f.name] = value
+        return data
+
+    @classmethod
+    def from_canonical(cls, data: Dict[str, Any]) -> "SimOptions":
+        """Rebuild options from :meth:`canonical_dict` output.
+
+        Result-invariant fields come back at their defaults (callers —
+        e.g. the job engine — layer scheduling choices on top).  The
+        round-trip is exact: ``from_canonical(o.canonical_dict())``
+        produces options that simulate bit-for-bit like ``o``.
+        """
+        kwargs = dict(data)
+        kwargs.pop("plan", None)
+        budget = kwargs.get("budget")
+        if budget is None:
+            # from_kwargs would fall back to REPRO_BUDGET; a serialized
+            # job with no budget must stay unbudgeted.
+            kwargs["budget"] = None
+        return cls.from_kwargs(**kwargs)

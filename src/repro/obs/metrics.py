@@ -49,6 +49,27 @@ AUTOTUNE_DECISIONS = "autotune.decisions"
 TRAJ_BATCH_BYTES = "trajectories.batch.bytes"
 """Gauge (max): bytes of the largest batched trajectory state stack."""
 
+SERVICE_CACHE_HITS = "service.cache.hits"
+"""Counter: persistent result-cache lookups served without executing."""
+
+SERVICE_CACHE_MISSES = "service.cache.misses"
+"""Counter: persistent result-cache lookups that fell through to a run."""
+
+SERVICE_CACHE_EVICTIONS = "service.cache.evictions"
+"""Counter: result-cache entries evicted by the LRU size bound."""
+
+SERVICE_CACHE_CORRUPT = "service.cache.corrupt"
+"""Counter: unreadable result-cache entries dropped during lookup."""
+
+SERVICE_QUEUE_DEPTH = "service.queue.depth"
+"""Gauge (max): high-water number of jobs waiting in the service queue."""
+
+SERVICE_JOBS_COMPLETED = "service.jobs.completed"
+"""Counter: service jobs that finished with a result."""
+
+SERVICE_JOBS_FAILED = "service.jobs.failed"
+"""Counter: service jobs that raised (including cancellations)."""
+
 DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
     0.001,
     0.005,

@@ -141,9 +141,20 @@ class ProgressReporter:
             self._emit(**payload)
 
     def advance_to(self, done: int, **payload: Any) -> None:
-        """Jump to an absolute completed count (never backwards) and emit."""
-        if done > self.done:
-            self.done = done
+        """Jump to an absolute completed count (never backwards).
+
+        Emits under the same ``every`` throttle as :meth:`step` — a
+        tight ``advance_to`` loop (e.g. per-item chunk merges) must not
+        flood the callback any more than a tight ``step`` loop does.
+        Reaching ``total`` always emits, and :meth:`close` still
+        guarantees a final event for any unreported remainder.
+        """
+        if done <= self.done:
+            return
+        self.done = done
+        if self.done - self._emitted >= self.every or (
+            self.total is not None and self.done >= self.total
+        ):
             self._emit(**payload)
 
     def close(self) -> None:

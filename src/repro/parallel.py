@@ -279,6 +279,18 @@ class ProcessPool:
             raise RuntimeError("ProcessPool used outside its context manager")
         return self._executor
 
+    def submit(self, fn: Callable, *args: Any) -> Any:
+        """Submit one ``fn(*args)`` call; the future is tracked for cleanup.
+
+        The single-task seam the job engine (:mod:`repro.service`)
+        schedules on: jobs arrive one at a time from the queue rather
+        than as a pre-known sequence, but still get cancelled and joined
+        by ``__exit__`` like ``submit_all`` futures.
+        """
+        future = self._require_executor().submit(fn, *args)
+        self._futures.append(future)
+        return future
+
     def submit_all(self, fn: Callable, tasks: Sequence[Any]) -> List[Any]:
         """Submit one future per task; futures are tracked for cleanup."""
         executor = self._require_executor()
@@ -337,6 +349,12 @@ class ThreadPool:
         if self._executor is None:
             raise RuntimeError("ThreadPool used outside its context manager")
         return self._executor
+
+    def submit(self, fn: Callable, *args: Any) -> Any:
+        """Submit one ``fn(*args)`` call; the future is tracked for cleanup."""
+        future = self._require_executor().submit(fn, *args)
+        self._futures.append(future)
+        return future
 
     def submit_all(self, fn: Callable, tasks: Sequence[Any]) -> List[Any]:
         executor = self._require_executor()

@@ -257,6 +257,31 @@ class ResourceBudget:
             max_bond_dim=self.max_bond_dim,
         )
 
+    def intersect(self, other: Optional["ResourceBudget"]) -> "ResourceBudget":
+        """The tighter of each cap across two budgets.
+
+        Used by the job engine to compose a tenant's quota with a job's
+        own requested budget: the effective budget a job runs under can
+        never exceed what its tenant is allowed.  ``None`` caps (either
+        side) defer to the other side's cap.
+        """
+        if other is None:
+            return self
+
+        def _tighter(a: Optional[float], b: Optional[float]) -> Optional[float]:
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        return ResourceBudget(
+            max_memory_bytes=_tighter(self.max_memory_bytes, other.max_memory_bytes),
+            max_seconds=_tighter(self.max_seconds, other.max_seconds),
+            max_dd_nodes=_tighter(self.max_dd_nodes, other.max_dd_nodes),
+            max_bond_dim=_tighter(self.max_bond_dim, other.max_bond_dim),
+        )
+
     # -- queries -------------------------------------------------------------
 
     def is_unbounded(self) -> bool:

@@ -1,0 +1,44 @@
+"""Simulation as a service: async jobs, quotas, and result dedupe.
+
+The serving tier that composes the library's primitives into the
+"millions of users" story:
+
+- :mod:`repro.service.engine` — :class:`SimulationService`, the asyncio
+  front-end (``await service.simulate(...)``, ``submit``/``result``/
+  ``cancel``, async :class:`~repro.obs.progress.ProgressEvent` streams);
+- :mod:`repro.service.queue` — priority scheduling with per-tenant
+  :class:`TenantQuota` admission/concurrency/budget limits;
+- :mod:`repro.service.cache` — the content-addressed persistent
+  :class:`ResultCache` (also consulted by the core dispatcher whenever
+  ``REPRO_CACHE``/``cache=True`` is on, service or not);
+- :mod:`repro.service.jobs` — the durable JSON :class:`JobSpec`/
+  :class:`JobBatch` format that makes jobs shardable across processes.
+"""
+
+from .cache import ResultCache, default_cache, request_key, reset_default_cache
+from .engine import (
+    JobHandle,
+    JobResult,
+    SimulationService,
+    execute_job,
+)
+from .jobs import JobBatch, JobSpec, circuit_from_dict, circuit_to_dict
+from .queue import PriorityJobQueue, QuotaExceeded, TenantQuota
+
+__all__ = [
+    "JobBatch",
+    "JobHandle",
+    "JobResult",
+    "JobSpec",
+    "PriorityJobQueue",
+    "QuotaExceeded",
+    "ResultCache",
+    "SimulationService",
+    "TenantQuota",
+    "circuit_from_dict",
+    "circuit_to_dict",
+    "default_cache",
+    "execute_job",
+    "request_key",
+    "reset_default_cache",
+]

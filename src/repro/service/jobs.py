@@ -1,0 +1,309 @@
+"""Durable, shardable job format: JSON round-trip of circuits + options.
+
+The serving tier needs jobs that outlive a process — queued to disk,
+shipped to another shard, replayed for audit — so this module defines a
+canonical dict/JSON form for everything a simulation request contains:
+the circuit (gates, targets, controls, classical bits, feed-forward
+conditions — raw-matrix gates such as fusion products serialize their
+unitary exactly), the result-relevant :class:`~repro.core.options.SimOptions`
+(via :meth:`~repro.core.options.SimOptions.canonical_dict`), the task
+kind, task arguments (shots / Pauli string / basis index), and the
+tenant + priority scheduling envelope.  The same canonical circuit dict
+is the circuit half of the result cache's content-addressed key
+(:mod:`repro.service.cache`), so "same job" and "same cache entry" are
+one definition.
+
+Exactness: floats serialize through ``repr`` (Python's ``json`` does
+this by default), which round-trips every finite double bit-for-bit, so
+a deserialized job simulates bitwise identically to the original —
+including raw complex matrices, stored as separate real/imaginary
+nested lists.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..circuits.circuit import Operation, QuantumCircuit
+from ..circuits.gates import (
+    FIXED_GATES,
+    PARAMETRIC_GATES,
+    Gate,
+    make_gate,
+)
+from ..core.options import SimOptions
+
+JOB_FORMAT_VERSION = 1
+"""Bumped whenever the canonical dict layout changes (invalidates keys)."""
+
+TASKS = ("simulate", "sample", "expectation", "single_amplitude")
+"""Service task kinds, one per :mod:`repro.core` facade."""
+
+_PSEUDO_GATES = ("measure", "barrier")
+
+
+# -- gates -------------------------------------------------------------------
+
+
+def gate_to_dict(gate: Gate) -> Dict[str, Any]:
+    """Canonical dict for one gate.
+
+    Registry gates (fixed or parametric) serialize by name + params and
+    rebuild through :func:`~repro.circuits.gates.make_gate`.  Anything
+    else — fusion products, ``_dg`` adjoints of raw matrices — carries
+    its full unitary as ``{"re": [[...]], "im": [[...]]}`` nested lists.
+    """
+    name = gate.name
+    if name in _PSEUDO_GATES:
+        return {"name": name}
+    if name in FIXED_GATES and not gate.params:
+        return {"name": name}
+    if name in PARAMETRIC_GATES:
+        return {"name": name, "params": list(gate.params)}
+    matrix = gate.matrix
+    data: Dict[str, Any] = {
+        "name": name,
+        "num_qubits": gate.num_qubits,
+        "matrix": {
+            "re": matrix.real.tolist(),
+            "im": matrix.imag.tolist(),
+        },
+    }
+    if gate.params:
+        data["params"] = list(gate.params)
+    return data
+
+
+def gate_from_dict(data: Dict[str, Any]) -> Gate:
+    """Rebuild a gate from :func:`gate_to_dict` output."""
+    name = data["name"]
+    if "matrix" in data:
+        matrix = np.asarray(data["matrix"]["re"], dtype=np.float64) + 1j * (
+            np.asarray(data["matrix"]["im"], dtype=np.float64)
+        )
+        return Gate(
+            name, int(data["num_qubits"]), matrix, data.get("params", ())
+        )
+    if name in _PSEUDO_GATES:
+        from ..circuits import gates as g
+
+        return g.MEASURE if name == "measure" else g.BARRIER
+    return make_gate(name, data.get("params", ()))
+
+
+# -- operations and circuits -------------------------------------------------
+
+
+def operation_to_dict(op: Operation) -> Dict[str, Any]:
+    data: Dict[str, Any] = {
+        "gate": gate_to_dict(op.gate),
+        "targets": list(op.targets),
+    }
+    if op.controls:
+        # Controls are an unordered set semantically (Operation.__eq__
+        # compares them as one); sort so equal operations share a dict.
+        data["controls"] = sorted(op.controls)
+    if op.clbits:
+        data["clbits"] = list(op.clbits)
+    if op.condition is not None:
+        data["condition"] = list(op.condition)
+    return data
+
+
+def operation_from_dict(data: Dict[str, Any]) -> Operation:
+    condition = data.get("condition")
+    return Operation(
+        gate_from_dict(data["gate"]),
+        data["targets"],
+        data.get("controls", ()),
+        data.get("clbits", ()),
+        condition=tuple(condition) if condition is not None else None,
+    )
+
+
+def circuit_to_dict(
+    circuit: QuantumCircuit, include_name: bool = True
+) -> Dict[str, Any]:
+    """Canonical dict for a circuit.
+
+    ``include_name=False`` drops the display name — the form the result
+    cache fingerprints, so renaming a circuit never misses the cache.
+    """
+    data: Dict[str, Any] = {
+        "num_qubits": circuit.num_qubits,
+        "num_clbits": circuit.num_clbits,
+        "operations": [operation_to_dict(op) for op in circuit.operations],
+    }
+    if include_name:
+        data["name"] = circuit.name
+    return data
+
+
+def circuit_from_dict(data: Dict[str, Any]) -> QuantumCircuit:
+    circuit = QuantumCircuit(
+        int(data["num_qubits"]), name=data.get("name", "circuit")
+    )
+    for op_data in data["operations"]:
+        circuit.append(operation_from_dict(op_data))
+    circuit.num_clbits = max(
+        circuit.num_clbits, int(data.get("num_clbits", 0))
+    )
+    return circuit
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, exact floats."""
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+# -- job specs ---------------------------------------------------------------
+
+
+@dataclass
+class JobSpec:
+    """One durable simulation request.
+
+    Attributes:
+        circuit: The circuit to run.
+        task: One of :data:`TASKS`.
+        backend: Registry backend name or ``"auto"``.
+        options: Validated simulation options.  Only the result-relevant
+            fields survive serialization (scheduling knobs are the
+            engine's business, not the job's).
+        task_args: Task-specific arguments: ``{"shots": n}`` for
+            ``sample``, ``{"pauli": "XZ.."}`` for ``expectation``,
+            ``{"basis_index": i}`` for ``single_amplitude``.
+        tenant: Quota bucket this job bills against (``""`` = default).
+        priority: Smaller runs earlier; ties run in submission order.
+        job_id: Stable identity for resubmission/audit (UUID by default).
+    """
+
+    circuit: QuantumCircuit
+    task: str = "simulate"
+    backend: str = "auto"
+    options: SimOptions = field(default_factory=SimOptions)
+    task_args: Dict[str, Any] = field(default_factory=dict)
+    tenant: str = ""
+    priority: int = 0
+    job_id: str = field(default_factory=lambda: uuid.uuid4().hex)
+
+    def __post_init__(self) -> None:
+        if self.task not in TASKS:
+            raise ValueError(
+                f"unknown task {self.task!r}; choose from {TASKS}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": JOB_FORMAT_VERSION,
+            "job_id": self.job_id,
+            "task": self.task,
+            "backend": self.backend,
+            "circuit": circuit_to_dict(self.circuit),
+            "options": self.options.canonical_dict(),
+            "task_args": dict(self.task_args),
+            "tenant": self.tenant,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        version = data.get("version", JOB_FORMAT_VERSION)
+        if version != JOB_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported job format version {version!r} "
+                f"(this build speaks {JOB_FORMAT_VERSION})"
+            )
+        return cls(
+            circuit=circuit_from_dict(data["circuit"]),
+            task=data.get("task", "simulate"),
+            backend=data.get("backend", "auto"),
+            options=SimOptions.from_canonical(data.get("options", {})),
+            task_args=dict(data.get("task_args", {})),
+            tenant=data.get("tenant", ""),
+            priority=int(data.get("priority", 0)),
+            job_id=data.get("job_id") or uuid.uuid4().hex,
+        )
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class JobBatch:
+    """A shardable set of jobs (the qobj-style submission envelope)."""
+
+    jobs: List[JobSpec] = field(default_factory=list)
+    batch_id: str = field(default_factory=lambda: uuid.uuid4().hex)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": JOB_FORMAT_VERSION,
+            "batch_id": self.batch_id,
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobBatch":
+        return cls(
+            jobs=[JobSpec.from_dict(item) for item in data.get("jobs", [])],
+            batch_id=data.get("batch_id") or uuid.uuid4().hex,
+        )
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobBatch":
+        return cls.from_dict(json.loads(text))
+
+    def shard(self, num_shards: int) -> List["JobBatch"]:
+        """Split into ``num_shards`` round-robin sub-batches (fan-out)."""
+        num_shards = max(1, int(num_shards))
+        shards: List[List[JobSpec]] = [[] for _ in range(num_shards)]
+        for index, job in enumerate(self.jobs):
+            shards[index % num_shards].append(job)
+        return [
+            JobBatch(jobs=jobs, batch_id=f"{self.batch_id}/{i}")
+            for i, jobs in enumerate(shards)
+            if jobs
+        ]
+
+
+def validate_task_args(task: str, task_args: Dict[str, Any]) -> None:
+    """Reject a job whose task arguments cannot drive its facade."""
+    if task == "sample" and "shots" not in task_args:
+        raise ValueError("sample jobs need task_args['shots']")
+    if task == "expectation" and "pauli" not in task_args:
+        raise ValueError("expectation jobs need task_args['pauli']")
+    if task == "single_amplitude" and "basis_index" not in task_args:
+        raise ValueError(
+            "single_amplitude jobs need task_args['basis_index']"
+        )
+
+
+__all__ = [
+    "JOB_FORMAT_VERSION",
+    "TASKS",
+    "JobBatch",
+    "JobSpec",
+    "canonical_json",
+    "circuit_from_dict",
+    "circuit_to_dict",
+    "gate_from_dict",
+    "gate_to_dict",
+    "operation_from_dict",
+    "operation_to_dict",
+    "validate_task_args",
+]

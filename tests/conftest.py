@@ -27,6 +27,31 @@ def _isolated_autotune_cache(tmp_path_factory):
         os.environ["REPRO_AUTOTUNE_CACHE"] = previous
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the persistent result cache at a throwaway directory.
+
+    The cache is off by default (``REPRO_CACHE`` unset), but the CI
+    service profile runs the whole suite under ``REPRO_CACHE=1`` — and
+    either way, nothing a test caches may land in (or be served from)
+    the user's ``~/.cache/repro/results``.  An externally supplied
+    ``REPRO_CACHE_DIR`` (the CI profile's mktemp) is respected.
+    """
+    from repro.service import reset_default_cache
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    if not previous:
+        path = tmp_path_factory.mktemp("result-cache")
+        os.environ["REPRO_CACHE_DIR"] = str(path)
+    reset_default_cache()
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+    reset_default_cache()
+
+
 @pytest.fixture(scope="session")
 def sv_sim():
     return StatevectorSimulator(seed=7)

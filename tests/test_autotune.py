@@ -324,3 +324,85 @@ class TestTunedDeterminism:
             seed=0, method=auto_sim.resolved_method
         ).statevector(circuit)
         assert (auto_state == explicit).all()
+
+
+# -- concurrent saves ---------------------------------------------------------
+
+
+class TestConcurrentSave:
+    def test_two_stale_instances_merge_instead_of_clobber(self, tmp_path):
+        # Regression: save() used to merge only the state captured at
+        # load time and os.replace the whole file, so the second saver
+        # (loaded before the first saved) silently dropped the first
+        # saver's measurements.
+        path = str(tmp_path / "autotune.json")
+        first = Autotuner(cache_path=path, enabled=True)
+        second = Autotuner(cache_path=path, enabled=True)  # stale: empty load
+        first.observe_run("trajectories", 4, _stats(), items=[50, 50])
+        second.observe_run("stimuli", 6, _stats(), items=[50, 50])
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert "run:trajectories:q4" in data["measurements"]
+        assert "run:stimuli:q6" in data["measurements"]
+
+    def test_stale_instance_keeps_other_processes_decisions(self, tmp_path):
+        path = str(tmp_path / "autotune.json")
+        stale = Autotuner(cache_path=path, enabled=True)  # loaded empty
+        writer = Autotuner(cache_path=path, enabled=True)
+        writer.observe_run("trajectories", 4, _stats(), items=[50, 50])
+        pinner = Autotuner(cache_path=path, enabled=True)
+        assert pinner.chunk_size_for("trajectories", 4) == 25  # pins + saves
+        stale.observe_run("tn_slices", 8, _stats(), items=[50, 50])
+        survivor = Autotuner(cache_path=path, enabled=True)
+        assert survivor.chunk_size_for("trajectories", 4) == 25
+        assert "run:tn_slices:q8" in survivor._loaded_measurements
+
+    def test_two_process_stress_keeps_every_key(self, tmp_path):
+        import subprocess
+        import sys
+
+        path = str(tmp_path / "autotune.json")
+        ready_dir = tmp_path / "ready"
+        ready_dir.mkdir()
+        script = (
+            "import os, sys, time\n"
+            "from repro.arrays.autotune import Autotuner\n"
+            "from repro.parallel import RunStats\n"
+            "path, tag, ready = sys.argv[1], sys.argv[2], sys.argv[3]\n"
+            "tuner = Autotuner(cache_path=path, enabled=True)\n"
+            "open(os.path.join(ready, tag), 'w').close()\n"
+            "deadline = time.monotonic() + 30\n"
+            "while len(os.listdir(ready)) < 2:\n"
+            "    if time.monotonic() > deadline:\n"
+            "        sys.exit(2)\n"
+            "    time.sleep(0.01)\n"
+            "for i in range(8):\n"
+            "    stats = RunStats()\n"
+            "    stats.executor = 'process'\n"
+            "    stats.chunk_seconds = [0.5, 0.5]\n"
+            "    tuner.observe_run(f'kind-{tag}-{i}', 4, stats, items=[50, 50])\n"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH", "")) if p
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, path, tag, str(ready_dir)],
+                env=env,
+            )
+            for tag in ("a", "b")
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        measured = set(data["measurements"])
+        expected = {
+            f"run:kind-{tag}-{i}:q4" for tag in ("a", "b") for i in range(8)
+        }
+        # Interleaved read-merge-replace cycles must not lose any key.
+        assert expected <= measured

@@ -316,6 +316,37 @@ class TestProgressReporter:
         assert [e.done for e in events] == [60, 100]
         assert events[0].payload == {"chunk": 1}
 
+    def test_advance_to_honors_every_throttle(self):
+        # Regression: advance_to used to emit on every forward jump,
+        # flooding callbacks that step() would have throttled.
+        events = []
+        reporter = ProgressReporter(
+            events.append, "trajectories", total=1000, every=100
+        )
+        for done in range(1, 1001):
+            reporter.advance_to(done)
+        reporter.close()
+        assert len(events) <= 1000 // 100 + 2
+        assert events[-1].done == 1000  # total-reached still guaranteed
+        dones = [e.done for e in events]
+        assert dones == sorted(set(dones))
+
+    def test_advance_to_close_flushes_remainder(self):
+        events = []
+        reporter = ProgressReporter(events.append, "circuits", every=50)
+        reporter.advance_to(10)  # below throttle: suppressed
+        assert events == []
+        reporter.close()
+        assert [e.done for e in events] == [10]
+
+    def test_advance_to_reaching_total_always_emits(self):
+        events = []
+        reporter = ProgressReporter(
+            events.append, "circuits", total=8, every=100
+        )
+        reporter.advance_to(8)
+        assert [e.done for e in events] == [8]
+
     def test_fraction(self):
         event = ProgressEvent(kind="gates", done=5, total=10)
         assert event.fraction == 0.5
