@@ -1,0 +1,249 @@
+"""Approximate tier: qubit reach vs fidelity target.
+
+Two measurements back the approximate-tier claims, both written to
+``BENCH_approx.json`` when the module runs as a script:
+
+1. **Reach**: bounded-lightcone brickwork ``<Z>`` requests under one
+   fixed resource budget, at widths from comfortably-exact to far past
+   the dense frontier.  Per width: does the exact fallback chain serve,
+   does ``accuracy=0.99`` serve, which backend answered, the certified
+   ``fidelity_estimate``, and wall time.  The headline is the widest
+   register served: exact refuses well before the approximate tier does,
+   and every approximate answer carries a certificate >= the target.
+2. **Target ladder**: the same workload at one width, swept across
+   fidelity targets on the MPS backend.  Looser targets must never
+   *raise* the certified estimate, and targets the bond cap cannot
+   certify are *refused* (the tier never lies to hit a budget).
+3. **Cross-check**: at a width where the exact dense reference still
+   runs, the approximate answer is verified against it through the
+   Pauli perturbation bound ``|<P>_exact - <P>_approx| <= 2 sqrt(1-F)``.
+
+    PYTHONPATH=src python benchmarks/bench_approx.py [--quick]
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from _harness import time_call
+from repro.circuits import random_circuits
+from repro.core import expectation
+from repro.resources import ResourceExhausted
+
+BUDGET = "memory=256MiB,bond=8,nodes=20000,seconds=300"
+TARGET = 0.99
+DEPTH = 8
+LIGHTCONE = 8
+
+
+def _workload(num_qubits):
+    circuit = random_circuits.bounded_lightcone_brickwork(
+        num_qubits, DEPTH, lightcone=LIGHTCONE, seed=11
+    )
+    pauli = "I" * (num_qubits - 1) + "Z"
+    return circuit, pauli
+
+
+def _attempt(circuit, pauli, **options):
+    """Run one expectation request; report served/refused plus metadata."""
+    outcome = {}
+
+    def call():
+        try:
+            value, meta = expectation(
+                circuit, pauli, backend="auto", with_metadata=True, **options
+            )
+            outcome.update(served=True, value=value, meta=meta)
+        except ResourceExhausted as exc:
+            outcome.update(served=False, resource=exc.resource)
+
+    seconds = time_call(call, label=f"approx_{circuit.num_qubits}q")
+    outcome["seconds"] = seconds
+    return outcome
+
+
+# -- pytest benchmarks --------------------------------------------------------
+
+
+def test_approximate_expectation_latency(benchmark):
+    circuit, pauli = _workload(20)
+
+    def call():
+        return expectation(
+            circuit,
+            pauli,
+            backend="auto",
+            with_metadata=True,
+            budget=BUDGET,
+            accuracy=TARGET,
+        )
+
+    value, meta = benchmark(call)
+    assert -1.0 <= value <= 1.0
+    assert meta["fidelity_estimate"] >= TARGET
+
+
+# -- the headline record ------------------------------------------------------
+
+
+def run_reach(widths=(12, 20, 28, 40)):
+    """Widest register served, exact vs approximate, one shared budget."""
+    rows = []
+    for num_qubits in widths:
+        circuit, pauli = _workload(num_qubits)
+        exact = _attempt(circuit, pauli, budget=BUDGET)
+        approx = _attempt(circuit, pauli, budget=BUDGET, accuracy=TARGET)
+        row = {
+            "num_qubits": num_qubits,
+            "exact_served": exact["served"],
+            "exact_seconds": exact["seconds"],
+            "approx_served": approx["served"],
+            "approx_seconds": approx["seconds"],
+        }
+        if approx["served"]:
+            meta = approx["meta"]
+            chain = meta.get("fallback_chain", [])
+            if chain:
+                row["approx_backend"] = chain[-1]["backend"]
+            row["fidelity_estimate"] = meta["fidelity_estimate"]
+        rows.append(row)
+    exact_reach = max(
+        (r["num_qubits"] for r in rows if r["exact_served"]), default=0
+    )
+    approx_reach = max(
+        (r["num_qubits"] for r in rows if r["approx_served"]), default=0
+    )
+    return {
+        "budget": BUDGET,
+        "target": TARGET,
+        "depth": DEPTH,
+        "lightcone": LIGHTCONE,
+        "widths": rows,
+        "exact_reach_qubits": exact_reach,
+        "approx_reach_qubits": approx_reach,
+        "certified": all(
+            r.get("fidelity_estimate", 1.0) >= TARGET for r in rows
+        ),
+    }
+
+
+def run_target_ladder(num_qubits=24, targets=(0.99, 0.95, 0.9, 0.8)):
+    """Certified estimate vs requested target; refusal is honest.
+
+    Pinned to the MPS chain: when the bond cap cannot certify a tight
+    target the MPS attempt refuses (recorded in the fallback chain) and
+    a sibling approximation-capable backend may serve instead.
+    """
+    circuit, pauli = _workload(num_qubits)
+    rows = []
+    for target in targets:
+        try:
+            value, meta = expectation(
+                circuit,
+                pauli,
+                backend="mps",
+                with_metadata=True,
+                budget="bond=8",
+                accuracy={"target": target, "mode": "eager"},
+            )
+            chain = meta.get("fallback_chain") or []
+            rows.append(
+                {
+                    "target": target,
+                    "served": True,
+                    "served_by": chain[-1]["backend"] if chain else "mps",
+                    "fidelity_estimate": meta["fidelity_estimate"],
+                    "detail": {
+                        key: value
+                        for key, value in meta["approximation"].items()
+                        if key != "target"
+                    },
+                }
+            )
+        except ResourceExhausted:
+            rows.append({"target": target, "served": False})
+    served = [r["fidelity_estimate"] for r in rows if r["served"]]
+    return {
+        "num_qubits": num_qubits,
+        "ladder": rows,
+        "monotone_non_increasing": all(
+            later <= earlier + 1e-9 for earlier, later in zip(served, served[1:])
+        ),
+        "all_certified": all(
+            r["fidelity_estimate"] >= r["target"] - 1e-9
+            for r in rows
+            if r["served"]
+        ),
+    }
+
+
+def run_cross_check(num_qubits=12):
+    """Approximate answer vs dense exact reference, Pauli error bound."""
+    circuit, pauli = _workload(num_qubits)
+    reference = expectation(circuit, pauli, backend="arrays")
+    value, meta = expectation(
+        circuit,
+        pauli,
+        backend="mps",
+        with_metadata=True,
+        budget="bond=8",
+        accuracy=TARGET,
+    )
+    estimate = meta["fidelity_estimate"]
+    bound = 2.0 * float(np.sqrt(max(0.0, 1.0 - estimate)))
+    return {
+        "num_qubits": num_qubits,
+        "reference": reference,
+        "approximate": value,
+        "fidelity_estimate": estimate,
+        "absolute_error": abs(value - reference),
+        "error_bound": bound,
+        "within_bound": abs(value - reference) <= bound + 1e-9,
+    }
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    if quick:
+        # Smoke mode (CI): narrow widths; certify the contracts, leave
+        # the checked-in headline untouched.
+        record = {
+            "reach": run_reach(widths=(8, 16)),
+            "ladder": run_target_ladder(num_qubits=12, targets=(0.95, 0.8)),
+            "cross_check": run_cross_check(num_qubits=10),
+        }
+        print(json.dumps(record, indent=2))
+    else:
+        record = {
+            "cpu_count": os.cpu_count(),
+            "reach": run_reach(),
+            "ladder": run_target_ladder(),
+            "cross_check": run_cross_check(),
+        }
+        out = Path(__file__).resolve().parent.parent / "BENCH_approx.json"
+        out.write_text(json.dumps(record, indent=2) + "\n")
+        print(json.dumps(record, indent=2))
+        print(
+            f"\nexact reach: {record['reach']['exact_reach_qubits']} qubits; "
+            f"approximate reach: {record['reach']['approx_reach_qubits']} qubits "
+            f"at certified fidelity >= {TARGET}"
+        )
+    if not record["reach"]["certified"]:
+        raise SystemExit("FAIL: an approximate answer undercut its target")
+    if record["reach"]["approx_reach_qubits"] < record["reach"]["exact_reach_qubits"]:
+        raise SystemExit("FAIL: approximate tier served fewer widths than exact")
+    if not record["ladder"]["monotone_non_increasing"]:
+        raise SystemExit("FAIL: looser target raised the certified estimate")
+    if not record["ladder"]["all_certified"]:
+        raise SystemExit("FAIL: served ladder answer undercut its target")
+    if not record["cross_check"]["within_bound"]:
+        raise SystemExit("FAIL: approximate answer outside the certified bound")
+    if not quick and record["reach"]["approx_reach_qubits"] < 40:
+        raise SystemExit("FAIL: expected 40-qubit reach for the approximate tier")
+
+
+if __name__ == "__main__":
+    main()

@@ -110,6 +110,40 @@ def brickwork_circuit(
     return qc
 
 
+def bounded_lightcone_brickwork(
+    num_qubits: int,
+    depth: int,
+    lightcone: int = 4,
+    seed: int = 0,
+) -> QuantumCircuit:
+    """Brickwork whose entangling bricks never cross block boundaries.
+
+    Qubits are partitioned into disjoint blocks of ``lightcone`` wires
+    and every CZ stays inside its block, so the entanglement lightcone —
+    and with it the MPS bond dimension — is bounded by ``2**(lightcone/2)``
+    no matter how wide or deep the circuit grows.  This is the workload
+    family where the approximate tier reaches register sizes the exact
+    dense path refuses.
+    """
+    if lightcone < 1:
+        raise ValueError("lightcone must be at least 1")
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(
+        num_qubits,
+        name=f"lightcone_brickwork_{num_qubits}x{depth}w{lightcone}",
+    )
+    for layer in range(depth):
+        for q in range(num_qubits):
+            theta, phi, lam = rng.uniform(0, 2 * math.pi, size=3)
+            qc.u(float(theta), float(phi), float(lam), q)
+        start = layer % 2
+        for q in range(start, num_qubits - 1, 2):
+            if q // lightcone != (q + 1) // lightcone:
+                continue
+            qc.cz(q, q + 1)
+    return qc
+
+
 def random_phase_polynomial_terms(
     num_qubits: int, num_terms: int, seed: int = 0
 ) -> List[tuple]:

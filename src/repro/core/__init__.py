@@ -34,10 +34,11 @@ from .backend import (
 )
 from .backends.base import Backend
 from .capabilities import CapabilityError
-from .options import SimOptions
+from .options import Accuracy, SimOptions
 from .registry import REGISTRY, BackendRegistry
 from ..resources import (
     BondBudgetExceeded,
+    FidelityBudgetExceeded,
     MemoryBudgetExceeded,
     NodeBudgetExceeded,
     ResourceBudget,
@@ -47,6 +48,7 @@ from ..resources import (
 
 __all__ = [
     "AUTO",
+    "Accuracy",
     "AutoDecision",
     "BACKENDS",
     "Backend",
@@ -54,6 +56,7 @@ __all__ = [
     "BondBudgetExceeded",
     "CapabilityError",
     "CircuitFeatures",
+    "FidelityBudgetExceeded",
     "MemoryBudgetExceeded",
     "NodeBudgetExceeded",
     "REGISTRY",

@@ -155,9 +155,16 @@ class AutoDecision:
 
 
 def _preferences(
-    features: CircuitFeatures, task: str
+    features: CircuitFeatures, task: str, approximate: bool = False
 ) -> List[Tuple[str, str]]:
-    """Ranked (backend, reason) candidates before capability filtering."""
+    """Ranked (backend, reason) candidates before capability filtering.
+
+    With ``approximate=True`` the ranking is for the dispatcher's
+    "approximate before refusing" rung: the tensor-network backend is
+    appended as a universal last resort (bond slicing lets it trade
+    contraction memory for slice count, so it can fit budgets the exact
+    walk could not), even where the exact ranking would never pick it.
+    """
     prefs: List[Tuple[str, str]] = []
     if features.is_clifford:
         prefs.append(("stab", "pure Clifford circuit -> stabilizer tableau"))
@@ -191,6 +198,14 @@ def _preferences(
     prefs.append(("dd", "fallback: structured representation scales best"))
     prefs.append(("mps", "fallback: truncated MPS as last resort"))
     prefs.append(("arrays", "fallback: exact dense simulation"))
+    if approximate:
+        prefs.append(
+            (
+                "tn",
+                "approximate tier: sliced contraction trades peak memory "
+                "for slice count",
+            )
+        )
     # The fallback entries can repeat a backend already preferred on its
     # merits; keep only the first occurrence so ``AutoDecision.considered``
     # (and the dispatcher's fallback walk) audit each backend exactly once.
@@ -208,6 +223,7 @@ def capable_preferences(
     features: CircuitFeatures,
     task: str,
     registry: Optional[BackendRegistry] = None,
+    approximate: bool = False,
 ) -> List[Tuple[str, str]]:
     """The full ranked ``(backend, reason)`` list, capability-filtered.
 
@@ -220,7 +236,7 @@ def capable_preferences(
     """
     registry = registry or REGISTRY
     capable: List[Tuple[str, str]] = []
-    for name, reason in _preferences(features, task):
+    for name, reason in _preferences(features, task, approximate=approximate):
         if name not in registry:
             continue
         backend = registry.get(name)

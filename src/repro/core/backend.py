@@ -183,20 +183,38 @@ class _BatchCache:
         return cached
 
 
+_APPROX_CAPABLE = frozenset({"dd", "mps", "tn"})
+"""Backends with an approximate mode an ``accuracy`` target can engage:
+DD adaptive node pruning, MPS fidelity-targeted truncation, TN bond
+slicing to fit the memory budget."""
+
+
 def _candidates(
     backend: str,
     circuit: QuantumCircuit,
     task: str,
     options: SimOptions,
     cache: Optional[_BatchCache] = None,
-) -> Tuple[List[Tuple[str, str]], Dict]:
-    """Ordered ``(name, reason)`` attempt list plus base trace metadata.
+) -> Tuple[List[Tuple[str, str, bool]], Dict]:
+    """Ordered ``(name, reason, approximate)`` attempt list plus trace metadata.
 
     The first entry is the requested (or auto-selected) backend.  When a
     resource budget is active, the analyzer's remaining capable
     preferences follow, in ranked order, as graceful-degradation
     fallbacks for :class:`~repro.resources.ResourceExhausted`.
+
+    With an ``accuracy`` target below 1, the third element flags the
+    attempts that run in approximate mode.  In ``"eager"`` mode every
+    approximation-capable candidate approximates outright.  In the
+    default ``"fallback"`` mode the exact candidates keep their exact
+    semantics and an **approximate before refusing** rung — the
+    approximation-capable backends again, now pruning/truncating/slicing
+    toward the target — is appended after every exact candidate, so a
+    request only degrades to a certified-fidelity answer when exactness
+    is impossible within the budget.
     """
+    accuracy = options.accuracy
+    eager = accuracy is not None and accuracy.mode == "eager"
     if backend == AUTO:
         decision = choose_backend(
             circuit,
@@ -204,26 +222,47 @@ def _candidates(
             features=cache.features_for(circuit) if cache else None,
         )
         trace = {"auto": decision.as_metadata()}
-        ranked = [(decision.backend, decision.rule)]
+        first = decision.backend
+        ranked = [(first, decision.rule, eager and first in _APPROX_CAPABLE)]
         features = decision.features
     else:
         impl = REGISTRY.get(backend)
         if not impl.supports(task):
             raise impl._unsupported(f"capability '{task}'")
         trace = {}
-        ranked = [(backend, "explicitly requested")]
+        ranked = [
+            (backend, "explicitly requested", eager and backend in _APPROX_CAPABLE)
+        ]
         features = None
-    if options.budget is not None and not options.budget.is_unbounded():
+    bounded = options.budget is not None and not options.budget.is_unbounded()
+    if bounded:
         if features is None:
             features = (
                 cache.features_for(circuit) if cache else analyze(circuit)
             )
         attempted = {ranked[0][0]}
-        for name, reason in capable_preferences(features, task):
+        for name, reason in capable_preferences(
+            features, task, approximate=eager
+        ):
             if name in attempted:
                 continue
             attempted.add(name)
-            ranked.append((name, reason))
+            ranked.append((name, reason, eager and name in _APPROX_CAPABLE))
+    if accuracy is not None and not eager and bounded:
+        if features is None:
+            features = (
+                cache.features_for(circuit) if cache else analyze(circuit)
+            )
+        rung_seen = set()
+        for name, reason in capable_preferences(
+            features, task, approximate=True
+        ):
+            if name not in _APPROX_CAPABLE or name in rung_seen:
+                continue
+            rung_seen.add(name)
+            ranked.append(
+                (name, f"approximate before refusing: {reason}", True)
+            )
     return ranked, trace
 
 
@@ -264,7 +303,7 @@ def _execute(
     backend: str,
     task: str,
     options: SimOptions,
-    invoke: Callable[[Backend, QuantumCircuit], Tuple[Any, Dict]],
+    invoke: Callable[[Backend, QuantumCircuit, SimOptions], Tuple[Any, Dict]],
     cache: Optional[_BatchCache] = None,
     cache_extra: Optional[Dict] = None,
 ) -> Tuple[Any, Dict, str]:
@@ -323,18 +362,27 @@ def _execute(
             analysis.finish(candidates=len(ranked))
             chain: List[Dict] = []
             last_error: Optional[ResourceExhausted] = None
-            for name, reason in ranked:
+            accuracy = options.accuracy
+            for name, reason, approx in ranked:
                 impl = REGISTRY.get(name)
+                # Exact attempts under an accuracy target run with the
+                # knob stripped: the approximate tier engages only on the
+                # attempts flagged for it, so phase-1 results stay
+                # bit-for-bit identical to an accuracy-free request.
+                if accuracy is not None and not approx:
+                    attempt_opts = _dc_replace(options, accuracy=None)
+                else:
+                    attempt_opts = options
                 attempt = obs_trace.timed_span(
                     "dispatch.attempt", backend=name, rule=reason
                 )
                 try:
                     prepared, fusion_meta = _prepare(
-                        circuit, options, impl, cache=cache
+                        circuit, attempt_opts, impl, cache=cache
                     )
                     execute = obs_trace.timed_span("execute", backend=name)
                     try:
-                        value, meta = invoke(impl, prepared)
+                        value, meta = invoke(impl, prepared, attempt_opts)
                     except ResourceExhausted:
                         execute.finish(status="resource_exhausted")
                         raise
@@ -346,30 +394,46 @@ def _execute(
                         error=type(exc).__name__,
                     )
                     obs_metrics.counter_add("dispatch.fallback.count")
-                    chain.append(
-                        {
-                            "backend": name,
-                            "status": "resource_exhausted",
-                            "resource": exc.resource,
-                            "error": type(exc).__name__,
-                            "reason": str(exc),
-                            "elapsed_s": round(attempt.duration_s, 6),
-                        }
-                    )
+                    entry = {
+                        "backend": name,
+                        "status": "resource_exhausted",
+                        "resource": exc.resource,
+                        "error": type(exc).__name__,
+                        "reason": str(exc),
+                        "elapsed_s": round(attempt.duration_s, 6),
+                    }
+                    if accuracy is not None:
+                        entry["mode"] = "approximate" if approx else "exact"
+                    chain.append(entry)
                     last_error = exc
                     continue
                 attempt.finish()
-                chain.append(
-                    {
-                        "backend": name,
-                        "status": "ok",
-                        "elapsed_s": round(attempt.duration_s, 6),
-                    }
-                )
+                entry = {
+                    "backend": name,
+                    "status": "ok",
+                    "elapsed_s": round(attempt.duration_s, 6),
+                }
+                if accuracy is not None:
+                    entry["mode"] = "approximate" if approx else "exact"
+                chain.append(entry)
                 root.finish(served_by=name)
                 meta.update(_base_metadata(prepared, root.duration_s))
                 meta.update(fusion_meta)
                 meta.update(trace)
+                if accuracy is not None:
+                    fidelity = float(meta.setdefault("fidelity_estimate", 1.0))
+                    meta["accuracy"] = {
+                        "target": accuracy.target,
+                        "mode": accuracy.mode,
+                        "approximate": approx,
+                    }
+                    if approx:
+                        obs_metrics.counter_add("dispatch.approximate.count")
+                    # Infidelity merges as a max across processes, so the
+                    # aggregated gauge is the *worst* certified bound.
+                    obs_metrics.gauge_max(
+                        "sim.infidelity_estimate", 1.0 - fidelity
+                    )
                 if len(chain) > 1:
                     meta["fallback_chain"] = chain
                     meta["fallback"] = {
@@ -515,6 +579,17 @@ def simulate(
     trips a resource cap is abandoned and the analyzer's remaining
     capable preferences are tried in order; the attempts are audited in
     ``result.metadata["fallback_chain"]``.
+
+    With ``accuracy=`` below 1 (a float target or an
+    :class:`~repro.core.options.Accuracy` spec), the approximate tier
+    may serve a certified-fidelity state instead of refusing: the result
+    carries ``metadata["fidelity_estimate"]`` (a lower bound on
+    ``|<exact|approx>|^2``, at least the target) and
+    ``metadata["accuracy"]`` records whether approximation actually
+    engaged.  In the default ``mode="fallback"`` this happens only after
+    every exact candidate exhausted the budget ("approximate before
+    refusing", audited in the fallback chain); ``mode="eager"``
+    approximates outright.
     """
     opts = SimOptions.from_kwargs(**options)
     state, meta, name = _execute(
@@ -522,7 +597,7 @@ def simulate(
         backend,
         cap.FULL_STATE,
         opts,
-        lambda impl, prepared: impl.statevector(prepared, opts),
+        lambda impl, prepared, o: impl.statevector(prepared, o),
     )
     return SimulationResult(name, state, meta)
 
@@ -539,7 +614,7 @@ def _simulate_prepared(
         backend,
         cap.FULL_STATE,
         opts,
-        lambda impl, prepared: impl.statevector(prepared, opts),
+        lambda impl, prepared, o: impl.statevector(prepared, o),
         cache=cache,
     )
     return SimulationResult(name, state, meta)
@@ -695,7 +770,7 @@ def sample(
         backend,
         cap.SAMPLE,
         opts,
-        lambda impl, prepared: impl.sample(prepared, shots, opts),
+        lambda impl, prepared, o: impl.sample(prepared, shots, o),
         cache_extra={"shots": int(shots)},
     )
     if with_metadata:
@@ -725,7 +800,7 @@ def expectation(
         backend,
         cap.EXPECTATION,
         opts,
-        lambda impl, prepared: impl.expectation(prepared, pauli, opts),
+        lambda impl, prepared, o: impl.expectation(prepared, pauli, o),
         cache_extra={"pauli": str(pauli)},
     )
     if with_metadata:
@@ -754,7 +829,7 @@ def single_amplitude(
         backend,
         cap.SINGLE_AMPLITUDE,
         opts,
-        lambda impl, prepared: impl.amplitude(prepared, basis_index, opts),
+        lambda impl, prepared, o: impl.amplitude(prepared, basis_index, o),
         cache_extra={"basis_index": int(basis_index)},
     )
     if with_metadata:

@@ -41,11 +41,17 @@ class DDBackend(Backend):
         max_nodes = None
         if options.budget is not None:
             max_nodes = options.budget.node_limit(BYTES_PER_NODE)
+        # The dispatcher strips ``accuracy`` from exact attempts, so a
+        # target here always means "this attempt is the approximate tier".
+        accuracy = (
+            options.accuracy.target if options.accuracy is not None else None
+        )
         sim = DDSimulator(
             package=DDPackage(max_nodes=max_nodes),
             seed=options.seed,
             budget=options.budget,
             progress=options.progress,
+            accuracy=accuracy,
         )
         result = sim.run(circuit, track_peak=options.track_peak)
         return sim, result
@@ -69,11 +75,18 @@ class DDBackend(Backend):
                 obs_metrics.counter_add(
                     f"dd.cache.{cache_name}.misses", stats["misses"]
                 )
-        return {
+        meta: Metadata = {
             "nodes": nodes,
             "peak_nodes": sim.peak_nodes,
             "memory_bytes": int(max(nodes, sim.peak_nodes) * BYTES_PER_NODE),
         }
+        if sim.accuracy is not None:
+            meta["fidelity_estimate"] = float(sim.fidelity_estimate)
+            meta["approximation"] = {
+                "target": sim.accuracy,
+                "prunes": sim.approx_prunes,
+            }
+        return meta
 
     def statevector(
         self, circuit: QuantumCircuit, options: SimOptions

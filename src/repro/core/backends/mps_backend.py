@@ -21,25 +21,44 @@ class MPSBackend(Backend):
         {cap.FULL_STATE, cap.SAMPLE, cap.EXPECTATION, cap.SINGLE_AMPLITUDE}
     )
 
-    def _run(self, circuit: QuantumCircuit, options: SimOptions) -> MPSResult:
+    def _run(
+        self, circuit: QuantumCircuit, options: SimOptions
+    ) -> Tuple[MPSSimulator, MPSResult]:
+        # The dispatcher strips ``accuracy`` from exact attempts, so a
+        # target here always means "this attempt is the approximate tier".
+        accuracy = (
+            options.accuracy.target if options.accuracy is not None else None
+        )
         sim = MPSSimulator(
             max_bond=options.max_bond,
             cutoff=options.cutoff,
             seed=options.seed,
             budget=options.budget,
             progress=options.progress,
+            accuracy=accuracy,
         )
-        return sim.run(circuit)
+        return sim, sim.run(circuit)
 
-    def _meta(self, result: MPSResult) -> Metadata:
+    def _meta(self, sim: MPSSimulator, result: MPSResult) -> Metadata:
         mps = result.mps
         entries = mps.total_entries()
-        return {
+        meta: Metadata = {
             "max_bond_reached": mps.max_bond_reached,
             "truncation_error": mps.truncation_error,
             "entries": entries,
             "memory_bytes": int(entries * 16),
         }
+        if sim.accuracy is not None:
+            meta["fidelity_estimate"] = float(sim.fidelity_estimate)
+            meta["approximation"] = {
+                "target": sim.accuracy,
+                "truncations": (
+                    sim._truncation.truncations
+                    if sim._truncation is not None
+                    else 0
+                ),
+            }
+        return meta
 
     def statevector(
         self, circuit: QuantumCircuit, options: SimOptions
@@ -49,24 +68,24 @@ class MPSBackend(Backend):
             options.budget.check_memory(
                 16 << n, backend="mps", what=f"dense {n}-qubit state extraction"
             )
-        result = self._run(circuit, options)
-        return result.to_statevector(), self._meta(result)
+        sim, result = self._run(circuit, options)
+        return result.to_statevector(), self._meta(sim, result)
 
     def sample(
         self, circuit: QuantumCircuit, shots: int, options: SimOptions
     ) -> Tuple[Dict[str, int], Metadata]:
-        result = self._run(circuit, options)
+        sim, result = self._run(circuit, options)
         counts = result.mps.sample_counts(shots, seed=options.seed)
-        return counts, self._meta(result)
+        return counts, self._meta(sim, result)
 
     def expectation(
         self, circuit: QuantumCircuit, pauli: str, options: SimOptions
     ) -> Tuple[float, Metadata]:
-        result = self._run(circuit, options)
-        return result.mps.expectation_pauli(pauli), self._meta(result)
+        sim, result = self._run(circuit, options)
+        return result.mps.expectation_pauli(pauli), self._meta(sim, result)
 
     def amplitude(
         self, circuit: QuantumCircuit, basis_index: int, options: SimOptions
     ) -> Tuple[complex, Metadata]:
-        result = self._run(circuit, options)
-        return result.mps.amplitude(basis_index), self._meta(result)
+        sim, result = self._run(circuit, options)
+        return result.mps.amplitude(basis_index), self._meta(sim, result)

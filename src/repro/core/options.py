@@ -10,8 +10,10 @@ option either applies uniformly or is rejected loudly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Any, Callable, Dict, Optional
+import os
+from dataclasses import asdict, dataclass, fields
+from functools import lru_cache
+from typing import Any, Callable, Dict, Optional, Union
 
 from ..obs.trace import env_enabled as _trace_env_enabled
 from ..resources import ResourceBudget, default_budget
@@ -37,6 +39,136 @@ from its content-addressed key, so e.g. a run at ``n_jobs=8`` dedupes
 against the same request at ``n_jobs=1``.  Every other field — ``seed``
 included — is part of the key.
 """
+
+
+ACCURACY_MODES = ("fallback", "eager")
+"""How an :class:`Accuracy` target engages the approximate tier.
+
+``"fallback"`` (the default) keeps every result exact unless exactness
+is impossible: the dispatcher runs its normal exact candidates first and
+only approximates as a final "approximate before refusing" rung after
+every exact attempt tripped its resource budget.  ``"eager"`` lets
+approximation-capable backends truncate/prune immediately — the mode for
+callers who want the cheapest state meeting the target, and for tests
+that must exercise the approximate paths directly.
+"""
+
+
+@dataclass(frozen=True)
+class Accuracy:
+    """A certified-fidelity request for the approximate simulation tier.
+
+    ``target`` is the lower bound the run must certify: any approximate
+    result carries ``metadata["fidelity_estimate"] >= target``, where the
+    estimate is itself a lower bound on ``|<exact|approx>|^2`` composed
+    multiplicatively across every pruning/truncation step.  ``target=1.0``
+    means exact (the default everywhere): the knob is normalized away at
+    the facade boundary and the run is bit-for-bit today's exact path.
+
+    ``mode`` selects *when* approximation engages (see
+    :data:`ACCURACY_MODES`).  A backend that cannot certify ``target``
+    under its other caps raises
+    :class:`~repro.resources.FidelityBudgetExceeded` instead of silently
+    returning a worse state.
+    """
+
+    target: float = 1.0
+    mode: str = "fallback"
+
+    def __post_init__(self) -> None:
+        if not (0.0 < float(self.target) <= 1.0):
+            raise ValueError(
+                f"accuracy target must be in (0, 1], got {self.target!r}"
+            )
+        if self.mode not in ACCURACY_MODES:
+            raise ValueError(
+                f"unknown accuracy mode {self.mode!r}; "
+                f"choose one of {ACCURACY_MODES}"
+            )
+
+    @property
+    def is_exact(self) -> bool:
+        return float(self.target) >= 1.0
+
+    @property
+    def infidelity_budget(self) -> float:
+        """The total discardable weight, ``1 - target``."""
+        return max(0.0, 1.0 - float(self.target))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def coerce(
+        cls, value: Union["Accuracy", Dict, str, float, None]
+    ) -> Optional["Accuracy"]:
+        """Accept an accuracy given as an instance, mapping, number, or spec.
+
+        Strings are either a bare target (``"0.99"``) or comma-separated
+        ``key=value`` pairs (``"target=0.99,mode=eager"``) — the format
+        the ``REPRO_ACCURACY`` environment variable uses.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return cls(target=float(value))
+        if isinstance(value, dict):
+            return cls(**value)
+        if isinstance(value, str):
+            spec = value.strip()
+            try:
+                return cls(target=float(spec))
+            except ValueError:
+                pass
+            kwargs: Dict[str, Any] = {}
+            for part in spec.split(","):
+                part = part.strip()
+                if not part:
+                    continue
+                if "=" not in part:
+                    raise ValueError(
+                        f"bad accuracy entry {part!r}; expected key=value"
+                    )
+                key, _, raw = part.partition("=")
+                key = key.strip().lower()
+                if key == "target":
+                    kwargs["target"] = float(raw)
+                elif key == "mode":
+                    kwargs["mode"] = raw.strip().lower()
+                else:
+                    raise ValueError(
+                        f"unknown accuracy key {key!r}; "
+                        "known: target, mode"
+                    )
+            return cls(**kwargs)
+        raise TypeError(
+            f"accuracy must be an Accuracy, dict, float target, or spec "
+            f"string; got {type(value).__name__}"
+        )
+
+
+ACCURACY_ENV_VAR = "REPRO_ACCURACY"
+"""Environment variable holding a default accuracy spec for every run.
+
+Set e.g. ``REPRO_ACCURACY=0.999`` (or
+``REPRO_ACCURACY=target=0.99,mode=eager``) to give a whole process — or
+a CI suite — a standing fidelity target; an explicit ``accuracy=``
+option always wins over the environment.  With the default
+``"fallback"`` mode this is safe to leave on everywhere: results stay
+exact unless every exact candidate exhausts its resource budget.
+"""
+
+
+@lru_cache(maxsize=8)
+def _parse_env_accuracy(spec: str) -> Optional[Accuracy]:
+    if not spec.strip():
+        return None
+    return Accuracy.coerce(spec)
+
+
+def default_accuracy() -> Optional[Accuracy]:
+    """The process-wide accuracy from ``REPRO_ACCURACY`` (or ``None``)."""
+    return _parse_env_accuracy(os.environ.get(ACCURACY_ENV_VAR, ""))
 
 
 @dataclass(frozen=True)
@@ -72,6 +204,19 @@ class SimOptions:
             Levels >= 2 preserve the state up to global phase only.
         max_bond: MPS bond-dimension cap (``None`` = exact).
         cutoff: MPS singular-value truncation threshold.
+        accuracy: :class:`Accuracy` fidelity target for the approximate
+            tier (also accepts a bare float target, a dict, or a spec
+            string).  ``None`` / target ``1.0`` (the default) keeps every
+            path exact.  With a target below 1, approximation-capable
+            backends (dd: adaptive node pruning, mps: fidelity-targeted
+            truncation, tn: bond slicing to fit the memory budget) may
+            return an approximate state certifying
+            ``metadata["fidelity_estimate"] >= target`` — immediately in
+            ``mode="eager"``, or only after every exact candidate tripped
+            its resource budget in the default ``mode="fallback"``.  When
+            omitted, the ``REPRO_ACCURACY`` environment variable supplies
+            a process-wide default.  Accuracy is result-relevant: it is
+            part of the persistent result cache's key.
         plan: Tensor-network contraction plan (``repro.tn.contraction``).
         track_peak: Record the DD backend's peak node count.
         n_jobs: Worker-process count for batch entry points
@@ -130,6 +275,7 @@ class SimOptions:
     optimization_level: Optional[int] = None
     max_bond: Optional[int] = None
     cutoff: float = 1e-12
+    accuracy: Optional[Accuracy] = None
     plan: Optional[Any] = None
     track_peak: bool = False
     n_jobs: Optional[int] = None
@@ -158,6 +304,15 @@ class SimOptions:
             kwargs["budget"] = ResourceBudget.coerce(kwargs["budget"])
         else:
             kwargs["budget"] = default_budget()
+        if "accuracy" in kwargs:
+            kwargs["accuracy"] = Accuracy.coerce(kwargs["accuracy"])
+        else:
+            kwargs["accuracy"] = default_accuracy()
+        if kwargs["accuracy"] is not None and kwargs["accuracy"].is_exact:
+            # target=1.0 *is* the exact path; normalizing to None keeps
+            # the default path bitwise identical by construction and
+            # gives accuracy=1.0 and accuracy=None the same cache key.
+            kwargs["accuracy"] = None
         if "trace" not in kwargs:
             kwargs["trace"] = _trace_env_enabled()
         executor = kwargs.get("executor")
@@ -189,7 +344,8 @@ class SimOptions:
         content-addressed key and of the durable job format: every field
         that can change the produced bits (``seed``, ``method``,
         ``fusion``/``max_fused_qubits``, ``optimization_level``,
-        ``max_bond``/``cutoff``, ``track_peak``, ``budget`` — a budget
+        ``max_bond``/``cutoff``, ``accuracy`` — a fidelity target below
+        1 licenses approximation — ``track_peak``, ``budget`` — a budget
         steers the fallback chain and therefore which backend serves),
         in field order, with the budget flattened to its dict form.  The
         :data:`RESULT_INVARIANT_FIELDS` are excluded by construction.
@@ -210,7 +366,7 @@ class SimOptions:
             if f.name in RESULT_INVARIANT_FIELDS:
                 continue
             value = getattr(self, f.name)
-            if f.name == "budget" and value is not None:
+            if f.name in ("budget", "accuracy") and value is not None:
                 value = value.as_dict()
             data[f.name] = value
         return data
@@ -231,4 +387,7 @@ class SimOptions:
             # from_kwargs would fall back to REPRO_BUDGET; a serialized
             # job with no budget must stay unbudgeted.
             kwargs["budget"] = None
+        if kwargs.get("accuracy") is None:
+            # Same for REPRO_ACCURACY: a serialized exact job stays exact.
+            kwargs["accuracy"] = None
         return cls.from_kwargs(**kwargs)

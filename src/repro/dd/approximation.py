@@ -5,14 +5,24 @@ contribution to the state's norm is negligible, shrinking the diagram while
 tracking the fidelity cost.  The pruning rule is local: at every node, a
 child branch is cut when its share of the node's squared norm falls below
 ``threshold``; the result is renormalized to unit norm.
+
+:func:`approximate_to_fidelity` inverts the knob: instead of a threshold
+it takes a fidelity floor and binary-searches for the most aggressive
+pruning that still certifies it — the primitive behind the approximate
+simulation tier's ``accuracy=`` target.  :func:`copy_edge` migrates a
+state into a fresh package, which is how the DD simulator reclaims the
+unique-table space of pruned-away nodes (the table itself never shrinks).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from .node import TERMINAL, DDNode, Edge
-from .package import ZERO_EDGE, DDPackage
+from .node import DDNode, Edge
+from .package import ONE_EDGE, ZERO_EDGE, DDPackage
+
+_SEARCH_RESOLUTION = 1e-12
+"""Bisection stops once the threshold bracket is this narrow."""
 
 
 def approximate(
@@ -24,6 +34,12 @@ def approximate(
     ``|<original|approx>|^2`` with both states normalized.  ``threshold`` is
     the per-node relative squared-norm cut-off: 0 keeps everything, larger
     values prune more aggressively.
+
+    Every rebuilt node goes through :meth:`DDPackage.make_node` /
+    :meth:`~DDPackage.make_edge` (terminal edges reuse the interned
+    ``ONE_EDGE``), so the result is canonical in ``package``'s unique
+    table: approximating the same state at the same threshold twice
+    yields the identical diagram and grows no new table entries.
     """
     if edge.weight == 0:
         return edge, 1.0
@@ -32,7 +48,7 @@ def approximate(
 
     def rebuild(node: DDNode) -> Edge:
         if node.is_terminal:
-            return Edge(TERMINAL, 1.0 + 0j)
+            return ONE_EDGE
         cached = memo.get(id(node))
         if cached is not None:
             return cached
@@ -72,3 +88,80 @@ def approximate(
     overlap = package.inner_product(edge, normalized)
     fidelity = abs(overlap / original_norm) ** 2
     return normalized, float(fidelity)
+
+
+def approximate_to_fidelity(
+    package: DDPackage,
+    edge: Edge,
+    min_fidelity: float,
+    max_iters: int = 20,
+) -> Tuple[Edge, float]:
+    """The most aggressive pruning that still certifies ``min_fidelity``.
+
+    Raising the threshold prunes a (pointwise) superset of branches, so
+    the surviving amplitude mass — and with it the fidelity — is
+    monotone non-increasing in the threshold.  That makes the largest
+    admissible threshold a bisection target: start from the maximal
+    sensible cut-off (0.5 — any child holding at least half its node's
+    mass always survives) and home in on the boundary.
+
+    Returns ``(edge, fidelity)`` with ``fidelity >= min_fidelity``
+    guaranteed; when even the finest probed pruning overshoots the
+    budget, the original edge is returned untouched with fidelity 1.0.
+    The monotone search also makes the result monotone in the *target*:
+    loosening ``min_fidelity`` never yields a higher-fidelity estimate.
+    """
+    if min_fidelity >= 1.0 or edge.weight == 0:
+        return edge, 1.0
+    hi = 0.5
+    candidate, fidelity = approximate(package, edge, hi)
+    if fidelity >= min_fidelity:
+        return candidate, fidelity
+    lo = 0.0
+    best = (edge, 1.0)
+    for _ in range(max_iters):
+        if hi - lo < _SEARCH_RESOLUTION:
+            break
+        mid = (lo + hi) / 2.0
+        candidate, fidelity = approximate(package, edge, mid)
+        if fidelity >= min_fidelity:
+            best = (candidate, fidelity)
+            lo = mid
+        else:
+            hi = mid
+    return best
+
+
+def copy_edge(edge: Edge, target: DDPackage) -> Edge:
+    """Rebuild a vector-DD edge inside ``target``'s unique table.
+
+    Structure and weights are preserved exactly (weights re-intern
+    through the target's complex table).  The main client is the
+    approximate tier's garbage collection: after pruning, the live
+    diagram is migrated into a fresh package so the unique table — which
+    only ever grows — releases the dead nodes and the node budget
+    measures the *live* state again.
+    """
+    memo: Dict[int, Edge] = {}
+
+    def rec(node: DDNode) -> Edge:
+        if node.is_terminal:
+            return ONE_EDGE
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        children = []
+        for child in node.edges:
+            if child.weight == 0:
+                children.append(ZERO_EDGE)
+            else:
+                sub = rec(child.node)
+                children.append(
+                    target.make_edge(sub.node, sub.weight * child.weight)
+                )
+        result = target.make_node(node.var, tuple(children))
+        memo[id(node)] = result
+        return result
+
+    rebuilt = rec(edge.node)
+    return target.make_edge(rebuilt.node, rebuilt.weight * edge.weight)

@@ -8,6 +8,7 @@ small where the array backend needs ``2**n`` amplitudes.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -16,11 +17,20 @@ from ..circuits.circuit import Operation, QuantumCircuit
 from ..circuits.gates import Gate
 from ..obs.progress import GATE_EVENT_INTERVAL, ProgressReporter
 from ..resources import ResourceBudget
+from .approximation import approximate_to_fidelity, copy_edge
 from .package import DDPackage
 from .vector import VectorDD
 
 _DEADLINE_CHECK_INTERVAL = 8
 """Operations between wall-clock budget checks in the gate loop."""
+
+_APPROX_INTERVAL = 16
+"""Unitary operations between pruning passes when an accuracy target is set.
+
+Pruning too often wastes the fidelity budget on states that have not yet
+grown; too rarely lets the diagram blow past the node budget before the
+first rescue.  Sixteen gates per pass keeps the amortized search cost
+below one mv-multiply."""
 
 _PROJECT_ZERO = Gate("project0", 1, None)  # placeholders, matrices built inline
 _PROJECTORS = {
@@ -47,6 +57,22 @@ class DDSimulator:
     ``budget`` adds a wall-clock deadline to the gate loop; the node and
     memory caps are enforced structurally by handing the package a
     ``max_nodes`` limit (see :meth:`DDPackage.make_node`).
+
+    ``accuracy`` switches the run into the approximate tier: every
+    ``_APPROX_INTERVAL`` gates (and once at the end) the state is pruned
+    as aggressively as the remaining fidelity budget allows
+    (:func:`~repro.dd.approximation.approximate_to_fidelity`), and the
+    surviving diagram is migrated into a fresh package so the unique
+    table releases the dead nodes.
+
+    The certificate composes per-prune fidelities through the
+    Fubini-Study angle: a prune with step fidelity ``f`` moves the state
+    by ``arccos(sqrt(f))``, subsequent unitaries are isometries, so the
+    final overlap obeys ``|<exact|approx>|^2 >= cos(sum of angles)^2``.
+    (The naive product of step fidelities is *not* a bound — angles add,
+    and ``cos(a+b)^2 < cos(a)^2 cos(b)^2`` whenever both are nonzero.)
+    The total angle budget ``arccos(sqrt(accuracy))`` is rationed across
+    planned prunes, so ``fidelity_estimate >= accuracy`` always holds.
     """
 
     def __init__(
@@ -55,12 +81,19 @@ class DDSimulator:
         seed: int = 0,
         budget: Optional[ResourceBudget] = None,
         progress: Optional[callable] = None,
+        accuracy: Optional[float] = None,
     ) -> None:
+        if accuracy is not None and not 0.0 < accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in (0, 1], got {accuracy}")
         self.package = package or DDPackage()
         self._rng = np.random.default_rng(seed)
         self.peak_nodes = 0
         self.budget = budget
         self.progress = progress
+        self.accuracy = accuracy
+        self.fidelity_estimate = 1.0
+        self.approx_prunes = 0
+        self._approx_angle = 0.0
 
     def run(
         self,
@@ -78,6 +111,23 @@ class DDSimulator:
                 raise ValueError("initial state belongs to a different package")
             state = initial_state
         self.peak_nodes = state.num_nodes() if track_peak else 0
+        self.fidelity_estimate = 1.0
+        self.approx_prunes = 0
+        self._approx_angle = 0.0
+        approx_target = (
+            self.accuracy
+            if self.accuracy is not None and self.accuracy < 1.0
+            else None
+        )
+        planned_prunes = 1
+        if approx_target is not None:
+            executable = sum(
+                1
+                for op in circuit.operations
+                if not op.is_barrier and not op.is_measurement
+            )
+            planned_prunes = executable // _APPROX_INTERVAL + 1
+        applied = 0
         classical: Dict[int, int] = {}
         reporter = ProgressReporter.maybe(
             self.progress,
@@ -103,11 +153,61 @@ class DDSimulator:
                 if classical.get(clbit, 0) != value:
                     continue
             state = self.apply_operation(state, op)
+            applied += 1
             if track_peak:
                 self.peak_nodes = max(self.peak_nodes, state.num_nodes())
+            if approx_target is not None and applied % _APPROX_INTERVAL == 0:
+                state = self._prune(state, approx_target, planned_prunes)
+        if approx_target is not None:
+            state = self._prune(state, approx_target, planned_prunes, final=True)
         if reporter is not None:
             reporter.close()
         return DDSimulationResult(state, classical)
+
+    def _prune(
+        self,
+        state: VectorDD,
+        target: float,
+        planned_prunes: int,
+        final: bool = False,
+    ) -> VectorDD:
+        """One budgeted pruning pass plus unique-table garbage collection.
+
+        The remaining Fubini-Study angle budget is spread evenly over
+        the prunes still to come, so early passes stay gentle while a
+        slack run lets the final pass spend whatever is left.  The
+        invariant ``fidelity_estimate >= target`` holds after every pass
+        because :func:`approximate_to_fidelity` never undershoots its
+        floor, and angle accounting survives the intervening unitaries
+        (isometries in the Fubini-Study metric).
+        """
+        remaining = 1 if final else max(1, planned_prunes - self.approx_prunes)
+        total_angle = math.acos(math.sqrt(min(1.0, target)))
+        angle_left = max(0.0, total_angle - self._approx_angle)
+        step_floor = min(1.0, math.cos(angle_left / remaining) ** 2)
+        edge, fidelity = approximate_to_fidelity(
+            self.package, state.edge, step_floor
+        )
+        self._approx_angle += math.acos(
+            math.sqrt(min(1.0, max(0.0, fidelity)))
+        )
+        self.fidelity_estimate = (
+            math.cos(self._approx_angle) ** 2
+            if self._approx_angle < math.pi / 2
+            else 0.0
+        )
+        self.approx_prunes += 1
+        # Unique tables only grow; migrating the pruned state into a
+        # fresh package is what actually frees memory and lets the node
+        # budget measure the live diagram again.
+        fresh = DDPackage(
+            tolerance=self.package.ctable.tolerance,
+            max_cache_entries=self.package.max_cache_entries,
+            max_nodes=self.package.max_nodes,
+        )
+        edge = copy_edge(edge, fresh)
+        self.package = fresh
+        return VectorDD(fresh, edge, state.num_qubits)
 
     def apply_operation(self, state: VectorDD, op: Operation) -> VectorDD:
         gate = self.package.gate_edge(op, state.num_qubits)

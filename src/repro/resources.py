@@ -92,6 +92,21 @@ class BondBudgetExceeded(ResourceExhausted):
     resource = "bond"
 
 
+class FidelityBudgetExceeded(ResourceExhausted):
+    """An approximate run cannot certify its requested fidelity target.
+
+    Raised by the approximate tier (``accuracy=`` on
+    :class:`~repro.core.options.SimOptions`) when a backend's other caps
+    — a hard ``max_bond``, a node limit — force it to discard more
+    weight than the infidelity budget ``1 - target`` allows.  The
+    dispatcher treats it like any other budget trip: the attempt is
+    audited in ``metadata["fallback_chain"]`` and the next capable
+    candidate is tried.
+    """
+
+    resource = "fidelity"
+
+
 class Deadline:
     """A started wall-clock budget; ``check()`` raises once it is spent."""
 

@@ -20,12 +20,96 @@ from ..circuits.circuit import Operation, QuantumCircuit
 from ..circuits.gates import SWAP, controlled_matrix
 from ..obs import metrics as obs_metrics
 from ..obs.progress import GATE_EVENT_INTERVAL, ProgressReporter
-from ..resources import ResourceBudget
+from ..resources import FidelityBudgetExceeded, ResourceBudget
 
 _SWAP_MATRIX = SWAP.matrix
 
 _BUDGET_CHECK_INTERVAL = 8
 """Operations between resource-budget checks in the gate loop."""
+
+TRUNCATION_SAFETY = 2.0
+"""Headroom multiplier on each truncation's local discarded weight.
+
+The tensors are not kept in canonical form, so the locally discarded
+relative weight at one SVD only approximates that step's global fidelity
+loss.  Charging ``TRUNCATION_SAFETY`` times the local weight against the
+budget (and into the certificate) absorbs the mismatch; the certified
+bound ``prod(1 - eps_i) >= 1 - sum(eps_i)`` then stays conservative."""
+
+
+class TruncationBudget:
+    """Additive infidelity budget driving fidelity-targeted truncation.
+
+    The total budget is ``1 - target``.  Each SVD step is granted an
+    allowance of ``remaining / steps_left`` — unspent allowance rolls
+    over, so weakly-entangling stretches of the circuit bankroll the
+    few layers that actually need to truncate.  ``fidelity_estimate``
+    accumulates the certified lower bound ``prod(1 - eps_i)`` where
+    ``eps_i`` is the (safety-scaled) relative weight discarded at step
+    ``i``; by Weierstrass it stays ``>= 1 - sum(eps_i) >= target`` as
+    long as no step is forced over its allowance.
+
+    ``max_bond`` is a *hard* cap (typically the resource budget's
+    ``max_bond_dim``): in the approximate tier it truncates instead of
+    raising, and the fidelity cost of the forced cut is charged
+    honestly — possibly overdrawing the budget, which the simulator
+    detects and converts into
+    :class:`~repro.resources.FidelityBudgetExceeded`.
+    """
+
+    def __init__(
+        self,
+        target: float,
+        steps: int,
+        max_bond: Optional[int] = None,
+        safety: float = TRUNCATION_SAFETY,
+    ) -> None:
+        if not 0.0 < target <= 1.0:
+            raise ValueError(f"target must be in (0, 1], got {target}")
+        self.target = target
+        self.remaining = max(0.0, 1.0 - target)
+        self.steps_left = max(1, steps)
+        self.max_bond = max_bond
+        self.safety = safety
+        self.fidelity_estimate = 1.0
+        self.truncations = 0
+
+    @property
+    def overdrawn(self) -> bool:
+        """True when a forced cut pushed the certificate below target."""
+        return self.fidelity_estimate < self.target
+
+    def select_keep(self, s: np.ndarray, cutoff: float) -> int:
+        """Pick how many singular values one SVD step may keep.
+
+        Greedily keeps the smallest prefix whose (safety-scaled)
+        discarded relative weight fits this step's allowance, clamped to
+        the hard bond cap, then charges the actual cost.  Values at or
+        below ``cutoff`` are numerical noise and are always dropped
+        (their weight is still charged, to keep the certificate honest).
+        """
+        m = len(s)
+        weights = np.abs(s) ** 2
+        total = float(np.sum(weights))
+        cap = m if self.max_bond is None else max(1, min(self.max_bond, m))
+        if total <= 0.0:
+            return 1
+        # tail[k] = weight discarded when keeping the first k values.
+        tail = np.concatenate([np.cumsum(weights[::-1])[::-1], [0.0]])
+        allowance = max(0.0, self.remaining) / self.steps_left
+        admissible = np.nonzero(
+            self.safety * tail[1 : cap + 1] <= allowance * total
+        )[0]
+        keep = int(admissible[0]) + 1 if admissible.size else cap
+        noise_free = int(np.sum(s > cutoff))
+        keep = max(1, min(keep, max(noise_free, 1)))
+        charged = self.safety * float(tail[keep]) / total
+        self.remaining -= charged
+        self.fidelity_estimate *= max(0.0, 1.0 - charged)
+        self.truncations += 1
+        if self.steps_left > 1:
+            self.steps_left -= 1
+        return keep
 
 
 class MPS:
@@ -74,11 +158,14 @@ class MPS:
         site: int,
         max_bond: Optional[int] = None,
         cutoff: float = 1e-12,
+        budget: Optional[TruncationBudget] = None,
     ) -> None:
         """Apply a 4x4 gate to sites ``(site, site+1)``.
 
         The matrix's least-significant qubit is ``site`` (our global index
         convention); the SVD re-splits and truncates the merged tensor.
+        With a :class:`TruncationBudget`, how much to keep is decided by
+        the fidelity budget instead of ``max_bond``/``cutoff`` alone.
         """
         left = self.tensors[site]
         right = self.tensors[site + 1]
@@ -90,10 +177,13 @@ class MPS:
         theta = np.einsum("BAba,iabk->iABk", gate, theta)
         merged = theta.reshape(dl * 2, 2 * dr)
         u, s, vh = np.linalg.svd(merged, full_matrices=False)
-        keep = int(np.sum(s > cutoff))
-        keep = max(keep, 1)
-        if max_bond is not None:
-            keep = min(keep, max_bond)
+        if budget is not None:
+            keep = budget.select_keep(s, cutoff)
+        else:
+            keep = int(np.sum(s > cutoff))
+            keep = max(keep, 1)
+            if max_bond is not None:
+                keep = min(keep, max_bond)
         discarded = s[keep:]
         if discarded.size:
             self.truncation_error += float(np.sum(discarded**2))
@@ -111,6 +201,7 @@ class MPS:
         high: int,
         max_bond: Optional[int] = None,
         cutoff: float = 1e-12,
+        budget: Optional[TruncationBudget] = None,
     ) -> None:
         """Apply a 4x4 gate to arbitrary sites; ``low`` is the matrix's
         least-significant qubit.  Non-adjacent pairs are routed by swapping
@@ -124,14 +215,18 @@ class MPS:
         moved = []
         while high - low > 1:
             self.apply_two_qubit_adjacent(
-                _SWAP_MATRIX, high - 1, max_bond=max_bond, cutoff=cutoff
+                _SWAP_MATRIX, high - 1, max_bond=max_bond, cutoff=cutoff,
+                budget=budget,
             )
             moved.append(high - 1)
             high -= 1
-        self.apply_two_qubit_adjacent(matrix, low, max_bond=max_bond, cutoff=cutoff)
+        self.apply_two_qubit_adjacent(
+            matrix, low, max_bond=max_bond, cutoff=cutoff, budget=budget
+        )
         for position in reversed(moved):
             self.apply_two_qubit_adjacent(
-                _SWAP_MATRIX, position, max_bond=max_bond, cutoff=cutoff
+                _SWAP_MATRIX, position, max_bond=max_bond, cutoff=cutoff,
+                budget=budget,
             )
 
     # -- extraction --------------------------------------------------------------
@@ -272,6 +367,14 @@ class MPSSimulator:
     crosses the cap, so a dispatcher can fall back to an exact backend
     instead of silently losing fidelity.  The budget's memory and time
     caps are checked in the same gate-loop checkpoint.
+
+    ``accuracy`` switches the run into the approximate tier: every SVD
+    truncates against a shared :class:`TruncationBudget` funded with
+    ``1 - accuracy``, the bond-dimension cap becomes a truncation cap
+    (its fidelity cost charged instead of raising), and
+    ``fidelity_estimate`` carries the certified lower bound on
+    ``|<exact|approx>|^2``.  A run whose certificate falls below the
+    target raises :class:`~repro.resources.FidelityBudgetExceeded`.
     """
 
     def __init__(
@@ -281,21 +384,59 @@ class MPSSimulator:
         seed: int = 0,
         budget: Optional[ResourceBudget] = None,
         progress: Optional[callable] = None,
+        accuracy: Optional[float] = None,
     ) -> None:
+        if accuracy is not None and not 0.0 < accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in (0, 1], got {accuracy}")
         self.max_bond = max_bond
         self.cutoff = cutoff
         self._rng = np.random.default_rng(seed)
         self.budget = budget
         self.progress = progress
+        self.accuracy = accuracy
+        self.fidelity_estimate = 1.0
+        self._truncation: Optional[TruncationBudget] = None
 
     def _check_budget(self, mps: MPS, deadline) -> None:
         budget = self.budget
-        budget.check_bond(mps.max_bond_reached, backend="mps")
-        budget.check_memory(
-            mps.total_entries() * 16, backend="mps", what="MPS tensors"
-        )
+        if budget is not None:
+            if self._truncation is None:
+                # In the approximate tier the bond cap truncates (its
+                # fidelity cost is charged) instead of raising.
+                budget.check_bond(mps.max_bond_reached, backend="mps")
+            budget.check_memory(
+                mps.total_entries() * 16, backend="mps", what="MPS tensors"
+            )
         if deadline is not None:
             deadline.check(backend="mps", context="gate loop")
+        if self._truncation is not None and self._truncation.overdrawn:
+            raise FidelityBudgetExceeded(
+                f"MPS truncation certificate fell to "
+                f"{self._truncation.fidelity_estimate:.6f}, below the "
+                f"fidelity target of {self._truncation.target}",
+                backend="mps",
+                limit=self._truncation.target,
+                observed=self._truncation.fidelity_estimate,
+            )
+
+    @staticmethod
+    def _count_svd_steps(circuit: QuantumCircuit) -> int:
+        """Adjacent-SVD applications a (decomposed) circuit will trigger.
+
+        A two-qubit gate over distance ``d`` costs ``2*(d-1)`` swap SVDs
+        plus one gate SVD.  Conditional operations are counted as if
+        taken — overestimating steps only makes early allowances
+        smaller, and unspent allowance rolls over.
+        """
+        steps = 0
+        for op in circuit.operations:
+            if op.is_barrier or op.is_measurement or not op.is_unitary:
+                continue
+            qubits = list(op.targets) + list(op.controls)
+            if len(qubits) == 2:
+                distance = abs(qubits[0] - qubits[1])
+                steps += 2 * (distance - 1) + 1
+        return steps
 
     def run(
         self, circuit: QuantumCircuit, initial: Optional[MPS] = None
@@ -306,6 +447,22 @@ class MPSSimulator:
         n = circuit.num_qubits
         mps = initial or MPS.zero_state(n)
         deadline = self.budget.deadline() if self.budget is not None else None
+        self.fidelity_estimate = 1.0
+        self._truncation = None
+        if self.accuracy is not None and self.accuracy < 1.0:
+            cap = self.max_bond
+            if self.budget is not None and self.budget.max_bond_dim is not None:
+                cap = (
+                    self.budget.max_bond_dim
+                    if cap is None
+                    else min(cap, self.budget.max_bond_dim)
+                )
+            self._truncation = TruncationBudget(
+                self.accuracy,
+                self._count_svd_steps(circuit),
+                max_bond=cap,
+            )
+        checking = self.budget is not None or self._truncation is not None
         classical: Dict[int, int] = {}
         reporter = ProgressReporter.maybe(
             self.progress,
@@ -315,10 +472,7 @@ class MPSSimulator:
             every=GATE_EVENT_INTERVAL,
         )
         for position, op in enumerate(circuit.operations):
-            if (
-                self.budget is not None
-                and position % _BUDGET_CHECK_INTERVAL == 0
-            ):
+            if checking and position % _BUDGET_CHECK_INTERVAL == 0:
                 self._check_budget(mps, deadline)
             if reporter is not None:
                 reporter.step()
@@ -334,10 +488,15 @@ class MPSSimulator:
                 if classical.get(clbit, 0) != value:
                     continue
             self._apply(mps, op)
-        if self.budget is not None:
+        if checking:
             self._check_budget(mps, deadline)
         if reporter is not None:
             reporter.close()
+        if self._truncation is not None:
+            # Truncation leaves the state slightly sub-normalized; the
+            # certificate already accounts for the discarded weight.
+            mps.normalize()
+            self.fidelity_estimate = self._truncation.fidelity_estimate
         obs_metrics.gauge_max("mps.max_bond", mps.max_bond_reached)
         obs_metrics.gauge_max("mps.truncation_error", mps.truncation_error)
         obs_metrics.gauge_max("mps.entries", mps.total_entries())
@@ -361,6 +520,7 @@ class MPSSimulator:
                 qubits[1],
                 max_bond=self.max_bond,
                 cutoff=self.cutoff,
+                budget=self._truncation,
             )
         else:
             raise ValueError(

@@ -9,7 +9,8 @@ and thereby the cost, which is what the plan-search benchmarks measure.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from itertools import product as _cartesian_product
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 
 from ..obs import metrics as obs_metrics
@@ -141,21 +142,24 @@ class TensorNetwork:
 
     def contract_sliced(
         self,
-        index: Optional[str] = None,
+        index: Optional[Union[str, Sequence[str]]] = None,
         plan: Optional[Plan] = None,
         budget: Optional[ResourceBudget] = None,
         n_jobs: Optional[int] = None,
         executor: Optional[str] = None,
     ) -> Tensor:
-        """Contract by summing over the values of one sliced bond.
+        """Contract by summing over the values of one or more sliced bonds.
 
-        Each slice fixes ``index`` on both of its holding tensors and
-        contracts the reduced network independently — peak intermediate
-        memory drops by the bond dimension, and the slices are
-        embarrassingly parallel.  ``index=None`` picks the
-        largest-dimension sliceable bond (ties broken by name, so the
-        choice is deterministic).  The caller's ``plan`` (or one greedy
-        plan computed here) is reused for every slice: SSA plans address
+        Each slice fixes the chosen bond(s) on both of their holding
+        tensors and contracts the reduced network independently — peak
+        intermediate memory drops by the product of the sliced bond
+        dimensions, and the slices are embarrassingly parallel.
+        ``index`` may be a single bond name, a sequence of bond names
+        (sliced jointly: one task per point of the cartesian product of
+        their values), or ``None`` to pick the largest-dimension
+        sliceable bond (ties broken by name, so the choice is
+        deterministic).  The caller's ``plan`` (or one greedy plan
+        computed here) is reused for every slice: SSA plans address
         tensor *positions*, which slicing preserves.
 
         Slices default to the **thread** executor — each slice is one
@@ -170,27 +174,43 @@ class TensorNetwork:
             if not candidates:
                 return self.contract_all(plan=plan, budget=budget)
             dims = self.index_dimensions()
-            index = max(candidates, key=lambda i: (dims[i], i))
-        elif index not in candidates:
-            raise ValueError(
-                f"index '{index}' is not a sliceable bond "
-                f"(needs exactly two holding tensors)"
-            )
+            indices: List[str] = [max(candidates, key=lambda i: (dims[i], i))]
+        elif isinstance(index, str):
+            indices = [index]
+        else:
+            indices = list(index)
+            if not indices:
+                return self.contract_all(plan=plan, budget=budget)
+        if len(set(indices)) != len(indices):
+            raise ValueError(f"duplicate sliced index in {indices}")
+        for name in indices:
+            if name not in candidates:
+                raise ValueError(
+                    f"index '{name}' is not a sliceable bond "
+                    f"(needs exactly two holding tensors)"
+                )
         if plan is None:
             from .contraction import greedy_plan
 
             plan = greedy_plan(self)
-        dim = self.index_dimensions()[index]
+        dims = self.index_dimensions()
+        num_slices = 1
+        for name in indices:
+            num_slices *= dims[name]
         specs = []
-        for value in range(dim):
-            sliced = [
-                t.slice_index(index, value) if index in t.indices else t
-                for t in self.tensors
-            ]
+        for assignment in _cartesian_product(
+            *(range(dims[name]) for name in indices)
+        ):
+            sliced = []
+            for tensor in self.tensors:
+                for name, value in zip(indices, assignment):
+                    if name in tensor.indices:
+                        tensor = tensor.slice_index(name, value)
+                sliced.append(tensor)
             specs.append((sliced, plan, budget))
         jobs = (configured_jobs(n_jobs) or 1) if n_jobs is None else n_jobs
         with obs_trace.span(
-            "tn.contract_sliced", index=index, slices=dim
+            "tn.contract_sliced", index=",".join(indices), slices=num_slices
         ):
             partials = parallel_map(
                 _contract_slice_worker,
@@ -206,18 +226,32 @@ class TensorNetwork:
             total += partial.data
         return Tensor(total, first.indices)
 
-    def contraction_cost(self, plan: Plan) -> Tuple[int, int]:
+    def contraction_cost(
+        self, plan: Plan, dims_override: Optional[Dict[str, int]] = None
+    ) -> Tuple[int, int]:
         """Simulate a plan symbolically.
 
         Returns ``(total_flops, peak_intermediate_size)`` where flops counts
         multiply-adds as ``prod(dims of all involved indices)`` per pairwise
         contraction and size counts complex entries of the largest
         intermediate produced.
+
+        ``dims_override`` substitutes index dimensions without touching
+        the tensors — setting a bond to 1 models the per-slice cost of
+        slicing it, which is how :meth:`slices_to_fit` prices candidate
+        slicings before any data is allocated.
         """
         dims = self.index_dimensions()
+        if dims_override:
+            dims.update(dims_override)
         slots: List[Optional[Tuple[str, ...]]] = [t.indices for t in self.tensors]
         total_flops = 0
-        peak = max((t.size for t in self.tensors), default=0)
+        peak = 0
+        for tensor in self.tensors:
+            size = 1
+            for name in tensor.indices:
+                size *= dims[name]
+            peak = max(peak, size)
         for i, j in plan:
             a, b = slots[i], slots[j]
             if a is None or b is None:
@@ -236,6 +270,61 @@ class TensorNetwork:
             peak = max(peak, size)
             slots.append(result)
         return total_flops, peak
+
+    def slices_to_fit(
+        self,
+        plan: Optional[Plan] = None,
+        budget: Optional[ResourceBudget] = None,
+        max_slices: int = 4096,
+    ) -> Tuple[List[str], Plan]:
+        """Choose bonds to slice so the plan's peak fits the memory budget.
+
+        Greedy: repeatedly slice the largest-dimension sliceable bond
+        (priced symbolically via ``contraction_cost``'s ``dims_override``
+        — no data is touched) until the peak intermediate fits
+        ``budget.max_memory_bytes``, the cartesian slice count would
+        exceed ``max_slices``, or no sliceable bonds remain.  Returns
+        ``(indices, plan)`` ready for :meth:`contract_sliced`; raises
+        :class:`~repro.resources.MemoryBudgetExceeded` when even the
+        fully sliced plan cannot fit.  Slicing is exact — every slice is
+        summed — so this trades peak memory for time, not fidelity.
+        """
+        if plan is None:
+            from .contraction import greedy_plan
+
+            plan = greedy_plan(self)
+        if budget is None or budget.max_memory_bytes is None:
+            return [], plan
+        dims = self.index_dimensions()
+        override = dict(dims)
+        chosen: List[str] = []
+        candidates = set(self.sliceable_indices())
+        num_slices = 1
+        while True:
+            _, peak = self.contraction_cost(plan, dims_override=override)
+            if peak * 16 <= budget.max_memory_bytes:
+                return chosen, plan
+            remaining = [
+                i for i in candidates if i not in chosen and dims[i] > 1
+            ]
+            pick = (
+                max(remaining, key=lambda i: (dims[i], i))
+                if remaining
+                else None
+            )
+            if pick is None or num_slices * dims[pick] > max_slices:
+                budget.check_memory(
+                    peak * 16,
+                    backend="tn",
+                    what=(
+                        "peak contraction intermediate after slicing "
+                        f"{len(chosen)} bond(s)"
+                    ),
+                )
+                return chosen, plan
+            chosen.append(pick)
+            num_slices *= dims[pick]
+            override[pick] = 1
 
     def copy(self) -> "TensorNetwork":
         return TensorNetwork(list(self.tensors))

@@ -114,3 +114,36 @@ def brickwork_circuits(draw, num_qubits=6, depth=2):
     return random_circuits.brickwork_circuit(
         num_qubits, depth, seed=draw(seeds())
     )
+
+
+@st.composite
+def low_entanglement_circuits(draw, max_qubits=8, max_depth=3, lightcone=3):
+    """A bounded-lightcone brickwork circuit from a drawn seed.
+
+    Entangling bricks never cross ``lightcone``-wide block boundaries,
+    so the MPS bond dimension stays bounded however wide the register —
+    the workload family the approximate tier targets.
+    """
+    n = draw(st.integers(min_value=2, max_value=max_qubits))
+    depth = draw(st.integers(min_value=1, max_value=max_depth))
+    return random_circuits.bounded_lightcone_brickwork(
+        n, depth, lightcone=lightcone, seed=draw(seeds())
+    )
+
+
+def accuracy_targets(min_target=0.5):
+    """Fidelity targets for the approximate tier, biased toward tight ones.
+
+    Spans loose (``min_target``) through effectively-exact (1.0), with
+    the boundary value included so properties cover the normalize-to-
+    exact path too.
+    """
+    return st.one_of(
+        st.just(1.0),
+        st.floats(
+            min_value=min_target,
+            max_value=1.0,
+            allow_nan=False,
+            exclude_min=False,
+        ),
+    )

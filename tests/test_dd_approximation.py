@@ -96,3 +96,101 @@ def test_expectation_pauli_on_dd(sv_sim):
         state.expectation_pauli("ZZ")
     with pytest.raises(ValueError):
         state.expectation_pauli("ABCD")
+
+
+# -- interning hygiene regressions ---------------------------------------------
+
+
+def test_repeat_approximation_is_stable():
+    """Same threshold twice: identical diagram, no new table entries."""
+    pkg = DDPackage()
+    state = random_state(6, seed=13)
+    edge = pkg.from_statevector(state)
+    first, fid_first = approximate(pkg, edge, 0.05)
+    table_after_first = pkg.unique_table_size
+    second, fid_second = approximate(pkg, edge, 0.05)
+    assert second.node is first.node
+    assert second.weight == first.weight
+    assert fid_second == fid_first
+    assert pkg.count_nodes(second) == pkg.count_nodes(first)
+    assert pkg.unique_table_size == table_after_first
+
+
+def test_approximation_is_idempotent():
+    """Approximating an already-approximated state is a fixed point."""
+    pkg = DDPackage()
+    state = random_state(6, seed=7)
+    edge = pkg.from_statevector(state)
+    once, _ = approximate(pkg, edge, 0.05)
+    table_after_once = pkg.unique_table_size
+    twice, fidelity = approximate(pkg, once, 0.05)
+    assert twice.node is once.node
+    assert fidelity == pytest.approx(1.0, abs=1e-12)
+    assert pkg.unique_table_size == table_after_once
+
+
+def test_caches_stay_bounded_across_repeated_approximation():
+    pkg = DDPackage(max_cache_entries=256)
+    state = random_state(6, seed=17)
+    edge = pkg.from_statevector(state)
+    for _ in range(50):
+        approximate(pkg, edge, 0.03)
+    for name, stats in pkg.cache_stats().items():
+        assert stats["entries"] <= 256, name
+
+
+# -- fidelity-targeted search ---------------------------------------------------
+
+
+def test_approximate_to_fidelity_meets_floor():
+    from repro.dd.approximation import approximate_to_fidelity
+
+    pkg = DDPackage()
+    state = random_state(6, seed=23)
+    edge = pkg.from_statevector(state)
+    for target in (0.5, 0.9, 0.99):
+        approx, fidelity = approximate_to_fidelity(pkg, edge, target)
+        assert fidelity >= target
+        dense = pkg.to_statevector(approx, 6)
+        assert abs(np.vdot(state, dense)) ** 2 == pytest.approx(
+            fidelity, abs=1e-8
+        )
+
+
+def test_approximate_to_fidelity_exact_target_is_identity():
+    from repro.dd.approximation import approximate_to_fidelity
+
+    pkg = DDPackage()
+    edge = pkg.from_statevector(random_state(4, seed=29))
+    approx, fidelity = approximate_to_fidelity(pkg, edge, 1.0)
+    assert approx is edge
+    assert fidelity == 1.0
+
+
+def test_approximate_to_fidelity_monotone_in_target():
+    """Loosening the target never raises the certified estimate."""
+    from repro.dd.approximation import approximate_to_fidelity
+
+    pkg = DDPackage()
+    edge = pkg.from_statevector(random_state(6, seed=31))
+    targets = [0.999, 0.99, 0.9, 0.7, 0.5]
+    estimates = [
+        approximate_to_fidelity(pkg, edge, t)[1] for t in targets
+    ]
+    assert all(
+        later <= earlier + 1e-12
+        for earlier, later in zip(estimates, estimates[1:])
+    )
+
+
+def test_copy_edge_migrates_state_exactly():
+    from repro.dd.approximation import copy_edge
+
+    source = DDPackage()
+    state = random_state(5, seed=37)
+    edge = source.from_statevector(state)
+    target = DDPackage()
+    copied = copy_edge(edge, target)
+    assert np.allclose(target.to_statevector(copied, 5), state, atol=1e-9)
+    # The fresh table holds only the live diagram.
+    assert target.unique_table_size <= source.unique_table_size

@@ -15,7 +15,12 @@ from repro.tn import MPSSimulator, Tensor, contract
 from repro.tn.circuit_tn import statevector_from_circuit
 from repro.zx import circuit_to_zx, diagram_to_matrix, full_reduce, proportional
 
-from tests.strategies import normalized_states, small_circuits
+from tests.strategies import (
+    accuracy_targets,
+    low_entanglement_circuits,
+    normalized_states,
+    small_circuits,
+)
 
 # -- DD properties --------------------------------------------------------------
 
@@ -169,3 +174,25 @@ def test_compile_equivalent_at_every_level_property(circuit):
         assert check_equivalence(
             circuit, result.circuit, method="arrays", tol=1e-6
         ), f"level {level} broke equivalence"
+
+
+# -- approximate-tier properties ------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(low_entanglement_circuits(max_qubits=6, max_depth=2), accuracy_targets())
+def test_accuracy_bound_holds_property(circuit, target):
+    """Certified fidelity bound: true fidelity >= estimate >= target."""
+    from repro.core import simulate
+
+    exact = simulate(circuit, backend="arrays").state
+    result = simulate(
+        circuit, backend="mps", accuracy={"target": target, "mode": "eager"}
+    )
+    if target >= 1.0:
+        assert np.array_equal(result.state, simulate(circuit, backend="mps").state)
+        return
+    estimate = result.metadata["fidelity_estimate"]
+    fidelity = abs(np.vdot(exact, result.state)) ** 2
+    assert estimate >= target - 1e-12
+    assert fidelity >= estimate - 1e-9

@@ -115,8 +115,13 @@ class TestPerBackendTrips:
 
     def test_mps_bond_budget_falls_back(self):
         # GHZ needs bond 2; a budget of 1 must raise (not truncate).
+        # accuracy=1.0 pins the exact chain shape (no "mode" entries)
+        # even when CI sets a process-wide REPRO_ACCURACY default.
         result = simulate(
-            library.ghz_state(6), backend="mps", budget={"max_bond_dim": 1}
+            library.ghz_state(6),
+            backend="mps",
+            budget={"max_bond_dim": 1},
+            accuracy=1.0,
         )
         chain = result.metadata["fallback_chain"]
         assert chain[0] == {
@@ -153,7 +158,14 @@ class TestPerBackendTrips:
     def test_all_backends_trip_memory_chain_complete(self):
         """A budget nobody can satisfy raises with the full audit trail."""
         with pytest.raises(ResourceExhausted) as info:
-            simulate(library.qft(4), backend="arrays", budget={"max_memory_bytes": 64})
+            # accuracy=1.0 pins the exact-only chain (one attempt per
+            # backend) even under a process-wide REPRO_ACCURACY default.
+            simulate(
+                library.qft(4),
+                backend="arrays",
+                budget={"max_memory_bytes": 64},
+                accuracy=1.0,
+            )
         chain = info.value.fallback_chain
         assert chain[0]["backend"] == "arrays"
         assert len(chain) >= 3  # the ranked capable preferences, not just one

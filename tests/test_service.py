@@ -979,3 +979,76 @@ class TestSimulationService:
                 return [event async for event in service.events(handle)]
 
         assert run(go()) == []
+
+
+# ---------------------------------------------------------------------------
+# Accuracy and the cache key
+# ---------------------------------------------------------------------------
+
+
+class TestAccuracyCacheKeys:
+    """The approximate tier must never alias exact results in the cache."""
+
+    CIRCUIT = library.qft(3)
+
+    @pytest.fixture(autouse=True)
+    def _no_env_accuracy(self, monkeypatch):
+        # These tests compare explicit targets against the *unset*
+        # default; the CI approx profile (REPRO_ACCURACY process-wide)
+        # would shift the baseline key under every request.
+        monkeypatch.delenv("REPRO_ACCURACY", raising=False)
+
+    def _key(self, **kwargs):
+        return request_key(
+            self.CIRCUIT, "mps", "full_state", SimOptions.from_kwargs(**kwargs)
+        )
+
+    def test_distinct_targets_get_distinct_keys(self):
+        exact = self._key()
+        keyed = {
+            target: self._key(accuracy=target) for target in (0.9, 0.99, 0.999)
+        }
+        assert len(set(keyed.values())) == len(keyed)
+        assert exact not in keyed.values()
+
+    def test_accuracy_mode_is_part_of_the_key(self):
+        fallback = self._key(accuracy=0.9)
+        eager = self._key(accuracy={"target": 0.9, "mode": "eager"})
+        assert fallback != eager
+
+    def test_accuracy_one_shares_the_exact_key(self):
+        # accuracy=1.0 normalizes to the exact spec, so a pinned request
+        # may serve (and be served by) cached exact results.
+        assert self._key(accuracy=1.0) == self._key()
+
+    def test_approximate_hit_roundtrips_certificate_through_disk(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        circuit = random_circuits.brickwork_circuit(5, 3, seed=24)
+        accuracy = {"target": 0.9, "mode": "eager"}
+        cold = simulate(circuit, backend="mps", accuracy=accuracy)
+        estimate = cold.metadata["fidelity_estimate"]
+        assert default_cache().stats()["stores"] == 1
+        reset_default_cache()  # drop the memory tier; force the disk read
+        warm = simulate(circuit, backend="mps", accuracy=accuracy)
+        assert warm.metadata["cache"]["hit"] is True
+        got = warm.metadata["fidelity_estimate"]
+        assert isinstance(got, float)
+        assert got.hex() == float(estimate).hex()  # bitwise round-trip
+        assert warm.metadata["accuracy"] == cold.metadata["accuracy"]
+        assert_bitwise_equal(cold, warm)
+
+    def test_exact_and_approximate_results_never_alias(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        circuit = random_circuits.brickwork_circuit(5, 3, seed=24)
+        exact = simulate(circuit, backend="mps")
+        approx = simulate(
+            circuit, backend="mps", accuracy={"target": 0.9, "mode": "eager"}
+        )
+        assert "cache" not in approx.metadata  # distinct key: no false hit
+        assert default_cache().stats()["stores"] == 2
+        warm_exact = simulate(circuit, backend="mps")
+        assert warm_exact.metadata["cache"]["hit"] is True
+        assert "fidelity_estimate" not in warm_exact.metadata
+        assert_bitwise_equal(exact, warm_exact)
