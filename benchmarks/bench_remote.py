@@ -1,0 +1,233 @@
+"""Distributed shard serving: cache-affinity routing and failover cost.
+
+Two measurements back the PR-10 distributed-serving claims, both written
+to ``BENCH_remote.json`` when the module runs as a script:
+
+1. **Affinity**: a batch of distinct jobs over a 2-shard local cluster,
+   cold, then resubmitted.  Consistent-hash routing must send >= 90% of
+   the resubmitted jobs to the shard whose private cache holds their
+   result, so the warm wave is answered without executing anything —
+   and bitwise identically to the cold wave.
+2. **Failover**: kill one shard, then submit work the dead shard owns.
+   The scheduler's retry -> evict -> failover path must land every job
+   on the survivor; the recorded latency is the full recovery cost, not
+   a best case, and later submissions (post-eviction) skip the dead
+   shard entirely.
+
+    PYTHONPATH=src python benchmarks/bench_remote.py [--quick]
+"""
+
+import asyncio
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.circuits.circuit import QuantumCircuit  # noqa: E402
+from repro.service.engine import result_metadata  # noqa: E402
+from repro.service.jobs import JobBatch, JobSpec  # noqa: E402
+from repro.service.remote.cluster import (  # noqa: E402
+    ClusterScheduler,
+    LocalCluster,
+    ShardProcess,
+)
+
+
+def make_jobs(count, num_qubits=6):
+    """``count`` distinct cacheable jobs (a parameter sweep)."""
+    jobs = []
+    for index in range(count):
+        circuit = QuantumCircuit(num_qubits)
+        circuit.h(0)
+        for q in range(num_qubits - 1):
+            circuit.cx(q, q + 1)
+        circuit.rz(0.01 * (index + 1), 0)
+        jobs.append(JobSpec(circuit, task="simulate", backend="arrays"))
+    return jobs
+
+
+def clone(job):
+    return JobSpec(
+        job.circuit,
+        task=job.task,
+        backend=job.backend,
+        task_args=dict(job.task_args),
+    )
+
+
+def run_affinity(num_jobs=24, num_qubits=6):
+    """Cold batch vs cache-affinity warm resubmission on 2 shards."""
+    jobs = make_jobs(num_jobs, num_qubits)
+
+    async def scenario():
+        async with LocalCluster(2) as scheduler:
+            cold, cold_s = await _timed_batch(scheduler, JobBatch(jobs))
+            warm, warm_s = await _timed_batch(
+                scheduler, JobBatch([clone(job) for job in jobs])
+            )
+            return cold, cold_s, warm, warm_s
+
+    cold, cold_s, warm, warm_s = asyncio.run(scenario())
+    same_shard = 0
+    warm_hits = 0
+    identical = True
+    for first, second in zip(cold, warm):
+        first_meta = result_metadata(first.value)["cluster"]
+        second_meta = result_metadata(second.value)["cluster"]
+        if first_meta["shard"] == second_meta["shard"]:
+            same_shard += 1
+        if second.cache_hit:
+            warm_hits += 1
+        if first.value.state.tobytes() != second.value.state.tobytes():
+            identical = False
+    return {
+        "workload": {
+            "distinct_jobs": num_jobs,
+            "num_qubits": num_qubits,
+            "shards": 2,
+            "backend": "arrays",
+        },
+        "seconds": {"cold_batch": cold_s, "warm_batch": warm_s},
+        "speedup_warm": cold_s / warm_s if warm_s else float("inf"),
+        "affinity_rate": same_shard / num_jobs,
+        "warm_hit_rate": warm_hits / num_jobs,
+        "bitwise_identical": identical,
+    }
+
+
+async def _timed_batch(scheduler, batch):
+    results = None
+
+    async def go():
+        nonlocal results
+        results = await scheduler.submit_batch(batch)
+
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    await go()
+    return results, loop.time() - started
+
+
+def jobs_owned_by(address, addresses, count, num_qubits):
+    """Jobs whose ring primary is ``address`` — guaranteed failover work."""
+    from repro.service.remote.cluster import HashRing, routing_key
+
+    ring = HashRing(addresses)
+    jobs = []
+    index = 0
+    while len(jobs) < count:
+        candidate = make_jobs(index + 1, num_qubits)[index]
+        if ring.route(routing_key(candidate)) == address:
+            jobs.append(candidate)
+        index += 1
+    return jobs
+
+
+def run_failover(num_jobs=8, num_qubits=5):
+    """Recovery latency when the cache-owning shard is SIGKILLed."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-failover-") as tmp:
+        victim = ShardProcess(unix_path=os.path.join(tmp, "victim.sock"))
+        survivor = ShardProcess(unix_path=os.path.join(tmp, "survivor.sock"))
+        victim.start()
+        survivor.start()
+        try:
+            addresses = [victim.address, survivor.address]
+            # All measured work is owned by the shard we will kill, so
+            # every post-kill job exercises the recovery path.
+            jobs = jobs_owned_by(
+                victim.address, addresses, num_jobs, num_qubits
+            )
+
+            async def scenario():
+                async with ClusterScheduler(
+                    addresses,
+                    retries=1,
+                    evict_after=1,
+                    backoff_s=0.02,
+                    connect_timeout_s=2.0,
+                ) as scheduler:
+                    # Healthy baseline round trip.
+                    baseline, baseline_s = await _timed_batch(
+                        scheduler, JobBatch(jobs[:1])
+                    )
+                    victim.kill()
+                    first, first_s = await _timed_batch(
+                        scheduler, JobBatch(jobs[1:2])
+                    )
+                    # Post-eviction: the dead shard is skipped outright.
+                    rest, rest_s = await _timed_batch(
+                        scheduler, JobBatch(jobs[2:])
+                    )
+                    results = baseline + first + rest
+                    return results, baseline_s, first_s, rest_s, (
+                        scheduler.stats()
+                    )
+
+            results, baseline_s, first_s, rest_s, stats = asyncio.run(
+                scenario()
+            )
+        finally:
+            victim.stop()
+            survivor.stop()
+    completed = sum(1 for outcome in results if outcome.status == "done")
+    return {
+        "workload": {
+            "jobs": num_jobs,
+            "num_qubits": num_qubits,
+            "shards": 2,
+            "killed": 1,
+        },
+        "seconds": {
+            "healthy_rpc": baseline_s,
+            "first_submit_after_kill": first_s,
+            "batch_after_eviction": rest_s,
+        },
+        "jobs_completed": completed,
+        "jobs_lost": num_jobs - completed,
+        "failovers": stats["failovers"],
+        "local_fallbacks": stats["local_fallbacks"],
+    }
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    if quick:
+        record = {
+            "affinity": run_affinity(num_jobs=6, num_qubits=4),
+            "failover": run_failover(num_jobs=4, num_qubits=4),
+        }
+        print(json.dumps(record, indent=2))
+    else:
+        record = {
+            "cpu_count": os.cpu_count(),
+            "affinity": run_affinity(),
+            "failover": run_failover(),
+        }
+        out = Path(__file__).resolve().parent.parent / "BENCH_remote.json"
+        out.write_text(json.dumps(record, indent=2) + "\n")
+        print(json.dumps(record, indent=2))
+        print(
+            f"\naffinity: {record['affinity']['affinity_rate']:.0%} of "
+            f"resubmitted jobs hit their cache-owning shard "
+            f"({record['affinity']['speedup_warm']:.1f}x warm speedup)"
+        )
+    affinity = record["affinity"]
+    if affinity["affinity_rate"] < 0.9:
+        raise SystemExit("FAIL: < 90% of resubmissions routed by affinity")
+    if affinity["warm_hit_rate"] < 0.9:
+        raise SystemExit("FAIL: resubmission wave was not served warm")
+    if not affinity["bitwise_identical"]:
+        raise SystemExit("FAIL: warm answers differ from cold execution")
+    failover = record["failover"]
+    if failover["jobs_lost"]:
+        raise SystemExit("FAIL: jobs were lost during failover")
+    if failover["local_fallbacks"]:
+        raise SystemExit("FAIL: failover degraded to local execution")
+
+
+if __name__ == "__main__":
+    main()

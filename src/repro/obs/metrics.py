@@ -70,6 +70,33 @@ SERVICE_JOBS_COMPLETED = "service.jobs.completed"
 SERVICE_JOBS_FAILED = "service.jobs.failed"
 """Counter: service jobs that raised (including cancellations)."""
 
+SERVICE_CACHE_REMOTE_HITS = "cache.remote_hit"
+"""Counter: disk-tier cache hits on entries written by another process."""
+
+SERVICE_WARM_SERVED = "service.queue.warm_served"
+"""Counter: submissions served from the cache before touching the queue."""
+
+CLUSTER_RPC_LATENCY_S = "cluster.rpc.latency_s"
+"""Histogram: wall seconds of each shard RPC (connect + round trip)."""
+
+CLUSTER_RETRIES = "cluster.retries"
+"""Counter: shard RPC attempts retried after a transport failure."""
+
+CLUSTER_FAILOVERS = "cluster.failovers"
+"""Counter: jobs re-routed to a different shard after an eviction."""
+
+CLUSTER_LOCAL_FALLBACKS = "cluster.local_fallbacks"
+"""Counter: jobs executed in-process because no healthy shard remained."""
+
+CLUSTER_SHARD_EVICTIONS = "cluster.shard.evictions"
+"""Counter: shards evicted from the routing ring by health checks."""
+
+CLUSTER_SHARD_READMISSIONS = "cluster.shard.readmissions"
+"""Counter: evicted shards readmitted after a successful health probe."""
+
+SHARD_INFLIGHT = "shard.inflight"
+"""Gauge (max): high-water jobs concurrently executing on one shard."""
+
 DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
     0.001,
     0.005,

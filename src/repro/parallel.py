@@ -197,6 +197,50 @@ def chunk_sizes(
     return [base + (1 if i < extra else 0) for i in range(num_chunks)]
 
 
+def reap_process(process: Any, timeout_s: float = 5.0) -> None:
+    """Terminate-then-kill teardown for one child process, always reaped.
+
+    The escalation discipline every process owner in the library shares
+    (pool teardown here, shard managers in
+    :mod:`repro.service.remote.cluster`): ask politely with
+    ``terminate()`` (SIGTERM), wait up to ``timeout_s``, then ``kill()``
+    (SIGKILL) and wait again so the child can never linger as a zombie.
+    Duck-typed over both ``subprocess.Popen`` (``poll``/``wait``) and
+    ``multiprocessing.Process`` (``is_alive``/``join``); already-dead
+    children are still waited on once to reap their exit status.
+    """
+    is_popen = hasattr(process, "poll")
+
+    def _alive() -> bool:
+        return (
+            process.poll() is None if is_popen else process.is_alive()
+        )
+
+    def _wait(seconds: float) -> None:
+        try:
+            if is_popen:
+                process.wait(timeout=seconds)
+            else:
+                process.join(timeout=seconds)
+        except Exception:
+            pass
+
+    if _alive():
+        try:
+            process.terminate()
+        except OSError:
+            pass
+        _wait(timeout_s)
+    if _alive():
+        try:
+            process.kill()
+        except OSError:
+            pass
+        _wait(timeout_s)
+    else:
+        _wait(0.1)
+
+
 class RunStats:
     """Measurements one pooled call leaves behind for the autotuner.
 

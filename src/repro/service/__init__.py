@@ -12,7 +12,10 @@ The serving tier that composes the library's primitives into the
   :class:`ResultCache` (also consulted by the core dispatcher whenever
   ``REPRO_CACHE``/``cache=True`` is on, service or not);
 - :mod:`repro.service.jobs` — the durable JSON :class:`JobSpec`/
-  :class:`JobBatch` format that makes jobs shardable across processes.
+  :class:`JobBatch` format that makes jobs shardable across processes;
+- :mod:`repro.service.remote` — distributed serving: the versioned wire
+  protocol, shard worker processes, and the :class:`ClusterScheduler`
+  with cache-affinity routing and fault-tolerant remote execution.
 """
 
 from .cache import ResultCache, default_cache, request_key, reset_default_cache
@@ -24,15 +27,25 @@ from .engine import (
 )
 from .jobs import JobBatch, JobSpec, circuit_from_dict, circuit_to_dict
 from .queue import PriorityJobQueue, QuotaExceeded, TenantQuota
+from .remote import (
+    ClusterScheduler,
+    LocalCluster,
+    ShardProcess,
+    ShardServer,
+)
 
 __all__ = [
+    "ClusterScheduler",
     "JobBatch",
     "JobHandle",
     "JobResult",
     "JobSpec",
+    "LocalCluster",
     "PriorityJobQueue",
     "QuotaExceeded",
     "ResultCache",
+    "ShardProcess",
+    "ShardServer",
     "SimulationService",
     "TenantQuota",
     "circuit_from_dict",

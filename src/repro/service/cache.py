@@ -50,6 +50,7 @@ import os
 import pickle
 import tempfile
 import threading
+import uuid
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
@@ -70,6 +71,17 @@ CACHE_MAX_BYTES_ENV_VAR = "REPRO_CACHE_MAX_BYTES"
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 DEFAULT_MEMORY_ENTRIES = 64
 _ENTRY_SUFFIX = ".res"
+
+PROCESS_TOKEN = f"{os.getpid()}.{uuid.uuid4().hex[:12]}"
+"""Identity of this process as a cache writer.
+
+Stamped into every entry this process stores (``writer`` in the pickled
+envelope, alongside the pid) so readers can tell coherence traffic
+apart: a disk-tier hit whose writer token differs was produced by
+*another* process — a pool worker, a shard, a previous run — and counts
+toward ``cache.remote_hit``.  The uuid component guards against pid
+recycling across runs sharing one cache directory.
+"""
 
 
 def env_enabled() -> bool:
@@ -146,6 +158,7 @@ class ResultCache:
         self.evictions = 0
         self.corrupt = 0
         self.stores = 0
+        self.remote_hits = 0
 
     # -- paths ---------------------------------------------------------------
 
@@ -162,11 +175,13 @@ class ResultCache:
         lookup degrades to a miss — corruption can never poison results.
         """
         blob: Optional[bytes] = None
+        from_disk = False
         with self._lock:
             blob = self._memory.get(key)
             if blob is not None:
                 self._memory.move_to_end(key)
         if blob is None and self.directory is not None:
+            from_disk = True
             path = self._path(key)
             try:
                 with open(path, "rb") as handle:
@@ -190,12 +205,22 @@ class ResultCache:
             self._drop_corrupt(key)
             self._record_miss()
             return None
+        # Coherence accounting: a disk-tier hit on an entry another
+        # process wrote is work this process skipped thanks to a shared
+        # directory (pool workers, shards, earlier runs).  Entries
+        # predating the writer stamp count as local (unknowable).
+        writer = entry.get("writer") if isinstance(entry, dict) else None
+        remote = from_disk and writer is not None and writer != PROCESS_TOKEN
         with self._lock:
             self.hits += 1
+            if remote:
+                self.remote_hits += 1
             if self.memory_entries and key not in self._memory:
                 self._memory[key] = blob
                 self._trim_memory_locked()
         obs_metrics.counter_add(obs_metrics.SERVICE_CACHE_HITS)
+        if remote:
+            obs_metrics.counter_add(obs_metrics.SERVICE_CACHE_REMOTE_HITS)
         return value, meta, backend
 
     def _record_miss(self) -> None:
@@ -234,7 +259,13 @@ class ResultCache:
             if name not in ("report", "cache")
         }
         blob = pickle.dumps(
-            {"value": value, "meta": stored_meta, "backend": backend},
+            {
+                "value": value,
+                "meta": stored_meta,
+                "backend": backend,
+                "writer": PROCESS_TOKEN,
+                "writer_pid": os.getpid(),
+            },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         with self._lock:
@@ -312,6 +343,7 @@ class ResultCache:
                 "evictions": self.evictions,
                 "corrupt": self.corrupt,
                 "stores": self.stores,
+                "remote_hits": self.remote_hits,
                 "memory_entries": len(self._memory),
             }
 
@@ -381,6 +413,7 @@ __all__ = [
     "CACHE_ENV_VAR",
     "CACHE_MAX_BYTES_ENV_VAR",
     "DEFAULT_MAX_BYTES",
+    "PROCESS_TOKEN",
     "ResultCache",
     "active_cache",
     "default_cache",

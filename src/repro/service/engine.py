@@ -52,8 +52,8 @@ from ..obs import metrics as obs_metrics
 from ..obs.progress import CancelledError, ProgressEvent
 from ..parallel import ProcessPool, ThreadPool
 from . import cache as service_cache
-from .jobs import JobSpec, validate_task_args
-from .queue import PriorityJobQueue, TenantQuota
+from .jobs import JobBatch, JobSpec, validate_task_args
+from .queue import PriorityJobQueue, TenantQuota, split_warm
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -246,6 +246,7 @@ class SimulationService:
         max_workers: int = 2,
         executor: str = "thread",
         quotas: Optional[Dict[str, TenantQuota]] = None,
+        probe_cache: bool = True,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ValueError(
@@ -253,6 +254,7 @@ class SimulationService:
             )
         self.max_workers = max(1, int(max_workers))
         self.executor = executor
+        self.probe_cache = bool(probe_cache)
         self._queue = PriorityJobQueue(quotas)
         self._handles: Dict[str, JobHandle] = {}
         self._pool: Optional[Any] = None
@@ -306,6 +308,7 @@ class SimulationService:
         task_args: Optional[Dict[str, Any]] = None,
         tenant: str = "",
         priority: int = 0,
+        probe_cache: Optional[bool] = None,
         **options: Any,
     ) -> JobHandle:
         """Queue one job; returns immediately with its :class:`JobHandle`.
@@ -314,6 +317,12 @@ class SimulationService:
         or a pre-built ``job=`` :class:`~repro.service.jobs.JobSpec`.
         Raises :class:`~repro.service.queue.QuotaExceeded` when the
         tenant's ``max_pending`` admission quota is full.
+
+        Warm submissions short-circuit: unless cache probing is off
+        (service-wide ``probe_cache=False`` or per-call override), the
+        result cache is consulted *here*, and a hit returns an
+        already-resolved handle — the job never enters the queue, never
+        occupies a worker slot, and never charges the tenant's quotas.
         """
         if self._pool is None:
             raise RuntimeError("service not started (use 'async with')")
@@ -338,6 +347,11 @@ class SimulationService:
             job = _dc_replace(
                 job, options=_dc_replace(job.options, budget=effective)
             )
+        probe = self.probe_cache if probe_cache is None else bool(probe_cache)
+        if probe:
+            hit = _cache_lookup(job)
+            if hit is not None:
+                return self._serve_warm(job, hit)
         handle = JobHandle(job, self._loop.create_future())
         self._handles[job.job_id] = handle
         try:
@@ -349,6 +363,52 @@ class SimulationService:
             raise
         self._pump()
         return handle
+
+    def _serve_warm(self, job: JobSpec, hit: Any) -> JobHandle:
+        """Resolve a cache hit on the spot, without queue or worker slot."""
+        handle = JobHandle(job, self._loop.create_future())
+        handle.status = DONE
+        self._handles[job.job_id] = handle
+        obs_metrics.counter_add(obs_metrics.SERVICE_JOBS_COMPLETED)
+        obs_metrics.counter_add(obs_metrics.SERVICE_WARM_SERVED)
+        handle.future.set_result(
+            JobResult(job.job_id, DONE, value=hit, cache_hit=True)
+        )
+        return handle
+
+    async def submit_batch(
+        self,
+        batch: JobBatch,
+        *,
+        probe_cache: Optional[bool] = None,
+    ) -> List[JobHandle]:
+        """Submit a :class:`~repro.service.jobs.JobBatch`, hits first.
+
+        Cache-aware batch scheduling: the whole batch is probed against
+        the result cache up front (:func:`~repro.service.queue.split_warm`),
+        every warm job is served *immediately* with an already-resolved
+        handle, and only then are the misses admitted to the queue — in
+        their original batch order.  A hit-heavy batch therefore
+        completes its hits without waiting behind (or occupying) a
+        single worker slot.  Returns one handle per job, in batch order.
+        A quota rejection on a cold job propagates after the earlier
+        jobs (warm and cold) have been submitted, matching per-job
+        ``submit`` semantics.
+        """
+        if self._pool is None:
+            raise RuntimeError("service not started (use 'async with')")
+        probe = self.probe_cache if probe_cache is None else bool(probe_cache)
+        pairs = split_warm(
+            batch.jobs, _cache_lookup if probe else lambda job: None
+        )
+        handles: List[Optional[JobHandle]] = [None] * len(pairs)
+        for index, (job, hit) in enumerate(pairs):
+            if hit is not None:
+                handles[index] = self._serve_warm(job, hit)
+        for index, (job, hit) in enumerate(pairs):
+            if hit is None:
+                handles[index] = await self.submit(job=job, probe_cache=False)
+        return handles
 
     # -- scheduling ----------------------------------------------------------
 

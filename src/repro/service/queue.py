@@ -13,6 +13,12 @@ tighten its tenant's caps, never escape them).
 
 The queue is plain thread-safe state — the asyncio engine
 (:mod:`repro.service.engine`) owns all waiting/wakeup concerns.
+
+Cache-aware batch scheduling lives at this layer too:
+:func:`split_warm` partitions a batch by probing the result cache, so
+the engine serves every warm hit *immediately* — before any miss is
+admitted to the queue — and a hit-heavy batch never occupies a worker
+slot that a cold job could be using.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ import heapq
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import metrics as obs_metrics
 from ..resources import ResourceBudget
@@ -180,8 +186,25 @@ class PriorityJobQueue:
             return state.pending, state.running
 
 
+def split_warm(
+    jobs: Sequence[Any], probe: Callable[[Any], Optional[Any]]
+) -> List[Tuple[Any, Optional[Any]]]:
+    """Probe each job's cache entry, pairing it with its warm hit (or ``None``).
+
+    The scheduling policy behind batch submission ("serve hits before
+    dispatching misses"): the engine resolves every ``(job, hit)`` pair
+    with a non-``None`` hit on the spot — no queue admission, no worker
+    slot, no quota charge — and only the misses proceed to
+    :meth:`PriorityJobQueue.push`.  Probing is read-only and
+    order-preserving, so a batch's cold jobs still queue in submission
+    order.
+    """
+    return [(job, probe(job)) for job in jobs]
+
+
 __all__ = [
     "PriorityJobQueue",
     "QuotaExceeded",
     "TenantQuota",
+    "split_warm",
 ]

@@ -1,0 +1,50 @@
+"""Distributed shard serving: wire protocol, shard workers, cluster client.
+
+See :mod:`repro.service.remote.wire` for the frame protocol,
+:mod:`repro.service.remote.shard` for the worker process,
+:mod:`repro.service.remote.cluster` for the cache-affinity scheduler,
+and :mod:`repro.service.remote.faults` for deterministic fault
+injection (``REPRO_FAULTS``).
+"""
+
+from .cluster import (
+    SHARDS_ENV_VAR,
+    ClusterScheduler,
+    HashRing,
+    LocalCluster,
+    ShardProcess,
+    parse_address,
+    routing_key,
+    shard_addresses,
+    shard_count,
+)
+from .faults import FAULTS_ENV_VAR, FaultPlan, parse_faults
+from .shard import ShardServer
+from .wire import (
+    WIRE_FORMAT_VERSION,
+    CorruptFrame,
+    ProtocolError,
+    RemoteExecutionError,
+    WireError,
+)
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "SHARDS_ENV_VAR",
+    "WIRE_FORMAT_VERSION",
+    "ClusterScheduler",
+    "CorruptFrame",
+    "FaultPlan",
+    "HashRing",
+    "LocalCluster",
+    "ProtocolError",
+    "RemoteExecutionError",
+    "ShardProcess",
+    "ShardServer",
+    "WireError",
+    "parse_address",
+    "parse_faults",
+    "routing_key",
+    "shard_addresses",
+    "shard_count",
+]

@@ -1,0 +1,203 @@
+"""Deterministic fault injection for the shard serving path.
+
+Distributed failure handling is only trustworthy if the failures are
+reproducible, so instead of flaky "pull the cable" tests this module
+gives the shard server a small set of counted fault hooks, switched on
+by the ``REPRO_FAULTS`` environment variable (which a test sets in a
+shard subprocess's environment) or installed programmatically with
+:func:`install`:
+
+``REPRO_FAULTS`` is a comma-separated ``key=value`` spec:
+
+- ``kill_after=N`` — SIGKILL this process shortly after it has received
+  its ``N``-th request frame (the "shard crashes mid-job" scenario: the
+  job is accepted and executing when the process dies, so the client
+  sees the connection reset with no response);
+- ``corrupt_first=N`` — flip bytes inside the payload of the first
+  ``N`` outgoing frames *after* the CRC header is computed, so the
+  receiver's checksum fails (:class:`~repro.service.remote.wire.CorruptFrame`);
+- ``drop_first=N`` — silently discard the first ``N`` outgoing frames
+  (the response vanishes; the client times out);
+- ``delay_s=X`` — sleep ``X`` seconds before every outgoing frame (the
+  slow-network scenario; with a client timeout below ``X`` this is a
+  deterministic request timeout);
+- ``kill_delay_s=X`` — how long after the triggering frame the
+  ``kill_after`` SIGKILL lands (default 0.05 s, long enough for the
+  job to be genuinely in flight).
+
+All counters are per-process and monotonic, so a shard configured with
+``corrupt_first=1`` serves its second attempt cleanly — exactly the
+retry-then-succeed path the cluster scheduler's backoff test needs.
+An empty/unset spec is the (default) no-op plan, whose hooks cost one
+attribute check per frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+from typing import Optional
+
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+"""Fault-injection spec for this process (see module docstring)."""
+
+
+class FaultPlan:
+    """Counted fault hooks the shard server consults on every frame."""
+
+    def __init__(
+        self,
+        kill_after: int = 0,
+        corrupt_first: int = 0,
+        drop_first: int = 0,
+        delay_s: float = 0.0,
+        kill_delay_s: float = 0.05,
+    ) -> None:
+        self.kill_after = int(kill_after)
+        self.corrupt_first = int(corrupt_first)
+        self.drop_first = int(drop_first)
+        self.delay_s = float(delay_s)
+        self.kill_delay_s = float(kill_delay_s)
+        self.frames_received = 0
+        self.frames_sent = 0
+        self.corrupted = 0
+        self.dropped = 0
+        self._kill_armed = False
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.kill_after <= 0
+            and self.corrupt_first <= 0
+            and self.drop_first <= 0
+            and self.delay_s <= 0.0
+        )
+
+    # -- inbound hook --------------------------------------------------------
+
+    def note_request(self) -> None:
+        """Count one received request frame; arm the SIGKILL when due.
+
+        The kill is scheduled ``kill_delay_s`` later on the event loop
+        rather than raised inline, so the triggering job is genuinely
+        mid-execution when the process dies — the crash the recovery
+        tests need is "shard accepted work and vanished", not "shard
+        refused work".
+        """
+        self.frames_received += 1
+        if (
+            self.kill_after > 0
+            and not self._kill_armed
+            and self.frames_received >= self.kill_after
+        ):
+            self._kill_armed = True
+            loop = asyncio.get_event_loop()
+            loop.call_later(
+                self.kill_delay_s, os.kill, os.getpid(), signal.SIGKILL
+            )
+
+    # -- outbound hook -------------------------------------------------------
+
+    async def transform_outgoing(self, data: bytes) -> Optional[bytes]:
+        """Apply delay/corrupt/drop to one encoded outgoing frame.
+
+        Returns the (possibly mangled) bytes to write, or ``None`` to
+        drop the frame entirely.
+        """
+        if self.delay_s > 0.0:
+            await asyncio.sleep(self.delay_s)
+        self.frames_sent += 1
+        if self.dropped < self.drop_first:
+            self.dropped += 1
+            return None
+        if self.corrupted < self.corrupt_first:
+            self.corrupted += 1
+            return corrupt_bytes(data)
+        return data
+
+
+def corrupt_bytes(data: bytes) -> bytes:
+    """Flip bits in the middle of a frame's payload, keeping the header.
+
+    The 8-byte header (length + CRC) is preserved so the receiver reads
+    the full payload and then fails the checksum — the detection path
+    under test — rather than desynchronizing on a wrong length.
+    """
+    if len(data) <= 8:
+        return data
+    mangled = bytearray(data)
+    position = 8 + (len(data) - 8) // 2
+    mangled[position] ^= 0xFF
+    return bytes(mangled)
+
+
+def parse_faults(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`."""
+    plan = FaultPlan()
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"malformed {FAULTS_ENV_VAR} entry {part!r} "
+                "(expected key=value)"
+            )
+        key, _, raw = part.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        if key in ("kill_after", "corrupt_first", "drop_first"):
+            setattr(plan, key, int(raw))
+        elif key in ("delay_s", "kill_delay_s"):
+            setattr(plan, key, float(raw))
+        else:
+            raise ValueError(
+                f"unknown {FAULTS_ENV_VAR} key {key!r}; choose from "
+                "kill_after, corrupt_first, drop_first, delay_s, "
+                "kill_delay_s"
+            )
+    return plan
+
+
+_installed: Optional[FaultPlan] = None
+_env_plan: Optional[FaultPlan] = None
+_env_spec: Optional[str] = None
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Install a plan programmatically (tests); ``None`` restores the env."""
+    global _installed
+    _installed = plan
+
+
+def active() -> FaultPlan:
+    """The plan in force: the installed one, else parsed from the env.
+
+    The env-derived plan is memoized per spec string so its counters
+    persist across calls — ``corrupt_first=1`` means one corrupted frame
+    per *process*, not one per lookup.
+    """
+    global _env_plan, _env_spec
+    if _installed is not None:
+        return _installed
+    spec = os.environ.get(FAULTS_ENV_VAR, "").strip()
+    if not spec:
+        return _NOOP
+    if _env_plan is None or _env_spec != spec:
+        _env_plan = parse_faults(spec)
+        _env_spec = spec
+    return _env_plan
+
+
+_NOOP = FaultPlan()
+
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FaultPlan",
+    "active",
+    "corrupt_bytes",
+    "install",
+    "parse_faults",
+]

@@ -1,0 +1,406 @@
+"""Versioned length-prefixed JSON frame protocol for shard RPC.
+
+The wire format the distributed serving tier speaks, deliberately dumb:
+every frame is an 8-byte header — big-endian payload length plus a
+CRC-32 of the payload — followed by a UTF-8 JSON object.  Length
+prefixing gives unambiguous frame boundaries over any byte stream (TCP
+or Unix socket); the checksum turns a corrupted payload into a
+*detected* :class:`CorruptFrame` instead of silently wrong physics; and
+JSON keeps the payload debuggable with ``tcpdump`` and composable with
+the durable job form — a submit frame carries exactly
+:meth:`repro.service.jobs.JobSpec.to_dict`, so "what the shard executes"
+and "what travels on the wire" are one definition.
+
+Frames are format-versioned like :class:`~repro.service.jobs.JobSpec`
+(``v`` in every frame; a mismatch raises :class:`ProtocolError` on the
+receiving side), and come in four kinds:
+
+- ``request`` — client-to-shard, with an ``op`` (``submit``/``ping``/
+  ``shutdown``) and an ``id`` the shard echoes in everything it sends
+  back, so one connection can multiplex requests;
+- ``response`` — terminal answer to a request (``ok`` plus either a
+  ``result`` or an ``error``);
+- ``event`` — a streamed :class:`~repro.obs.progress.ProgressEvent`
+  emitted while a ``submit`` with ``stream=true`` executes;
+- ``heartbeat`` — the answer to ``ping``: per-shard load (inflight,
+  queue depth), cache stats, pid, and uptime, the feed of the cluster
+  scheduler's health checks and cache-affinity diagnostics.
+
+Result payloads cross the wire through a tagged JSON value codec
+(:func:`encode_value`/:func:`decode_value`) that round-trips every type
+a facade can return **exactly**: complex scalars, numpy scalars, and
+complex ndarrays travel as separate real/imaginary parts whose floats
+serialize via ``repr`` (bit-exact for every finite double), tuples and
+non-string-keyed dicts are tagged so they come back type-for-type, and
+exceptions carry their class, module, and the structured
+:class:`~repro.resources.ResourceExhausted` context.  A deserialized
+:class:`~repro.core.backend.SimulationResult` is therefore bitwise
+identical to the one the shard produced — the property the cluster's
+"remote == local" acceptance test pins.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib
+import json
+import struct
+import zlib
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+WIRE_FORMAT_VERSION = 1
+"""Bumped whenever the frame layout or value codec changes."""
+
+MAX_FRAME_BYTES = 1 << 30
+"""Upper bound on one frame's payload (sanity check on the length prefix).
+
+A peer speaking a different protocol (or a corrupted length field) would
+otherwise make the reader allocate an absurd buffer; anything larger
+than 1 GiB is treated as a framing error.
+"""
+
+_HEADER = struct.Struct(">II")
+
+REQUEST = "request"
+RESPONSE = "response"
+EVENT = "event"
+HEARTBEAT = "heartbeat"
+KINDS = (REQUEST, RESPONSE, EVENT, HEARTBEAT)
+
+
+class WireError(RuntimeError):
+    """Base class for transport-layer failures (retryable by the client)."""
+
+
+class CorruptFrame(WireError):
+    """A frame failed its checksum or could not be parsed."""
+
+
+class ProtocolError(WireError):
+    """A structurally valid frame that this build cannot speak."""
+
+
+class RemoteExecutionError(RuntimeError):
+    """A shard-side exception whose type could not be rebuilt locally."""
+
+    def __init__(self, message: str, *, remote_type: str = "") -> None:
+        super().__init__(message)
+        self.remote_type = remote_type
+
+
+# -- frame encoding ----------------------------------------------------------
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """Serialize one frame dict to its on-wire bytes (header + JSON)."""
+    body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _HEADER.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def decode_body(body: bytes, crc: int) -> Dict[str, Any]:
+    """Checksum-verify and parse one frame payload."""
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise CorruptFrame("frame payload failed its CRC-32 check")
+    try:
+        frame = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptFrame(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise CorruptFrame("frame payload is not a JSON object")
+    version = frame.get("v")
+    if version != WIRE_FORMAT_VERSION:
+        raise ProtocolError(
+            f"unsupported wire format version {version!r} "
+            f"(this build speaks {WIRE_FORMAT_VERSION})"
+        )
+    if frame.get("kind") not in KINDS:
+        raise ProtocolError(f"unknown frame kind {frame.get('kind')!r}")
+    return frame
+
+
+def decode_frame(data: bytes) -> Dict[str, Any]:
+    """Parse one complete on-wire frame (header + payload) from bytes."""
+    if len(data) < _HEADER.size:
+        raise CorruptFrame("frame shorter than its header")
+    length, crc = _HEADER.unpack_from(data)
+    body = data[_HEADER.size:]
+    if length != len(body):
+        raise CorruptFrame(
+            f"frame length field says {length}, payload has {len(body)}"
+        )
+    return decode_body(body, crc)
+
+
+async def read_frame(
+    reader: "asyncio.StreamReader",
+) -> Optional[Dict[str, Any]]:
+    """Read one frame from a stream; ``None`` on clean EOF at a boundary.
+
+    EOF *inside* a frame (header or payload truncated — the peer died
+    mid-write) raises :class:`CorruptFrame`: a partial write must look
+    like a failure, not like a clean shutdown.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise CorruptFrame("connection closed inside a frame header") from exc
+    length, crc = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise CorruptFrame(f"frame length {length} exceeds MAX_FRAME_BYTES")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise CorruptFrame(
+            "connection closed inside a frame payload (partial write)"
+        ) from exc
+    return decode_body(body, crc)
+
+
+async def write_frame(
+    writer: "asyncio.StreamWriter",
+    frame: Dict[str, Any],
+    faults: Optional[Any] = None,
+) -> None:
+    """Encode and write one frame, draining the transport.
+
+    ``faults`` is a :class:`~repro.service.remote.faults.FaultPlan` (or
+    ``None``); when present, the fully encoded bytes pass through its
+    outgoing-transform hook, which may delay, corrupt, or drop them —
+    the shard-side seam the fault-injection test suite drives.
+    """
+    data = encode_frame(frame)
+    if faults is not None:
+        data = await faults.transform_outgoing(data)
+        if data is None:
+            return
+    writer.write(data)
+    await writer.drain()
+
+
+def make_frame(kind: str, **payload: Any) -> Dict[str, Any]:
+    frame = {"v": WIRE_FORMAT_VERSION, "kind": kind}
+    frame.update(payload)
+    return frame
+
+
+# -- exact tagged value codec ------------------------------------------------
+
+_TAG = "__wire__"
+
+
+def encode_value(value: Any, strict: bool = True) -> Any:
+    """JSON-able form of any facade result, tagged for exact decoding.
+
+    ``strict=False`` (used for metadata, which backends extend freely)
+    replaces an unencodable leaf with its ``repr`` under an ``opaque``
+    tag instead of raising — a lossy label beats failing a whole job for
+    one diagnostic field.  Result *values* always encode strictly.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        # json emits Infinity/NaN literals (allow_nan default), which
+        # json.loads parses back; finite floats round-trip via repr.
+        return value
+    if isinstance(value, complex):
+        return {_TAG: "c", "re": value.real, "im": value.imag}
+    if isinstance(value, np.ndarray):
+        spec: Dict[str, Any] = {
+            _TAG: "nd",
+            "dtype": value.dtype.str,
+            "shape": list(value.shape),
+        }
+        flat = np.ravel(value, order="C")
+        if np.issubdtype(value.dtype, np.complexfloating):
+            spec["re"] = flat.real.tolist()
+            spec["im"] = flat.imag.tolist()
+        else:
+            spec["data"] = flat.tolist()
+        return spec
+    if isinstance(value, np.generic):
+        if isinstance(value, np.complexfloating):
+            item: Any = {"re": float(value.real), "im": float(value.imag)}
+        else:
+            item = value.item()
+        return {_TAG: "np", "dtype": value.dtype.str, "v": item}
+    if isinstance(value, tuple):
+        return {
+            _TAG: "t",
+            "items": [encode_value(item, strict) for item in value],
+        }
+    if isinstance(value, list):
+        return [encode_value(item, strict) for item in value]
+    if isinstance(value, (set, frozenset)):
+        tag = "fs" if isinstance(value, frozenset) else "s"
+        return {
+            _TAG: tag,
+            "items": [encode_value(item, strict) for item in value],
+        }
+    if isinstance(value, bytes):
+        return {_TAG: "b", "hex": value.hex()}
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and _TAG not in value:
+            return {k: encode_value(v, strict) for k, v in value.items()}
+        return {
+            _TAG: "d",
+            "items": [
+                [encode_value(k, strict), encode_value(v, strict)]
+                for k, v in value.items()
+            ],
+        }
+    if isinstance(value, BaseException):
+        return encode_exception(value)
+    from ...core.backend import SimulationResult
+
+    if isinstance(value, SimulationResult):
+        return {
+            _TAG: "simresult",
+            "backend": value.backend,
+            "state": encode_value(value.state, strict=True),
+            "metadata": encode_value(value.metadata, strict=False),
+        }
+    if not strict:
+        return {_TAG: "opaque", "repr": repr(value)}
+    raise WireError(
+        f"cannot encode a {type(value).__name__} for the wire"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value` (exact for every strict encoding)."""
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if not isinstance(value, dict):
+        return value
+    tag = value.get(_TAG)
+    if tag is None:
+        return {k: decode_value(v) for k, v in value.items()}
+    if tag == "c":
+        return complex(value["re"], value["im"])
+    if tag == "nd":
+        dtype = np.dtype(value["dtype"])
+        shape = tuple(value["shape"])
+        if np.issubdtype(dtype, np.complexfloating):
+            array = np.asarray(value["re"], dtype=np.float64) + 1j * (
+                np.asarray(value["im"], dtype=np.float64)
+            )
+            array = array.astype(dtype, copy=False)
+        else:
+            array = np.asarray(value["data"], dtype=dtype)
+        return array.reshape(shape)
+    if tag == "np":
+        dtype = np.dtype(value["dtype"])
+        item = value["v"]
+        if isinstance(item, dict):
+            return dtype.type(complex(item["re"], item["im"]))
+        return dtype.type(item)
+    if tag == "t":
+        return tuple(decode_value(item) for item in value["items"])
+    if tag == "s":
+        return set(decode_value(item) for item in value["items"])
+    if tag == "fs":
+        return frozenset(decode_value(item) for item in value["items"])
+    if tag == "b":
+        return bytes.fromhex(value["hex"])
+    if tag == "d":
+        return {
+            decode_value(k): decode_value(v) for k, v in value["items"]
+        }
+    if tag == "exc":
+        return decode_exception(value)
+    if tag == "simresult":
+        from ...core.backend import SimulationResult
+
+        return SimulationResult(
+            value["backend"],
+            decode_value(value["state"]),
+            decode_value(value["metadata"]),
+        )
+    if tag == "opaque":
+        return value["repr"]
+    raise ProtocolError(f"unknown value tag {tag!r}")
+
+
+def encode_exception(exc: BaseException) -> Dict[str, Any]:
+    """Wire form of a shard-side exception: class identity + context."""
+    data: Dict[str, Any] = {
+        _TAG: "exc",
+        "type": type(exc).__name__,
+        "module": type(exc).__module__,
+        "message": str(exc),
+    }
+    # ResourceExhausted subtypes carry structured audit context.
+    for field in ("backend", "limit", "observed"):
+        if hasattr(exc, field):
+            attr = getattr(exc, field)
+            if attr is None or isinstance(attr, (str, int, float)):
+                data[field] = attr
+    return data
+
+
+def decode_exception(data: Dict[str, Any]) -> BaseException:
+    """Rebuild a shard-side exception, best effort.
+
+    Exceptions from :mod:`repro` modules (and builtins) are rebuilt as
+    their real type so ``except MemoryBudgetExceeded:`` works across the
+    wire; anything unimportable degrades to
+    :class:`RemoteExecutionError` with the original type in
+    ``remote_type``.
+    """
+    name = data.get("type", "Exception")
+    module = data.get("module", "builtins")
+    message = data.get("message", "")
+    try:
+        cls = getattr(importlib.import_module(module), name)
+        if not (isinstance(cls, type) and issubclass(cls, BaseException)):
+            raise TypeError(name)
+        kwargs = {}
+        if "backend" in data or "limit" in data or "observed" in data:
+            from ...resources import ResourceExhausted
+
+            if issubclass(cls, ResourceExhausted):
+                kwargs = {
+                    "backend": data.get("backend") or "",
+                    "limit": data.get("limit"),
+                    "observed": data.get("observed"),
+                }
+        return cls(message, **kwargs)
+    except Exception:
+        return RemoteExecutionError(
+            f"{module}.{name}: {message}", remote_type=f"{module}.{name}"
+        )
+
+
+__all__ = [
+    "EVENT",
+    "HEARTBEAT",
+    "KINDS",
+    "MAX_FRAME_BYTES",
+    "REQUEST",
+    "RESPONSE",
+    "WIRE_FORMAT_VERSION",
+    "CorruptFrame",
+    "ProtocolError",
+    "RemoteExecutionError",
+    "WireError",
+    "decode_body",
+    "decode_exception",
+    "decode_frame",
+    "decode_value",
+    "encode_exception",
+    "encode_frame",
+    "encode_value",
+    "make_frame",
+    "read_frame",
+    "write_frame",
+]

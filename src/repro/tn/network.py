@@ -12,12 +12,22 @@ from __future__ import annotations
 from itertools import product as _cartesian_product
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
 
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
-from ..parallel import configured_jobs, parallel_map
+from ..parallel import configured_jobs, parallel_map, resolve_jobs
 from ..resources import ResourceBudget
 from .tensor import Tensor, contract, contraction_result_indices
+
+PARALLEL_SUM_MIN_ELEMS = 1 << 14
+"""Result-tensor size below which the slice summation stays serial.
+
+Splitting a tiny accumulation across threads costs more in pool traffic
+than the adds themselves; the bound only gates *where* the adds run —
+the per-element accumulation order is fixed either way, so the summed
+bits are identical on both sides of it.
+"""
 
 # A plan is a sequence of (i, j) pairs in SSA form: positions refer to the
 # growing list [t_0, ..., t_{k-1}, r_0, r_1, ...] where r_m is the result of
@@ -167,7 +177,11 @@ class TensorNetwork:
         never cross a serialization boundary (the zero-copy limit).
         ``n_jobs=None`` defers to ``REPRO_JOBS`` (serial when unset);
         slice order, and therefore floating-point summation order, is
-        fixed, so results are bitwise identical at any ``n_jobs``.
+        fixed, so results are bitwise identical at any ``n_jobs``.  The
+        final summation is itself parallel for large results: elements
+        (not slices) are partitioned across the thread pool, which
+        preserves every element's serial accumulation order exactly
+        (see :func:`_sum_partials`).
         """
         candidates = self.sliceable_indices()
         if index is None:
@@ -219,11 +233,15 @@ class TensorNetwork:
                 executor=executor or "thread",
             )
         first = partials[0]
-        total = first.data.copy()
-        for partial in partials[1:]:
-            if partial.indices != first.indices:
-                partial = partial.transpose_to(first.indices)
-            total += partial.data
+        aligned = [first.data] + [
+            (
+                partial
+                if partial.indices == first.indices
+                else partial.transpose_to(first.indices)
+            ).data
+            for partial in partials[1:]
+        ]
+        total = _sum_partials(aligned, resolve_jobs(jobs))
         return Tensor(total, first.indices)
 
     def contraction_cost(
@@ -343,3 +361,62 @@ def _contract_slice_worker(
     """Module-level (picklable) slice task: contract one sliced network."""
     tensors, plan, budget = spec
     return TensorNetwork(tensors).contract_pairwise(plan, budget=budget)
+
+
+def _sum_chunk_worker(
+    task: Tuple[np.ndarray, List[np.ndarray], int, int],
+) -> int:
+    """Sum one element range of every slice, in slice order, into ``out``.
+
+    Thread-pool task: all arrays are shared by reference.  Each element
+    of ``out[start:stop]`` accumulates its addends in exactly the order
+    the serial loop would use (slice 0, slice 1, ...), so the parallel
+    sum is bitwise identical to the serial one — addition here is
+    elementwise, and partitioning *elements* (not slices) across workers
+    leaves every element's accumulation order untouched.
+    """
+    out, flats, start, stop = task
+    acc = flats[0][start:stop].copy()
+    for flat in flats[1:]:
+        acc += flat[start:stop]
+    out[start:stop] = acc
+    return stop - start
+
+
+def _sum_partials(arrays: List[np.ndarray], n_jobs: int) -> np.ndarray:
+    """Sum slice results in fixed slice order, chunked across threads.
+
+    The PR-9 follow-up: ``contract_sliced`` parallelized the slice
+    *contractions* but summed serially.  Here the summation itself runs
+    on the thread pool — threads, not processes, because the partials
+    already live in this address space and numpy's elementwise add
+    releases the GIL — by splitting the flattened element range into
+    per-worker chunks.  Small results (:data:`PARALLEL_SUM_MIN_ELEMS`)
+    and serial configurations keep the plain loop.
+    """
+    if (
+        n_jobs <= 1
+        or len(arrays) < 2
+        or arrays[0].size < PARALLEL_SUM_MIN_ELEMS
+    ):
+        total = arrays[0].copy()
+        for array in arrays[1:]:
+            total += array
+        return total
+    flats = [np.ravel(array) for array in arrays]
+    out = np.empty_like(flats[0])
+    total_elems = out.size
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    base, extra = divmod(total_elems, n_jobs)
+    for index in range(n_jobs):
+        stop = start + base + (1 if index < extra else 0)
+        if stop > start:
+            bounds.append((start, stop))
+        start = stop
+    tasks = [(out, flats, lo, hi) for lo, hi in bounds]
+    with obs_trace.span("tn.sum_sliced", slices=len(arrays), jobs=len(tasks)):
+        parallel_map(
+            _sum_chunk_worker, tasks, n_jobs=n_jobs, executor="thread"
+        )
+    return out.reshape(arrays[0].shape)

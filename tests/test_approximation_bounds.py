@@ -214,3 +214,25 @@ def test_wide_scenario_verified_against_exact_reference():
     assert estimate >= 0.99
     # |<psi|P|psi> - <phi|P|phi>| <= 2*sqrt(1-F) for any Pauli P.
     assert abs(value - reference) <= 2.0 * np.sqrt(1.0 - estimate) + 1e-9
+
+
+def test_tn_sliced_summation_jobs_reported_and_bitwise():
+    """PR-10: slice summation parallelizes over n_jobs without changing
+    bits; the worker count is reported in the approximation metadata."""
+    from repro.circuits import library
+
+    circuit = library.grover(3, 5)  # known to need slicing at this budget
+    n = circuit.num_qubits
+    budget = f"memory={(16 << n) * 4}"
+    serial = simulate(
+        circuit, backend="tn", budget=budget, accuracy=_eager(0.99),
+        n_jobs=1,
+    )
+    assert "approximation" in serial.metadata, "budget no longer slices"
+    assert serial.metadata["approximation"]["slice_jobs"] == 1
+    parallel = simulate(
+        circuit, backend="tn", budget=budget, accuracy=_eager(0.99),
+        n_jobs=4,
+    )
+    assert parallel.metadata["approximation"]["slice_jobs"] == 4
+    assert parallel.state.tobytes() == serial.state.tobytes()

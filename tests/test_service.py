@@ -1052,3 +1052,259 @@ class TestAccuracyCacheKeys:
         assert warm_exact.metadata["cache"]["hit"] is True
         assert "fidelity_estimate" not in warm_exact.metadata
         assert_bitwise_equal(exact, warm_exact)
+
+
+# ---------------------------------------------------------------------------
+# Cache-aware batch scheduling (warm hits never occupy pool slots)
+# ---------------------------------------------------------------------------
+
+
+class TestWarmBatchScheduling:
+    def _jobs(self, count=4):
+        jobs = []
+        for i in range(count):
+            circuit = library.ghz_state(3)
+            circuit.rz(0.01 * (i + 1), 0)
+            jobs.append(JobSpec(circuit, task="simulate", backend="arrays"))
+        return jobs
+
+    def _clone(self, job):
+        return JobSpec(
+            job.circuit,
+            task=job.task,
+            backend=job.backend,
+            task_args=dict(job.task_args),
+            tenant=job.tenant,
+            priority=job.priority,
+        )
+
+    def test_warm_batch_never_occupies_a_pool_slot(self, monkeypatch):
+        """The regression the satellite demands: a hit-heavy batch is
+        answered from the cache at submit time — no queue admission, no
+        worker dispatch, no quota charge."""
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        jobs = self._jobs()
+
+        async def go():
+            async with SimulationService(max_workers=1) as service:
+                # Prewarm through the service itself.
+                cold = await service.submit_batch(JobBatch(jobs))
+                for handle in cold:
+                    outcome = await service.result(handle)
+                    assert outcome.status == "done"
+
+            async with SimulationService(max_workers=1) as service:
+                dispatches = []
+                original = SimulationService._dispatch
+
+                def counting_dispatch(self, handle):
+                    dispatches.append(handle.job_id)
+                    return original(self, handle)
+
+                monkeypatch.setattr(
+                    SimulationService, "_dispatch", counting_dispatch
+                )
+                warm = await service.submit_batch(
+                    JobBatch([self._clone(job) for job in jobs])
+                )
+                outcomes = [await service.result(h) for h in warm]
+                return dispatches, warm, outcomes
+
+        dispatches, warm, outcomes = run(go())
+        assert dispatches == []  # not one pool slot occupied
+        for handle, outcome in zip(warm, outcomes):
+            assert handle.status == "done"
+            assert outcome.cache_hit is True
+            assert outcome.error is None
+
+    def test_mixed_batch_dispatches_only_the_misses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        jobs = self._jobs(4)
+        warm_jobs, cold_jobs = jobs[:2], jobs[2:]
+
+        async def go():
+            async with SimulationService(max_workers=1) as service:
+                for job in warm_jobs:
+                    await service.result(await service.submit(job=job))
+
+            async with SimulationService(max_workers=1) as service:
+                dispatches = []
+                original = SimulationService._dispatch
+
+                def counting_dispatch(self, handle):
+                    dispatches.append(handle.job_id)
+                    return original(self, handle)
+
+                monkeypatch.setattr(
+                    SimulationService, "_dispatch", counting_dispatch
+                )
+                batch = JobBatch(
+                    [self._clone(job) for job in warm_jobs] + cold_jobs
+                )
+                handles = await service.submit_batch(batch)
+                outcomes = [await service.result(h) for h in handles]
+                return dispatches, outcomes
+
+        dispatches, outcomes = run(go())
+        assert sorted(dispatches) == sorted(j.job_id for j in cold_jobs)
+        assert [o.cache_hit for o in outcomes] == [True, True, False, False]
+        assert all(o.status == "done" for o in outcomes)
+
+    def test_warm_hits_bypass_admission_quota(self, monkeypatch):
+        """Warm service is free: a tenant at its pending limit can still
+        be answered from the cache."""
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        jobs = [
+            JobSpec(job.circuit, task=job.task, backend=job.backend,
+                    tenant="small")
+            for job in self._jobs(3)
+        ]
+        quota = {"small": TenantQuota(max_pending=1)}
+
+        async def go():
+            async with SimulationService(max_workers=1) as service:
+                for job in jobs:
+                    await service.result(await service.submit(job=job))
+
+            async with SimulationService(
+                max_workers=1, quotas=quota
+            ) as service:
+                handles = await service.submit_batch(
+                    JobBatch(
+                        [
+                            JobSpec(
+                                j.circuit,
+                                task=j.task,
+                                backend=j.backend,
+                                tenant="small",
+                            )
+                            for j in jobs
+                        ]
+                    )
+                )
+                return [await service.result(h) for h in handles]
+
+        outcomes = run(go())
+        assert len(outcomes) == 3  # > max_pending, yet all served
+        assert all(o.cache_hit for o in outcomes)
+
+    def test_probe_cache_false_preserves_old_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        job = self._jobs(1)[0]
+
+        async def go():
+            async with SimulationService(max_workers=1) as service:
+                await service.result(await service.submit(job=job))
+                dispatches = []
+                original = SimulationService._dispatch
+
+                def counting_dispatch(self, handle):
+                    dispatches.append(handle.job_id)
+                    return original(self, handle)
+
+                monkeypatch.setattr(
+                    SimulationService, "_dispatch", counting_dispatch
+                )
+                clone = self._clone(job)
+                outcome = await service.result(
+                    await service.submit(job=clone, probe_cache=False)
+                )
+                return dispatches, outcome
+
+        dispatches, outcome = run(go())
+        assert len(dispatches) == 1  # went through the pool
+        # The dispatcher's own lookup still serves it warm.
+        assert outcome.cache_hit is True
+
+    def test_warm_and_cold_results_are_bitwise_equal(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        job = self._jobs(1)[0]
+
+        async def go():
+            async with SimulationService(max_workers=1) as service:
+                first = await service.result(await service.submit(job=job))
+                second = await service.result(
+                    await service.submit(job=self._clone(job))
+                )
+                return first, second
+
+        first, second = run(go())
+        assert second.cache_hit is True
+        assert_bitwise_equal(first.value, second.value)
+
+
+# ---------------------------------------------------------------------------
+# Cross-process cache coherence metrics
+# ---------------------------------------------------------------------------
+
+
+class TestCacheCoherence:
+    def _store(self, tmp_path, token=None, key="k" * 64):
+        from repro.service import cache as cache_mod
+
+        cache = ResultCache(str(tmp_path))
+        if token is not None:
+            real = cache_mod.PROCESS_TOKEN
+            cache_mod.PROCESS_TOKEN = token
+            try:
+                cache.put(key, np.arange(4), {"n": 1}, "arrays")
+            finally:
+                cache_mod.PROCESS_TOKEN = real
+        else:
+            cache.put(key, np.arange(4), {"n": 1}, "arrays")
+        return key
+
+    def test_own_disk_hit_is_not_remote(self, tmp_path):
+        key = self._store(tmp_path)
+        fresh = ResultCache(str(tmp_path))  # empty memory tier
+        assert fresh.get(key) is not None
+        stats = fresh.stats()
+        assert stats["hits"] >= 1
+        assert stats["remote_hits"] == 0
+
+    def test_foreign_disk_hit_counts_as_remote(self, tmp_path):
+        key = self._store(tmp_path, token="424242.deadbeef0000")
+        reader = ResultCache(str(tmp_path))
+        value, meta, backend = reader.get(key)
+        assert np.array_equal(value, np.arange(4))
+        stats = reader.stats()
+        assert stats["remote_hits"] == 1
+        assert stats["hits"] >= 1
+
+    def test_memory_tier_hit_is_never_remote(self, tmp_path):
+        key = self._store(tmp_path, token="424242.deadbeef0000")
+        reader = ResultCache(str(tmp_path))
+        assert reader.get(key) is not None  # disk -> remote
+        assert reader.get(key) is not None  # memory tier now
+        assert reader.stats()["remote_hits"] == 1
+
+    def test_writer_identity_is_stamped(self, tmp_path):
+        import pickle
+
+        from repro.service import cache as cache_mod
+
+        key = self._store(tmp_path)
+        cache = ResultCache(str(tmp_path))
+        path = cache._path(key)
+        with open(path, "rb") as fh:
+            entry = pickle.load(fh)
+        assert entry["writer"] == cache_mod.PROCESS_TOKEN
+        assert entry["writer_pid"] == os.getpid()
+
+    def test_legacy_entry_without_writer_is_not_remote(self, tmp_path):
+        import pickle
+
+        key = self._store(tmp_path)
+        cache = ResultCache(str(tmp_path))
+        path = cache._path(key)
+        with open(path, "rb") as fh:
+            entry = pickle.load(fh)
+        del entry["writer"]
+        with open(path, "wb") as fh:
+            pickle.dump(entry, fh)
+        reader = ResultCache(str(tmp_path))
+        assert reader.get(key) is not None
+        assert reader.stats()["remote_hits"] == 0
+
+    def test_stats_expose_remote_hits_key(self, tmp_path):
+        assert "remote_hits" in ResultCache(str(tmp_path)).stats()

@@ -171,3 +171,104 @@ def test_disconnected_network_contracts():
 def test_empty_network_errors():
     with pytest.raises(ValueError):
         TensorNetwork().contract_all()
+
+
+# ---------------------------------------------------------------------------
+# Parallel slice summation (bitwise identical to serial, any n_jobs)
+# ---------------------------------------------------------------------------
+
+
+class TestParallelSliceSummation:
+    def _partials(self, count=7, size=1000, seed=5):
+        rng = np.random.default_rng(seed)
+        return [
+            (rng.normal(size=size) + 1j * rng.normal(size=size)).astype(
+                np.complex128
+            )
+            for _ in range(count)
+        ]
+
+    def _serial(self, arrays):
+        total = arrays[0].copy()
+        for array in arrays[1:]:
+            total += array
+        return total
+
+    @pytest.mark.parametrize("n_jobs", [2, 3, 4, 7, 16])
+    def test_sum_partials_bitwise_matches_serial(self, n_jobs, monkeypatch):
+        from repro.tn import network as network_mod
+
+        monkeypatch.setattr(network_mod, "PARALLEL_SUM_MIN_ELEMS", 1)
+        arrays = self._partials()
+        serial = self._serial(arrays)
+        parallel = network_mod._sum_partials(arrays, n_jobs)
+        assert parallel.dtype == serial.dtype
+        assert parallel.tobytes() == serial.tobytes()
+
+    def test_more_workers_than_elements(self, monkeypatch):
+        from repro.tn import network as network_mod
+
+        monkeypatch.setattr(network_mod, "PARALLEL_SUM_MIN_ELEMS", 1)
+        arrays = [np.arange(3, dtype=np.complex128) * (i + 1) for i in range(4)]
+        out = network_mod._sum_partials(arrays, 16)
+        assert out.tobytes() == self._serial(arrays).tobytes()
+
+    def test_small_results_stay_serial(self, monkeypatch):
+        from repro.tn import network as network_mod
+
+        calls = []
+        monkeypatch.setattr(
+            network_mod,
+            "parallel_map",
+            lambda *a, **k: calls.append(1) or [],
+        )
+        arrays = self._partials(count=3, size=8)
+        out = network_mod._sum_partials(arrays, 4)
+        assert calls == []  # below PARALLEL_SUM_MIN_ELEMS: plain loop
+        assert out.tobytes() == self._serial(arrays).tobytes()
+
+    def test_multidim_shapes_preserved(self, monkeypatch):
+        from repro.tn import network as network_mod
+
+        monkeypatch.setattr(network_mod, "PARALLEL_SUM_MIN_ELEMS", 1)
+        rng = np.random.default_rng(9)
+        arrays = [
+            (rng.normal(size=(4, 5, 6)) + 1j * rng.normal(size=(4, 5, 6)))
+            for _ in range(5)
+        ]
+        out = network_mod._sum_partials(arrays, 4)
+        assert out.shape == (4, 5, 6)
+        assert out.tobytes() == self._serial(arrays).tobytes()
+
+    @pytest.mark.parametrize("n_jobs", [2, 4, 8])
+    def test_contract_sliced_bitwise_at_any_jobs(self, n_jobs, monkeypatch):
+        """Parallel summation must reproduce the serial (n_jobs=1)
+        sliced contraction bit-for-bit, and stay correct vs the full
+        contraction."""
+        from repro.tn import network as network_mod
+
+        # Force the parallel summation path even for this small result.
+        monkeypatch.setattr(network_mod, "PARALLEL_SUM_MIN_ELEMS", 1)
+        net = _chain_network(5, bond=4, seed=21)
+        serial = net.contract_sliced("b1", n_jobs=1).transpose_to(
+            ["open_l", "open_r"]
+        )
+        parallel = net.contract_sliced("b1", n_jobs=n_jobs).transpose_to(
+            ["open_l", "open_r"]
+        )
+        assert parallel.data.tobytes() == serial.data.tobytes()
+        reference = net.contract_all().transpose_to(["open_l", "open_r"])
+        assert np.allclose(parallel.data, reference.data, atol=1e-10)
+
+    def test_contract_sliced_jobs_counts_do_not_change_bits(self, monkeypatch):
+        from repro.tn import network as network_mod
+
+        monkeypatch.setattr(network_mod, "PARALLEL_SUM_MIN_ELEMS", 1)
+        net = _chain_network(6, bond=3, seed=33)
+        results = [
+            net.contract_sliced(["b1", "b3"], n_jobs=jobs)
+            .transpose_to(["open_l", "open_r"])
+            .data.tobytes()
+            for jobs in (1, 2, 3, 8)
+        ]
+        assert len(set(results)) == 1

@@ -1,0 +1,291 @@
+"""Wire protocol: framing, checksums, and the exact value codec.
+
+The distributed tier's correctness claim is "bitwise identical to local
+execution", so the codec tests here are exactness tests: every value
+that crosses the wire must come back equal — floats and complex numbers
+bit-for-bit, arrays element-for-element with dtype and shape intact —
+and every corruption must be *detected* (a :class:`CorruptFrame`),
+never silently decoded into wrong data.
+"""
+
+import asyncio
+import io
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.backend import SimulationResult
+from repro.resources import ResourceExhausted
+from repro.service.remote import wire
+
+
+def roundtrip(value, strict=True):
+    encoded = wire.encode_value(value, strict=strict)
+    # The encoded form must be plain JSON, by construction.
+    json.dumps(encoded)
+    return wire.decode_value(encoded)
+
+
+# ---------------------------------------------------------------------------
+# Value codec exactness
+# ---------------------------------------------------------------------------
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -(2**63),
+            2**80,
+            "text",
+            "",
+            0.1 + 0.2,  # famously not 0.3
+            -0.0,
+            5e-324,  # smallest subnormal
+            1.7976931348623157e308,
+        ],
+    )
+    def test_scalars_roundtrip_exactly(self, value):
+        out = roundtrip(value)
+        assert out == value
+        assert type(out) is type(value)
+
+    def test_float_bits_survive(self):
+        for bits in (0x3FF0000000000001, 0x0010000000000000, 0x7FEFFFFFFFFFFFFF):
+            value = struct.unpack(">d", struct.pack(">Q", bits))[0]
+            out = roundtrip(value)
+            assert struct.pack(">d", out) == struct.pack(">d", value)
+
+    def test_negative_zero_sign_survives(self):
+        out = roundtrip(-0.0)
+        assert struct.pack(">d", out) == struct.pack(">d", -0.0)
+
+    def test_complex_roundtrip(self):
+        value = complex(0.1 + 0.2, -1.0 / 3.0)
+        out = roundtrip(value)
+        assert isinstance(out, complex)
+        assert out.real == value.real and out.imag == value.imag
+
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.arange(12, dtype=np.complex128).reshape(3, 4) * (1 + 2j),
+            np.linspace(0, 1, 7, dtype=np.float64),
+            np.array([], dtype=np.complex128),
+            np.arange(6, dtype=np.int64).reshape(2, 3),
+            np.array([[True, False]]),
+            np.array(3.5),  # rank-0
+        ],
+    )
+    def test_ndarray_roundtrip_bitwise(self, array):
+        out = roundtrip(array)
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == array.dtype
+        assert out.shape == array.shape
+        assert out.tobytes() == np.ascontiguousarray(array).tobytes()
+
+    def test_numpy_scalars(self):
+        for value in (np.float64(0.1), np.int32(-7), np.complex128(1 - 2j)):
+            out = roundtrip(value)
+            assert out == value
+
+    def test_containers_preserve_type(self):
+        value = {
+            "tuple": (1, 2, (3, "x")),
+            "set": {1, 2, 3},
+            "frozen": frozenset({"a"}),
+            "bytes": b"\x00\xffpayload",
+            "nested": [{"k": (0.5,)}],
+        }
+        out = roundtrip(value)
+        assert out == value
+        assert isinstance(out["tuple"], tuple)
+        assert isinstance(out["set"], set)
+        assert isinstance(out["frozen"], frozenset)
+        assert isinstance(out["bytes"], bytes)
+        assert isinstance(out["nested"][0]["k"], tuple)
+
+    def test_non_string_dict_keys(self):
+        value = {0: "zero", (1, 2): "pair"}
+        out = roundtrip(value)
+        assert out == value
+
+    def test_dict_colliding_with_tag_survives(self):
+        value = {wire._TAG: "not-a-tag", "x": 1}
+        assert roundtrip(value) == value
+
+    def test_simulation_result_roundtrip_bitwise(self):
+        state = (np.arange(8, dtype=np.complex128) + 0.5j) / 3.0
+        result = SimulationResult(
+            "arrays", state, {"num_qubits": 3, "plan": object()}
+        )
+        out = roundtrip(result, strict=False)
+        assert isinstance(out, SimulationResult)
+        assert out.backend == "arrays"
+        assert out.state.tobytes() == state.tobytes()
+        assert out.metadata["num_qubits"] == 3
+        # Unencodable metadata degrades to a repr, never an error.
+        assert isinstance(out.metadata["plan"], str)
+
+    def test_strict_rejects_opaque_values(self):
+        with pytest.raises(wire.WireError):
+            wire.encode_value(object(), strict=True)
+
+    def test_nonstrict_degrades_to_repr(self):
+        out = roundtrip(object(), strict=False)
+        assert isinstance(out, str) and "object" in out
+
+
+class TestExceptionCodec:
+    def test_builtin_exception_roundtrip(self):
+        out = wire.decode_exception(
+            wire.encode_exception(ValueError("bad input"))
+        )
+        assert isinstance(out, ValueError)
+        assert str(out) == "bad input"
+
+    def test_resource_exhausted_keeps_structure(self):
+        exc = ResourceExhausted("over budget", backend="tn")
+        out = wire.decode_exception(wire.encode_exception(exc))
+        assert isinstance(out, ResourceExhausted)
+        assert out.backend == "tn"
+
+    def test_unimportable_type_degrades_to_remote_error(self):
+        data = wire.encode_exception(ValueError("x"))
+        data["module"] = "no.such.module"
+        out = wire.decode_exception(data)
+        assert isinstance(out, wire.RemoteExecutionError)
+        assert "ValueError" in out.remote_type
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def frame_stream(*frames):
+    """An asyncio StreamReader preloaded with encoded frames."""
+    reader = asyncio.StreamReader()
+    for frame in frames:
+        reader.feed_data(wire.encode_frame(frame))
+    reader.feed_eof()
+    return reader
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        frame = wire.make_frame(
+            wire.REQUEST, id=7, op="submit", job={"task": "simulate"}
+        )
+        assert frame["v"] == wire.WIRE_FORMAT_VERSION
+        assert wire.decode_frame(wire.encode_frame(frame)) == frame
+
+    def test_read_frames_in_order(self):
+        frames = [
+            wire.make_frame(wire.REQUEST, id=1, op="ping"),
+            wire.make_frame(wire.HEARTBEAT, id=1, shard={"pid": 1}),
+            wire.make_frame(wire.EVENT, id=2, event={"done": 1}),
+        ]
+
+        async def read_all():
+            reader = frame_stream(*frames)
+            seen = []
+            while True:
+                frame = await wire.read_frame(reader)
+                if frame is None:
+                    return seen
+                seen.append(frame)
+
+        assert asyncio.run(read_all()) == frames
+
+    def test_clean_eof_returns_none(self):
+        async def read_empty():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            return await wire.read_frame(reader)
+
+        assert asyncio.run(read_empty()) is None
+
+    def test_eof_mid_frame_is_corrupt(self):
+        data = wire.encode_frame(wire.make_frame(wire.REQUEST, id=1, op="ping"))
+
+        async def read_truncated():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data[: len(data) - 3])
+            reader.feed_eof()
+            await wire.read_frame(reader)
+
+        with pytest.raises(wire.CorruptFrame):
+            asyncio.run(read_truncated())
+
+    def test_payload_corruption_detected_by_crc(self):
+        data = wire.encode_frame(
+            wire.make_frame(wire.REQUEST, id=1, op="submit", job={"a": 1})
+        )
+        from repro.service.remote.faults import corrupt_bytes
+
+        mangled = corrupt_bytes(data)
+        assert mangled != data
+        with pytest.raises(wire.CorruptFrame):
+            wire.decode_frame(mangled)
+
+    def test_every_single_byte_flip_is_detected(self):
+        data = wire.encode_frame(wire.make_frame(wire.REQUEST, id=9, op="ping"))
+        for position in range(8, len(data)):
+            mangled = bytearray(data)
+            mangled[position] ^= 0x01
+            with pytest.raises(wire.WireError):
+                wire.decode_frame(bytes(mangled))
+
+    def test_version_mismatch_rejected(self):
+        frame = wire.make_frame(wire.REQUEST, id=1, op="ping")
+        frame["v"] = wire.WIRE_FORMAT_VERSION + 1
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_frame(wire.encode_frame(frame))
+
+    def test_oversized_length_rejected(self):
+        header = wire._HEADER.pack(wire.MAX_FRAME_BYTES + 1, 0)
+
+        async def read_huge():
+            reader = asyncio.StreamReader()
+            reader.feed_data(header + b"x" * 16)
+            reader.feed_eof()
+            await wire.read_frame(reader)
+
+        with pytest.raises(wire.WireError):
+            asyncio.run(read_huge())
+
+    def test_write_frame_roundtrips_through_buffer(self):
+        frame = wire.make_frame(
+            wire.RESPONSE,
+            id=3,
+            ok=True,
+            result={"value": wire.encode_value(np.arange(4) * 1j)},
+        )
+
+        class BufferWriter:
+            def __init__(self):
+                self.buffer = io.BytesIO()
+
+            def write(self, data):
+                self.buffer.write(data)
+
+            async def drain(self):
+                pass
+
+        async def send():
+            writer = BufferWriter()
+            await wire.write_frame(writer, frame)
+            return writer.buffer.getvalue()
+
+        data = asyncio.run(send())
+        decoded = wire.decode_frame(data)
+        assert decoded == frame
+        value = wire.decode_value(decoded["result"]["value"])
+        assert np.array_equal(value, np.arange(4) * 1j)
